@@ -1,0 +1,96 @@
+// Reproduces paper Eq. 2: the workload-dependency regression between
+// the ingestion layer's write volume and the analytics layer's CPU,
+// CPU ≈ 0.0002 * WriteCapacity + 4.8 (paper §3.1).
+//
+// Absolute coefficients depend on the testbed; the reproduced *shape*
+// is: a simple linear model with positive slope and small positive
+// intercept explains analytics CPU from ingestion write volume with
+// high R². We additionally verify the paper's negative finding: no
+// significant dependency between Kinesis write volume and DynamoDB
+// write volume for the click-stream flow (the sliding-window
+// aggregation decouples them).
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "core/dependency_analyzer.h"
+
+namespace flower {
+namespace {
+
+int Run() {
+  bench::Header("EQ2   Workload dependency regression (paper Eq. 2)");
+
+  sim::Simulation sim;
+  cloudwatch::MetricStore metrics;
+  flow::FlowConfig cfg = bench::CanonicalFlow();
+  cfg.stream.initial_shards = 8;
+  cfg.initial_workers = 24;
+  auto flow =
+      flow::DataAnalyticsFlow::Create(&sim, &metrics, cfg).MoveValueOrDie();
+  auto arrival = std::make_shared<workload::DiurnalArrival>(
+      1400.0, 1100.0, 200.0 * kMinute);
+  if (!flow->AttachWorkload(arrival, bench::CanonicalWorkload(), 99).ok()) {
+    return 1;
+  }
+  const double kHorizon = 550.0 * kMinute;
+  sim.RunUntil(kHorizon);
+
+  core::DependencyAnalyzer analyzer;
+  core::LayerMetric in{core::Layer::kIngestion,
+                       {"Flower/Kinesis", "IncomingRecords", "clickstream"}};
+  core::LayerMetric cpu{core::Layer::kAnalytics,
+                        {"Flower/Storm", "CpuUtilization", "storm"}};
+  core::LayerMetric ddb{
+      core::Layer::kStorage,
+      {"Flower/DynamoDB", "ConsumedWriteCapacityUnits", "aggregates"}};
+
+  auto dep = analyzer.Analyze(metrics, in, cpu, 0.0, kHorizon);
+  if (!dep.ok()) {
+    std::cerr << dep.status() << "\n";
+    return 1;
+  }
+
+  TablePrinter table({"dependency", "slope b1", "intercept b0", "r", "R2",
+                      "significant"});
+  auto add = [&](const core::Dependency& d) {
+    table.AddRow({d.predictor.id.name + " -> " + d.response.id.name,
+                  TablePrinter::Num(d.fit.slope, 6),
+                  TablePrinter::Num(d.fit.intercept, 3),
+                  TablePrinter::Num(d.fit.correlation, 3),
+                  TablePrinter::Num(d.fit.r_squared, 3),
+                  d.significant ? "yes" : "no"});
+  };
+  add(*dep);
+
+  // The paper's negative finding: ingestion vs storage write volume.
+  auto no_dep = analyzer.Analyze(metrics, in, ddb, 0.0, kHorizon);
+  if (no_dep.ok()) add(*no_dep);
+  table.Print(std::cout);
+
+  std::cout << "\nFitted model (paper Eq. 2 shape: CPU = b1*Writes + b0):\n  "
+            << dep->ToString() << "\n";
+  std::cout << "Paper's example: CPU ~= 0.0002 * WriteCapacity + 4.8\n";
+
+  bool ok = true;
+  ok &= bench::Verdict("ingestion->analytics fit is significant (|r| >= 0.7)",
+                       dep->significant);
+  ok &= bench::Verdict("slope positive, small intercept (0..30% CPU)",
+                       dep->fit.slope > 0.0 && dep->fit.intercept > -5.0 &&
+                           dep->fit.intercept < 30.0);
+  ok &= bench::Verdict("R2 >= 0.8 (linear model explains the coupling)",
+                       dep->fit.r_squared >= 0.8);
+  if (no_dep.ok()) {
+    ok &= bench::Verdict(
+        "no significant ingestion->storage write dependency (paper §3.1)",
+        !no_dep->significant);
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace flower
+
+int main() { return flower::Run(); }

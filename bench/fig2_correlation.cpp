@@ -1,0 +1,108 @@
+// Reproduces paper Fig. 2: the data arrival rate at the ingestion
+// layer (Kinesis) is strongly correlated (paper: coefficient = 0.95)
+// with the CPU load at the analytics layer (Storm).
+//
+// Method: deploy the click-stream flow with *static* provisioning
+// (observation run — elasticity off, as in the paper's measurement),
+// drive it with a diurnal + bursty workload for 550 simulated minutes,
+// sample both metrics per minute from the metric store, and compute the
+// Pearson correlation.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "stats/correlation.h"
+#include "stats/descriptive.h"
+
+namespace flower {
+namespace {
+
+int Run() {
+  bench::Header(
+      "FIG2  Ingestion arrival rate vs analytics CPU (paper Fig. 2)");
+
+  sim::Simulation sim;
+  cloudwatch::MetricStore metrics;
+  flow::FlowConfig cfg = bench::CanonicalFlow();
+  cfg.stream.initial_shards = 8;   // Static, ample for the peak.
+  cfg.initial_workers = 24;        // Keeps CPU below saturation at peak.
+  auto flow =
+      flow::DataAnalyticsFlow::Create(&sim, &metrics, cfg).MoveValueOrDie();
+
+  // Workload: a compressed "day" with two bursts, as in the paper's
+  // 550-minute observation window.
+  auto arrival = std::make_shared<workload::CompositeArrival>();
+  arrival->Add(std::make_shared<workload::DiurnalArrival>(1400.0, 1100.0,
+                                                          300.0 * kMinute));
+  arrival->Add(std::make_shared<workload::FlashCrowdArrival>(
+      0.0, 1500.0, 120.0 * kMinute, 30.0 * kMinute, 5.0 * kMinute));
+  arrival->Add(std::make_shared<workload::FlashCrowdArrival>(
+      0.0, 1200.0, 400.0 * kMinute, 20.0 * kMinute, 5.0 * kMinute));
+  if (!flow->AttachWorkload(arrival, bench::CanonicalWorkload(), 2024).ok()) {
+    return 1;
+  }
+
+  const double kHorizon = 550.0 * kMinute;
+  sim.RunUntil(kHorizon);
+
+  auto in_series = metrics.GetSeries(
+      {"Flower/Kinesis", "IncomingRecords", "clickstream"});
+  auto cpu_series =
+      metrics.GetSeries({"Flower/Storm", "CpuUtilization", "storm"});
+  if (!in_series.ok() || !cpu_series.ok()) {
+    std::cerr << "metrics missing\n";
+    return 1;
+  }
+  TimeSeries in_min = (*in_series)->BucketMean(0.0, kMinute);
+  TimeSeries cpu_min = (*cpu_series)->BucketMean(0.0, kMinute);
+  size_t n = std::min(in_min.size(), cpu_min.size());
+  std::vector<double> records, cpu;
+  for (size_t i = 0; i < n; ++i) {
+    records.push_back(in_min[i].value);
+    cpu.push_back(cpu_min[i].value);
+  }
+
+  // Fig. 2's two panels, as 10-minute aggregates.
+  TablePrinter table({"t (min)", "input records (rec/min)", "CPU (%)"});
+  for (size_t i = 0; i + 9 < n; i += 10) {
+    double rec10 = 0.0, cpu10 = 0.0;
+    for (size_t j = i; j < i + 10; ++j) {
+      rec10 += records[j];
+      cpu10 += cpu[j];
+    }
+    table.AddRow({std::to_string(i), TablePrinter::Num(rec10 / 10.0, 0),
+                  TablePrinter::Num(cpu10 / 10.0, 1)});
+  }
+  table.Print(std::cout);
+
+  std::cout << AsciiChart(records, 6, 72, "Ingestion layer (Kinesis): "
+                                          "input records per minute");
+  std::cout << AsciiChart(cpu, 6, 72,
+                          "Analytics layer (Storm): CPU %");
+
+  auto r = stats::PearsonCorrelation(records, cpu);
+  if (!r.ok()) {
+    std::cerr << r.status() << "\n";
+    return 1;
+  }
+  auto lag = stats::CrossCorrelation(records, cpu, 10);
+  std::cout << "\nSamples: " << n << " one-minute intervals\n";
+  std::cout << "Pearson correlation (paper reports 0.95): "
+            << TablePrinter::Num(*r, 3) << "\n";
+  if (lag.ok()) {
+    std::cout << "Best-lag correlation: " << TablePrinter::Num(lag->best_r, 3)
+              << " at lag " << lag->best_lag << " min\n";
+  }
+
+  bool ok = bench::Verdict(
+      "ingestion arrival strongly correlated with analytics CPU (r >= 0.9)",
+      *r >= 0.9);
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace flower
+
+int main() { return flower::Run(); }

@@ -1,0 +1,165 @@
+// Micro-benchmarks of Flower's infrastructure (google-benchmark):
+// NSGA-II generations, OLS fits, correlation scans, simulation event
+// throughput, controller updates, metric-store writes/queries, and the
+// sliding-window counter. These quantify the overhead of the manager
+// itself — the paper's implicit requirement that the elasticity layer
+// is cheap relative to the systems it manages.
+
+#include <benchmark/benchmark.h>
+
+#include "cloudwatch/metric_store.h"
+#include "common/random.h"
+#include "control/adaptive_gain.h"
+#include "core/resource_share.h"
+#include "flow/sliding_window.h"
+#include "opt/nsga2.h"
+#include "sim/simulation.h"
+#include "stats/correlation.h"
+#include "stats/linreg.h"
+
+namespace flower {
+namespace {
+
+core::ResourceShareRequest BenchRequest() {
+  core::ResourceShareRequest req;
+  req.hourly_budget_usd = 2.0;
+  req.bounds[0] = {1.0, 40.0};
+  req.bounds[1] = {1.0, 20.0};
+  req.bounds[2] = {1.0, 400.0};
+  req.constraints.push_back(core::LinearConstraint::AtLeast(
+      core::Layer::kAnalytics, 5.0, core::Layer::kIngestion, 1.0));
+  req.constraints.push_back(core::LinearConstraint::AtMost(
+      core::Layer::kAnalytics, 2.0, core::Layer::kIngestion, -1.0, 0.0));
+  return req;
+}
+
+void BM_Nsga2ResourceShare(benchmark::State& state) {
+  core::ShareProblem problem(BenchRequest());
+  opt::Nsga2Config cfg;
+  cfg.population_size = 100;
+  cfg.generations = static_cast<size_t>(state.range(0));
+  opt::Nsga2 solver(cfg);
+  for (auto _ : state) {
+    auto res = solver.Solve(problem);
+    benchmark::DoNotOptimize(res);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0) * 100);
+  state.counters["evals/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * state.range(0) * 100),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Nsga2ResourceShare)->Arg(10)->Arg(50)->Arg(250);
+
+void BM_OlsSimpleFit(benchmark::State& state) {
+  Rng rng(1);
+  size_t n = static_cast<size_t>(state.range(0));
+  std::vector<double> x, y;
+  for (size_t i = 0; i < n; ++i) {
+    double xi = rng.Uniform(0, 50000);
+    x.push_back(xi);
+    y.push_back(4.8 + 0.0002 * xi + rng.Normal(0, 0.5));
+  }
+  for (auto _ : state) {
+    auto fit = stats::FitSimple(x, y);
+    benchmark::DoNotOptimize(fit);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_OlsSimpleFit)->Arg(550)->Arg(10000);
+
+void BM_CrossCorrelationScan(benchmark::State& state) {
+  Rng rng(2);
+  size_t n = static_cast<size_t>(state.range(0));
+  std::vector<double> x, y;
+  for (size_t i = 0; i < n; ++i) {
+    x.push_back(rng.Normal());
+    y.push_back(rng.Normal());
+  }
+  for (auto _ : state) {
+    auto r = stats::CrossCorrelation(x, y, 30);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_CrossCorrelationScan)->Arg(550)->Arg(5000);
+
+void BM_SimulationEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    int64_t n = state.range(0);
+    for (int64_t i = 0; i < n; ++i) {
+      (void)sim.ScheduleAt(static_cast<double>(i % 100), [] {});
+    }
+    sim.RunUntil(1000.0);
+    benchmark::DoNotOptimize(sim.events_executed());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SimulationEventThroughput)->Arg(100000);
+
+void BM_AdaptiveControllerUpdate(benchmark::State& state) {
+  control::AdaptiveGainConfig cfg;
+  cfg.limits.min = 1.0;
+  cfg.limits.max = 1000.0;
+  control::AdaptiveGainController c(cfg);
+  c.Reset(10.0);
+  double t = 0.0;
+  double y = 50.0;
+  for (auto _ : state) {
+    t += 60.0;
+    y = y < 80.0 ? y + 1.0 : 40.0;
+    auto u = c.Update(t, y);
+    benchmark::DoNotOptimize(u);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AdaptiveControllerUpdate);
+
+void BM_MetricStorePut(benchmark::State& state) {
+  cloudwatch::MetricStore store;
+  cloudwatch::MetricId id{"Flower/Storm", "CpuUtilization", "c"};
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 1.0;
+    benchmark::DoNotOptimize(store.Put(id, t, 42.0));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MetricStorePut);
+
+void BM_MetricStoreWindowQuery(benchmark::State& state) {
+  cloudwatch::MetricStore store;
+  cloudwatch::MetricId id{"Flower/Storm", "CpuUtilization", "c"};
+  for (int i = 0; i < 100000; ++i) {
+    (void)store.Put(id, static_cast<double>(i), 42.0);
+  }
+  for (auto _ : state) {
+    auto v = store.GetStatistic(id, 99000.0, 100000.0,
+                                cloudwatch::Statistic::kAverage);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_MetricStoreWindowQuery);
+
+void BM_SlidingWindowAdd(benchmark::State& state) {
+  auto counter = flow::SlidingWindowCounter::Create(60.0, 10.0)
+                     .MoveValueOrDie();
+  Rng rng(3);
+  double t = 0.0;
+  uint64_t emitted = 0;
+  for (auto _ : state) {
+    t += 0.001;
+    counter.Add(rng.UniformInt(0, 499), t);
+    counter.AdvanceTo(t, [&](int64_t, double, double) { ++emitted; });
+  }
+  benchmark::DoNotOptimize(emitted);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SlidingWindowAdd);
+
+}  // namespace
+}  // namespace flower
+
+BENCHMARK_MAIN();

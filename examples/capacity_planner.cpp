@@ -1,0 +1,81 @@
+// Capacity planning with Flower's resource-share analyzer: sweep the
+// hourly budget and print, for each budget, the Pareto-optimal
+// provisioning plans and the balanced plan Flower would enact. Emits a
+// CSV block that can be plotted directly (budget, shards, vms, wcu,
+// cost) — the workflow an admin uses before enabling the controllers.
+//
+//   $ ./build/examples/capacity_planner
+
+#include <iostream>
+
+#include "common/csv.h"
+#include "common/table_printer.h"
+#include "core/resource_share.h"
+
+using namespace flower;
+
+int main() {
+  pricing::PriceBook book;
+  std::cout << "== Flower capacity planner ==\n"
+            << "Unit prices: shard $"
+            << book.HourlyPrice(pricing::ResourceKind::kKinesisShard)
+            << "/h, VM $"
+            << book.HourlyPrice(pricing::ResourceKind::kEc2Instance)
+            << "/h, WCU $"
+            << book.HourlyPrice(pricing::ResourceKind::kDynamoWcu) << "/h\n";
+
+  TablePrinter table({"budget $/h", "pareto plans", "balanced plan "
+                      "(shards/vms/wcu)", "plan cost $/h",
+                      "max shares (I/A/S)"});
+  std::cout << "\nCSV: budget,shards,vms,wcu,cost\n";
+  CsvWriter csv(&std::cout);
+
+  for (double budget : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    core::ResourceShareRequest req;
+    req.hourly_budget_usd = budget;
+    req.SetPricesFrom(book);
+    req.bounds[0] = {1.0, 60.0};
+    req.bounds[1] = {1.0, 30.0};
+    req.bounds[2] = {5.0, 2000.0};
+    req.constraints.push_back(core::LinearConstraint::AtLeast(
+        core::Layer::kAnalytics, 5.0, core::Layer::kIngestion, 1.0,
+        "5*vms >= shards"));
+    req.constraints.push_back(core::LinearConstraint::AtMost(
+        core::Layer::kAnalytics, 2.0, core::Layer::kIngestion, -1.0, 0.0,
+        "2*vms <= shards"));
+    req.constraints.push_back(core::LinearConstraint::AtMost(
+        core::Layer::kIngestion, 2.0, core::Layer::kStorage, -1.0, 0.0,
+        "2*shards <= wcu"));
+
+    opt::Nsga2Config solver;
+    solver.population_size = 100;
+    solver.generations = 200;
+    core::ResourceShareAnalyzer analyzer(solver);
+    auto res = analyzer.Analyze(req);
+    if (!res.ok()) {
+      std::cerr << "budget " << budget << ": " << res.status() << "\n";
+      continue;
+    }
+    auto balanced = core::ResourceShareAnalyzer::PickBalancedPlan(*res, req);
+    auto max_shares = core::ResourceShareAnalyzer::MaxShares(*res);
+    if (!balanced.ok() || !max_shares.ok()) continue;
+
+    table.AddRow(
+        {TablePrinter::Num(budget, 2),
+         std::to_string(res->pareto_plans.size()),
+         TablePrinter::Num(balanced->ingestion(), 0) + "/" +
+             TablePrinter::Num(balanced->analytics(), 0) + "/" +
+             TablePrinter::Num(balanced->storage(), 0),
+         TablePrinter::Num(balanced->hourly_cost_usd, 3),
+         TablePrinter::Num(max_shares->ingestion(), 0) + "/" +
+             TablePrinter::Num(max_shares->analytics(), 0) + "/" +
+             TablePrinter::Num(max_shares->storage(), 0)});
+    for (const core::ProvisioningPlan& p : res->pareto_plans) {
+      csv.WriteNumericRow({budget, p.ingestion(), p.analytics(), p.storage(),
+                           p.hourly_cost_usd});
+    }
+  }
+  std::cout << "\n";
+  table.Print(std::cout);
+  return 0;
+}

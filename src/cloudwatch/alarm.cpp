@@ -1,0 +1,41 @@
+#include "cloudwatch/alarm.h"
+
+namespace flower::cloudwatch {
+
+std::string AlarmStateToString(AlarmState s) {
+  switch (s) {
+    case AlarmState::kInsufficientData: return "INSUFFICIENT_DATA";
+    case AlarmState::kOk: return "OK";
+    case AlarmState::kAlarm: return "ALARM";
+  }
+  return "UNKNOWN";
+}
+
+AlarmState Alarm::Evaluate(const MetricStore& store, SimTime now) {
+  AlarmState next = AlarmState::kOk;
+  int breaches = 0;
+  bool insufficient = false;
+  for (int i = 0; i < config_.evaluation_periods; ++i) {
+    SimTime t1 = now - static_cast<double>(i) * config_.period;
+    SimTime t0 = t1 - config_.period;
+    auto stat = store.GetStatistic(config_.metric, t0, t1, config_.statistic);
+    if (!stat.ok()) {
+      insufficient = true;
+      break;
+    }
+    if (Breaches(*stat)) ++breaches;
+  }
+  if (insufficient) {
+    next = AlarmState::kInsufficientData;
+  } else if (breaches == config_.evaluation_periods) {
+    next = AlarmState::kAlarm;
+  }
+  if (next != state_) {
+    AlarmState old = state_;
+    state_ = next;
+    if (on_state_change_) on_state_change_(*this, old, next);
+  }
+  return state_;
+}
+
+}  // namespace flower::cloudwatch

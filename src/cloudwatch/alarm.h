@@ -1,0 +1,64 @@
+#ifndef FLOWER_CLOUDWATCH_ALARM_H_
+#define FLOWER_CLOUDWATCH_ALARM_H_
+
+#include <functional>
+#include <string>
+
+#include "cloudwatch/metric_store.h"
+
+namespace flower::cloudwatch {
+
+enum class AlarmState { kInsufficientData, kOk, kAlarm };
+enum class Comparison { kGreaterThan, kLessThan };
+
+std::string AlarmStateToString(AlarmState s);
+
+/// Configuration of a threshold alarm over one metric, mirroring the
+/// CloudWatch alarm model: the alarm fires after `evaluation_periods`
+/// consecutive periods whose aggregated statistic breaches `threshold`.
+struct AlarmConfig {
+  std::string name;
+  MetricId metric;
+  Statistic statistic = Statistic::kAverage;
+  double threshold = 0.0;
+  Comparison comparison = Comparison::kGreaterThan;
+  double period = 60.0;        ///< Aggregation period, seconds.
+  int evaluation_periods = 1;  ///< Consecutive breaches required.
+};
+
+/// Threshold alarm. The rule-based baseline autoscaler and the
+/// monitoring dashboard both consume alarms; Flower's own controllers
+/// do not (they read statistics directly).
+class Alarm {
+ public:
+  using StateChangeCallback =
+      std::function<void(const Alarm&, AlarmState old_state, AlarmState new_state)>;
+
+  explicit Alarm(AlarmConfig config) : config_(std::move(config)) {}
+
+  /// Re-evaluates the alarm at time `now` against the store by
+  /// aggregating the last `evaluation_periods` windows of length
+  /// `period` ending at `now`. Returns the (possibly unchanged) state.
+  AlarmState Evaluate(const MetricStore& store, SimTime now);
+
+  AlarmState state() const { return state_; }
+  const AlarmConfig& config() const { return config_; }
+  void set_on_state_change(StateChangeCallback cb) {
+    on_state_change_ = std::move(cb);
+  }
+
+ private:
+  bool Breaches(double value) const {
+    return config_.comparison == Comparison::kGreaterThan
+               ? value > config_.threshold
+               : value < config_.threshold;
+  }
+
+  AlarmConfig config_;
+  AlarmState state_ = AlarmState::kInsufficientData;
+  StateChangeCallback on_state_change_;
+};
+
+}  // namespace flower::cloudwatch
+
+#endif  // FLOWER_CLOUDWATCH_ALARM_H_

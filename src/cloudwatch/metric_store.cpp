@@ -1,0 +1,113 @@
+#include "cloudwatch/metric_store.h"
+
+#include <algorithm>
+
+#include "stats/descriptive.h"
+
+namespace flower::cloudwatch {
+
+std::string StatisticToString(Statistic s) {
+  switch (s) {
+    case Statistic::kAverage: return "Average";
+    case Statistic::kSum: return "Sum";
+    case Statistic::kMinimum: return "Minimum";
+    case Statistic::kMaximum: return "Maximum";
+    case Statistic::kSampleCount: return "SampleCount";
+    case Statistic::kP50: return "p50";
+    case Statistic::kP90: return "p90";
+    case Statistic::kP99: return "p99";
+  }
+  return "Unknown";
+}
+
+Status MetricStore::Put(const MetricId& id, SimTime time, double value) {
+  auto it = series_.find(id);
+  if (it == series_.end()) {
+    it = series_.emplace(id, TimeSeries(id.ToString())).first;
+  }
+  FLOWER_RETURN_NOT_OK(it->second.Append(time, value));
+  ++total_datapoints_;
+  return Status::OK();
+}
+
+Result<double> MetricStore::GetStatistic(const MetricId& id, SimTime t0,
+                                         SimTime t1, Statistic stat) const {
+  if (t1 <= t0) {
+    return Status::InvalidArgument("GetStatistic: t1 must exceed t0");
+  }
+  auto it = series_.find(id);
+  if (it == series_.end()) {
+    return Status::NotFound("GetStatistic: unknown metric " + id.ToString());
+  }
+  TimeSeries window = it->second.Window(t0, t1);
+  if (window.empty()) {
+    return Status::NotFound("GetStatistic: no datapoints in window for " +
+                            id.ToString());
+  }
+  std::vector<double> v = window.Values();
+  switch (stat) {
+    case Statistic::kAverage:
+      return stats::Mean(v);
+    case Statistic::kSum: {
+      double s = 0.0;
+      for (double x : v) s += x;
+      return s;
+    }
+    case Statistic::kMinimum:
+      return *std::min_element(v.begin(), v.end());
+    case Statistic::kMaximum:
+      return *std::max_element(v.begin(), v.end());
+    case Statistic::kSampleCount:
+      return static_cast<double>(v.size());
+    case Statistic::kP50:
+      return stats::Percentile(std::move(v), 50.0);
+    case Statistic::kP90:
+      return stats::Percentile(std::move(v), 90.0);
+    case Statistic::kP99:
+      return stats::Percentile(std::move(v), 99.0);
+  }
+  return Status::Internal("GetStatistic: unhandled statistic");
+}
+
+Result<TimeSeries> MetricStore::GetStatisticSeries(const MetricId& id,
+                                                   SimTime t0, SimTime t1,
+                                                   double period,
+                                                   Statistic stat) const {
+  if (period <= 0.0) {
+    return Status::InvalidArgument("GetStatisticSeries: period must be > 0");
+  }
+  if (t1 <= t0) {
+    return Status::InvalidArgument("GetStatisticSeries: t1 must exceed t0");
+  }
+  auto it = series_.find(id);
+  if (it == series_.end()) {
+    return Status::NotFound("GetStatisticSeries: unknown metric " +
+                            id.ToString());
+  }
+  TimeSeries out(id.ToString() + "/" + std::string(StatisticToString(stat)));
+  for (SimTime start = t0; start < t1; start += period) {
+    SimTime end = std::min(start + period, t1);
+    auto value = GetStatistic(id, start, end, stat);
+    if (!value.ok()) continue;  // Empty period.
+    out.AppendUnchecked(start, *value);
+  }
+  return out;
+}
+
+Result<const TimeSeries*> MetricStore::GetSeries(const MetricId& id) const {
+  auto it = series_.find(id);
+  if (it == series_.end()) {
+    return Status::NotFound("GetSeries: unknown metric " + id.ToString());
+  }
+  return &it->second;
+}
+
+std::vector<MetricId> MetricStore::ListMetrics(const std::string& ns) const {
+  std::vector<MetricId> out;
+  for (const auto& [id, ts] : series_) {
+    if (ns.empty() || id.metric_namespace == ns) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace flower::cloudwatch

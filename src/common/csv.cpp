@@ -1,0 +1,39 @@
+#include "common/csv.h"
+
+#include <sstream>
+
+namespace flower {
+
+std::string CsvWriter::Escape(const std::string& field) {
+  bool needs_quote = field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) *out_ << ',';
+    *out_ << Escape(fields[i]);
+  }
+  *out_ << '\n';
+}
+
+void CsvWriter::WriteNumericRow(const std::vector<double>& fields) {
+  std::vector<std::string> s;
+  s.reserve(fields.size());
+  for (double v : fields) {
+    std::ostringstream os;
+    os.precision(10);
+    os << v;
+    s.push_back(os.str());
+  }
+  WriteRow(s);
+}
+
+}  // namespace flower

@@ -1,0 +1,37 @@
+#ifndef FLOWER_COMMON_CSV_H_
+#define FLOWER_COMMON_CSV_H_
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace flower {
+
+/// Minimal CSV emitter used by the benchmark harness to dump
+/// paper-figure data series for external plotting.
+///
+/// Fields containing commas, quotes, or newlines are quoted per RFC
+/// 4180. The writer does not own the stream.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream* out) : out_(out) {}
+
+  void WriteRow(const std::vector<std::string>& fields);
+  void WriteRow(std::initializer_list<std::string> fields) {
+    WriteRow(std::vector<std::string>(fields));
+  }
+
+  /// Convenience for numeric rows; doubles are formatted with up to 10
+  /// significant digits.
+  void WriteNumericRow(const std::vector<double>& fields);
+
+  static std::string Escape(const std::string& field);
+
+ private:
+  std::ostream* out_;
+};
+
+}  // namespace flower
+
+#endif  // FLOWER_COMMON_CSV_H_

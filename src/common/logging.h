@@ -1,0 +1,52 @@
+#ifndef FLOWER_COMMON_LOGGING_H_
+#define FLOWER_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace flower {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum severity; messages below it are discarded.
+/// Defaults to kWarning so simulations stay quiet in tests/benches.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace flower
+
+#define FLOWER_LOG(severity)                                        \
+  ::flower::internal::LogMessage(::flower::LogLevel::k##severity,   \
+                                 __FILE__, __LINE__)
+
+/// Unconditional invariant check (active in all build types).
+#define FLOWER_CHECK(cond)                                               \
+  if (!(cond))                                                           \
+  ::flower::internal::LogMessage(::flower::LogLevel::kError, __FILE__,   \
+                                 __LINE__)                               \
+      << "Check failed: " #cond " "
+
+#endif  // FLOWER_COMMON_LOGGING_H_

@@ -1,0 +1,23 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace flower {
+
+int64_t Rng::Zipf(int64_t n, double s) {
+  if (n <= 1) return 1;
+  // Inverse-CDF sampling over H(n, s). Harmonic prefix is recomputed per
+  // call only for small n; callers that need large n should cache a
+  // std::discrete_distribution instead.
+  double h = 0.0;
+  for (int64_t k = 1; k <= n; ++k) h += 1.0 / std::pow(static_cast<double>(k), s);
+  double u = Uniform(0.0, h);
+  double acc = 0.0;
+  for (int64_t k = 1; k <= n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k), s);
+    if (u <= acc) return k;
+  }
+  return n;
+}
+
+}  // namespace flower

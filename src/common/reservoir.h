@@ -1,0 +1,43 @@
+#ifndef FLOWER_COMMON_RESERVOIR_H_
+#define FLOWER_COMMON_RESERVOIR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+
+namespace flower {
+
+/// Fixed-size uniform reservoir sample (Vitter's algorithm R): keeps a
+/// uniform random subset of an unbounded stream in O(capacity) memory,
+/// so per-period latency percentiles stay cheap even at millions of
+/// tuples per period.
+class ReservoirSampler {
+ public:
+  ReservoirSampler(size_t capacity, uint64_t seed)
+      : capacity_(capacity), rng_(seed) {}
+
+  void Add(double value);
+
+  size_t size() const { return sample_.size(); }
+  uint64_t observed() const { return observed_; }
+  const std::vector<double>& sample() const { return sample_; }
+
+  /// Percentile (linear interpolation) over the current sample.
+  /// Errors: empty reservoir or p outside [0, 100].
+  Result<double> Percentile(double p) const;
+
+  /// Clears the sample but keeps the RNG state (fresh period).
+  void Reset();
+
+ private:
+  size_t capacity_;
+  Rng rng_;
+  std::vector<double> sample_;
+  uint64_t observed_ = 0;
+};
+
+}  // namespace flower
+
+#endif  // FLOWER_COMMON_RESERVOIR_H_

@@ -1,0 +1,76 @@
+#ifndef FLOWER_COMMON_RESULT_H_
+#define FLOWER_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace flower {
+
+/// Either a value of type `T` or a non-OK `Status` explaining why the
+/// value could not be produced (the Arrow `Result<T>` idiom).
+///
+/// Invariant: exactly one of {value, non-OK status} is present. A
+/// default-constructed Result is an Internal error; constructing a
+/// Result from an OK status is a programming error and is demoted to an
+/// Internal error so the invariant holds.
+template <typename T>
+class Result {
+ public:
+  Result() : status_(Status::Internal("uninitialized Result")) {}
+  /*implicit*/ Result(T value) : value_(std::move(value)) {}
+  /*implicit*/ Result(Status status) : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok(). Asserts in debug builds.
+  const T& ValueOrDie() const {
+    assert(ok());
+    return *value_;
+  }
+  T& ValueOrDie() {
+    assert(ok());
+    return *value_;
+  }
+  /// Moves the value out. Precondition: ok().
+  T MoveValueOrDie() {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const { return ValueOrDie(); }
+  T& operator*() { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Returns the value, or `fallback` when this Result holds an error.
+  T ValueOr(T fallback) const { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ present
+};
+
+}  // namespace flower
+
+/// Assigns the value of a Result expression to `lhs`, or returns its
+/// error Status from the enclosing function.
+#define FLOWER_ASSIGN_OR_RETURN(lhs, rexpr)          \
+  FLOWER_ASSIGN_OR_RETURN_IMPL_(                     \
+      FLOWER_RESULT_CONCAT_(_res, __COUNTER__), lhs, rexpr)
+
+#define FLOWER_RESULT_CONCAT_INNER_(a, b) a##b
+#define FLOWER_RESULT_CONCAT_(a, b) FLOWER_RESULT_CONCAT_INNER_(a, b)
+#define FLOWER_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = tmp.MoveValueOrDie()
+
+#endif  // FLOWER_COMMON_RESULT_H_

@@ -1,0 +1,114 @@
+#ifndef FLOWER_COMMON_STATUS_H_
+#define FLOWER_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace flower {
+
+/// Canonical error codes used across the Flower library.
+///
+/// Loosely modelled on the Arrow/Abseil canonical space, with one
+/// cloud-specific addition (`kThrottled`) because throttling is a
+/// first-class signal for elasticity management rather than a failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kResourceExhausted,
+  /// A simulated cloud service rejected a request because provisioned
+  /// throughput was exceeded (e.g. Kinesis ProvisionedThroughputExceeded,
+  /// DynamoDB throttling). Retryable.
+  kThrottled,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a stable, human-readable name for a status code ("OK",
+/// "Invalid argument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Result of a fallible operation: a code plus an optional message.
+///
+/// Flower does not throw exceptions across public API boundaries;
+/// operations that can fail return `Status` (or `Result<T>`, see
+/// result.h). The OK status carries no allocation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Throttled(std::string msg) {
+    return Status(StatusCode::kThrottled, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  /// True when the failure is transient and the caller may retry
+  /// (possibly after scaling up): throttling and resource exhaustion.
+  bool IsRetryable() const {
+    return code_ == StatusCode::kThrottled ||
+           code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsThrottled() const { return code_ == StatusCode::kThrottled; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace flower
+
+/// Propagates a non-OK Status from the evaluated expression.
+#define FLOWER_RETURN_NOT_OK(expr)                \
+  do {                                            \
+    ::flower::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                    \
+  } while (false)
+
+#endif  // FLOWER_COMMON_STATUS_H_

@@ -1,0 +1,88 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace flower {
+
+std::string TablePrinter::Num(double v, int prec) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(prec) << v;
+  return os.str();
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (size_t i = 0; i < widths.size(); ++i) {
+      std::string cell = i < row.size() ? row[i] : "";
+      os << ' ' << cell << std::string(widths[i] - cell.size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+  auto print_sep = [&]() {
+    os << "+";
+    for (size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  print_sep();
+  print_row(header_);
+  print_sep();
+  for (const auto& row : rows_) print_row(row);
+  print_sep();
+}
+
+std::string AsciiChart(const std::vector<double>& values, int height,
+                       int width, const std::string& label) {
+  std::ostringstream os;
+  if (!label.empty()) os << label << '\n';
+  if (values.empty() || height < 2 || width < 2) {
+    os << "(no data)\n";
+    return os.str();
+  }
+  // Downsample to `width` columns by bucket mean.
+  std::vector<double> cols;
+  cols.reserve(static_cast<size_t>(width));
+  size_t n = values.size();
+  for (int c = 0; c < width; ++c) {
+    size_t lo = static_cast<size_t>(c) * n / static_cast<size_t>(width);
+    size_t hi = static_cast<size_t>(c + 1) * n / static_cast<size_t>(width);
+    if (hi <= lo) hi = lo + 1;
+    if (hi > n) hi = n;
+    if (lo >= n) break;
+    double sum = 0.0;
+    for (size_t i = lo; i < hi; ++i) sum += values[i];
+    cols.push_back(sum / static_cast<double>(hi - lo));
+  }
+  double vmin = *std::min_element(cols.begin(), cols.end());
+  double vmax = *std::max_element(cols.begin(), cols.end());
+  double span = vmax - vmin;
+  if (span <= 0.0) span = 1.0;
+  std::vector<std::string> grid(static_cast<size_t>(height),
+                                std::string(cols.size(), ' '));
+  for (size_t c = 0; c < cols.size(); ++c) {
+    int level = static_cast<int>(
+        std::lround((cols[c] - vmin) / span * (height - 1)));
+    level = std::clamp(level, 0, height - 1);
+    grid[static_cast<size_t>(height - 1 - level)][c] = '*';
+  }
+  std::ostringstream maxs, mins;
+  maxs << std::setprecision(4) << vmax;
+  mins << std::setprecision(4) << vmin;
+  os << maxs.str() << " max\n";
+  for (const std::string& row : grid) os << '|' << row << '\n';
+  os << '+' << std::string(cols.size(), '-') << '\n';
+  os << mins.str() << " min\n";
+  return os.str();
+}
+
+}  // namespace flower

@@ -1,0 +1,37 @@
+#ifndef FLOWER_COMMON_TABLE_PRINTER_H_
+#define FLOWER_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace flower {
+
+/// Renders aligned plain-text tables for the benchmark harness and the
+/// cross-platform monitoring dashboard (the text equivalent of the
+/// paper's Fig. 6 UI).
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Formats a double with `prec` digits after the decimal point.
+  static std::string Num(double v, int prec = 2);
+
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders a single series as a fixed-height ASCII sparkline chart,
+/// used by the monitoring dashboard to show live metric traces.
+std::string AsciiChart(const std::vector<double>& values, int height = 8,
+                       int width = 72, const std::string& label = "");
+
+}  // namespace flower
+
+#endif  // FLOWER_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,89 @@
+#include "control/metrics.h"
+
+#include <cmath>
+
+namespace flower::control {
+
+Result<ControlQuality> EvaluateControl(const TimeSeries& measurements,
+                                       const TimeSeries& actuations,
+                                       double reference, double tolerance,
+                                       SimTime horizon_end) {
+  if (tolerance < 0.0) {
+    return Status::InvalidArgument("EvaluateControl: negative tolerance");
+  }
+  if (measurements.empty()) {
+    return Status::FailedPrecondition(
+        "EvaluateControl: empty measurement series");
+  }
+  ControlQuality q;
+  size_t violations = 0, overloads = 0;
+  double abs_sum = 0.0, sq_sum = 0.0;
+  for (const Sample& s : measurements.samples()) {
+    if (s.time > horizon_end) break;
+    double e = s.value - reference;
+    if (std::fabs(e) > tolerance) ++violations;
+    if (e > tolerance) ++overloads;
+    abs_sum += std::fabs(e);
+    sq_sum += e * e;
+    ++q.samples;
+  }
+  if (q.samples == 0) {
+    return Status::FailedPrecondition(
+        "EvaluateControl: no samples within horizon");
+  }
+  q.violation_fraction =
+      static_cast<double>(violations) / static_cast<double>(q.samples);
+  q.overload_fraction =
+      static_cast<double>(overloads) / static_cast<double>(q.samples);
+  q.mean_abs_error = abs_sum / static_cast<double>(q.samples);
+  q.rmse = std::sqrt(sq_sum / static_cast<double>(q.samples));
+
+  // Integrate the actuation step function.
+  const auto& acts = actuations.samples();
+  double prev_u = 0.0;
+  SimTime prev_t = 0.0;
+  bool have_prev = false;
+  double last_u = std::nan("");
+  for (const Sample& s : acts) {
+    if (s.time > horizon_end) break;
+    if (have_prev) {
+      q.resource_seconds += prev_u * (s.time - prev_t);
+    }
+    if (!std::isnan(last_u) && s.value != last_u) ++q.actuation_changes;
+    last_u = s.value;
+    prev_u = s.value;
+    prev_t = s.time;
+    have_prev = true;
+  }
+  if (have_prev && horizon_end > prev_t) {
+    q.resource_seconds += prev_u * (horizon_end - prev_t);
+  }
+  double horizon = have_prev ? horizon_end - acts.front().time : 0.0;
+  q.mean_resource = horizon > 0.0 ? q.resource_seconds / horizon : 0.0;
+  return q;
+}
+
+Result<double> SettlingTime(const TimeSeries& measurements, SimTime step_time,
+                            double reference, double tolerance, double hold) {
+  const auto& s = measurements.samples();
+  if (s.empty()) {
+    return Status::FailedPrecondition("SettlingTime: empty series");
+  }
+  // Candidate settle point: first in-band sample after step_time such
+  // that every sample within [t, t + hold] is in band.
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i].time < step_time) continue;
+    if (std::fabs(s[i].value - reference) > tolerance) continue;
+    bool stays = true;
+    for (size_t j = i; j < s.size() && s[j].time <= s[i].time + hold; ++j) {
+      if (std::fabs(s[j].value - reference) > tolerance) {
+        stays = false;
+        break;
+      }
+    }
+    if (stays) return s[i].time - step_time;
+  }
+  return Status::NotFound("SettlingTime: trace never settles");
+}
+
+}  // namespace flower::control

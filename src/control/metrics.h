@@ -1,0 +1,50 @@
+#ifndef FLOWER_CONTROL_METRICS_H_
+#define FLOWER_CONTROL_METRICS_H_
+
+#include "common/result.h"
+#include "common/time_series.h"
+
+namespace flower::control {
+
+/// Aggregate quality metrics of one controller run, computed from the
+/// sensed-measurement trace and the actuation trace. These are the
+/// columns of the controller-comparison bench (paper §3.3 claim).
+struct ControlQuality {
+  /// Fraction of samples with |y − y_r| > tolerance (SLO violation %
+  /// when multiplied by 100).
+  double violation_fraction = 0.0;
+  /// Fraction of samples with y > y_r + tolerance (the harmful side:
+  /// overload / SLO breach).
+  double overload_fraction = 0.0;
+  /// Mean |y − y_r|.
+  double mean_abs_error = 0.0;
+  /// RMS of (y − y_r).
+  double rmse = 0.0;
+  /// Time-weighted mean actuator value (resource units held on
+  /// average) — proxy for cost.
+  double mean_resource = 0.0;
+  /// Resource-seconds: integral of u over the horizon.
+  double resource_seconds = 0.0;
+  /// Number of actuation changes (each resize has operational cost).
+  size_t actuation_changes = 0;
+  size_t samples = 0;
+};
+
+/// Computes ControlQuality over a horizon. `measurements` is the sensed
+/// series y(t); `actuations` is the step series u(t) (value held until
+/// the next sample). Errors: empty measurement series, or tolerance < 0.
+Result<ControlQuality> EvaluateControl(const TimeSeries& measurements,
+                                       const TimeSeries& actuations,
+                                       double reference, double tolerance,
+                                       SimTime horizon_end);
+
+/// Settling time after a reference/workload step at `step_time`: the
+/// first time t >= step_time such that y stays within
+/// [reference − tolerance, reference + tolerance] for all subsequent
+/// samples up to `hold` seconds; NotFound when the trace never settles.
+Result<double> SettlingTime(const TimeSeries& measurements, SimTime step_time,
+                            double reference, double tolerance, double hold);
+
+}  // namespace flower::control
+
+#endif  // FLOWER_CONTROL_METRICS_H_

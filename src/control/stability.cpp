@@ -1,0 +1,34 @@
+#include "control/stability.h"
+
+namespace flower::control {
+
+Result<double> MaxStableIntegralGain(double sensitivity_magnitude,
+                                     int delay_periods) {
+  if (sensitivity_magnitude <= 0.0) {
+    return Status::InvalidArgument(
+        "MaxStableIntegralGain: sensitivity magnitude must be positive");
+  }
+  if (delay_periods < 0) {
+    return Status::InvalidArgument(
+        "MaxStableIntegralGain: negative delay");
+  }
+  return 1.0 /
+         (sensitivity_magnitude * (1.0 + static_cast<double>(delay_periods)));
+}
+
+Result<double> UtilizationPlantSensitivity(double utilization_pct,
+                                           double resource_units) {
+  if (utilization_pct <= 0.0 || resource_units <= 0.0) {
+    return Status::InvalidArgument(
+        "UtilizationPlantSensitivity: inputs must be positive");
+  }
+  return utilization_pct / resource_units;
+}
+
+bool IsGainStable(double gain, double sensitivity_magnitude,
+                  int delay_periods) {
+  auto bound = MaxStableIntegralGain(sensitivity_magnitude, delay_periods);
+  return bound.ok() && gain > 0.0 && gain <= *bound;
+}
+
+}  // namespace flower::control

@@ -1,0 +1,39 @@
+#ifndef FLOWER_CONTROL_STABILITY_H_
+#define FLOWER_CONTROL_STABILITY_H_
+
+#include "common/result.h"
+
+namespace flower::control {
+
+/// Stability utilities for the integral control laws used by Flower.
+///
+/// For the utilization plant linearized around an operating point,
+/// y_{k+1} ≈ y_k + b·Δu_k with sensitivity b = ∂y/∂u < 0 (adding
+/// capacity lowers utilization), the undelayed integral loop
+/// u_{k+1} = u_k + l(y_k − y_r) is stable iff l·|b| < 2, and each
+/// control period of actuation/measurement delay shrinks the margin.
+/// These helpers give conservative bounds an operator (or the
+/// configuration wizard) can check gains against — the practical face
+/// of the "rigorous stability analysis" the paper defers to [9].
+
+/// Largest integral gain with a guaranteed-stable, non-oscillatory
+/// margin for plant sensitivity magnitude |b| and `delay_periods` whole
+/// control periods of dead time (conservative bound
+/// l ≤ 1 / (|b| · (1 + delay_periods))). Errors: non-positive |b| or
+/// negative delay.
+Result<double> MaxStableIntegralGain(double sensitivity_magnitude,
+                                     int delay_periods = 0);
+
+/// Sensitivity magnitude of the utilization plant
+/// y = 100·demand/(u·capacity_per_unit) at operating point (u, y):
+/// |∂y/∂u| = y/u. Errors: non-positive inputs.
+Result<double> UtilizationPlantSensitivity(double utilization_pct,
+                                           double resource_units);
+
+/// True when (gain, |b|, delay) satisfies the conservative bound.
+bool IsGainStable(double gain, double sensitivity_magnitude,
+                  int delay_periods = 0);
+
+}  // namespace flower::control
+
+#endif  // FLOWER_CONTROL_STABILITY_H_

@@ -1,0 +1,123 @@
+#include "core/elasticity_manager.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace flower::core {
+
+Status ElasticityManager::Attach(LayerControlConfig config) {
+  if (config.name.empty()) config.name = LayerToString(config.layer);
+  if (loops_.count(config.name) > 0) {
+    return Status::AlreadyExists("ElasticityManager: loop '" + config.name +
+                                 "' already attached");
+  }
+  if (config.controller == nullptr) {
+    return Status::InvalidArgument("ElasticityManager: missing controller");
+  }
+  if (!config.actuator) {
+    return Status::InvalidArgument("ElasticityManager: missing actuator");
+  }
+  if (config.monitoring_period_sec <= 0.0 ||
+      config.monitoring_window_sec <= 0.0) {
+    return Status::InvalidArgument(
+        "ElasticityManager: monitoring period/window must be positive");
+  }
+  auto attached = std::make_unique<Attached>();
+  attached->config = std::move(config);
+  attached->config.controller->Reset(attached->config.initial_u);
+  Attached* raw = attached.get();
+  Status st = sim_->SchedulePeriodic(
+      sim_->Now() + attached->config.start_delay_sec,
+      attached->config.monitoring_period_sec, [this, raw] {
+        Step(raw);
+        return true;
+      });
+  FLOWER_RETURN_NOT_OK(st);
+  loops_[attached->config.name] = std::move(attached);
+  return Status::OK();
+}
+
+void ElasticityManager::Step(Attached* a) {
+  if (a->paused) return;
+  SimTime now = sim_->Now();
+  const LayerControlConfig& cfg = a->config;
+  auto y = metrics_->GetStatistic(cfg.sensor_metric,
+                                  now - cfg.monitoring_window_sec, now + 1e-9,
+                                  cfg.sensor_statistic);
+  if (!y.ok()) {
+    ++a->state.sensor_misses;
+    return;
+  }
+  a->state.sensed.AppendUnchecked(now, *y);
+  auto u = cfg.controller->Update(now, *y);
+  if (!u.ok()) {
+    ++a->state.actuation_failures;
+    return;
+  }
+  double amount = *u;
+  if (a->state.share_upper_bound > 0.0) {
+    amount = std::min(amount, a->state.share_upper_bound);
+  }
+  Status st = cfg.actuator(amount);
+  if (!st.ok()) {
+    ++a->state.actuation_failures;
+    FLOWER_LOG(Warning) << "actuation failed for loop '" << cfg.name
+                        << "': " << st;
+  }
+  a->state.actuations.AppendUnchecked(now, amount);
+}
+
+Status ElasticityManager::SetShareUpperBound(const std::string& name,
+                                             double bound) {
+  auto it = loops_.find(name);
+  if (it == loops_.end()) {
+    return Status::NotFound("ElasticityManager: loop '" + name +
+                            "' not attached");
+  }
+  if (bound < 0.0) {
+    return Status::InvalidArgument(
+        "ElasticityManager: negative share upper bound");
+  }
+  it->second->state.share_upper_bound = bound;
+  return Status::OK();
+}
+
+Status ElasticityManager::SetPaused(const std::string& name, bool paused) {
+  auto it = loops_.find(name);
+  if (it == loops_.end()) {
+    return Status::NotFound("ElasticityManager: loop '" + name +
+                            "' not attached");
+  }
+  it->second->paused = paused;
+  return Status::OK();
+}
+
+Result<const LayerControlState*> ElasticityManager::GetState(
+    const std::string& name) const {
+  auto it = loops_.find(name);
+  if (it == loops_.end()) {
+    return Status::NotFound("ElasticityManager: loop '" + name +
+                            "' not attached");
+  }
+  return &it->second->state;
+}
+
+Result<const control::Controller*> ElasticityManager::GetController(
+    const std::string& name) const {
+  auto it = loops_.find(name);
+  if (it == loops_.end()) {
+    return Status::NotFound("ElasticityManager: loop '" + name +
+                            "' not attached");
+  }
+  return it->second->config.controller.get();
+}
+
+std::vector<std::string> ElasticityManager::LoopNames() const {
+  std::vector<std::string> names;
+  names.reserve(loops_.size());
+  for (const auto& [name, attached] : loops_) names.push_back(name);
+  return names;
+}
+
+}  // namespace flower::core

@@ -1,0 +1,124 @@
+#ifndef FLOWER_CORE_ELASTICITY_MANAGER_H_
+#define FLOWER_CORE_ELASTICITY_MANAGER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloudwatch/metric_store.h"
+#include "control/controller.h"
+#include "core/layer.h"
+#include "sim/simulation.h"
+
+namespace flower::core {
+
+/// Everything needed to run one layer's control loop (paper §2: each
+/// layer gets a sensor, an adaptive controller, and an actuator).
+struct LayerControlConfig {
+  Layer layer = Layer::kAnalytics;
+  /// Loop name; defaults to the layer name. Flows with several
+  /// resources in one layer (e.g. two ingestion streams feeding a join)
+  /// attach one named loop per resource.
+  std::string name;
+  /// The sensed metric (e.g. Flower/Storm CpuUtilization{storm}).
+  cloudwatch::MetricId sensor_metric;
+  cloudwatch::Statistic sensor_statistic = cloudwatch::Statistic::kAverage;
+  /// Control period: how often the loop senses and actuates (§2's
+  /// "monitoring window" knob in the demo's configuration wizard).
+  double monitoring_period_sec = 60.0;
+  /// The sensor aggregates over the trailing window of this length.
+  double monitoring_window_sec = 120.0;
+  /// First firing of the loop, relative to attach time.
+  double start_delay_sec = 60.0;
+  /// The control law (owned by the manager after Attach).
+  std::unique_ptr<control::Controller> controller;
+  /// Applies the new resource amount to the managed service (resize
+  /// shards / VMs / WCU). A failed actuation is counted and the
+  /// previous amount retained.
+  std::function<Status(double)> actuator;
+  /// Initial actuator value (current provisioned amount).
+  double initial_u = 1.0;
+};
+
+/// Per-layer runtime traces and counters, for evaluation and the
+/// monitoring dashboard.
+struct LayerControlState {
+  TimeSeries sensed;       ///< y_k at each control step.
+  TimeSeries actuations;   ///< u_{k+1} returned at each control step.
+  uint64_t sensor_misses = 0;     ///< Steps skipped: no data in window.
+  uint64_t actuation_failures = 0;
+  double share_upper_bound = 0.0;  ///< 0 = unbounded.
+};
+
+/// Flower's elasticity manager: runs one adaptive control loop per
+/// layer on the simulation clock. Each loop (1) queries the metric
+/// store for the layer's utilization statistic over the monitoring
+/// window, (2) asks the layer's controller for the next resource
+/// amount, (3) caps it by the layer's resource-share upper bound from
+/// the ResourceShareAnalyzer, and (4) invokes the actuator.
+class ElasticityManager {
+ public:
+  ElasticityManager(sim::Simulation* sim,
+                    const cloudwatch::MetricStore* metrics)
+      : sim_(sim), metrics_(metrics) {}
+
+  /// Attaches and starts a control loop. The loop is keyed by
+  /// `config.name` (default: the layer name). Errors: duplicate name,
+  /// missing controller/actuator, or non-positive periods.
+  Status Attach(LayerControlConfig config);
+
+  /// Sets a loop's maximum resource share (from §3.2's analysis);
+  /// 0 disables the cap. Takes effect from the next control step.
+  /// The Layer overloads address the loop with the default name.
+  Status SetShareUpperBound(const std::string& name, double bound);
+  Status SetShareUpperBound(Layer layer, double bound) {
+    return SetShareUpperBound(LayerToString(layer), bound);
+  }
+
+  /// Pauses/resumes a loop (the loop keeps firing but neither senses
+  /// nor actuates while paused).
+  Status SetPaused(const std::string& name, bool paused);
+  Status SetPaused(Layer layer, bool paused) {
+    return SetPaused(LayerToString(layer), paused);
+  }
+
+  bool IsAttached(const std::string& name) const {
+    return loops_.count(name) > 0;
+  }
+  bool IsAttached(Layer layer) const {
+    return IsAttached(LayerToString(layer));
+  }
+  /// Runtime traces of an attached loop.
+  Result<const LayerControlState*> GetState(const std::string& name) const;
+  Result<const LayerControlState*> GetState(Layer layer) const {
+    return GetState(LayerToString(layer));
+  }
+  /// The controller of an attached loop (for inspection).
+  Result<const control::Controller*> GetController(
+      const std::string& name) const;
+  Result<const control::Controller*> GetController(Layer layer) const {
+    return GetController(LayerToString(layer));
+  }
+
+  /// Names of all attached loops, sorted.
+  std::vector<std::string> LoopNames() const;
+
+ private:
+  struct Attached {
+    LayerControlConfig config;
+    LayerControlState state;
+    bool paused = false;
+  };
+
+  void Step(Attached* a);
+
+  sim::Simulation* sim_;
+  const cloudwatch::MetricStore* metrics_;
+  std::map<std::string, std::unique_ptr<Attached>> loops_;
+};
+
+}  // namespace flower::core
+
+#endif  // FLOWER_CORE_ELASTICITY_MANAGER_H_

@@ -1,0 +1,25 @@
+#ifndef FLOWER_CORE_LAYER_H_
+#define FLOWER_CORE_LAYER_H_
+
+#include <string>
+
+namespace flower::core {
+
+/// The three layers of a data analytics flow (paper §1): ingestion
+/// (Kinesis), analytics (Storm on EC2), storage (DynamoDB).
+enum class Layer { kIngestion = 0, kAnalytics = 1, kStorage = 2 };
+
+inline std::string LayerToString(Layer l) {
+  switch (l) {
+    case Layer::kIngestion: return "ingestion";
+    case Layer::kAnalytics: return "analytics";
+    case Layer::kStorage: return "storage";
+  }
+  return "unknown";
+}
+
+constexpr int kNumLayers = 3;
+
+}  // namespace flower::core
+
+#endif  // FLOWER_CORE_LAYER_H_

@@ -1,0 +1,87 @@
+#include "core/monitor.h"
+
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/table_printer.h"
+
+namespace flower::core {
+
+void CrossPlatformMonitor::WatchNamespace(const std::string& ns) {
+  for (cloudwatch::MetricId& id : store_->ListMetrics(ns)) {
+    watched_.push_back(std::move(id));
+  }
+}
+
+std::vector<MetricSnapshot> CrossPlatformMonitor::Snapshot(
+    SimTime t0, SimTime t1) const {
+  std::vector<MetricSnapshot> out;
+  out.reserve(watched_.size());
+  for (const cloudwatch::MetricId& id : watched_) {
+    MetricSnapshot snap;
+    snap.id = id;
+    auto series = store_->GetSeries(id);
+    if (series.ok()) {
+      TimeSeries window = (*series)->Window(t0, t1);
+      snap.samples = window.size();
+      if (!window.empty()) {
+        snap.last = window[window.size() - 1].value;
+        double sum = 0.0;
+        snap.minimum = snap.maximum = window[0].value;
+        for (const Sample& s : window.samples()) {
+          sum += s.value;
+          snap.minimum = std::min(snap.minimum, s.value);
+          snap.maximum = std::max(snap.maximum, s.value);
+        }
+        snap.average = sum / static_cast<double>(window.size());
+      }
+    }
+    out.push_back(snap);
+  }
+  return out;
+}
+
+void CrossPlatformMonitor::RenderDashboard(std::ostream& os, SimTime t0,
+                                           SimTime t1,
+                                           bool with_charts) const {
+  os << "=== Flower cross-platform dashboard  [t=" << t0 << " .. " << t1
+     << "s] ===\n";
+  TablePrinter table({"metric", "last", "avg", "min", "max", "samples"});
+  auto snaps = Snapshot(t0, t1);
+  for (const MetricSnapshot& s : snaps) {
+    table.AddRow({s.id.ToString(), TablePrinter::Num(s.last),
+                  TablePrinter::Num(s.average), TablePrinter::Num(s.minimum),
+                  TablePrinter::Num(s.maximum),
+                  std::to_string(s.samples)});
+  }
+  table.Print(os);
+  if (!with_charts) return;
+  for (const cloudwatch::MetricId& id : watched_) {
+    auto series = store_->GetSeries(id);
+    if (!series.ok()) continue;
+    TimeSeries window = (*series)->Window(t0, t1);
+    if (window.empty()) continue;
+    os << '\n' << AsciiChart(window.Values(), 8, 72, id.ToString());
+  }
+}
+
+void CrossPlatformMonitor::DumpCsv(std::ostream& os, SimTime t0,
+                                   SimTime t1) const {
+  CsvWriter csv(&os);
+  csv.WriteRow({"metric", "time_sec", "value"});
+  for (const cloudwatch::MetricId& id : watched_) {
+    auto series = store_->GetSeries(id);
+    if (!series.ok()) continue;
+    TimeSeries window = (*series)->Window(t0, t1);
+    for (const Sample& s : window.samples()) {
+      std::ostringstream t_str, v_str;
+      t_str.precision(10);
+      v_str.precision(10);
+      t_str << s.time;
+      v_str << s.value;
+      csv.WriteRow({id.ToString(), t_str.str(), v_str.str()});
+    }
+  }
+}
+
+}  // namespace flower::core

@@ -1,0 +1,64 @@
+#ifndef FLOWER_CORE_MONITOR_H_
+#define FLOWER_CORE_MONITOR_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "cloudwatch/metric_store.h"
+#include "common/result.h"
+
+namespace flower::core {
+
+/// One consolidated row of the cross-platform dashboard.
+struct MetricSnapshot {
+  cloudwatch::MetricId id;
+  double last = 0.0;
+  double average = 0.0;
+  double minimum = 0.0;
+  double maximum = 0.0;
+  size_t samples = 0;
+};
+
+/// Cross-platform monitoring (paper §3.4): the "all-in-one-place
+/// visualizer" that consolidates performance measures of every system
+/// in the flow into one view, instead of one UI per service.
+///
+/// `Watch` registers metrics (typically everything under the
+/// Flower/Kinesis, Flower/Storm and Flower/DynamoDB namespaces);
+/// `Snapshot` aggregates them over a trailing window; `RenderDashboard`
+/// renders the text dashboard (the repo's equivalent of Fig. 6's UI)
+/// with one summary table and an ASCII trace per watched metric.
+class CrossPlatformMonitor {
+ public:
+  explicit CrossPlatformMonitor(const cloudwatch::MetricStore* store)
+      : store_(store) {}
+
+  /// Adds one metric to the dashboard.
+  void Watch(cloudwatch::MetricId id) { watched_.push_back(std::move(id)); }
+  /// Adds every metric currently present in a namespace.
+  void WatchNamespace(const std::string& ns);
+
+  size_t watched_count() const { return watched_.size(); }
+
+  /// Aggregates all watched metrics over [t0, t1). Metrics with no
+  /// datapoints in the window are reported with samples == 0.
+  std::vector<MetricSnapshot> Snapshot(SimTime t0, SimTime t1) const;
+
+  /// Renders the consolidated dashboard: summary table plus (when
+  /// `with_charts`) an ASCII sparkline per metric with data.
+  void RenderDashboard(std::ostream& os, SimTime t0, SimTime t1,
+                       bool with_charts = false) const;
+
+  /// Dumps every watched metric's raw datapoints in [t0, t1) as CSV
+  /// rows `metric,time_sec,value` (with header) for external plotting.
+  void DumpCsv(std::ostream& os, SimTime t0, SimTime t1) const;
+
+ private:
+  const cloudwatch::MetricStore* store_;
+  std::vector<cloudwatch::MetricId> watched_;
+};
+
+}  // namespace flower::core
+
+#endif  // FLOWER_CORE_MONITOR_H_

@@ -1,0 +1,206 @@
+#include "core/resource_share.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "opt/grid_search.h"
+#include "opt/pareto.h"
+
+namespace flower::core {
+
+LinearConstraint LinearConstraint::AtMost(Layer a, double ca, Layer b,
+                                          double cb, double rhs,
+                                          std::string label) {
+  LinearConstraint c;
+  c.coeff[static_cast<int>(a)] = ca;
+  c.coeff[static_cast<int>(b)] = cb;
+  c.rhs = rhs;
+  c.label = std::move(label);
+  return c;
+}
+
+LinearConstraint LinearConstraint::AtLeast(Layer a, double ca, Layer b,
+                                           double cb, std::string label) {
+  // ca·r_a >= cb·r_b  <=>  cb·r_b − ca·r_a <= 0.
+  LinearConstraint c;
+  c.coeff[static_cast<int>(b)] = cb;
+  c.coeff[static_cast<int>(a)] = -ca;
+  c.rhs = 0.0;
+  c.label = std::move(label);
+  return c;
+}
+
+void ResourceShareRequest::SetPricesFrom(const pricing::PriceBook& book) {
+  unit_price[static_cast<int>(Layer::kIngestion)] =
+      book.HourlyPrice(pricing::ResourceKind::kKinesisShard);
+  unit_price[static_cast<int>(Layer::kAnalytics)] =
+      book.HourlyPrice(pricing::ResourceKind::kEc2Instance);
+  unit_price[static_cast<int>(Layer::kStorage)] =
+      book.HourlyPrice(pricing::ResourceKind::kDynamoWcu);
+}
+
+ShareProblem::ShareProblem(ResourceShareRequest request)
+    : request_(std::move(request)) {
+  static const char* kNames[kNumLayers] = {"shards", "vms", "wcu"};
+  for (int i = 0; i < kNumLayers; ++i) {
+    opt::VariableSpec v;
+    v.name = kNames[i];
+    v.lower = request_.bounds[i].min;
+    v.upper = request_.bounds[i].max;
+    v.integer = true;
+    variables_.push_back(std::move(v));
+  }
+}
+
+size_t ShareProblem::num_constraints() const {
+  if (request_.handling == ConstraintHandling::kPenalty) return 0;
+  return 1 + request_.constraints.size();  // Budget + dependencies.
+}
+
+double ShareProblem::HourlyCost(const std::vector<double>& x) const {
+  double cost = 0.0;
+  for (int i = 0; i < kNumLayers; ++i) {
+    cost += x[static_cast<size_t>(i)] * request_.unit_price[i];
+  }
+  return cost;
+}
+
+void ShareProblem::Evaluate(const std::vector<double>& x,
+                            std::vector<double>* objectives,
+                            std::vector<double>* violations) const {
+  objectives->assign(x.begin(), x.begin() + kNumLayers);
+
+  // Budget violation (Eq. 4), normalized by the budget so it is
+  // commensurate with the dependency violations.
+  double cost = HourlyCost(x);
+  double budget_violation =
+      request_.hourly_budget_usd > 0.0
+          ? std::max(0.0, (cost - request_.hourly_budget_usd) /
+                              request_.hourly_budget_usd)
+          : std::max(0.0, cost);
+
+  std::vector<double> dep_violations;
+  dep_violations.reserve(request_.constraints.size());
+  for (const LinearConstraint& c : request_.constraints) {
+    double lhs = 0.0;
+    for (int i = 0; i < kNumLayers; ++i) {
+      lhs += c.coeff[i] * x[static_cast<size_t>(i)];
+    }
+    dep_violations.push_back(std::max(0.0, lhs - c.rhs));
+  }
+
+  if (request_.handling == ConstraintHandling::kPenalty) {
+    violations->clear();
+    double total = budget_violation;
+    for (double v : dep_violations) total += v;
+    for (double& obj : *objectives) {
+      obj -= request_.penalty_weight * total;
+    }
+    return;
+  }
+  violations->clear();
+  violations->push_back(budget_violation);
+  for (double v : dep_violations) violations->push_back(v);
+}
+
+namespace {
+
+ResourceShareResult ToResult(const std::vector<opt::Solution>& front,
+                             const ShareProblem& problem,
+                             size_t evaluations) {
+  ResourceShareResult out;
+  out.evaluations = evaluations;
+  for (const opt::Solution& s : front) {
+    ProvisioningPlan plan;
+    for (int i = 0; i < kNumLayers; ++i) {
+      plan.shares[i] = s.x[static_cast<size_t>(i)];
+    }
+    plan.hourly_cost_usd = problem.HourlyCost(s.x);
+    out.pareto_plans.push_back(plan);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<ResourceShareResult> ResourceShareAnalyzer::Analyze(
+    const ResourceShareRequest& request) const {
+  ShareProblem problem(request);
+  opt::Nsga2 solver(solver_config_);
+  FLOWER_ASSIGN_OR_RETURN(opt::Nsga2Result res, solver.Solve(problem));
+  if (request.handling == ConstraintHandling::kPenalty) {
+    // Under penalty handling every solution is formally "feasible";
+    // filter to truly feasible plans by re-checking the constraints.
+    ResourceShareRequest strict = request;
+    strict.handling = ConstraintHandling::kConstrainedDomination;
+    ShareProblem checker(strict);
+    std::vector<opt::Solution> feasible;
+    for (const opt::Solution& s : res.final_population) {
+      std::vector<double> obj, viol;
+      checker.Evaluate(s.x, &obj, &viol);
+      double tv = 0.0;
+      for (double v : viol) tv += v;
+      if (tv <= 0.0) {
+        opt::Solution f;
+        f.x = s.x;
+        f.objectives = obj;
+        feasible.push_back(std::move(f));
+      }
+    }
+    return ToResult(opt::ParetoFront(feasible), checker, res.evaluations);
+  }
+  return ToResult(res.pareto_front, problem, res.evaluations);
+}
+
+Result<ResourceShareResult> ResourceShareAnalyzer::AnalyzeExhaustive(
+    const ResourceShareRequest& request) const {
+  ResourceShareRequest strict = request;
+  strict.handling = ConstraintHandling::kConstrainedDomination;
+  ShareProblem problem(strict);
+  FLOWER_ASSIGN_OR_RETURN(std::vector<opt::Solution> front,
+                          opt::ExhaustiveParetoFront(problem));
+  return ToResult(front, problem, 0);
+}
+
+Result<ProvisioningPlan> ResourceShareAnalyzer::PickBalancedPlan(
+    const ResourceShareResult& result, const ResourceShareRequest& request) {
+  if (result.pareto_plans.empty()) {
+    return Status::NotFound("PickBalancedPlan: empty Pareto front");
+  }
+  double best_score = -std::numeric_limits<double>::infinity();
+  const ProvisioningPlan* best = nullptr;
+  for (const ProvisioningPlan& p : result.pareto_plans) {
+    double min_norm = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < kNumLayers; ++i) {
+      double span = request.bounds[i].max - request.bounds[i].min;
+      double norm = span > 0.0
+                        ? (p.shares[i] - request.bounds[i].min) / span
+                        : 1.0;
+      min_norm = std::min(min_norm, norm);
+    }
+    if (min_norm > best_score) {
+      best_score = min_norm;
+      best = &p;
+    }
+  }
+  return *best;
+}
+
+Result<ProvisioningPlan> ResourceShareAnalyzer::MaxShares(
+    const ResourceShareResult& result) {
+  if (result.pareto_plans.empty()) {
+    return Status::NotFound("MaxShares: empty Pareto front");
+  }
+  ProvisioningPlan max_plan;
+  for (const ProvisioningPlan& p : result.pareto_plans) {
+    for (int i = 0; i < kNumLayers; ++i) {
+      max_plan.shares[i] = std::max(max_plan.shares[i], p.shares[i]);
+    }
+    max_plan.hourly_cost_usd =
+        std::max(max_plan.hourly_cost_usd, p.hourly_cost_usd);
+  }
+  return max_plan;
+}
+
+}  // namespace flower::core

@@ -1,0 +1,141 @@
+#ifndef FLOWER_CORE_RESOURCE_SHARE_H_
+#define FLOWER_CORE_RESOURCE_SHARE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/layer.h"
+#include "opt/nsga2.h"
+#include "opt/problem.h"
+#include "pricing/price_book.h"
+
+namespace flower::core {
+
+/// A linear dependency/business constraint over the three per-layer
+/// resource amounts:  c_I·r_I + c_A·r_A + c_S·r_S  <=  rhs.
+/// (>= constraints are expressed by negating all coefficients.)
+/// The paper's Fig. 4 example uses: 5·r_A >= r_I, 2·r_A <= r_I,
+/// 2·r_I <= r_S.
+struct LinearConstraint {
+  double coeff[kNumLayers] = {0.0, 0.0, 0.0};
+  double rhs = 0.0;
+  std::string label;
+
+  /// Convenience builders for the common two-term forms.
+  static LinearConstraint AtMost(Layer a, double ca, Layer b, double cb,
+                                 double rhs, std::string label = "");
+  /// ca·r_a >= cb·r_b  (i.e.  cb·r_b − ca·r_a <= 0).
+  static LinearConstraint AtLeast(Layer a, double ca, Layer b, double cb,
+                                  std::string label = "");
+};
+
+/// Per-layer decision-variable bounds (integer resource counts).
+struct LayerBounds {
+  double min = 1.0;
+  double max = 100.0;
+};
+
+/// How constraints are fed to NSGA-II (ablation in bench/fig4_pareto).
+enum class ConstraintHandling {
+  /// Deb's constrained-domination (the default, what the solver is
+  /// designed for).
+  kConstrainedDomination,
+  /// Static penalty subtracted from every objective.
+  kPenalty,
+};
+
+/// Inputs of the resource share analysis (paper §3.2, Eq. 3–5).
+struct ResourceShareRequest {
+  /// Budget per hour in USD (Eq. 4's Bud_t for a one-hour window).
+  double hourly_budget_usd = 10.0;
+  /// Unit prices of the three layers' resources ($/unit-hour), taken
+  /// from a PriceBook by the convenience constructor.
+  double unit_price[kNumLayers] = {0.015, 0.10, 0.00065};
+  LayerBounds bounds[kNumLayers];
+  /// Dependency constraints learned by the DependencyAnalyzer plus any
+  /// user-supplied business rules.
+  std::vector<LinearConstraint> constraints;
+  ConstraintHandling handling = ConstraintHandling::kConstrainedDomination;
+  double penalty_weight = 1000.0;  ///< Used only with kPenalty.
+
+  /// Fills unit prices from a price book (shard, instance, WCU).
+  void SetPricesFrom(const pricing::PriceBook& book);
+};
+
+/// One Pareto-optimal provisioning plan: the simultaneous resource
+/// shares of the three layers (Fig. 4's solution points).
+struct ProvisioningPlan {
+  double shares[kNumLayers] = {0.0, 0.0, 0.0};
+  double hourly_cost_usd = 0.0;
+
+  double ingestion() const { return shares[0]; }
+  double analytics() const { return shares[1]; }
+  double storage() const { return shares[2]; }
+};
+
+/// The multi-objective provisioning problem (Eq. 3–5) as an
+/// opt::Problem: maximize (r_I, r_A, r_S) subject to the budget and the
+/// linear dependency constraints. Exposed publicly so the exhaustive
+/// oracle and the benches can evaluate the same problem object.
+class ShareProblem final : public opt::Problem {
+ public:
+  explicit ShareProblem(ResourceShareRequest request);
+
+  const std::vector<opt::VariableSpec>& variables() const override {
+    return variables_;
+  }
+  size_t num_objectives() const override { return kNumLayers; }
+  size_t num_constraints() const override;
+  void Evaluate(const std::vector<double>& x,
+                std::vector<double>* objectives,
+                std::vector<double>* violations) const override;
+
+  /// Hourly cost of a share vector under the request's unit prices.
+  double HourlyCost(const std::vector<double>& x) const;
+  const ResourceShareRequest& request() const { return request_; }
+
+ private:
+  ResourceShareRequest request_;
+  std::vector<opt::VariableSpec> variables_;
+};
+
+/// Result of one analysis run.
+struct ResourceShareResult {
+  std::vector<ProvisioningPlan> pareto_plans;
+  size_t evaluations = 0;
+};
+
+/// Resource share analysis (paper §3.2): searches the provisioning-plan
+/// space with NSGA-II and returns the Pareto-optimal plans; the caller
+/// (or `PickBalancedPlan`) selects the one to enact. The per-layer
+/// *maximum* shares across the front become the controllers' actuation
+/// upper bounds.
+class ResourceShareAnalyzer {
+ public:
+  explicit ResourceShareAnalyzer(opt::Nsga2Config solver_config = {})
+      : solver_config_(solver_config) {}
+
+  /// Runs NSGA-II on the request.
+  Result<ResourceShareResult> Analyze(const ResourceShareRequest& request) const;
+
+  /// Exact Pareto front by exhaustive integer-grid enumeration (test
+  /// oracle / small problems). Errors when the grid is too large.
+  Result<ResourceShareResult> AnalyzeExhaustive(
+      const ResourceShareRequest& request) const;
+
+  /// Picks the plan maximizing the minimum bound-normalized share —
+  /// Flower's automatic choice when the user does not pick manually.
+  static Result<ProvisioningPlan> PickBalancedPlan(
+      const ResourceShareResult& result, const ResourceShareRequest& request);
+
+  /// Per-layer maximum share across the Pareto front — the "upper bound
+  /// resource shares" handed to the per-layer controllers (§2).
+  static Result<ProvisioningPlan> MaxShares(const ResourceShareResult& result);
+
+ private:
+  opt::Nsga2Config solver_config_;
+};
+
+}  // namespace flower::core
+
+#endif  // FLOWER_CORE_RESOURCE_SHARE_H_

@@ -1,0 +1,44 @@
+#include "ec2/fleet.h"
+
+namespace flower::ec2 {
+
+Fleet::Fleet(sim::Simulation* sim, InstanceType type, int initial_count,
+             double boot_delay_sec)
+    : sim_(sim),
+      type_(std::move(type)),
+      running_(initial_count),
+      requested_(initial_count),
+      boot_delay_(boot_delay_sec) {}
+
+Status Fleet::SetDesiredCount(int target) {
+  if (target < 0) {
+    return Status::InvalidArgument("Fleet: negative desired count");
+  }
+  if (target == requested_) return Status::OK();
+  if (target < requested_) {
+    // Scale down: cancel boots first, then terminate running instances.
+    requested_ = target;
+    if (running_ > target) {
+      running_ = target;
+      ++boot_epoch_;  // Invalidate any in-flight boot completions.
+      if (on_capacity_change_) on_capacity_change_();
+    }
+    return Status::OK();
+  }
+  // Scale up: instances become running after the boot delay.
+  int to_boot = target - requested_;
+  requested_ = target;
+  uint64_t epoch = boot_epoch_;
+  for (int i = 0; i < to_boot; ++i) {
+    FLOWER_RETURN_NOT_OK(sim_->ScheduleAfter(boot_delay_, [this, epoch] {
+      if (epoch != boot_epoch_) return;  // Cancelled by a scale-down.
+      if (running_ < requested_) {
+        ++running_;
+        if (on_capacity_change_) on_capacity_change_();
+      }
+    }));
+  }
+  return Status::OK();
+}
+
+}  // namespace flower::ec2

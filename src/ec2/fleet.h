@@ -1,0 +1,59 @@
+#ifndef FLOWER_EC2_FLEET_H_
+#define FLOWER_EC2_FLEET_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/result.h"
+#include "ec2/instance.h"
+#include "sim/simulation.h"
+
+namespace flower::ec2 {
+
+/// A homogeneous fleet of simulated EC2 instances with realistic
+/// provisioning latency: newly requested instances take `boot_delay`
+/// simulated seconds to become running, while terminations are
+/// immediate (matching the asymmetry real autoscalers face).
+///
+/// `running_count()` is what produces capacity; `requested_count()`
+/// includes instances still booting. The analytics layer (Storm
+/// cluster) draws its worker capacity from a Fleet.
+class Fleet {
+ public:
+  /// `on_capacity_change` fires whenever running_count changes.
+  Fleet(sim::Simulation* sim, InstanceType type, int initial_count,
+        double boot_delay_sec = 90.0);
+
+  /// Sets the desired instance count; boots or terminates the
+  /// difference. Scale-up completes after boot_delay; scale-down is
+  /// immediate. Errors: negative target.
+  Status SetDesiredCount(int target);
+
+  int running_count() const { return running_; }
+  int requested_count() const { return requested_; }
+  int booting_count() const { return requested_ - running_; }
+  const InstanceType& type() const { return type_; }
+
+  /// Total compute capacity of running instances (work units/sec).
+  double TotalComputeCapacity() const {
+    return static_cast<double>(running_) * type_.compute_units_per_sec;
+  }
+
+  void set_on_capacity_change(std::function<void()> cb) {
+    on_capacity_change_ = std::move(cb);
+  }
+
+ private:
+  sim::Simulation* sim_;
+  InstanceType type_;
+  int running_;
+  int requested_;
+  double boot_delay_;
+  uint64_t boot_epoch_ = 0;  ///< Invalidates in-flight boots on scale-down.
+  std::function<void()> on_capacity_change_;
+};
+
+}  // namespace flower::ec2
+
+#endif  // FLOWER_EC2_FLEET_H_

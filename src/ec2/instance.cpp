@@ -1,0 +1,24 @@
+#include "ec2/instance.h"
+
+namespace flower::ec2 {
+
+const std::vector<InstanceType>& DefaultCatalog() {
+  static const std::vector<InstanceType> kCatalog = {
+      {"t2.medium", 2, 1.0e6, 0.046},
+      {"m4.large", 2, 2.0e6, 0.10},
+      {"m4.xlarge", 4, 4.0e6, 0.20},
+      {"c4.large", 2, 2.6e6, 0.10},
+      {"c4.xlarge", 4, 5.2e6, 0.199},
+      {"r4.large", 2, 2.0e6, 0.133},
+  };
+  return kCatalog;
+}
+
+Result<InstanceType> FindInstanceType(const std::string& name) {
+  for (const InstanceType& t : DefaultCatalog()) {
+    if (t.name == name) return t;
+  }
+  return Status::NotFound("unknown EC2 instance type: " + name);
+}
+
+}  // namespace flower::ec2

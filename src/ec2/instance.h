@@ -1,0 +1,33 @@
+#ifndef FLOWER_EC2_INSTANCE_H_
+#define FLOWER_EC2_INSTANCE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace flower::ec2 {
+
+/// One entry of the simulated EC2 instance catalog.
+struct InstanceType {
+  std::string name;          ///< e.g. "m4.large".
+  int vcpus = 2;
+  /// Sustained compute capacity of the instance in abstract work units
+  /// per second. Storm's CPU model divides offered work by this to get
+  /// a utilization percentage.
+  double compute_units_per_sec = 2.0e6;
+  double hourly_price_usd = 0.10;
+};
+
+/// The built-in catalog used by the examples and benches (2017-era EC2
+/// prices, us-east-1, rounded; the relative price structure is what the
+/// resource-share analysis depends on).
+const std::vector<InstanceType>& DefaultCatalog();
+
+/// Looks up an instance type by name in the default catalog.
+Result<InstanceType> FindInstanceType(const std::string& name);
+
+}  // namespace flower::ec2
+
+#endif  // FLOWER_EC2_INSTANCE_H_

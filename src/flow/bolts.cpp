@@ -1,0 +1,30 @@
+#include "flow/bolts.h"
+
+namespace flower::flow {
+
+Status WindowCountBolt::Execute(const storm::Tuple& input, SimTime now,
+                                const std::function<void(storm::Tuple)>& emit) {
+  counter_.Add(input.entity_id, now, input.value);
+  counter_.AdvanceTo(now, [&](int64_t entity, double count, SimTime end) {
+    storm::Tuple out;
+    out.origin_time = input.origin_time;
+    out.entity_id = entity;
+    out.value = count;
+    out.size_bytes = 128;
+    (void)end;
+    emit(out);
+    ++emitted_;
+  });
+  return Status::OK();
+}
+
+Status PersistBolt::Execute(const storm::Tuple& input, SimTime /*now*/,
+                            const std::function<void(storm::Tuple)>& emit) {
+  (void)emit;  // Terminal bolt: nothing downstream.
+  Status st = table_->PutItem(input.entity_id, std::to_string(input.value),
+                              item_bytes_);
+  if (st.ok()) ++persisted_;
+  return st;
+}
+
+}  // namespace flower::flow

@@ -1,0 +1,66 @@
+#include "flow/sliding_window.h"
+
+#include <cmath>
+
+namespace flower::flow {
+
+Result<SlidingWindowCounter> SlidingWindowCounter::Create(double window_sec,
+                                                          double slide_sec) {
+  if (slide_sec <= 0.0 || window_sec <= 0.0) {
+    return Status::InvalidArgument(
+        "SlidingWindowCounter: window and slide must be positive");
+  }
+  double ratio = window_sec / slide_sec;
+  if (std::fabs(ratio - std::round(ratio)) > 1e-9 || ratio < 1.0) {
+    return Status::InvalidArgument(
+        "SlidingWindowCounter: window must be a positive multiple of slide");
+  }
+  return SlidingWindowCounter(window_sec, slide_sec);
+}
+
+void SlidingWindowCounter::Add(int64_t entity, SimTime t, double weight) {
+  int64_t bucket = static_cast<int64_t>(std::floor(t / slide_sec_));
+  if (!started_) {
+    next_slide_bucket_ = bucket + 1;
+    started_ = true;
+  }
+  buckets_[bucket][entity] += weight;
+}
+
+void SlidingWindowCounter::AdvanceTo(SimTime t, const EmitFn& emit) {
+  if (!started_) return;
+  int64_t current_bucket = static_cast<int64_t>(std::floor(t / slide_sec_));
+  // Every completed bucket boundary <= current triggers one emission of
+  // the trailing window.
+  while (next_slide_bucket_ <= current_bucket) {
+    int64_t end_bucket = next_slide_bucket_;  // Exclusive window end.
+    int64_t begin_bucket = end_bucket - buckets_per_window_;
+    std::map<int64_t, double> totals;
+    for (auto it = buckets_.lower_bound(begin_bucket);
+         it != buckets_.end() && it->first < end_bucket; ++it) {
+      for (const auto& [entity, count] : it->second) {
+        totals[entity] += count;
+      }
+    }
+    SimTime window_end = static_cast<double>(end_bucket) * slide_sec_;
+    for (const auto& [entity, count] : totals) {
+      emit(entity, count, window_end);
+    }
+    ++next_slide_bucket_;
+    // Drop buckets that can no longer contribute to any future window.
+    int64_t min_needed = next_slide_bucket_ - buckets_per_window_;
+    while (!buckets_.empty() && buckets_.begin()->first < min_needed) {
+      buckets_.erase(buckets_.begin());
+    }
+  }
+}
+
+size_t SlidingWindowCounter::tracked_entities() const {
+  std::map<int64_t, double> all;
+  for (const auto& [b, entities] : buckets_) {
+    for (const auto& [e, c] : entities) all[e] += c;
+  }
+  return all.size();
+}
+
+}  // namespace flower::flow

@@ -1,0 +1,58 @@
+#ifndef FLOWER_FLOW_SLIDING_WINDOW_H_
+#define FLOWER_FLOW_SLIDING_WINDOW_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "common/result.h"
+#include "common/time_series.h"
+
+namespace flower::flow {
+
+/// Sliding-window per-entity counter — the aggregation at the heart of
+/// the demo's click-stream topology (Amazon's "real-time sliding-window
+/// dashboard over streaming data" reference architecture).
+///
+/// The window of length `window_sec` slides every `slide_sec`; both are
+/// multiples of the internal bucket granularity (= slide_sec). On each
+/// slide boundary, `AdvanceTo` invokes the emit callback once per
+/// entity with that entity's total count over the trailing window.
+class SlidingWindowCounter {
+ public:
+  /// Emit callback: (entity_id, count, window_end_time).
+  using EmitFn = std::function<void(int64_t, double, SimTime)>;
+
+  /// window_sec must be a positive multiple of slide_sec.
+  static Result<SlidingWindowCounter> Create(double window_sec,
+                                             double slide_sec);
+
+  /// Accounts `weight` clicks for `entity` at time t (t must be
+  /// non-decreasing across calls, as guaranteed by the simulation).
+  void Add(int64_t entity, SimTime t, double weight = 1.0);
+
+  /// Processes all slide boundaries up to `t`, emitting aggregates.
+  void AdvanceTo(SimTime t, const EmitFn& emit);
+
+  double window_sec() const { return window_sec_; }
+  double slide_sec() const { return slide_sec_; }
+  /// Entities currently tracked in the open buckets.
+  size_t tracked_entities() const;
+
+ private:
+  SlidingWindowCounter(double window_sec, double slide_sec)
+      : window_sec_(window_sec), slide_sec_(slide_sec),
+        buckets_per_window_(static_cast<int64_t>(window_sec / slide_sec)) {}
+
+  double window_sec_;
+  double slide_sec_;
+  int64_t buckets_per_window_;
+  /// bucket index (= floor(t / slide)) -> entity -> count.
+  std::map<int64_t, std::map<int64_t, double>> buckets_;
+  int64_t next_slide_bucket_ = 0;  ///< First un-emitted slide boundary.
+  bool started_ = false;
+};
+
+}  // namespace flower::flow
+
+#endif  // FLOWER_FLOW_SLIDING_WINDOW_H_

@@ -1,0 +1,147 @@
+#ifndef FLOWER_KINESIS_STREAM_H_
+#define FLOWER_KINESIS_STREAM_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "cloudwatch/metric_store.h"
+#include "common/result.h"
+#include "common/units.h"
+#include "sim/simulation.h"
+
+namespace flower::kinesis {
+
+/// One ingested record. The payload is abstracted to the fields the
+/// downstream click-stream topology needs: a partition key (routes the
+/// record to a shard), an entity id (e.g. the clicked URL), and a size.
+struct Record {
+  SimTime timestamp = 0.0;
+  uint64_t partition_key = 0;
+  int64_t entity_id = 0;
+  int32_t size_bytes = 256;
+};
+
+/// Configuration of a simulated stream.
+struct StreamConfig {
+  std::string name = "clickstream";
+  int initial_shards = 1;
+  int min_shards = 1;
+  int max_shards = 500;
+  /// UpdateShardCount completes after this many simulated seconds
+  /// (resharding is not instantaneous on the real service).
+  double reshard_delay_sec = 60.0;
+  /// Period of metric publication to the metric store.
+  double metrics_period_sec = 60.0;
+};
+
+/// Simulated Amazon Kinesis stream (the ingestion layer).
+///
+/// Behaviourally faithful to the published service contract the paper
+/// relies on: each shard accepts at most 1,000 records/s and 1 MiB/s of
+/// writes (token buckets, continuously refilled); excess writes fail
+/// with `Status::Throttled` (ProvisionedThroughputExceeded). Records
+/// are routed to shards by partition key and buffered until a consumer
+/// fetches them with `GetRecords`. `UpdateShardCount` (the elasticity
+/// actuator) takes effect after a resharding delay.
+///
+/// Published metrics (namespace "Flower/Kinesis", dimension = stream
+/// name, one datapoint per metrics period):
+///   IncomingRecords        — accepted records in the period
+///   ThrottledRecords       — rejected records in the period
+///   WriteUtilization       — accepted rate / (shards × 1,000 rec/s), %
+///   ShardCount             — provisioned shards
+///   BacklogRecords         — records buffered and not yet consumed
+///   IteratorAge            — age (s) of the oldest unconsumed record
+class Stream {
+ public:
+  /// Starts the periodic metrics publication on `sim`.
+  /// `metrics` may be nullptr (no publication, for unit tests).
+  Stream(sim::Simulation* sim, cloudwatch::MetricStore* metrics,
+         StreamConfig config);
+
+  /// Ingests one record at the current simulated time. Returns
+  /// Throttled when the target shard's write quota is exhausted.
+  Status PutRecord(const Record& record);
+
+  /// Fetches up to `max_records` buffered records from shard
+  /// `shard_index` (FIFO), subject to the published read limits:
+  /// 5 GetRecords calls/s and 2 MiB/s per shard (both token buckets).
+  /// Errors: index out of range; Throttled when either read quota is
+  /// exhausted.
+  Result<std::vector<Record>> GetRecords(int shard_index,
+                                         size_t max_records);
+
+  uint64_t total_read_throttles() const { return total_read_throttles_; }
+
+  /// Requests a new shard count; applied after the resharding delay.
+  /// While a reshard is in flight, further requests supersede it.
+  /// Errors: target outside [min_shards, max_shards].
+  Status UpdateShardCount(int target);
+
+  /// Splits one shard into two (targeted scale-up, the low-level API
+  /// UpdateShardCount is built on). Applied after the resharding
+  /// delay. Errors: index out of range, at max_shards, or a reshard is
+  /// already in flight.
+  Status SplitShard(int shard_index);
+
+  /// Merges two adjacent shards (targeted scale-down); the surviving
+  /// shard inherits both buffers. Same preconditions as SplitShard.
+  Status MergeShards(int shard_index);
+
+  /// Age (seconds) of the oldest buffered record across all shards —
+  /// the consumer-lag signal (GetRecords.IteratorAge). 0 when empty.
+  double OldestRecordAgeSec() const;
+
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+  int target_shard_count() const { return target_shards_; }
+  bool resharding() const { return reshard_in_flight_; }
+
+  /// Total records buffered across all shards.
+  size_t BacklogRecords() const;
+
+  uint64_t total_incoming() const { return total_incoming_; }
+  uint64_t total_throttled() const { return total_throttled_; }
+  const StreamConfig& config() const { return config_; }
+
+  /// Write utilization over the lifetime of the current metrics period,
+  /// in percent of aggregate shard write capacity.
+  double CurrentWriteUtilizationPct() const;
+
+ private:
+  struct Shard {
+    std::deque<Record> buffer;
+    // Continuous-refill token buckets (write and read paths).
+    double record_tokens = kKinesisShardWriteRecordsPerSec;
+    double byte_tokens = static_cast<double>(kKinesisShardWriteBytesPerSec);
+    double read_byte_tokens =
+        static_cast<double>(kKinesisShardReadBytesPerSec);
+    double read_call_tokens = kKinesisShardReadCallsPerSec;
+    SimTime last_refill = 0.0;
+  };
+
+  void RefillTokens(Shard* shard, SimTime now);
+  void ApplyReshard(int target);
+  void PublishMetrics();
+
+  sim::Simulation* sim_;
+  cloudwatch::MetricStore* metrics_;
+  StreamConfig config_;
+  std::vector<Shard> shards_;
+  int target_shards_;
+  bool reshard_in_flight_ = false;
+  uint64_t reshard_epoch_ = 0;
+
+  uint64_t total_incoming_ = 0;
+  uint64_t total_throttled_ = 0;
+  uint64_t total_read_throttles_ = 0;
+  // Period counters (reset after each publication).
+  uint64_t period_incoming_ = 0;
+  uint64_t period_throttled_ = 0;
+  SimTime period_start_ = 0.0;
+};
+
+}  // namespace flower::kinesis
+
+#endif  // FLOWER_KINESIS_STREAM_H_

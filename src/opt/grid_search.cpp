@@ -1,0 +1,88 @@
+#include "opt/grid_search.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "opt/pareto.h"
+
+namespace flower::opt {
+
+Result<std::vector<Solution>> ExhaustiveParetoFront(const Problem& problem,
+                                                    uint64_t max_points) {
+  const auto& specs = problem.variables();
+  if (specs.empty()) {
+    return Status::InvalidArgument("ExhaustiveParetoFront: no variables");
+  }
+  uint64_t total = 1;
+  std::vector<int64_t> lo(specs.size()), hi(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    if (!specs[i].integer) {
+      return Status::InvalidArgument(
+          "ExhaustiveParetoFront: variable '" + specs[i].name +
+          "' is continuous; the exhaustive oracle needs an integer grid");
+    }
+    lo[i] = static_cast<int64_t>(std::ceil(specs[i].lower));
+    hi[i] = static_cast<int64_t>(std::floor(specs[i].upper));
+    if (hi[i] < lo[i]) {
+      return Status::InvalidArgument("ExhaustiveParetoFront: empty range for '" +
+                                     specs[i].name + "'");
+    }
+    uint64_t span = static_cast<uint64_t>(hi[i] - lo[i] + 1);
+    if (total > max_points / span) {
+      return Status::ResourceExhausted(
+          "ExhaustiveParetoFront: grid exceeds max_points");
+    }
+    total *= span;
+  }
+
+  // Incrementally maintained non-dominated archive. For the modest grids
+  // this oracle targets, the quadratic archive update is fine.
+  std::vector<Solution> archive;
+  std::vector<double> x(specs.size());
+  std::vector<int64_t> cur(lo);
+  std::vector<double> objectives, violations;
+  bool done = false;
+  while (!done) {
+    for (size_t i = 0; i < specs.size(); ++i) {
+      x[i] = static_cast<double>(cur[i]);
+    }
+    problem.Evaluate(x, &objectives, &violations);
+    double tv = 0.0;
+    for (double v : violations) tv += std::max(0.0, v);
+    if (tv <= 0.0) {
+      bool dominated = false;
+      for (const Solution& s : archive) {
+        if (Dominates(s.objectives, objectives) ||
+            s.objectives == objectives) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) {
+        std::erase_if(archive, [&](const Solution& s) {
+          return Dominates(objectives, s.objectives);
+        });
+        Solution s;
+        s.x = x;
+        s.objectives = objectives;
+        s.total_violation = 0.0;
+        archive.push_back(std::move(s));
+      }
+    }
+    // Odometer increment.
+    size_t d = 0;
+    while (d < specs.size()) {
+      if (++cur[d] <= hi[d]) break;
+      cur[d] = lo[d];
+      ++d;
+    }
+    done = d == specs.size();
+  }
+  std::sort(archive.begin(), archive.end(),
+            [](const Solution& a, const Solution& b) {
+              return a.objectives < b.objectives;
+            });
+  return archive;
+}
+
+}  // namespace flower::opt

@@ -1,0 +1,23 @@
+#ifndef FLOWER_OPT_GRID_SEARCH_H_
+#define FLOWER_OPT_GRID_SEARCH_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "opt/problem.h"
+
+namespace flower::opt {
+
+/// Exhaustively enumerates an all-integer decision space and returns the
+/// exact feasible Pareto front.
+///
+/// This is the test oracle for NSGA-II on small provisioning problems
+/// (the paper's Fig. 4 space is a few thousand points) and the baseline
+/// "brute force" planner in the resource-share ablation bench. Errors:
+/// non-integer variables, or a grid larger than `max_points`.
+Result<std::vector<Solution>> ExhaustiveParetoFront(
+    const Problem& problem, uint64_t max_points = 50'000'000);
+
+}  // namespace flower::opt
+
+#endif  // FLOWER_OPT_GRID_SEARCH_H_

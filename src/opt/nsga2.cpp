@@ -1,0 +1,282 @@
+#include "opt/nsga2.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "opt/pareto.h"
+
+namespace flower::opt {
+
+namespace internal {
+
+std::vector<std::vector<size_t>> FastNonDominatedSort(
+    std::vector<Individual>* pop) {
+  size_t n = pop->size();
+  std::vector<std::vector<size_t>> dominated(n);
+  std::vector<int> domination_count(n, 0);
+  std::vector<std::vector<size_t>> fronts;
+  std::vector<size_t> first;
+  for (size_t p = 0; p < n; ++p) {
+    for (size_t q = 0; q < n; ++q) {
+      if (p == q) continue;
+      if (ConstrainedDominates((*pop)[p].sol, (*pop)[q].sol)) {
+        dominated[p].push_back(q);
+      } else if (ConstrainedDominates((*pop)[q].sol, (*pop)[p].sol)) {
+        ++domination_count[p];
+      }
+    }
+    if (domination_count[p] == 0) {
+      (*pop)[p].rank = 0;
+      first.push_back(p);
+    }
+  }
+  fronts.push_back(std::move(first));
+  size_t i = 0;
+  while (i < fronts.size() && !fronts[i].empty()) {
+    std::vector<size_t> next;
+    for (size_t p : fronts[i]) {
+      for (size_t q : dominated[p]) {
+        if (--domination_count[q] == 0) {
+          (*pop)[q].rank = static_cast<int>(i) + 1;
+          next.push_back(q);
+        }
+      }
+    }
+    if (next.empty()) break;
+    fronts.push_back(std::move(next));
+    ++i;
+  }
+  return fronts;
+}
+
+void AssignCrowdingDistance(const std::vector<size_t>& front,
+                            std::vector<Individual>* pop) {
+  if (front.empty()) return;
+  for (size_t idx : front) (*pop)[idx].crowding = 0.0;
+  size_t m = (*pop)[front[0]].sol.objectives.size();
+  size_t l = front.size();
+  if (l <= 2) {
+    for (size_t idx : front) {
+      (*pop)[idx].crowding = std::numeric_limits<double>::infinity();
+    }
+    return;
+  }
+  std::vector<size_t> order(front);
+  for (size_t obj = 0; obj < m; ++obj) {
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return (*pop)[a].sol.objectives[obj] < (*pop)[b].sol.objectives[obj];
+    });
+    double lo = (*pop)[order.front()].sol.objectives[obj];
+    double hi = (*pop)[order.back()].sol.objectives[obj];
+    (*pop)[order.front()].crowding = std::numeric_limits<double>::infinity();
+    (*pop)[order.back()].crowding = std::numeric_limits<double>::infinity();
+    double span = hi - lo;
+    if (span <= 0.0) continue;
+    for (size_t i = 1; i + 1 < l; ++i) {
+      double gap = (*pop)[order[i + 1]].sol.objectives[obj] -
+                   (*pop)[order[i - 1]].sol.objectives[obj];
+      (*pop)[order[i]].crowding += gap / span;
+    }
+  }
+}
+
+}  // namespace internal
+
+namespace {
+
+using internal::Individual;
+
+// Crowded-comparison operator (Deb 2002): lower rank wins; equal rank →
+// larger crowding distance wins.
+bool CrowdedLess(const Individual& a, const Individual& b) {
+  if (a.rank != b.rank) return a.rank < b.rank;
+  return a.crowding > b.crowding;
+}
+
+void Repair(const std::vector<VariableSpec>& specs, std::vector<double>* x) {
+  for (size_t i = 0; i < specs.size(); ++i) {
+    (*x)[i] = std::clamp((*x)[i], specs[i].lower, specs[i].upper);
+    if (specs[i].integer) {
+      (*x)[i] = std::clamp(std::round((*x)[i]), specs[i].lower,
+                           specs[i].upper);
+    }
+  }
+}
+
+Solution Evaluate(const Problem& problem, std::vector<double> x) {
+  Repair(problem.variables(), &x);
+  Solution s;
+  s.x = std::move(x);
+  std::vector<double> violations;
+  problem.Evaluate(s.x, &s.objectives, &violations);
+  s.total_violation = 0.0;
+  for (double v : violations) s.total_violation += std::max(0.0, v);
+  return s;
+}
+
+// Simulated binary crossover (SBX) on one gene pair.
+void SbxGene(double eta, double lo, double hi, Rng* rng, double* a,
+             double* b) {
+  if (std::fabs(*a - *b) < 1e-14) return;
+  double y1 = std::min(*a, *b), y2 = std::max(*a, *b);
+  double u = rng->Uniform();
+  auto spread = [&](double beta) {
+    double alpha = 2.0 - std::pow(beta, -(eta + 1.0));
+    if (u <= 1.0 / alpha) {
+      return std::pow(u * alpha, 1.0 / (eta + 1.0));
+    }
+    return std::pow(1.0 / (2.0 - u * alpha), 1.0 / (eta + 1.0));
+  };
+  double beta1 = 1.0 + 2.0 * (y1 - lo) / (y2 - y1);
+  double beta2 = 1.0 + 2.0 * (hi - y2) / (y2 - y1);
+  double c1 = 0.5 * ((y1 + y2) - spread(beta1) * (y2 - y1));
+  double c2 = 0.5 * ((y1 + y2) + spread(beta2) * (y2 - y1));
+  c1 = std::clamp(c1, lo, hi);
+  c2 = std::clamp(c2, lo, hi);
+  if (rng->Bernoulli(0.5)) std::swap(c1, c2);
+  *a = c1;
+  *b = c2;
+}
+
+// Polynomial mutation on one gene.
+void PolyMutateGene(double eta, double lo, double hi, Rng* rng, double* x) {
+  double span = hi - lo;
+  if (span <= 0.0) return;
+  double u = rng->Uniform();
+  double delta;
+  double rel1 = (*x - lo) / span;
+  double rel2 = (hi - *x) / span;
+  if (u < 0.5) {
+    double val = 2.0 * u + (1.0 - 2.0 * u) * std::pow(1.0 - rel1, eta + 1.0);
+    delta = std::pow(val, 1.0 / (eta + 1.0)) - 1.0;
+  } else {
+    double val = 2.0 * (1.0 - u) +
+                 2.0 * (u - 0.5) * std::pow(1.0 - rel2, eta + 1.0);
+    delta = 1.0 - std::pow(val, 1.0 / (eta + 1.0));
+  }
+  *x = std::clamp(*x + delta * span, lo, hi);
+}
+
+}  // namespace
+
+Result<Nsga2Result> Nsga2::Solve(const Problem& problem) const {
+  if (config_.population_size < 4 || config_.population_size % 2 != 0) {
+    return Status::InvalidArgument(
+        "Nsga2: population_size must be even and >= 4");
+  }
+  if (config_.generations == 0) {
+    return Status::InvalidArgument("Nsga2: generations must be >= 1");
+  }
+  const auto& specs = problem.variables();
+  if (specs.empty() || problem.num_objectives() == 0) {
+    return Status::InvalidArgument(
+        "Nsga2: problem needs variables and objectives");
+  }
+  for (const auto& v : specs) {
+    if (!(v.lower <= v.upper)) {
+      return Status::InvalidArgument("Nsga2: variable '" + v.name +
+                                     "' has inverted bounds");
+    }
+  }
+  Rng rng(config_.seed);
+  double mut_prob = config_.mutation_prob >= 0.0
+                        ? config_.mutation_prob
+                        : 1.0 / static_cast<double>(specs.size());
+
+  size_t n = config_.population_size;
+  Nsga2Result result;
+
+  // Initial random population.
+  std::vector<Individual> pop;
+  pop.reserve(2 * n);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> x(specs.size());
+    for (size_t j = 0; j < specs.size(); ++j) {
+      x[j] = rng.Uniform(specs[j].lower, specs[j].upper);
+    }
+    Individual ind;
+    ind.sol = Evaluate(problem, std::move(x));
+    ++result.evaluations;
+    pop.push_back(std::move(ind));
+  }
+  {
+    auto fronts = internal::FastNonDominatedSort(&pop);
+    for (const auto& f : fronts) internal::AssignCrowdingDistance(f, &pop);
+  }
+
+  auto tournament = [&](const std::vector<Individual>& p) -> const Individual& {
+    size_t a = static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(p.size()) - 1));
+    size_t b = static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(p.size()) - 1));
+    return CrowdedLess(p[a], p[b]) ? p[a] : p[b];
+  };
+
+  for (size_t gen = 0; gen < config_.generations; ++gen) {
+    // Offspring generation.
+    std::vector<Individual> offspring;
+    offspring.reserve(n);
+    while (offspring.size() < n) {
+      std::vector<double> c1 = tournament(pop).sol.x;
+      std::vector<double> c2 = tournament(pop).sol.x;
+      if (rng.Bernoulli(config_.crossover_prob)) {
+        for (size_t j = 0; j < specs.size(); ++j) {
+          if (rng.Bernoulli(0.5)) {
+            SbxGene(config_.eta_crossover, specs[j].lower, specs[j].upper,
+                    &rng, &c1[j], &c2[j]);
+          }
+        }
+      }
+      for (auto* child : {&c1, &c2}) {
+        for (size_t j = 0; j < specs.size(); ++j) {
+          if (rng.Bernoulli(mut_prob)) {
+            PolyMutateGene(config_.eta_mutation, specs[j].lower,
+                           specs[j].upper, &rng, &(*child)[j]);
+          }
+        }
+      }
+      for (auto& child : {std::move(c1), std::move(c2)}) {
+        if (offspring.size() >= n) break;
+        Individual ind;
+        ind.sol = Evaluate(problem, child);
+        ++result.evaluations;
+        offspring.push_back(std::move(ind));
+      }
+    }
+
+    // Environmental selection over parents + offspring.
+    std::vector<Individual> merged;
+    merged.reserve(pop.size() + offspring.size());
+    for (auto& i : pop) merged.push_back(std::move(i));
+    for (auto& i : offspring) merged.push_back(std::move(i));
+    auto fronts = internal::FastNonDominatedSort(&merged);
+    for (const auto& f : fronts) {
+      internal::AssignCrowdingDistance(f, &merged);
+    }
+    std::vector<Individual> next;
+    next.reserve(n);
+    for (const auto& front : fronts) {
+      if (next.size() + front.size() <= n) {
+        for (size_t idx : front) next.push_back(std::move(merged[idx]));
+      } else {
+        std::vector<size_t> sorted(front);
+        std::sort(sorted.begin(), sorted.end(), [&](size_t a, size_t b) {
+          return merged[a].crowding > merged[b].crowding;
+        });
+        for (size_t idx : sorted) {
+          if (next.size() >= n) break;
+          next.push_back(std::move(merged[idx]));
+        }
+      }
+      if (next.size() >= n) break;
+    }
+    pop = std::move(next);
+  }
+
+  for (const Individual& ind : pop) {
+    result.final_population.push_back(ind.sol);
+  }
+  result.pareto_front = ParetoFront(result.final_population);
+  return result;
+}
+
+}  // namespace flower::opt

@@ -1,0 +1,76 @@
+#ifndef FLOWER_OPT_NSGA2_H_
+#define FLOWER_OPT_NSGA2_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "opt/problem.h"
+
+namespace flower::opt {
+
+/// Tuning parameters of the NSGA-II solver. Defaults follow Deb et al.
+/// (TEVC 2002): SBX crossover with eta_c = 15, polynomial mutation with
+/// eta_m = 20 and rate 1/n.
+struct Nsga2Config {
+  size_t population_size = 100;   ///< Must be even and >= 4.
+  size_t generations = 250;
+  double crossover_prob = 0.9;
+  double mutation_prob = -1.0;    ///< < 0 means 1 / num_variables.
+  double eta_crossover = 15.0;    ///< SBX distribution index.
+  double eta_mutation = 20.0;     ///< Polynomial mutation index.
+  uint64_t seed = 42;
+};
+
+/// Outcome of an NSGA-II run.
+struct Nsga2Result {
+  /// Deduplicated feasible first front of the final population, sorted
+  /// lexicographically by objectives.
+  std::vector<Solution> pareto_front;
+  /// The whole final population (diagnostics / warm starts).
+  std::vector<Solution> final_population;
+  size_t evaluations = 0;
+};
+
+/// NSGA-II (Deb et al. 2002), the solver the paper uses to search the
+/// provisioning-plan space (§3.2).
+///
+/// Implements fast non-dominated sorting, crowding-distance truncation,
+/// binary tournament selection under constrained domination, simulated
+/// binary crossover, and polynomial mutation. Integer variables are
+/// handled by rounding before evaluation. Deterministic for a fixed
+/// config.
+class Nsga2 {
+ public:
+  explicit Nsga2(Nsga2Config config) : config_(config) {}
+
+  /// Runs the solver. Errors: population_size odd or < 4, generations
+  /// == 0, or a problem with no variables or objectives.
+  Result<Nsga2Result> Solve(const Problem& problem) const;
+
+ private:
+  Nsga2Config config_;
+};
+
+namespace internal {
+
+/// An individual with NSGA-II bookkeeping; exposed for unit tests.
+struct Individual {
+  Solution sol;
+  int rank = -1;
+  double crowding = 0.0;
+};
+
+/// Fast non-dominated sort: assigns ranks (0 = best) and returns the
+/// fronts as index lists.
+std::vector<std::vector<size_t>> FastNonDominatedSort(
+    std::vector<Individual>* pop);
+
+/// Assigns crowding distance within one front (indices into pop).
+void AssignCrowdingDistance(const std::vector<size_t>& front,
+                            std::vector<Individual>* pop);
+
+}  // namespace internal
+}  // namespace flower::opt
+
+#endif  // FLOWER_OPT_NSGA2_H_

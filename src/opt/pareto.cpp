@@ -1,0 +1,55 @@
+#include "opt/pareto.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flower::opt {
+
+bool Dominates(const std::vector<double>& a, const std::vector<double>& b) {
+  bool strictly_better = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] < b[i]) return false;
+    if (a[i] > b[i]) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+bool ConstrainedDominates(const Solution& a, const Solution& b) {
+  bool fa = a.feasible(), fb = b.feasible();
+  if (fa && !fb) return true;
+  if (!fa && fb) return false;
+  if (!fa && !fb) return a.total_violation < b.total_violation;
+  return Dominates(a.objectives, b.objectives);
+}
+
+std::vector<Solution> ParetoFront(const std::vector<Solution>& solutions) {
+  std::vector<Solution> front;
+  for (const Solution& s : solutions) {
+    if (!s.feasible()) continue;
+    bool dominated = false;
+    for (const Solution& t : solutions) {
+      if (&t == &s || !t.feasible()) continue;
+      if (Dominates(t.objectives, s.objectives)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (dominated) continue;
+    bool duplicate = false;
+    for (const Solution& f : front) {
+      if (f.objectives == s.objectives) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) front.push_back(s);
+  }
+  // Canonical order: lexicographic by objectives, for stable output.
+  std::sort(front.begin(), front.end(),
+            [](const Solution& a, const Solution& b) {
+              return a.objectives < b.objectives;
+            });
+  return front;
+}
+
+}  // namespace flower::opt

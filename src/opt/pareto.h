@@ -1,0 +1,27 @@
+#ifndef FLOWER_OPT_PARETO_H_
+#define FLOWER_OPT_PARETO_H_
+
+#include <vector>
+
+#include "opt/problem.h"
+
+namespace flower::opt {
+
+/// True when `a` Pareto-dominates `b` under maximization: a is no worse
+/// in every objective and strictly better in at least one.
+bool Dominates(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Deb's constrained-domination: a feasible solution dominates an
+/// infeasible one; among infeasible solutions the smaller total
+/// violation dominates; among feasible solutions plain Pareto
+/// domination applies.
+bool ConstrainedDominates(const Solution& a, const Solution& b);
+
+/// Extracts the non-dominated subset of `solutions` (feasible solutions
+/// only, under plain Pareto domination). Duplicate objective vectors are
+/// collapsed to one representative.
+std::vector<Solution> ParetoFront(const std::vector<Solution>& solutions);
+
+}  // namespace flower::opt
+
+#endif  // FLOWER_OPT_PARETO_H_

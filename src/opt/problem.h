@@ -1,0 +1,55 @@
+#ifndef FLOWER_OPT_PROBLEM_H_
+#define FLOWER_OPT_PROBLEM_H_
+
+#include <string>
+#include <vector>
+
+namespace flower::opt {
+
+/// Bounds and type of one decision variable.
+struct VariableSpec {
+  std::string name;
+  double lower = 0.0;
+  double upper = 1.0;
+  /// Integer variables are rounded to the nearest integer before
+  /// evaluation (resource counts: shards, VMs, capacity units).
+  bool integer = false;
+};
+
+/// A multi-objective optimization problem.
+///
+/// Convention: **all objectives are maximized** (the paper's Eq. 3
+/// maximizes the per-layer resource shares). Constraints are expressed
+/// as violation amounts: `Evaluate` fills `violations` with one
+/// non-negative number per constraint, where 0 means satisfied. The
+/// solver uses Deb's constrained-domination rule over the sum of
+/// violations.
+class Problem {
+ public:
+  virtual ~Problem() = default;
+
+  virtual const std::vector<VariableSpec>& variables() const = 0;
+  virtual size_t num_objectives() const = 0;
+  virtual size_t num_constraints() const = 0;
+
+  /// Computes objective values (size num_objectives, maximized) and
+  /// constraint violations (size num_constraints, >= 0) at `x`.
+  virtual void Evaluate(const std::vector<double>& x,
+                        std::vector<double>* objectives,
+                        std::vector<double>* violations) const = 0;
+
+  size_t num_variables() const { return variables().size(); }
+};
+
+/// One evaluated candidate solution.
+struct Solution {
+  std::vector<double> x;
+  std::vector<double> objectives;
+  double total_violation = 0.0;
+
+  bool feasible() const { return total_violation <= 0.0; }
+};
+
+}  // namespace flower::opt
+
+#endif  // FLOWER_OPT_PROBLEM_H_

@@ -1,0 +1,63 @@
+#include "pricing/price_book.h"
+
+#include "common/units.h"
+
+namespace flower::pricing {
+
+std::string ResourceKindToString(ResourceKind k) {
+  switch (k) {
+    case ResourceKind::kKinesisShard: return "kinesis-shard";
+    case ResourceKind::kEc2Instance: return "ec2-instance";
+    case ResourceKind::kDynamoWcu: return "dynamodb-wcu";
+    case ResourceKind::kDynamoRcu: return "dynamodb-rcu";
+  }
+  return "unknown";
+}
+
+PriceBook::PriceBook() {
+  // 2017-era us-east-1 list prices (rounded).
+  hourly_[ResourceKind::kKinesisShard] = 0.015;
+  hourly_[ResourceKind::kEc2Instance] = 0.10;   // m4.large
+  hourly_[ResourceKind::kDynamoWcu] = 0.00065;
+  hourly_[ResourceKind::kDynamoRcu] = 0.00013;
+}
+
+void PriceBook::SetHourlyPrice(ResourceKind kind, double usd) {
+  hourly_[kind] = usd;
+}
+
+double PriceBook::HourlyPrice(ResourceKind kind) const {
+  auto it = hourly_.find(kind);
+  return it == hourly_.end() ? 0.0 : it->second;
+}
+
+double PriceBook::Cost(ResourceKind kind, double units,
+                       double seconds) const {
+  return HourlyPrice(kind) * units * (seconds / kHour);
+}
+
+Status CostAccumulator::SetQuantity(double time, double units) {
+  if (units < 0.0) {
+    return Status::InvalidArgument("CostAccumulator: negative quantity");
+  }
+  if (started_ && time < last_time_) {
+    return Status::InvalidArgument("CostAccumulator: time moved backwards");
+  }
+  if (started_) {
+    accrued_usd_ += book_->Cost(kind_, quantity_, time - last_time_);
+  }
+  last_time_ = time;
+  quantity_ = units;
+  started_ = true;
+  return Status::OK();
+}
+
+double CostAccumulator::CostUpTo(double time) const {
+  double total = accrued_usd_;
+  if (started_ && time > last_time_) {
+    total += book_->Cost(kind_, quantity_, time - last_time_);
+  }
+  return total;
+}
+
+}  // namespace flower::pricing

@@ -1,0 +1,70 @@
+#ifndef FLOWER_PRICING_PRICE_BOOK_H_
+#define FLOWER_PRICING_PRICE_BOOK_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace flower::pricing {
+
+/// Resource kinds whose unit-hours are billed across the three layers.
+/// These are the cost dimensions `c_d` of the paper's Eq. 4.
+enum class ResourceKind {
+  kKinesisShard,     ///< Ingestion layer: one shard.
+  kEc2Instance,      ///< Analytics layer: one worker VM.
+  kDynamoWcu,        ///< Storage layer: one write capacity unit.
+  kDynamoRcu,        ///< Storage layer: one read capacity unit.
+};
+
+std::string ResourceKindToString(ResourceKind k);
+
+/// Hourly unit prices for every billable resource. Defaults follow
+/// 2017-era AWS us-east-1 published prices (rounded): what matters for
+/// resource-share analysis is the *relative* price structure.
+class PriceBook {
+ public:
+  PriceBook();
+
+  /// Overrides one unit price (USD per unit-hour).
+  void SetHourlyPrice(ResourceKind kind, double usd_per_unit_hour);
+
+  /// USD per unit-hour. All kinds always have a price (defaults).
+  double HourlyPrice(ResourceKind kind) const;
+
+  /// Cost of holding `units` of `kind` for `seconds`.
+  double Cost(ResourceKind kind, double units, double seconds) const;
+
+ private:
+  std::map<ResourceKind, double> hourly_;
+};
+
+/// Integrates the cost of one resource's provisioned quantity over
+/// simulated time (a step function: the quantity holds until changed).
+class CostAccumulator {
+ public:
+  CostAccumulator(const PriceBook* book, ResourceKind kind)
+      : book_(book), kind_(kind) {}
+
+  /// Declares that the provisioned quantity becomes `units` at `time`.
+  /// Times must be non-decreasing.
+  Status SetQuantity(double time, double units);
+
+  /// Accumulated USD cost up to `time` (extends the last quantity).
+  double CostUpTo(double time) const;
+
+  double current_quantity() const { return quantity_; }
+
+ private:
+  const PriceBook* book_;
+  ResourceKind kind_;
+  double last_time_ = 0.0;
+  double quantity_ = 0.0;
+  double accrued_usd_ = 0.0;
+  bool started_ = false;
+};
+
+}  // namespace flower::pricing
+
+#endif  // FLOWER_PRICING_PRICE_BOOK_H_

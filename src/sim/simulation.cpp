@@ -1,0 +1,53 @@
+#include "sim/simulation.h"
+
+#include <memory>
+#include <utility>
+
+namespace flower::sim {
+
+Status Simulation::ScheduleAt(SimTime at, Callback cb) {
+  if (at < now_) {
+    return Status::InvalidArgument("ScheduleAt: time is in the past");
+  }
+  queue_.push(Event{at, next_seq_++, std::move(cb)});
+  return Status::OK();
+}
+
+Status Simulation::SchedulePeriodic(SimTime start, SimTime period,
+                                    std::function<bool()> cb) {
+  if (period <= 0) {
+    return Status::InvalidArgument("SchedulePeriodic: period must be > 0");
+  }
+  if (start < now_) {
+    return Status::InvalidArgument("SchedulePeriodic: start is in the past");
+  }
+  // The recurring event reschedules itself while cb() returns true.
+  auto recur = std::make_shared<std::function<void()>>();
+  auto self = this;
+  *recur = [self, period, cb = std::move(cb), recur]() {
+    if (cb()) {
+      // Ignore failure: re-scheduling "now + period" cannot be in the past.
+      (void)self->ScheduleAfter(period, *recur);
+    }
+  };
+  return ScheduleAt(start, *recur);
+}
+
+bool Simulation::Step() {
+  if (queue_.empty()) return false;
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.time;
+  ++events_executed_;
+  ev.cb();
+  return true;
+}
+
+void Simulation::RunUntil(SimTime end) {
+  while (!queue_.empty() && queue_.top().time <= end) {
+    Step();
+  }
+  if (now_ < end) now_ = end;
+}
+
+}  // namespace flower::sim

@@ -1,0 +1,83 @@
+#ifndef FLOWER_SIM_SIMULATION_H_
+#define FLOWER_SIM_SIMULATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time_series.h"
+
+namespace flower::sim {
+
+/// Discrete-event simulation driver.
+///
+/// All simulated cloud services (Kinesis, Storm, DynamoDB, CloudWatch)
+/// and the Flower control loops run as events on one `Simulation`.
+/// Events scheduled for the same instant fire in scheduling order
+/// (FIFO), which makes runs deterministic.
+///
+/// Usage:
+///   Simulation sim;
+///   sim.ScheduleAfter(5.0, [&]{ ... });
+///   sim.RunUntil(3600.0);
+class Simulation {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current simulated time in seconds.
+  SimTime Now() const { return now_; }
+
+  /// Schedules `cb` at absolute simulated time `at`. Scheduling in the
+  /// past is an error.
+  Status ScheduleAt(SimTime at, Callback cb);
+
+  /// Schedules `cb` after `delay` seconds (delay >= 0).
+  Status ScheduleAfter(SimTime delay, Callback cb) {
+    if (delay < 0) return Status::InvalidArgument("negative delay");
+    return ScheduleAt(now_ + delay, std::move(cb));
+  }
+
+  /// Schedules `cb` every `period` seconds, first firing at
+  /// `start` (absolute). The callback returns true to continue, false
+  /// to stop the recurrence.
+  Status SchedulePeriodic(SimTime start, SimTime period,
+                          std::function<bool()> cb);
+
+  /// Runs events until the queue drains or simulated time would exceed
+  /// `end`. After return, Now() == end unless the queue drained first.
+  void RunUntil(SimTime end);
+
+  /// Runs a single event; returns false if the queue is empty.
+  bool Step();
+
+  size_t pending_events() const { return queue_.size(); }
+  uint64_t events_executed() const { return events_executed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0.0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace flower::sim
+
+#endif  // FLOWER_SIM_SIMULATION_H_

@@ -1,0 +1,119 @@
+#include "stats/forecast.h"
+
+#include <cmath>
+
+namespace flower::stats {
+
+void NaiveForecaster::Observe(SimTime /*t*/, double value) {
+  last_ = value;
+  has_value_ = true;
+}
+
+Result<double> NaiveForecaster::Forecast(double /*horizon_sec*/) const {
+  if (!has_value_) {
+    return Status::FailedPrecondition("NaiveForecaster: no observations");
+  }
+  return last_;
+}
+
+void EmaForecaster::Observe(SimTime /*t*/, double value) {
+  if (!initialized_) {
+    level_ = value;
+    initialized_ = true;
+  } else {
+    level_ = alpha_ * value + (1.0 - alpha_) * level_;
+  }
+}
+
+Result<double> EmaForecaster::Forecast(double /*horizon_sec*/) const {
+  if (!initialized_) {
+    return Status::FailedPrecondition("EmaForecaster: no observations");
+  }
+  return level_;
+}
+
+void HoltForecaster::Observe(SimTime t, double value) {
+  if (observations_ == 0) {
+    level_ = value;
+    trend_ = 0.0;
+  } else {
+    last_dt_ = t - last_t_;
+    double prev_level = level_;
+    level_ = alpha_ * value + (1.0 - alpha_) * (level_ + trend_);
+    trend_ = beta_ * (level_ - prev_level) + (1.0 - beta_) * trend_;
+  }
+  last_t_ = t;
+  ++observations_;
+}
+
+Result<double> HoltForecaster::Forecast(double horizon_sec) const {
+  if (observations_ < 2) {
+    return Status::FailedPrecondition(
+        "HoltForecaster: need at least two observations");
+  }
+  // Trend is per observation step; convert the horizon into steps.
+  double steps = last_dt_ > 0.0 ? horizon_sec / last_dt_ : 1.0;
+  return level_ + trend_ * steps;
+}
+
+SeasonalNaiveForecaster::SeasonalNaiveForecaster(double season_sec,
+                                                 double sample_period_sec)
+    : slots_(static_cast<size_t>(
+          std::max(1.0, std::round(season_sec / sample_period_sec)))),
+      sample_period_(sample_period_sec) {}
+
+void SeasonalNaiveForecaster::Observe(SimTime /*t*/, double value) {
+  history_.push_back(value);
+  if (history_.size() > slots_) history_.pop_front();
+}
+
+Result<double> SeasonalNaiveForecaster::Forecast(double horizon_sec) const {
+  if (history_.size() < slots_) {
+    return Status::FailedPrecondition(
+        "SeasonalNaiveForecaster: less than one full season observed");
+  }
+  // history_[slots_-1] is the newest sample (time t_last); the value at
+  // t_last - m*period sits at index slots_-1-m. The target instant
+  // t_last + k*period - season corresponds to m = slots_ - k, i.e.
+  // index k - 1 (mod slots_).
+  double offset_slots = horizon_sec / sample_period_;
+  auto k = static_cast<int64_t>(std::llround(offset_slots));
+  int64_t idx = (k - 1) % static_cast<int64_t>(slots_);
+  if (idx < 0) idx += static_cast<int64_t>(slots_);
+  return history_[static_cast<size_t>(idx)];
+}
+
+Result<double> BacktestOneStepMae(Forecaster* forecaster,
+                                  const TimeSeries& series) {
+  return BacktestHorizonMae(forecaster, series, 1);
+}
+
+Result<double> BacktestHorizonMae(Forecaster* forecaster,
+                                  const TimeSeries& series,
+                                  size_t steps_ahead) {
+  if (steps_ahead == 0) {
+    return Status::InvalidArgument("BacktestHorizonMae: steps_ahead == 0");
+  }
+  if (series.size() < steps_ahead + 2) {
+    return Status::FailedPrecondition(
+        "BacktestHorizonMae: series shorter than the horizon");
+  }
+  double abs_err = 0.0;
+  size_t n = 0;
+  for (size_t i = 0; i + steps_ahead < series.size(); ++i) {
+    forecaster->Observe(series[i].time, series[i].value);
+    double horizon = series[i + steps_ahead].time - series[i].time;
+    auto f = forecaster->Forecast(horizon);
+    if (f.ok()) {
+      abs_err += std::fabs(*f - series[i + steps_ahead].value);
+      ++n;
+    }
+  }
+  if (n == 0) {
+    return Status::FailedPrecondition(
+        "BacktestHorizonMae: forecaster never produced a forecast");
+  }
+  return abs_err / static_cast<double>(n);
+}
+
+}  // namespace flower::stats

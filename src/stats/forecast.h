@@ -1,0 +1,110 @@
+#ifndef FLOWER_STATS_FORECAST_H_
+#define FLOWER_STATS_FORECAST_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/time_series.h"
+
+namespace flower::stats {
+
+/// Online one-step-ahead forecaster of a regularly sampled signal
+/// (e.g. the per-minute arrival rate). Feed observations in time order
+/// with `Observe`; `Forecast(h)` extrapolates h seconds ahead.
+///
+/// Forecasters power Flower's proactive planning (windowed resource
+/// shares) and can drive feedforward control when no upstream metric
+/// exists.
+class Forecaster {
+ public:
+  virtual ~Forecaster() = default;
+  virtual std::string name() const = 0;
+  virtual void Observe(SimTime t, double value) = 0;
+  /// Prediction for time (last observation + horizon). Errors when not
+  /// enough history has been observed.
+  virtual Result<double> Forecast(double horizon_sec) const = 0;
+};
+
+/// Forecast = last observed value (the baseline every other method
+/// must beat).
+class NaiveForecaster final : public Forecaster {
+ public:
+  std::string name() const override { return "naive"; }
+  void Observe(SimTime t, double value) override;
+  Result<double> Forecast(double horizon_sec) const override;
+
+ private:
+  bool has_value_ = false;
+  double last_ = 0.0;
+};
+
+/// Exponentially smoothed level (no trend).
+class EmaForecaster final : public Forecaster {
+ public:
+  explicit EmaForecaster(double alpha) : alpha_(alpha) {}
+  std::string name() const override { return "ema"; }
+  void Observe(SimTime t, double value) override;
+  Result<double> Forecast(double horizon_sec) const override;
+
+ private:
+  double alpha_;
+  bool initialized_ = false;
+  double level_ = 0.0;
+};
+
+/// Holt's linear (double exponential) smoothing: level + trend, so the
+/// forecast extrapolates ramps — useful for diurnal shoulders.
+class HoltForecaster final : public Forecaster {
+ public:
+  HoltForecaster(double alpha, double beta) : alpha_(alpha), beta_(beta) {}
+  std::string name() const override { return "holt"; }
+  void Observe(SimTime t, double value) override;
+  Result<double> Forecast(double horizon_sec) const override;
+
+ private:
+  double alpha_, beta_;
+  int observations_ = 0;
+  double level_ = 0.0;
+  double trend_ = 0.0;
+  SimTime last_t_ = 0.0;
+  double last_dt_ = 0.0;
+};
+
+/// Seasonal naive: forecast = the value observed one season ago
+/// (the strongest simple baseline for diurnal workloads). Keeps one
+/// season of history at the observation cadence.
+class SeasonalNaiveForecaster final : public Forecaster {
+ public:
+  /// `season_sec` e.g. one simulated day; `sample_period_sec` the
+  /// observation cadence.
+  SeasonalNaiveForecaster(double season_sec, double sample_period_sec);
+  std::string name() const override { return "seasonal-naive"; }
+  void Observe(SimTime t, double value) override;
+  Result<double> Forecast(double horizon_sec) const override;
+
+ private:
+  size_t slots_;
+  double sample_period_;
+  std::deque<double> history_;  // Most recent at the back.
+};
+
+/// Evaluates a forecaster against a recorded series: walks the series,
+/// observing each sample and forecasting the next one; returns the
+/// mean absolute error of one-step forecasts. Errors: fewer than three
+/// samples.
+Result<double> BacktestOneStepMae(Forecaster* forecaster,
+                                  const TimeSeries& series);
+
+/// Like BacktestOneStepMae but forecasting `steps_ahead` samples into
+/// the future at each position — the relevant error for window
+/// planning, where capacity is scheduled hours in advance. Errors:
+/// series shorter than steps_ahead + 2, or steps_ahead == 0.
+Result<double> BacktestHorizonMae(Forecaster* forecaster,
+                                  const TimeSeries& series,
+                                  size_t steps_ahead);
+
+}  // namespace flower::stats
+
+#endif  // FLOWER_STATS_FORECAST_H_

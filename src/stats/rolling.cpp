@@ -1,0 +1,17 @@
+#include "stats/rolling.h"
+
+#include <algorithm>
+
+namespace flower::stats {
+
+double RollingWindow::Min() const {
+  if (buf_.empty()) return 0.0;
+  return *std::min_element(buf_.begin(), buf_.end());
+}
+
+double RollingWindow::Max() const {
+  if (buf_.empty()) return 0.0;
+  return *std::max_element(buf_.begin(), buf_.end());
+}
+
+}  // namespace flower::stats

@@ -1,0 +1,69 @@
+#ifndef FLOWER_STATS_ROLLING_H_
+#define FLOWER_STATS_ROLLING_H_
+
+#include <cstddef>
+#include <deque>
+
+namespace flower::stats {
+
+/// Exponential moving average: s_t = alpha * x_t + (1 - alpha) * s_{t-1}.
+/// The first observation initializes the state.
+class Ema {
+ public:
+  /// alpha in (0, 1]; larger alpha tracks faster.
+  explicit Ema(double alpha) : alpha_(alpha) {}
+
+  double Update(double x) {
+    if (!initialized_) {
+      value_ = x;
+      initialized_ = true;
+    } else {
+      value_ = alpha_ * x + (1.0 - alpha_) * value_;
+    }
+    return value_;
+  }
+
+  bool initialized() const { return initialized_; }
+  double value() const { return value_; }
+  void Reset() { initialized_ = false; value_ = 0.0; }
+
+ private:
+  double alpha_;
+  bool initialized_ = false;
+  double value_ = 0.0;
+};
+
+/// Fixed-capacity rolling window with O(1) mean and O(n) min/max.
+/// Used by sensors to smooth utilization over a monitoring window.
+class RollingWindow {
+ public:
+  explicit RollingWindow(size_t capacity) : capacity_(capacity) {}
+
+  void Add(double x) {
+    buf_.push_back(x);
+    sum_ += x;
+    if (buf_.size() > capacity_) {
+      sum_ -= buf_.front();
+      buf_.pop_front();
+    }
+  }
+
+  size_t size() const { return buf_.size(); }
+  bool full() const { return buf_.size() == capacity_; }
+  double Mean() const {
+    return buf_.empty() ? 0.0 : sum_ / static_cast<double>(buf_.size());
+  }
+  double Min() const;
+  double Max() const;
+  double Last() const { return buf_.empty() ? 0.0 : buf_.back(); }
+  void Clear() { buf_.clear(); sum_ = 0.0; }
+
+ private:
+  size_t capacity_;
+  std::deque<double> buf_;
+  double sum_ = 0.0;
+};
+
+}  // namespace flower::stats
+
+#endif  // FLOWER_STATS_ROLLING_H_

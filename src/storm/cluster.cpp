@@ -1,0 +1,223 @@
+#include "storm/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace flower::storm {
+
+namespace {
+constexpr const char* kNamespace = "Flower/Storm";
+}
+
+Cluster::Cluster(sim::Simulation* sim, cloudwatch::MetricStore* metrics,
+                 ec2::Fleet* fleet, ClusterConfig config)
+    : sim_(sim), metrics_(metrics), fleet_(fleet),
+      config_(std::move(config)), jitter_rng_(config_.jitter_seed) {
+  Status st = sim_->SchedulePeriodic(
+      sim_->Now() + config_.tick_period_sec, config_.tick_period_sec, [this] {
+        Tick();
+        return true;
+      });
+  FLOWER_CHECK(st.ok()) << st.ToString();
+  if (metrics_ != nullptr) {
+    st = sim_->SchedulePeriodic(
+        sim_->Now() + config_.metrics_period_sec, config_.metrics_period_sec,
+        [this] {
+          PublishMetrics();
+          return true;
+        });
+    FLOWER_CHECK(st.ok()) << st.ToString();
+  }
+}
+
+Status Cluster::Submit(std::shared_ptr<Topology> topology) {
+  if (topology_ != nullptr) {
+    return Status::AlreadyExists("Cluster '" + config_.name +
+                                 "' already runs a topology");
+  }
+  if (topology == nullptr || !topology->HasSpout()) {
+    return Status::InvalidArgument("Submit: topology missing a spout");
+  }
+  topology_ = std::move(topology);
+  return Status::OK();
+}
+
+Status Cluster::SetWorkerCount(int n) {
+  if (n < 1) {
+    return Status::InvalidArgument("SetWorkerCount: need at least 1 worker");
+  }
+  return fleet_->SetDesiredCount(n);
+}
+
+void Cluster::Tick() {
+  if (topology_ == nullptr) return;
+  SimTime now = sim_->Now();
+  double budget = fleet_->TotalComputeCapacity() *
+                  config_.usable_capacity_fraction * config_.tick_period_sec;
+  const double initial_budget = budget;
+  if (initial_budget <= 0.0) {
+    last_tick_cpu_pct_ = 100.0;  // No capacity: fully saturated.
+    period_cpu_sum_ += last_tick_cpu_pct_;
+    ++period_ticks_;
+    return;
+  }
+  Topology& topo = *topology_;
+  period_budget_ += initial_budget;
+  if (period_bolt_executed_.size() != topo.bolts_.size()) {
+    period_bolt_executed_.assign(topo.bolts_.size(), 0);
+    period_bolt_work_.assign(topo.bolts_.size(), 0.0);
+  }
+
+  // Execution-cost noise (JIT/GC/cache and noisy neighbours): AR(1)
+  // with stationary std dev cost_jitter, bounded so costs stay
+  // positive. Correlated across ticks so that per-minute averages keep
+  // realistic variance.
+  double cost_factor = 1.0;
+  if (config_.cost_jitter > 0.0) {
+    double phi = std::clamp(config_.cost_jitter_phi, 0.0, 0.999);
+    double innovation_sd =
+        config_.cost_jitter * std::sqrt(1.0 - phi * phi);
+    jitter_state_ =
+        phi * jitter_state_ + jitter_rng_.Normal(0.0, innovation_sd);
+    cost_factor = std::max(0.4, 1.0 + jitter_state_);
+  }
+
+  // (a) Spout pulls, unless backpressure holds them back. The per-tick
+  // batch limit is shared evenly across spouts.
+  if (topo.PendingTuples() < config_.max_pending_tuples &&
+      !topo.spouts_.empty()) {
+    size_t room = config_.max_pending_tuples - topo.PendingTuples();
+    size_t share = std::max<size_t>(
+        1, std::min(config_.spout_batch_limit, room) / topo.spouts_.size());
+    for (size_t si = 0; si < topo.spouts_.size(); ++si) {
+      auto& spout = topo.spouts_[si];
+      size_t max_pull = share;
+      // The spout also costs CPU; bound the pull by remaining budget.
+      double spout_cost = spout.cost * cost_factor;
+      if (spout_cost > 0.0) {
+        max_pull =
+            std::min(max_pull, static_cast<size_t>(budget / spout_cost));
+      }
+      if (max_pull == 0) continue;
+      std::vector<Tuple> pulled = spout.fn(max_pull);
+      budget -= static_cast<double>(pulled.size()) * spout_cost;
+      // Route this spout's output to every bolt subscribing to it.
+      for (auto& bolt : topo.bolts_) {
+        if (!bolt.HasSpoutParent(static_cast<int>(si))) continue;
+        for (Tuple t : pulled) {
+          t.source = static_cast<int32_t>(si);
+          bolt.queue.push_back(t);
+        }
+      }
+    }
+  }
+
+  // (b) Drain bolt queues in topology order within the budget.
+  for (size_t bi = 0; bi < topo.bolts_.size(); ++bi) {
+    auto& bolt = topo.bolts_[bi];
+    const double cost = bolt.spec.cpu_cost_per_tuple * cost_factor;
+    // Children consuming from this bolt (computed per tick; topologies
+    // are tiny so the scan is cheap).
+    std::vector<size_t> children;
+    for (size_t cj = 0; cj < topo.bolts_.size(); ++cj) {
+      if (topo.bolts_[cj].HasBoltParent(static_cast<int>(bi))) {
+        children.push_back(cj);
+      }
+    }
+    bool is_leaf = children.empty();
+    auto emit = [&](Tuple t) {
+      for (size_t cj : children) topo.bolts_[cj].queue.push_back(t);
+    };
+    while (!bolt.queue.empty() && budget >= cost) {
+      Tuple t = bolt.queue.front();
+      Status st = bolt.spec.logic->Execute(t, now, emit);
+      if (st.IsRetryable()) {
+        // Storage backpressure: keep the tuple queued, stop this bolt
+        // for the rest of the tick.
+        ++total_sink_throttles_;
+        ++period_sink_throttles_;
+        break;
+      }
+      bolt.queue.pop_front();
+      budget -= cost;
+      ++bolt.executed;
+      ++total_executed_;
+      ++period_executed_;
+      ++period_bolt_executed_[bi];
+      period_bolt_work_[bi] += cost;
+      if (is_leaf) {
+        ++total_acked_;
+        ++period_acked_;
+        double latency = now - t.origin_time;
+        period_latency_sum_ += latency;
+        period_latency_sample_.Add(latency);
+      }
+    }
+  }
+
+  last_tick_cpu_pct_ =
+      100.0 * (initial_budget - budget) / initial_budget;
+  period_cpu_sum_ += last_tick_cpu_pct_;
+  ++period_ticks_;
+}
+
+void Cluster::PublishMetrics() {
+  SimTime now = sim_->Now();
+  auto put = [&](const char* name, double v) {
+    Status st =
+        metrics_->Put({kNamespace, name, config_.name}, now, v);
+    FLOWER_CHECK(st.ok()) << st.ToString();
+  };
+  double cpu = period_ticks_ > 0
+                   ? period_cpu_sum_ / static_cast<double>(period_ticks_)
+                   : 0.0;
+  put("CpuUtilization", cpu);
+  put("WorkerCount", static_cast<double>(worker_count()));
+  put("PendingTuples",
+      topology_ ? static_cast<double>(topology_->PendingTuples()) : 0.0);
+  put("ExecutedTuples", static_cast<double>(period_executed_));
+  put("CompleteLatency",
+      period_acked_ > 0
+          ? period_latency_sum_ / static_cast<double>(period_acked_)
+          : 0.0);
+  put("CompleteLatencyP50",
+      period_latency_sample_.Percentile(50.0).ValueOr(0.0));
+  put("CompleteLatencyP99",
+      period_latency_sample_.Percentile(99.0).ValueOr(0.0));
+  put("SinkThrottles", static_cast<double>(period_sink_throttles_));
+  // Per-bolt stats: executed count, queue length, and the fraction of
+  // the cluster's work budget each bolt consumed (bottleneck gauge).
+  if (topology_ != nullptr) {
+    const auto lengths = topology_->QueueLengths();
+    for (size_t bi = 0; bi < lengths.size(); ++bi) {
+      std::string dim = config_.name + "." + lengths[bi].first;
+      auto put_bolt = [&](const char* name, double v) {
+        Status st = metrics_->Put({kNamespace, name, dim}, now, v);
+        FLOWER_CHECK(st.ok()) << st.ToString();
+      };
+      put_bolt("BoltExecuted",
+               bi < period_bolt_executed_.size()
+                   ? static_cast<double>(period_bolt_executed_[bi])
+                   : 0.0);
+      put_bolt("BoltQueueLength", static_cast<double>(lengths[bi].second));
+      put_bolt("BoltCapacity",
+               period_budget_ > 0.0 && bi < period_bolt_work_.size()
+                   ? period_bolt_work_[bi] / period_budget_
+                   : 0.0);
+    }
+  }
+  period_cpu_sum_ = 0.0;
+  period_ticks_ = 0;
+  period_executed_ = 0;
+  period_sink_throttles_ = 0;
+  period_latency_sum_ = 0.0;
+  period_acked_ = 0;
+  period_latency_sample_.Reset();
+  period_budget_ = 0.0;
+  period_bolt_executed_.assign(period_bolt_executed_.size(), 0);
+  period_bolt_work_.assign(period_bolt_work_.size(), 0.0);
+}
+
+}  // namespace flower::storm

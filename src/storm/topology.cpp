@@ -1,0 +1,115 @@
+#include "storm/topology.h"
+
+namespace flower::storm {
+
+Status StatelessBolt::Execute(const Tuple& input, SimTime /*now*/,
+                              const std::function<void(Tuple)>& emit) {
+  pending_emits_ += selectivity_;
+  while (pending_emits_ >= 1.0) {
+    emit(input);
+    pending_emits_ -= 1.0;
+  }
+  return Status::OK();
+}
+
+Status Topology::AddSpout(std::string name, SpoutFn fn,
+                          double cpu_cost_per_tuple) {
+  if (!fn) return Status::InvalidArgument("AddSpout: null pull function");
+  if (FindSpout(name) >= 0 || FindBolt(name) >= 0) {
+    return Status::AlreadyExists("AddSpout: duplicate component name '" +
+                                 name + "'");
+  }
+  if (cpu_cost_per_tuple < 0.0) {
+    return Status::InvalidArgument("AddSpout: negative cpu cost");
+  }
+  spouts_.push_back({std::move(name), std::move(fn), cpu_cost_per_tuple});
+  return Status::OK();
+}
+
+Status Topology::SetSpout(std::string name, SpoutFn fn,
+                          double cpu_cost_per_tuple) {
+  if (!spouts_.empty()) {
+    return Status::AlreadyExists("Topology '" + name_ +
+                                 "' already has a spout");
+  }
+  return AddSpout(std::move(name), std::move(fn), cpu_cost_per_tuple);
+}
+
+int Topology::FindBolt(const std::string& name) const {
+  for (size_t i = 0; i < bolts_.size(); ++i) {
+    if (bolts_[i].spec.name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int Topology::FindSpout(const std::string& name) const {
+  for (size_t i = 0; i < spouts_.size(); ++i) {
+    if (spouts_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Topology::AddBolt(BoltSpec spec,
+                         const std::vector<std::string>& parents) {
+  if (!spec.logic) {
+    return Status::InvalidArgument("AddBolt: bolt '" + spec.name +
+                                   "' has no logic");
+  }
+  if (spec.cpu_cost_per_tuple < 0.0) {
+    return Status::InvalidArgument("AddBolt: negative cpu cost");
+  }
+  if (FindBolt(spec.name) >= 0 || FindSpout(spec.name) >= 0) {
+    return Status::AlreadyExists("AddBolt: duplicate component name '" +
+                                 spec.name + "'");
+  }
+  if (parents.empty()) {
+    return Status::InvalidArgument("AddBolt: bolt '" + spec.name +
+                                   "' needs at least one parent");
+  }
+  BoltNode node;
+  node.spec = std::move(spec);
+  for (const std::string& parent : parents) {
+    if (parent.empty()) {
+      if (spouts_.size() != 1) {
+        return Status::InvalidArgument(
+            "AddBolt: \"\" parent requires exactly one spout");
+      }
+      node.parents.push_back(-1);  // -1 - 0.
+      continue;
+    }
+    int s = FindSpout(parent);
+    if (s >= 0) {
+      node.parents.push_back(-1 - s);
+      continue;
+    }
+    int b = FindBolt(parent);
+    if (b >= 0) {
+      node.parents.push_back(b);
+      continue;
+    }
+    return Status::NotFound("AddBolt: unknown parent '" + parent + "'");
+  }
+  bolts_.push_back(std::move(node));
+  return Status::OK();
+}
+
+Status Topology::AddBolt(BoltSpec spec, const std::string& parent) {
+  return AddBolt(std::move(spec), std::vector<std::string>{parent});
+}
+
+size_t Topology::PendingTuples() const {
+  size_t total = 0;
+  for (const BoltNode& b : bolts_) total += b.queue.size();
+  return total;
+}
+
+std::vector<std::pair<std::string, size_t>> Topology::QueueLengths() const {
+  std::vector<std::pair<std::string, size_t>> out;
+  out.reserve(bolts_.size());
+  for (const BoltNode& b : bolts_) {
+    out.emplace_back(b.spec.name, b.queue.size());
+  }
+  return out;
+}
+
+}  // namespace flower::storm

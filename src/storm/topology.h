@@ -1,0 +1,152 @@
+#ifndef FLOWER_STORM_TOPOLOGY_H_
+#define FLOWER_STORM_TOPOLOGY_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/time_series.h"
+
+namespace flower::storm {
+
+/// A unit of data flowing through a topology. `origin_time` is stamped
+/// when the tuple enters the topology (spout emission) and is used to
+/// measure complete latency; `entity_id` carries the application key
+/// (e.g. the clicked URL id).
+struct Tuple {
+  SimTime origin_time = 0.0;
+  int64_t entity_id = 0;
+  int32_t size_bytes = 256;
+  /// Application value: 1.0 for raw events, an aggregate (e.g. a window
+  /// count) for tuples emitted by aggregating bolts.
+  double value = 1.0;
+  /// Which stream/spout the tuple originated from (the spout's index in
+  /// declaration order) — lets join bolts distinguish their inputs.
+  int32_t source = 0;
+};
+
+/// Application logic of one bolt. `Execute` is called once per input
+/// tuple; output tuples are pushed through `emit`. Returning a
+/// retryable status (e.g. Throttled from a storage sink) re-queues the
+/// tuple and pauses this bolt until the next scheduler tick —
+/// backpressure from the storage layer into the analytics layer.
+class BoltLogic {
+ public:
+  virtual ~BoltLogic() = default;
+  virtual Status Execute(const Tuple& input, SimTime now,
+                         const std::function<void(Tuple)>& emit) = 0;
+};
+
+/// Stateless pass-through logic with fixed selectivity: every input
+/// emits `selectivity` outputs on average (fractional selectivity
+/// accumulates; e.g. 0.25 emits one tuple every four inputs).
+class StatelessBolt final : public BoltLogic {
+ public:
+  explicit StatelessBolt(double selectivity = 1.0)
+      : selectivity_(selectivity) {}
+  Status Execute(const Tuple& input, SimTime now,
+                 const std::function<void(Tuple)>& emit) override;
+
+ private:
+  double selectivity_;
+  double pending_emits_ = 0.0;
+};
+
+/// Declaration of one bolt: name, per-tuple CPU cost (abstract work
+/// units, matched against the cluster's compute capacity), and logic.
+struct BoltSpec {
+  std::string name;
+  double cpu_cost_per_tuple = 1000.0;
+  std::shared_ptr<BoltLogic> logic;
+};
+
+/// A spout's pull function: returns up to `max` tuples from the
+/// upstream source (the flow layer wires this to Kinesis GetRecords).
+using SpoutFn = std::function<std::vector<Tuple>(size_t max)>;
+
+/// A DAG of spouts and bolts.
+///
+/// Build with `AddSpout` (one or more) then `AddBolt(spec, parents)`,
+/// where each parent names a spout or a previously added bolt — so the
+/// topology supports fan-out (one parent, many children), fan-in /
+/// joins (one bolt, many parents), and multiple source streams. The
+/// topology owns per-bolt input queues; execution is driven by the
+/// Cluster's scheduler ticks.
+class Topology {
+ public:
+  explicit Topology(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Adds a source stream. Errors: duplicate name or null function.
+  Status AddSpout(std::string name, SpoutFn fn,
+                  double cpu_cost_per_tuple = 100.0);
+
+  /// Single-spout convenience (legacy name). Errors if a spout already
+  /// exists — use AddSpout for multi-stream topologies.
+  Status SetSpout(std::string name, SpoutFn fn,
+                  double cpu_cost_per_tuple = 100.0);
+
+  /// Adds a bolt consuming from each component in `parents` (spout or
+  /// previously added bolt names; "" means the sole spout). Errors:
+  /// duplicate name, unknown/later parent, empty parents, or missing
+  /// logic.
+  Status AddBolt(BoltSpec spec, const std::vector<std::string>& parents);
+  /// Single-parent convenience; "" = the sole spout.
+  Status AddBolt(BoltSpec spec, const std::string& parent = "");
+
+  bool HasSpout() const { return !spouts_.empty(); }
+  size_t spout_count() const { return spouts_.size(); }
+  size_t bolt_count() const { return bolts_.size(); }
+
+  /// Total tuples buffered in all bolt input queues.
+  size_t PendingTuples() const;
+
+  /// Per-bolt pending queue length, by bolt declaration order.
+  std::vector<std::pair<std::string, size_t>> QueueLengths() const;
+
+ private:
+  friend class Cluster;
+
+  struct SpoutNode {
+    std::string name;
+    SpoutFn fn;
+    double cost = 100.0;
+  };
+  struct BoltNode {
+    BoltSpec spec;
+    /// Parent references: spout index (< 0: encoded as -1 - idx) or
+    /// bolt index (>= 0).
+    std::vector<int> parents;
+    std::deque<Tuple> queue;
+    uint64_t executed = 0;
+
+    bool HasSpoutParent(int spout_idx) const {
+      for (int p : parents) {
+        if (p == -1 - spout_idx) return true;
+      }
+      return false;
+    }
+    bool HasBoltParent(int bolt_idx) const {
+      for (int p : parents) {
+        if (p == bolt_idx) return true;
+      }
+      return false;
+    }
+  };
+
+  int FindBolt(const std::string& name) const;
+  int FindSpout(const std::string& name) const;
+
+  std::string name_;
+  std::vector<SpoutNode> spouts_;
+  std::vector<BoltNode> bolts_;  // In topological (declaration) order.
+};
+
+}  // namespace flower::storm
+
+#endif  // FLOWER_STORM_TOPOLOGY_H_

@@ -1,0 +1,68 @@
+#include "workload/arrival.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flower::workload {
+
+double DiurnalArrival::RatePerSec(SimTime t) const {
+  double r = base_ + amplitude_ * std::sin(2.0 * M_PI * (t + phase_) / period_);
+  return std::max(0.0, r);
+}
+
+double FlashCrowdArrival::RatePerSec(SimTime t) const {
+  double r = base_;
+  if (t >= start_ - ramp_ && t < start_) {
+    r += extra_ * (t - (start_ - ramp_)) / ramp_;
+  } else if (t >= start_ && t < start_ + duration_) {
+    r += extra_;
+  } else if (t >= start_ + duration_ && t < start_ + duration_ + ramp_) {
+    r += extra_ * (1.0 - (t - start_ - duration_) / ramp_);
+  }
+  return std::max(0.0, r);
+}
+
+StepArrival::StepArrival(std::vector<std::pair<SimTime, double>> steps)
+    : steps_(std::move(steps)) {
+  std::sort(steps_.begin(), steps_.end());
+}
+
+double StepArrival::RatePerSec(SimTime t) const {
+  double rate = 0.0;
+  for (const auto& [time, r] : steps_) {
+    if (time > t) break;
+    rate = r;
+  }
+  return std::max(0.0, rate);
+}
+
+MmppArrival::MmppArrival(double low_rate, double high_rate,
+                         double mean_low_holding, double mean_high_holding,
+                         SimTime horizon, uint64_t seed)
+    : low_rate_(low_rate), high_rate_(high_rate) {
+  Rng rng(seed);
+  SimTime t = 0.0;
+  bool high = false;
+  switches_.emplace_back(0.0, high);
+  while (t < horizon) {
+    double hold = high ? rng.Exponential(1.0 / mean_high_holding)
+                       : rng.Exponential(1.0 / mean_low_holding);
+    t += hold;
+    high = !high;
+    switches_.emplace_back(t, high);
+  }
+}
+
+double MmppArrival::RatePerSec(SimTime t) const {
+  bool high = false;
+  // switches_ is sorted; binary search for the state at t.
+  auto it = std::upper_bound(
+      switches_.begin(), switches_.end(), t,
+      [](SimTime tt, const std::pair<SimTime, bool>& s) {
+        return tt < s.first;
+      });
+  if (it != switches_.begin()) high = std::prev(it)->second;
+  return high ? high_rate_ : low_rate_;
+}
+
+}  // namespace flower::workload

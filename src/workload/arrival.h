@@ -1,0 +1,136 @@
+#ifndef FLOWER_WORKLOAD_ARRIVAL_H_
+#define FLOWER_WORKLOAD_ARRIVAL_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "common/time_series.h"
+#include "common/units.h"
+
+namespace flower::workload {
+
+/// Deterministic intensity profile lambda(t): the *expected* event rate
+/// (events/second) at simulated time t. Generators draw actual counts
+/// from a Poisson distribution around this intensity.
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+  virtual std::string name() const = 0;
+  /// Expected events per second at time t. Must be >= 0.
+  virtual double RatePerSec(SimTime t) const = 0;
+};
+
+/// Constant rate.
+class ConstantArrival final : public ArrivalProcess {
+ public:
+  explicit ConstantArrival(double rate) : rate_(rate) {}
+  std::string name() const override { return "constant"; }
+  double RatePerSec(SimTime) const override { return rate_; }
+
+ private:
+  double rate_;
+};
+
+/// Sinusoidal diurnal pattern:
+/// rate(t) = base + amplitude * sin(2*pi*(t + phase)/period), floored
+/// at zero. Default period is one simulated day.
+class DiurnalArrival final : public ArrivalProcess {
+ public:
+  DiurnalArrival(double base, double amplitude, double period = kDay,
+                 double phase = 0.0)
+      : base_(base), amplitude_(amplitude), period_(period), phase_(phase) {}
+  std::string name() const override { return "diurnal"; }
+  double RatePerSec(SimTime t) const override;
+
+ private:
+  double base_, amplitude_, period_, phase_;
+};
+
+/// Flash crowd: base rate plus a spike of height `extra` between
+/// `start` and `start + duration`, with linear ramps of `ramp` seconds
+/// on both sides (the unforeseen surge rule-based autoscalers miss).
+class FlashCrowdArrival final : public ArrivalProcess {
+ public:
+  FlashCrowdArrival(double base, double extra, SimTime start,
+                    double duration, double ramp = 60.0)
+      : base_(base), extra_(extra), start_(start), duration_(duration),
+        ramp_(ramp) {}
+  std::string name() const override { return "flash-crowd"; }
+  double RatePerSec(SimTime t) const override;
+
+ private:
+  double base_, extra_;
+  SimTime start_;
+  double duration_, ramp_;
+};
+
+/// Piecewise-constant profile given as (time, rate) steps; the rate of
+/// the latest step at or before t applies (0 before the first step).
+class StepArrival final : public ArrivalProcess {
+ public:
+  explicit StepArrival(std::vector<std::pair<SimTime, double>> steps);
+  std::string name() const override { return "step"; }
+  double RatePerSec(SimTime t) const override;
+
+ private:
+  std::vector<std::pair<SimTime, double>> steps_;  // Sorted by time.
+};
+
+/// Sum of component processes (e.g. diurnal + flash crowd + noise
+/// floor), modelling realistic click traffic.
+class CompositeArrival final : public ArrivalProcess {
+ public:
+  void Add(std::shared_ptr<ArrivalProcess> p) {
+    parts_.push_back(std::move(p));
+  }
+  std::string name() const override { return "composite"; }
+  double RatePerSec(SimTime t) const override {
+    double r = 0.0;
+    for (const auto& p : parts_) r += p->RatePerSec(t);
+    return r;
+  }
+  size_t size() const { return parts_.size(); }
+
+ private:
+  std::vector<std::shared_ptr<ArrivalProcess>> parts_;
+};
+
+/// Markov-modulated intensity with two states (low/high). State
+/// switches are pre-sampled from exponential holding times at
+/// construction, so `RatePerSec` is a pure function of t and the whole
+/// profile is reproducible from the seed.
+class MmppArrival final : public ArrivalProcess {
+ public:
+  /// Pre-samples switches covering [0, horizon].
+  MmppArrival(double low_rate, double high_rate, double mean_low_holding,
+              double mean_high_holding, SimTime horizon, uint64_t seed);
+  std::string name() const override { return "mmpp2"; }
+  double RatePerSec(SimTime t) const override;
+
+ private:
+  double low_rate_, high_rate_;
+  std::vector<std::pair<SimTime, bool>> switches_;  // (time, is_high).
+};
+
+/// Replays a recorded rate trace with last-observation-carried-forward
+/// semantics.
+class TraceArrival final : public ArrivalProcess {
+ public:
+  explicit TraceArrival(TimeSeries trace) : trace_(std::move(trace)) {}
+  std::string name() const override { return "trace"; }
+  double RatePerSec(SimTime t) const override {
+    auto v = trace_.At(t);
+    return v.ok() ? std::max(0.0, *v) : 0.0;
+  }
+
+ private:
+  TimeSeries trace_;
+};
+
+}  // namespace flower::workload
+
+#endif  // FLOWER_WORKLOAD_ARRIVAL_H_

@@ -1,0 +1,91 @@
+#include "workload/clickstream.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace flower::workload {
+
+namespace {
+
+// Zipf weights over num_urls ranks with the given skew.
+std::vector<double> ZipfWeights(int64_t n, double skew) {
+  std::vector<double> w(static_cast<size_t>(n));
+  for (int64_t k = 1; k <= n; ++k) {
+    w[static_cast<size_t>(k - 1)] =
+        1.0 / std::pow(static_cast<double>(k), skew);
+  }
+  return w;
+}
+
+// 64-bit mix for partition keys (splitmix64 finalizer).
+uint64_t MixHash(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ClickStreamGenerator::ClickStreamGenerator(
+    sim::Simulation* sim, kinesis::Stream* stream,
+    std::shared_ptr<ArrivalProcess> arrival, ClickStreamConfig config,
+    uint64_t seed)
+    : sim_(sim), stream_(stream), arrival_(std::move(arrival)),
+      config_(config) {
+  FLOWER_CHECK(config_.generator_instances > 0);
+  std::vector<double> weights =
+      ZipfWeights(config_.num_urls, config_.url_zipf_skew);
+  Rng seeder(seed);
+  for (int i = 0; i < config_.generator_instances; ++i) {
+    auto inst = std::make_unique<Instance>(seeder.engine()());
+    inst->url_dist =
+        std::discrete_distribution<int64_t>(weights.begin(), weights.end());
+    instances_.push_back(std::move(inst));
+  }
+  for (size_t i = 0; i < instances_.size(); ++i) {
+    // Stagger instance start offsets inside one emit period so batches
+    // do not all land on the same instant.
+    double offset = config_.emit_period_sec *
+                    (static_cast<double>(i) /
+                     static_cast<double>(instances_.size()));
+    Status st = sim_->SchedulePeriodic(
+        sim_->Now() + config_.emit_period_sec + offset,
+        config_.emit_period_sec, [this, i] {
+          if (!running_) return false;
+          EmitBatch(i);
+          return true;
+        });
+    FLOWER_CHECK(st.ok()) << st.ToString();
+  }
+}
+
+void ClickStreamGenerator::EmitBatch(size_t instance_index) {
+  Instance& inst = *instances_[instance_index];
+  SimTime now = sim_->Now();
+  double share = arrival_->RatePerSec(now) /
+                 static_cast<double>(instances_.size());
+  double expected = share * config_.emit_period_sec;
+  if (expected <= 0.0) return;
+  int64_t count = inst.rng.Poisson(expected);
+  for (int64_t j = 0; j < count; ++j) {
+    ClickEvent ev;
+    ev.user_id = inst.rng.UniformInt(0, config_.num_users - 1);
+    ev.url_id = inst.url_dist(inst.rng.engine());
+    int32_t jitter = static_cast<int32_t>(inst.rng.UniformInt(
+        -config_.record_bytes_jitter, config_.record_bytes_jitter));
+    ev.size_bytes = std::max(32, config_.record_bytes_mean + jitter);
+    ++total_generated_;
+    kinesis::Record rec;
+    rec.partition_key = MixHash(static_cast<uint64_t>(ev.user_id));
+    rec.entity_id = ev.url_id;
+    rec.size_bytes = ev.size_bytes;
+    Status st = stream_->PutRecord(rec);
+    if (!st.ok()) {
+      ++total_dropped_;
+    }
+  }
+}
+
+}  // namespace flower::workload

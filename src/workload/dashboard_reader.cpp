@@ -1,0 +1,42 @@
+#include "workload/dashboard_reader.h"
+
+#include "common/logging.h"
+
+namespace flower::workload {
+
+DashboardReader::DashboardReader(sim::Simulation* sim,
+                                 dynamodb::Table* table,
+                                 DashboardReaderConfig config)
+    : sim_(sim), table_(table), config_(config) {
+  FLOWER_CHECK(config_.viewers > 0);
+  FLOWER_CHECK(config_.period_sec > 0.0);
+  for (int v = 0; v < config_.viewers; ++v) {
+    double offset = config_.period_sec * static_cast<double>(v) /
+                    static_cast<double>(config_.viewers);
+    Status st = sim_->SchedulePeriodic(
+        sim_->Now() + config_.period_sec + offset, config_.period_sec,
+        [this] {
+          if (!running_) return false;
+          Refresh();
+          return true;
+        });
+    FLOWER_CHECK(st.ok()) << st.ToString();
+  }
+}
+
+void DashboardReader::Refresh() {
+  for (int64_t key = 0; key < config_.top_k; ++key) {
+    ++total_reads_;
+    auto item = table_->GetItem(key, config_.item_bytes);
+    if (item.ok()) continue;
+    if (item.status().IsThrottled()) {
+      ++throttled_reads_;
+      // A throttled refresh abandons the rest of the cycle (the
+      // dashboard shows stale data rather than hammering the table).
+      return;
+    }
+    ++read_misses_;
+  }
+}
+
+}  // namespace flower::workload

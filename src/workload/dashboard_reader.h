@@ -1,0 +1,56 @@
+#ifndef FLOWER_WORKLOAD_DASHBOARD_READER_H_
+#define FLOWER_WORKLOAD_DASHBOARD_READER_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "dynamodb/table.h"
+#include "sim/simulation.h"
+
+namespace flower::workload {
+
+/// Configuration of the dashboard read workload.
+struct DashboardReaderConfig {
+  /// The dashboard refreshes the top-k URL counters each cycle.
+  int64_t top_k = 50;
+  /// Refresh period, seconds.
+  double period_sec = 5.0;
+  /// Serialized aggregate item size (drives RCU consumption).
+  int32_t item_bytes = 128;
+  /// Number of concurrently open dashboards (each refreshes
+  /// independently, phase-staggered).
+  int viewers = 1;
+};
+
+/// Simulates the demo's live dashboard(s) reading the sliding-window
+/// aggregates back out of DynamoDB (the read side of the storage
+/// layer, which the write-oriented click-stream flow otherwise never
+/// exercises). Each viewer issues `top_k` GetItem calls per refresh;
+/// throttled reads count as visible dashboard staleness.
+class DashboardReader {
+ public:
+  DashboardReader(sim::Simulation* sim, dynamodb::Table* table,
+                  DashboardReaderConfig config);
+
+  void Stop() { running_ = false; }
+
+  uint64_t total_reads() const { return total_reads_; }
+  uint64_t read_misses() const { return read_misses_; }       ///< NotFound.
+  uint64_t throttled_reads() const { return throttled_reads_; }
+  const DashboardReaderConfig& config() const { return config_; }
+
+ private:
+  void Refresh();
+
+  sim::Simulation* sim_;
+  dynamodb::Table* table_;
+  DashboardReaderConfig config_;
+  bool running_ = true;
+  uint64_t total_reads_ = 0;
+  uint64_t read_misses_ = 0;
+  uint64_t throttled_reads_ = 0;
+};
+
+}  // namespace flower::workload
+
+#endif  // FLOWER_WORKLOAD_DASHBOARD_READER_H_

@@ -1,0 +1,100 @@
+#include "cloudwatch/alarm.h"
+
+#include <gtest/gtest.h>
+
+namespace flower::cloudwatch {
+namespace {
+
+const MetricId kCpu{"Flower/Storm", "CpuUtilization", "storm"};
+
+AlarmConfig HighCpuAlarm(int evaluation_periods = 2) {
+  AlarmConfig cfg;
+  cfg.name = "high-cpu";
+  cfg.metric = kCpu;
+  cfg.statistic = Statistic::kAverage;
+  cfg.threshold = 80.0;
+  cfg.comparison = Comparison::kGreaterThan;
+  cfg.period = 60.0;
+  cfg.evaluation_periods = evaluation_periods;
+  return cfg;
+}
+
+TEST(AlarmTest, InsufficientDataWithoutDatapoints) {
+  MetricStore store;
+  Alarm alarm(HighCpuAlarm());
+  EXPECT_EQ(alarm.Evaluate(store, 120.0), AlarmState::kInsufficientData);
+}
+
+TEST(AlarmTest, OkWhenBelowThreshold) {
+  MetricStore store;
+  ASSERT_TRUE(store.Put(kCpu, 30.0, 50.0).ok());
+  ASSERT_TRUE(store.Put(kCpu, 90.0, 55.0).ok());
+  Alarm alarm(HighCpuAlarm());
+  EXPECT_EQ(alarm.Evaluate(store, 120.0), AlarmState::kOk);
+}
+
+TEST(AlarmTest, FiresAfterConsecutiveBreaches) {
+  MetricStore store;
+  ASSERT_TRUE(store.Put(kCpu, 30.0, 90.0).ok());   // Period [0, 60).
+  ASSERT_TRUE(store.Put(kCpu, 90.0, 95.0).ok());   // Period [60, 120).
+  Alarm alarm(HighCpuAlarm(2));
+  EXPECT_EQ(alarm.Evaluate(store, 120.0), AlarmState::kAlarm);
+}
+
+TEST(AlarmTest, SingleBreachNotEnoughForTwoPeriods) {
+  MetricStore store;
+  ASSERT_TRUE(store.Put(kCpu, 30.0, 50.0).ok());
+  ASSERT_TRUE(store.Put(kCpu, 90.0, 95.0).ok());
+  Alarm alarm(HighCpuAlarm(2));
+  EXPECT_EQ(alarm.Evaluate(store, 120.0), AlarmState::kOk);
+}
+
+TEST(AlarmTest, LessThanComparison) {
+  MetricStore store;
+  ASSERT_TRUE(store.Put(kCpu, 30.0, 10.0).ok());
+  AlarmConfig cfg = HighCpuAlarm(1);
+  cfg.comparison = Comparison::kLessThan;
+  cfg.threshold = 20.0;
+  Alarm alarm(cfg);
+  EXPECT_EQ(alarm.Evaluate(store, 60.0), AlarmState::kAlarm);
+}
+
+TEST(AlarmTest, StateChangeCallbackFires) {
+  MetricStore store;
+  ASSERT_TRUE(store.Put(kCpu, 30.0, 90.0).ok());
+  Alarm alarm(HighCpuAlarm(1));
+  int transitions = 0;
+  AlarmState seen_old = AlarmState::kAlarm, seen_new = AlarmState::kOk;
+  alarm.set_on_state_change(
+      [&](const Alarm&, AlarmState o, AlarmState n) {
+        ++transitions;
+        seen_old = o;
+        seen_new = n;
+      });
+  alarm.Evaluate(store, 60.0);
+  EXPECT_EQ(transitions, 1);
+  EXPECT_EQ(seen_old, AlarmState::kInsufficientData);
+  EXPECT_EQ(seen_new, AlarmState::kAlarm);
+  // Re-evaluating in the same state does not re-fire the callback.
+  alarm.Evaluate(store, 60.0);
+  EXPECT_EQ(transitions, 1);
+}
+
+TEST(AlarmTest, RecoversToOk) {
+  MetricStore store;
+  ASSERT_TRUE(store.Put(kCpu, 30.0, 90.0).ok());
+  Alarm alarm(HighCpuAlarm(1));
+  EXPECT_EQ(alarm.Evaluate(store, 60.0), AlarmState::kAlarm);
+  ASSERT_TRUE(store.Put(kCpu, 90.0, 40.0).ok());
+  EXPECT_EQ(alarm.Evaluate(store, 120.0), AlarmState::kOk);
+}
+
+TEST(AlarmStateToStringTest, Names) {
+  EXPECT_EQ(AlarmStateToString(AlarmState::kOk), "OK");
+  EXPECT_EQ(AlarmStateToString(AlarmState::kAlarm), "ALARM");
+  EXPECT_EQ(AlarmStateToString(AlarmState::kInsufficientData),
+            "INSUFFICIENT_DATA");
+}
+
+}  // namespace
+}  // namespace flower::cloudwatch

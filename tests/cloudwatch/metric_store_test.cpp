@@ -1,0 +1,163 @@
+#include "cloudwatch/metric_store.h"
+
+#include <gtest/gtest.h>
+
+namespace flower::cloudwatch {
+namespace {
+
+const MetricId kCpu{"Flower/Storm", "CpuUtilization", "storm"};
+const MetricId kRecords{"Flower/Kinesis", "IncomingRecords", "clicks"};
+
+TEST(MetricStoreTest, PutAndGetSeries) {
+  MetricStore store;
+  ASSERT_TRUE(store.Put(kCpu, 0.0, 10.0).ok());
+  ASSERT_TRUE(store.Put(kCpu, 60.0, 20.0).ok());
+  auto series = store.GetSeries(kCpu);
+  ASSERT_TRUE(series.ok());
+  EXPECT_EQ((*series)->size(), 2u);
+  EXPECT_EQ(store.metric_count(), 1u);
+  EXPECT_EQ(store.total_datapoints(), 2u);
+}
+
+TEST(MetricStoreTest, UnknownMetricIsNotFound) {
+  MetricStore store;
+  EXPECT_EQ(store.GetSeries(kCpu).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.GetStatistic(kCpu, 0, 100, Statistic::kAverage)
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST(MetricStoreTest, NonMonotonicPutRejected) {
+  MetricStore store;
+  ASSERT_TRUE(store.Put(kCpu, 100.0, 1.0).ok());
+  EXPECT_FALSE(store.Put(kCpu, 50.0, 2.0).ok());
+}
+
+TEST(MetricStoreTest, StatisticsOverWindow) {
+  MetricStore store;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(store.Put(kCpu, i * 60.0, static_cast<double>(i)).ok());
+  }
+  // Window [120, 360) covers values 2, 3, 4, 5.
+  EXPECT_DOUBLE_EQ(*store.GetStatistic(kCpu, 120, 360, Statistic::kAverage),
+                   3.5);
+  EXPECT_DOUBLE_EQ(*store.GetStatistic(kCpu, 120, 360, Statistic::kSum),
+                   14.0);
+  EXPECT_DOUBLE_EQ(*store.GetStatistic(kCpu, 120, 360, Statistic::kMinimum),
+                   2.0);
+  EXPECT_DOUBLE_EQ(*store.GetStatistic(kCpu, 120, 360, Statistic::kMaximum),
+                   5.0);
+  EXPECT_DOUBLE_EQ(
+      *store.GetStatistic(kCpu, 120, 360, Statistic::kSampleCount), 4.0);
+}
+
+TEST(MetricStoreTest, PercentileStatistics) {
+  MetricStore store;
+  for (int i = 1; i <= 100; ++i) {
+    ASSERT_TRUE(store.Put(kCpu, i, static_cast<double>(i)).ok());
+  }
+  EXPECT_NEAR(*store.GetStatistic(kCpu, 0, 1000, Statistic::kP50), 50.5,
+              0.01);
+  EXPECT_NEAR(*store.GetStatistic(kCpu, 0, 1000, Statistic::kP99), 99.01,
+              0.1);
+  EXPECT_NEAR(*store.GetStatistic(kCpu, 0, 1000, Statistic::kP90), 90.1,
+              0.1);
+}
+
+TEST(MetricStoreTest, EmptyWindowIsNotFound) {
+  MetricStore store;
+  ASSERT_TRUE(store.Put(kCpu, 100.0, 1.0).ok());
+  EXPECT_EQ(store.GetStatistic(kCpu, 0, 50, Statistic::kAverage)
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST(MetricStoreTest, InvalidWindowRejected) {
+  MetricStore store;
+  ASSERT_TRUE(store.Put(kCpu, 100.0, 1.0).ok());
+  EXPECT_EQ(store.GetStatistic(kCpu, 200, 100, Statistic::kAverage)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(MetricStoreTest, StatisticSeriesAggregatesPerPeriod) {
+  MetricStore store;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(store.Put(kCpu, i * 30.0, static_cast<double>(i)).ok());
+  }
+  // 60 s periods over [0, 300): values (0,1), (2,3), (4,5), (6,7), (8,9).
+  auto series = store.GetStatisticSeries(kCpu, 0.0, 300.0, 60.0,
+                                         Statistic::kAverage);
+  ASSERT_TRUE(series.ok());
+  ASSERT_EQ(series->size(), 5u);
+  EXPECT_DOUBLE_EQ((*series)[0].time, 0.0);
+  EXPECT_DOUBLE_EQ((*series)[0].value, 0.5);
+  EXPECT_DOUBLE_EQ((*series)[4].value, 8.5);
+  auto maxes = store.GetStatisticSeries(kCpu, 0.0, 300.0, 60.0,
+                                        Statistic::kMaximum);
+  ASSERT_TRUE(maxes.ok());
+  EXPECT_DOUBLE_EQ((*maxes)[2].value, 5.0);
+}
+
+TEST(MetricStoreTest, StatisticSeriesSkipsEmptyPeriods) {
+  MetricStore store;
+  ASSERT_TRUE(store.Put(kCpu, 10.0, 1.0).ok());
+  ASSERT_TRUE(store.Put(kCpu, 250.0, 2.0).ok());
+  auto series = store.GetStatisticSeries(kCpu, 0.0, 300.0, 60.0,
+                                         Statistic::kSum);
+  ASSERT_TRUE(series.ok());
+  ASSERT_EQ(series->size(), 2u);
+  EXPECT_DOUBLE_EQ((*series)[1].time, 240.0);
+}
+
+TEST(MetricStoreTest, StatisticSeriesValidation) {
+  MetricStore store;
+  ASSERT_TRUE(store.Put(kCpu, 0.0, 1.0).ok());
+  EXPECT_FALSE(
+      store.GetStatisticSeries(kCpu, 0.0, 100.0, 0.0, Statistic::kSum).ok());
+  EXPECT_FALSE(
+      store.GetStatisticSeries(kCpu, 100.0, 0.0, 60.0, Statistic::kSum).ok());
+  EXPECT_EQ(store
+                .GetStatisticSeries(kRecords, 0.0, 100.0, 60.0,
+                                    Statistic::kSum)
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST(MetricStoreTest, ListMetricsFiltersByNamespace) {
+  MetricStore store;
+  ASSERT_TRUE(store.Put(kCpu, 0.0, 1.0).ok());
+  ASSERT_TRUE(store.Put(kRecords, 0.0, 1.0).ok());
+  EXPECT_EQ(store.ListMetrics().size(), 2u);
+  auto storm_only = store.ListMetrics("Flower/Storm");
+  ASSERT_EQ(storm_only.size(), 1u);
+  EXPECT_EQ(storm_only[0].name, "CpuUtilization");
+  EXPECT_TRUE(store.ListMetrics("Nope").empty());
+}
+
+TEST(MetricStoreTest, DimensionsDistinguishMetrics) {
+  MetricStore store;
+  MetricId a = kCpu;
+  MetricId b = kCpu;
+  b.dimension = "other-cluster";
+  ASSERT_TRUE(store.Put(a, 0.0, 1.0).ok());
+  ASSERT_TRUE(store.Put(b, 0.0, 2.0).ok());
+  EXPECT_EQ(store.metric_count(), 2u);
+  EXPECT_DOUBLE_EQ(*store.GetStatistic(b, 0, 10, Statistic::kAverage), 2.0);
+}
+
+TEST(MetricIdTest, ToStringFormat) {
+  EXPECT_EQ(kCpu.ToString(), "Flower/Storm/CpuUtilization{storm}");
+}
+
+TEST(StatisticToStringTest, AllNames) {
+  EXPECT_EQ(StatisticToString(Statistic::kAverage), "Average");
+  EXPECT_EQ(StatisticToString(Statistic::kP99), "p99");
+}
+
+}  // namespace
+}  // namespace flower::cloudwatch

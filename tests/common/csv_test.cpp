@@ -1,0 +1,46 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace flower {
+namespace {
+
+TEST(CsvTest, PlainRow) {
+  std::ostringstream os;
+  CsvWriter w(&os);
+  w.WriteRow({"a", "b", "c"});
+  EXPECT_EQ(os.str(), "a,b,c\n");
+}
+
+TEST(CsvTest, EscapesCommasQuotesNewlines) {
+  EXPECT_EQ(CsvWriter::Escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::Escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::Escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::Escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvTest, EscapedFieldsRoundTripInRow) {
+  std::ostringstream os;
+  CsvWriter w(&os);
+  w.WriteRow({"x,y", "z"});
+  EXPECT_EQ(os.str(), "\"x,y\",z\n");
+}
+
+TEST(CsvTest, NumericRowFormatsDoubles) {
+  std::ostringstream os;
+  CsvWriter w(&os);
+  w.WriteNumericRow({1.0, 2.5, -3.25});
+  EXPECT_EQ(os.str(), "1,2.5,-3.25\n");
+}
+
+TEST(CsvTest, EmptyRowProducesNewline) {
+  std::ostringstream os;
+  CsvWriter w(&os);
+  w.WriteRow(std::vector<std::string>{});
+  EXPECT_EQ(os.str(), "\n");
+}
+
+}  // namespace
+}  // namespace flower

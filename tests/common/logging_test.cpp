@@ -1,0 +1,54 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace flower {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = GetLogLevel(); }
+  void TearDown() override { SetLogLevel(saved_); }
+  LogLevel saved_;
+};
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+}
+
+TEST_F(LoggingTest, SuppressedMessagesDoNotPrint) {
+  SetLogLevel(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  FLOWER_LOG(Debug) << "hidden debug";
+  FLOWER_LOG(Info) << "hidden info";
+  FLOWER_LOG(Warning) << "hidden warning";
+  std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_TRUE(err.empty()) << err;
+}
+
+TEST_F(LoggingTest, EnabledMessagesIncludeTagAndLocation) {
+  SetLogLevel(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  FLOWER_LOG(Warning) << "shard " << 3 << " throttled";
+  std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("[W "), std::string::npos);
+  EXPECT_NE(err.find("logging_test.cpp"), std::string::npos);
+  EXPECT_NE(err.find("shard 3 throttled"), std::string::npos);
+}
+
+TEST_F(LoggingTest, CheckPassesSilently) {
+  ::testing::internal::CaptureStderr();
+  FLOWER_CHECK(1 + 1 == 2) << "never shown";
+  std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_TRUE(err.empty()) << err;
+}
+
+TEST_F(LoggingTest, CheckFailureAborts) {
+  EXPECT_DEATH({ FLOWER_CHECK(false) << "boom"; }, "Check failed");
+}
+
+}  // namespace
+}  // namespace flower

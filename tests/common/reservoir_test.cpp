@@ -1,0 +1,70 @@
+#include "common/reservoir.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace flower {
+namespace {
+
+TEST(ReservoirTest, KeepsEverythingBelowCapacity) {
+  ReservoirSampler r(100, 1);
+  for (int i = 0; i < 50; ++i) r.Add(static_cast<double>(i));
+  EXPECT_EQ(r.size(), 50u);
+  EXPECT_EQ(r.observed(), 50u);
+  EXPECT_DOUBLE_EQ(*r.Percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(*r.Percentile(100.0), 49.0);
+}
+
+TEST(ReservoirTest, SizeCappedAtCapacity) {
+  ReservoirSampler r(64, 2);
+  for (int i = 0; i < 100000; ++i) r.Add(1.0);
+  EXPECT_EQ(r.size(), 64u);
+  EXPECT_EQ(r.observed(), 100000u);
+}
+
+TEST(ReservoirTest, SampleIsApproximatelyUniform) {
+  // Stream 0..99999; a uniform sample's mean should be near 50k and its
+  // median near 50k too.
+  ReservoirSampler r(2000, 3);
+  for (int i = 0; i < 100000; ++i) r.Add(static_cast<double>(i));
+  double sum = 0.0;
+  for (double v : r.sample()) sum += v;
+  double mean = sum / static_cast<double>(r.size());
+  EXPECT_NEAR(mean, 50000.0, 3000.0);
+  EXPECT_NEAR(*r.Percentile(50.0), 50000.0, 5000.0);
+  EXPECT_NEAR(*r.Percentile(99.0), 99000.0, 2000.0);
+}
+
+TEST(ReservoirTest, PercentileValidation) {
+  ReservoirSampler r(10, 4);
+  EXPECT_EQ(r.Percentile(50.0).status().code(),
+            StatusCode::kFailedPrecondition);
+  r.Add(5.0);
+  EXPECT_FALSE(r.Percentile(-1.0).ok());
+  EXPECT_FALSE(r.Percentile(101.0).ok());
+  EXPECT_DOUBLE_EQ(*r.Percentile(75.0), 5.0);
+}
+
+TEST(ReservoirTest, ResetClearsSampleKeepsDeterminism) {
+  ReservoirSampler r(8, 5);
+  for (int i = 0; i < 100; ++i) r.Add(static_cast<double>(i));
+  r.Reset();
+  EXPECT_EQ(r.size(), 0u);
+  EXPECT_EQ(r.observed(), 0u);
+  r.Add(42.0);
+  EXPECT_DOUBLE_EQ(*r.Percentile(50.0), 42.0);
+}
+
+TEST(ReservoirTest, DeterministicForSeed) {
+  auto run = [](uint64_t seed) {
+    ReservoirSampler r(16, seed);
+    for (int i = 0; i < 10000; ++i) r.Add(static_cast<double>(i));
+    return r.sample();
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+}  // namespace
+}  // namespace flower

@@ -1,0 +1,78 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace flower {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_FALSE(s.IsRetryable());
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Throttled("x").code(), StatusCode::kThrottled);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Internal("boom").message(), "boom");
+}
+
+TEST(StatusTest, ToStringIncludesCodeAndMessage) {
+  Status s = Status::Throttled("write rate exceeded");
+  EXPECT_EQ(s.ToString(), "Throttled: write rate exceeded");
+}
+
+TEST(StatusTest, ThrottledAndResourceExhaustedAreRetryable) {
+  EXPECT_TRUE(Status::Throttled("t").IsRetryable());
+  EXPECT_TRUE(Status::ResourceExhausted("r").IsRetryable());
+  EXPECT_FALSE(Status::InvalidArgument("i").IsRetryable());
+  EXPECT_FALSE(Status::Internal("i").IsRetryable());
+  EXPECT_TRUE(Status::Throttled("t").IsThrottled());
+  EXPECT_FALSE(Status::ResourceExhausted("r").IsThrottled());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(StatusTest, StatusCodeToStringCoversAllCodes) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kThrottled), "Throttled");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "Internal error");
+}
+
+Status FailsThenPropagates() {
+  FLOWER_RETURN_NOT_OK(Status::NotFound("inner"));
+  return Status::Internal("unreachable");
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  Status s = FailsThenPropagates();
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "inner");
+}
+
+Status SucceedsThrough() {
+  FLOWER_RETURN_NOT_OK(Status::OK());
+  return Status::Internal("reached");
+}
+
+TEST(StatusTest, ReturnNotOkMacroPassesOnOk) {
+  EXPECT_EQ(SucceedsThrough().code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace flower

@@ -1,0 +1,52 @@
+#include "common/table_printer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace flower {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"longer-name", "23456"});
+  std::ostringstream os;
+  t.Print(os);
+  std::string s = os.str();
+  EXPECT_NE(s.find("| name        | value |"), std::string::npos);
+  EXPECT_NE(s.find("| longer-name | 23456 |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumFormatsWithPrecision) {
+  EXPECT_EQ(TablePrinter::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Num(2.0, 0), "2");
+  EXPECT_EQ(TablePrinter::Num(-1.5, 1), "-1.5");
+}
+
+TEST(TablePrinterTest, ShortRowsPadded) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"only-one"});
+  std::ostringstream os;
+  t.Print(os);
+  // Should not crash and should contain the cell.
+  EXPECT_NE(os.str().find("only-one"), std::string::npos);
+}
+
+TEST(AsciiChartTest, RendersPeakAndLabel) {
+  std::vector<double> v;
+  for (int i = 0; i < 100; ++i) v.push_back(i < 50 ? 0.0 : 10.0);
+  std::string chart = AsciiChart(v, 6, 40, "step-metric");
+  EXPECT_NE(chart.find("step-metric"), std::string::npos);
+  EXPECT_NE(chart.find("max"), std::string::npos);
+  EXPECT_NE(chart.find('*'), std::string::npos);
+}
+
+TEST(AsciiChartTest, HandlesEmptyAndConstant) {
+  EXPECT_NE(AsciiChart({}, 6, 40).find("(no data)"), std::string::npos);
+  std::string flat = AsciiChart({5.0, 5.0, 5.0}, 6, 10);
+  EXPECT_NE(flat.find('*'), std::string::npos);  // Renders without div-by-0.
+}
+
+}  // namespace
+}  // namespace flower

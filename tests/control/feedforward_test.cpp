@@ -1,0 +1,179 @@
+#include "control/feedforward.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace flower::control {
+namespace {
+
+FeedforwardConfig BaseConfig() {
+  FeedforwardConfig cfg;
+  cfg.reference = 60.0;
+  cfg.trim_gain = 0.05;
+  cfg.limits.min = 1.0;
+  cfg.limits.max = 1000.0;
+  cfg.limits.integer = false;
+  return cfg;
+}
+
+// Linear plant: demand W = 5 * x (in %·units); y = W / u, clipped.
+struct Plant {
+  double x = 100.0;
+  double Utilization(double u) const {
+    return std::min(100.0, 5.0 * x / std::max(u, 1e-9));
+  }
+};
+
+TEST(FeedforwardTest, LearnsWorkloadModelAndTracks) {
+  Plant plant;
+  FeedforwardController c(BaseConfig(),
+                          [&](SimTime) -> Result<double> { return plant.x; });
+  c.Reset(5.0);
+  double u = 5.0;
+  for (int k = 0; k < 40; ++k) {
+    plant.x = 100.0 + 10.0 * (k % 5);  // Mild excitation.
+    double y = plant.Utilization(u);
+    auto next = c.Update(60.0 * k, y);
+    ASSERT_TRUE(next.ok());
+    u = *next;
+  }
+  // Model: W = y*u = 5x -> slope ~5, intercept ~0.
+  EXPECT_NEAR(c.model_slope(), 5.0, 0.5);
+  EXPECT_NEAR(c.model_intercept(), 0.0, 20.0);
+  // Tracking: u* = 5x/60.
+  double y_final = plant.Utilization(u);
+  EXPECT_NEAR(y_final, 60.0, 8.0);
+  EXPECT_EQ(c.driver_misses(), 0u);
+}
+
+TEST(FeedforwardTest, ReactsToSurgeBeforeFeedbackCould) {
+  Plant plant;
+  FeedforwardController c(BaseConfig(),
+                          [&](SimTime) -> Result<double> { return plant.x; });
+  c.Reset(10.0);
+  double u = 10.0;
+  for (int k = 0; k < 20; ++k) {
+    plant.x = 100.0 + 5.0 * (k % 4);
+    auto next = c.Update(60.0 * k, plant.Utilization(u));
+    ASSERT_TRUE(next.ok());
+    u = *next;
+  }
+  // Surge: driver jumps 10x. The next single update must provision for
+  // it (the measurement alone, clipped at 100, could only justify
+  // u * 100/60 = 1.67x).
+  plant.x = 1000.0;
+  auto next = c.Update(60.0 * 21, plant.Utilization(u));
+  ASSERT_TRUE(next.ok());
+  double expected = 5.0 * 1000.0 / 60.0;  // ~83 units.
+  EXPECT_GT(*next, 0.7 * expected);
+  double y_after = plant.Utilization(*next);
+  EXPECT_LT(y_after, 90.0);  // Far from saturation after one step.
+}
+
+TEST(FeedforwardTest, SaturatedSamplesDoNotCorruptModel) {
+  Plant plant;
+  FeedforwardController c(BaseConfig(),
+                          [&](SimTime) -> Result<double> { return plant.x; });
+  c.Reset(5.0);
+  double u = 5.0;
+  int k = 0;
+  // Warm up with clean samples.
+  for (; k < 20; ++k) {
+    plant.x = 80.0 + 10.0 * (k % 3);
+    auto next = c.Update(60.0 * k, plant.Utilization(u));
+    ASSERT_TRUE(next.ok());
+    u = *next;
+  }
+  double slope_before = c.model_slope();
+  // Deep saturation: y pinned at 100 for several steps.
+  plant.x = 5000.0;
+  for (int j = 0; j < 3; ++j, ++k) {
+    auto next = c.Update(60.0 * k, 100.0);
+    ASSERT_TRUE(next.ok());
+    u = *next;
+  }
+  // Slope unchanged: the clipped samples were skipped.
+  EXPECT_NEAR(c.model_slope(), slope_before, 1e-9);
+}
+
+TEST(FeedforwardTest, DegradesToFeedbackWithoutDriver) {
+  FeedforwardController c(BaseConfig(), nullptr);
+  c.Reset(10.0);
+  auto u = c.Update(0.0, 80.0);
+  ASSERT_TRUE(u.ok());
+  // Pure integral: 10 + 0.05 * 20 = 11.
+  EXPECT_DOUBLE_EQ(*u, 11.0);
+  EXPECT_EQ(c.driver_misses(), 1u);
+}
+
+TEST(FeedforwardTest, DriverErrorsFallBackPerStep) {
+  bool fail = false;
+  Plant plant;
+  FeedforwardController c(BaseConfig(), [&](SimTime) -> Result<double> {
+    if (fail) return Status::NotFound("metric gap");
+    return plant.x;
+  });
+  c.Reset(5.0);
+  double u = 5.0;
+  for (int k = 0; k < 20; ++k) {
+    plant.x = 100.0 + 10.0 * (k % 5);
+    auto next = c.Update(60.0 * k, plant.Utilization(u));
+    ASSERT_TRUE(next.ok());
+    u = *next;
+  }
+  fail = true;
+  auto next = c.Update(60.0 * 21, plant.Utilization(u));
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(c.driver_misses(), 1u);
+  fail = false;
+  EXPECT_TRUE(c.Update(60.0 * 22, plant.Utilization(*next)).ok());
+}
+
+TEST(FeedforwardTest, TrimIsBounded) {
+  // Persistent overload with an uninformative driver: the feedback trim
+  // must stay within max_trim_fraction of the feedforward term instead
+  // of integrating without bound.
+  FeedforwardConfig cfg = BaseConfig();
+  cfg.max_trim_fraction = 0.5;
+  double x = 10.0;
+  FeedforwardController c(cfg, [&](SimTime) -> Result<double> { return x; });
+  c.Reset(5.0);
+  double u = 5.0;
+  for (int k = 0; k < 50; ++k) {
+    auto next = c.Update(60.0 * k, 95.0);
+    ASSERT_TRUE(next.ok());
+    u = *next;
+    double u_ff = u - c.trim();
+    EXPECT_LE(std::fabs(c.trim()),
+              cfg.max_trim_fraction * std::max(u_ff, 1.0) + 1e-6);
+  }
+}
+
+TEST(FeedforwardTest, ResetClearsModel) {
+  Plant plant;
+  FeedforwardController c(BaseConfig(),
+                          [&](SimTime) -> Result<double> { return plant.x; });
+  c.Reset(5.0);
+  double u = 5.0;
+  for (int k = 0; k < 10; ++k) {
+    plant.x = 100.0 + 10.0 * (k % 3);
+    auto next = c.Update(60.0 * k, plant.Utilization(u));
+    ASSERT_TRUE(next.ok());
+    u = *next;
+  }
+  EXPECT_GT(c.model_slope(), 0.1);
+  c.Reset(5.0);
+  EXPECT_DOUBLE_EQ(c.model_slope(), 0.0);
+  EXPECT_DOUBLE_EQ(c.model_intercept(), 0.0);
+}
+
+TEST(FeedforwardTest, TimeMovingBackwardsRejected) {
+  FeedforwardController c(BaseConfig(), nullptr);
+  c.Reset(5.0);
+  ASSERT_TRUE(c.Update(60.0, 60.0).ok());
+  EXPECT_FALSE(c.Update(30.0, 60.0).ok());
+}
+
+}  // namespace
+}  // namespace flower::control

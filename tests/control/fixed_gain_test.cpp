@@ -1,0 +1,99 @@
+#include "control/fixed_gain.h"
+
+#include <gtest/gtest.h>
+
+namespace flower::control {
+namespace {
+
+FixedGainConfig BaseConfig() {
+  FixedGainConfig cfg;
+  cfg.reference = 70.0;
+  cfg.gain = 0.1;
+  cfg.range_width = 40.0;
+  cfg.min_range = 2.0;
+  cfg.limits.min = 1.0;
+  cfg.limits.max = 100.0;
+  cfg.limits.integer = false;
+  return cfg;
+}
+
+TEST(FixedGainTest, IntegralActionAboveHighTarget) {
+  FixedGainController c(BaseConfig());
+  c.Reset(10.0);
+  // y = 90 > y_h = 70: u += 0.1 * (90 - 70) = +2.
+  auto u = c.Update(0.0, 90.0);
+  ASSERT_TRUE(u.ok());
+  EXPECT_DOUBLE_EQ(*u, 12.0);
+}
+
+TEST(FixedGainTest, DeadZoneHoldsInsideTargetRange) {
+  FixedGainController c(BaseConfig());
+  c.Reset(10.0);
+  // y_l = 70 - 40/10 = 66. y = 68 is inside [66, 70].
+  auto u = c.Update(0.0, 68.0);
+  ASSERT_TRUE(u.ok());
+  EXPECT_DOUBLE_EQ(*u, 10.0);
+}
+
+TEST(FixedGainTest, ScalesDownBelowLowTarget) {
+  FixedGainController c(BaseConfig());
+  c.Reset(10.0);
+  // y_l = 66; y = 30: u += 0.1 * (30 - 66) = -3.6.
+  auto u = c.Update(0.0, 30.0);
+  ASSERT_TRUE(u.ok());
+  EXPECT_DOUBLE_EQ(*u, 6.4);
+}
+
+TEST(FixedGainTest, ProportionalThresholdingWidensRangeAtSmallSize) {
+  FixedGainConfig cfg = BaseConfig();
+  FixedGainController c(cfg);
+  c.Reset(2.0);
+  // y_l = 70 - 40/2 = 50: wide dead zone at small cluster size.
+  EXPECT_DOUBLE_EQ(c.low_target(), 50.0);
+  c.Reset(40.0);
+  // y_l = 70 - 1 -> clamped by min_range to 70 - 2 = 68.
+  EXPECT_DOUBLE_EQ(c.low_target(), 68.0);
+}
+
+TEST(FixedGainTest, GainNeverChanges) {
+  FixedGainController c(BaseConfig());
+  c.Reset(10.0);
+  // Two steps with identical overload produce identical increments —
+  // unlike the adaptive controller.
+  auto u1 = c.Update(0.0, 90.0);
+  ASSERT_TRUE(u1.ok());
+  double inc1 = *u1 - 10.0;
+  auto u2 = c.Update(60.0, 90.0);
+  ASSERT_TRUE(u2.ok());
+  double inc2 = *u2 - *u1;
+  EXPECT_DOUBLE_EQ(inc1, inc2);
+}
+
+TEST(FixedGainTest, RespectsActuatorLimits) {
+  FixedGainConfig cfg = BaseConfig();
+  cfg.limits.max = 11.0;
+  FixedGainController c(cfg);
+  c.Reset(10.0);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(c.Update(i * 60.0, 100.0).ok());
+  EXPECT_DOUBLE_EQ(c.current_u(), 11.0);
+}
+
+TEST(FixedGainTest, TimeMovingBackwardsRejected) {
+  FixedGainController c(BaseConfig());
+  c.Reset(5.0);
+  ASSERT_TRUE(c.Update(10.0, 80.0).ok());
+  EXPECT_FALSE(c.Update(9.0, 80.0).ok());
+}
+
+TEST(FixedGainTest, SetReferenceMovesRange) {
+  FixedGainController c(BaseConfig());
+  c.Reset(10.0);
+  c.set_reference(50.0);
+  EXPECT_DOUBLE_EQ(c.reference(), 50.0);
+  auto u = c.Update(0.0, 60.0);  // Above the new high target.
+  ASSERT_TRUE(u.ok());
+  EXPECT_GT(*u, 10.0);
+}
+
+}  // namespace
+}  // namespace flower::control

@@ -1,0 +1,92 @@
+#include "control/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace flower::control {
+namespace {
+
+TimeSeries Series(std::initializer_list<Sample> samples) {
+  TimeSeries ts;
+  for (const Sample& s : samples) ts.AppendUnchecked(s.time, s.value);
+  return ts;
+}
+
+TEST(EvaluateControlTest, ViolationFractions) {
+  // Reference 60, tolerance 10: in-band is [50, 70].
+  TimeSeries y = Series({{0, 60}, {60, 75}, {120, 40}, {180, 65}});
+  TimeSeries u = Series({{0, 5}});
+  auto q = EvaluateControl(y, u, 60.0, 10.0, 240.0);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->samples, 4u);
+  EXPECT_DOUBLE_EQ(q->violation_fraction, 0.5);   // 75 and 40.
+  EXPECT_DOUBLE_EQ(q->overload_fraction, 0.25);   // Only 75.
+  EXPECT_DOUBLE_EQ(q->mean_abs_error, (0 + 15 + 20 + 5) / 4.0);
+}
+
+TEST(EvaluateControlTest, ResourceSecondsIntegratesStepFunction) {
+  TimeSeries y = Series({{0, 60}});
+  TimeSeries u = Series({{0, 10}, {100, 20}});
+  auto q = EvaluateControl(y, u, 60.0, 5.0, 200.0);
+  ASSERT_TRUE(q.ok());
+  // 10 units for 100 s + 20 units for 100 s.
+  EXPECT_DOUBLE_EQ(q->resource_seconds, 1000.0 + 2000.0);
+  EXPECT_DOUBLE_EQ(q->mean_resource, 15.0);
+  EXPECT_EQ(q->actuation_changes, 1u);
+}
+
+TEST(EvaluateControlTest, CountsOnlyRealChanges) {
+  TimeSeries y = Series({{0, 60}});
+  TimeSeries u = Series({{0, 10}, {60, 10}, {120, 12}, {180, 12}, {240, 10}});
+  auto q = EvaluateControl(y, u, 60.0, 5.0, 300.0);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->actuation_changes, 2u);
+}
+
+TEST(EvaluateControlTest, HorizonTruncates) {
+  TimeSeries y = Series({{0, 100}, {100, 100}, {1000, 100}});
+  TimeSeries u = Series({{0, 1}});
+  auto q = EvaluateControl(y, u, 60.0, 5.0, 500.0);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->samples, 2u);  // Sample at t=1000 excluded.
+}
+
+TEST(EvaluateControlTest, Errors) {
+  TimeSeries y = Series({{0, 60}});
+  TimeSeries u = Series({{0, 1}});
+  EXPECT_FALSE(EvaluateControl(y, u, 60.0, -1.0, 100.0).ok());
+  TimeSeries empty;
+  EXPECT_FALSE(EvaluateControl(empty, u, 60.0, 1.0, 100.0).ok());
+  EXPECT_FALSE(EvaluateControl(y, u, 60.0, 1.0, -5.0).ok());  // No samples.
+}
+
+TEST(SettlingTimeTest, FindsFirstStableEntry) {
+  // Step at t=100; y oscillates then settles at t=220.
+  TimeSeries y = Series({{100, 90}, {160, 75}, {220, 62}, {280, 58},
+                         {340, 61}, {400, 60}});
+  auto st = SettlingTime(y, 100.0, 60.0, 5.0, 150.0);
+  ASSERT_TRUE(st.ok());
+  EXPECT_DOUBLE_EQ(*st, 120.0);  // 220 - 100.
+}
+
+TEST(SettlingTimeTest, TransientReentryNotCounted) {
+  // Enters the band at 160 but leaves again at 220 → settles at 280.
+  TimeSeries y = Series({{100, 90}, {160, 62}, {220, 80}, {280, 60},
+                         {340, 59}, {400, 61}});
+  auto st = SettlingTime(y, 100.0, 60.0, 5.0, 100.0);
+  ASSERT_TRUE(st.ok());
+  EXPECT_DOUBLE_EQ(*st, 180.0);
+}
+
+TEST(SettlingTimeTest, NeverSettlesIsNotFound) {
+  TimeSeries y = Series({{0, 90}, {60, 95}, {120, 90}});
+  EXPECT_EQ(SettlingTime(y, 0.0, 60.0, 5.0, 60.0).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SettlingTimeTest, EmptySeriesFails) {
+  TimeSeries empty;
+  EXPECT_FALSE(SettlingTime(empty, 0.0, 60.0, 5.0, 60.0).ok());
+}
+
+}  // namespace
+}  // namespace flower::control

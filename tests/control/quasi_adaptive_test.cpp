@@ -1,0 +1,104 @@
+#include "control/quasi_adaptive.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace flower::control {
+namespace {
+
+QuasiAdaptiveConfig BaseConfig() {
+  QuasiAdaptiveConfig cfg;
+  cfg.reference = 60.0;
+  cfg.lambda = 0.5;
+  cfg.initial_sensitivity = -5.0;
+  cfg.sensitivity_min = 0.2;
+  cfg.sensitivity_max = 100.0;
+  cfg.limits.min = 1.0;
+  cfg.limits.max = 200.0;
+  cfg.limits.integer = false;
+  return cfg;
+}
+
+TEST(QuasiAdaptiveTest, FirstStepUsesInitialSensitivity) {
+  QuasiAdaptiveController c(BaseConfig());
+  c.Reset(10.0);
+  // gain = lambda/|b| = 0.5/5 = 0.1; error = 20 → u = 12.
+  auto u = c.Update(0.0, 80.0);
+  ASSERT_TRUE(u.ok());
+  EXPECT_NEAR(*u, 12.0, 1e-12);
+}
+
+TEST(QuasiAdaptiveTest, LearnsPlantSensitivity) {
+  // Linear plant: y = 100 - 2 * u  (sensitivity b = -2).
+  QuasiAdaptiveController c(BaseConfig());
+  c.Reset(10.0);
+  double u = 10.0;
+  for (int i = 0; i < 50; ++i) {
+    double y = 100.0 - 2.0 * u;
+    auto next = c.Update(i * 60.0, y);
+    ASSERT_TRUE(next.ok());
+    u = *next;
+  }
+  EXPECT_NEAR(c.estimated_sensitivity(), -2.0, 0.3);
+  // Closed loop should settle near the reference: y = 60 → u = 20.
+  EXPECT_NEAR(u, 20.0, 1.0);
+}
+
+TEST(QuasiAdaptiveTest, SensitivityMagnitudeClamped) {
+  QuasiAdaptiveConfig cfg = BaseConfig();
+  cfg.sensitivity_min = 1.0;
+  cfg.sensitivity_max = 3.0;
+  QuasiAdaptiveController c(cfg);
+  c.Reset(10.0);
+  // Plant with huge sensitivity (|b|=50) → estimate clamps at 3.
+  double u = 10.0;
+  for (int i = 0; i < 20; ++i) {
+    double y = std::max(0.0, 100.0 - 50.0 * (u - 9.0));
+    auto next = c.Update(i * 60.0, y);
+    ASSERT_TRUE(next.ok());
+    u = *next;
+  }
+  EXPECT_LE(std::fabs(c.estimated_sensitivity()), 3.0 + 1e-9);
+  EXPECT_GE(std::fabs(c.estimated_sensitivity()), 1.0 - 1e-9);
+}
+
+TEST(QuasiAdaptiveTest, SensitivityKeptNegative) {
+  QuasiAdaptiveController c(BaseConfig());
+  c.Reset(10.0);
+  ASSERT_TRUE(c.Update(0.0, 80.0).ok());
+  ASSERT_TRUE(c.Update(60.0, 85.0).ok());  // Misleading sample (y rose).
+  EXPECT_LT(c.estimated_sensitivity(), 0.0);
+}
+
+TEST(QuasiAdaptiveTest, NoModelUpdateWithoutActuationChange) {
+  QuasiAdaptiveController c(BaseConfig());
+  c.Reset(10.0);
+  // At reference: u stays 10, so du = 0 and b̂ must stay at initial.
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(c.Update(i * 60.0, 60.0).ok());
+  EXPECT_NEAR(c.estimated_sensitivity(), -5.0, 1e-9);
+}
+
+TEST(QuasiAdaptiveTest, ResetClearsModel) {
+  QuasiAdaptiveController c(BaseConfig());
+  c.Reset(10.0);
+  double u = 10.0;
+  for (int i = 0; i < 20; ++i) {
+    auto next = c.Update(i * 60.0, 100.0 - 2.0 * u);
+    ASSERT_TRUE(next.ok());
+    u = *next;
+  }
+  c.Reset(10.0);
+  EXPECT_NEAR(c.estimated_sensitivity(), -5.0, 1e-9);
+  EXPECT_DOUBLE_EQ(c.current_u(), 10.0);
+}
+
+TEST(QuasiAdaptiveTest, TimeMovingBackwardsRejected) {
+  QuasiAdaptiveController c(BaseConfig());
+  c.Reset(10.0);
+  ASSERT_TRUE(c.Update(10.0, 80.0).ok());
+  EXPECT_FALSE(c.Update(5.0, 80.0).ok());
+}
+
+}  // namespace
+}  // namespace flower::control

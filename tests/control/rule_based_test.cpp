@@ -1,0 +1,111 @@
+#include "control/rule_based.h"
+
+#include <gtest/gtest.h>
+
+namespace flower::control {
+namespace {
+
+RuleBasedConfig BaseConfig() {
+  RuleBasedConfig cfg;
+  cfg.high_threshold = 75.0;
+  cfg.low_threshold = 35.0;
+  cfg.breach_periods = 2;
+  cfg.up_step = 2.0;
+  cfg.down_step = 1.0;
+  cfg.up_cooldown = 120.0;
+  cfg.down_cooldown = 300.0;
+  cfg.limits.min = 1.0;
+  cfg.limits.max = 100.0;
+  cfg.limits.integer = true;
+  return cfg;
+}
+
+TEST(RuleBasedTest, RequiresConsecutiveBreaches) {
+  RuleBasedController c(BaseConfig());
+  c.Reset(10.0);
+  auto u1 = c.Update(0.0, 90.0);  // First breach: no action yet.
+  ASSERT_TRUE(u1.ok());
+  EXPECT_DOUBLE_EQ(*u1, 10.0);
+  auto u2 = c.Update(60.0, 90.0);  // Second consecutive: scale up.
+  ASSERT_TRUE(u2.ok());
+  EXPECT_DOUBLE_EQ(*u2, 12.0);
+}
+
+TEST(RuleBasedTest, BreachStreakResetByNormalSample) {
+  RuleBasedController c(BaseConfig());
+  c.Reset(10.0);
+  ASSERT_TRUE(c.Update(0.0, 90.0).ok());
+  ASSERT_TRUE(c.Update(60.0, 50.0).ok());   // In band: resets streak.
+  auto u = c.Update(120.0, 90.0);           // Breach #1 again.
+  ASSERT_TRUE(u.ok());
+  EXPECT_DOUBLE_EQ(*u, 10.0);  // Still no action.
+}
+
+TEST(RuleBasedTest, UpCooldownBlocksRapidScaling) {
+  RuleBasedController c(BaseConfig());
+  c.Reset(10.0);
+  ASSERT_TRUE(c.Update(0.0, 90.0).ok());
+  ASSERT_TRUE(c.Update(60.0, 90.0).ok());  // Scales to 12 at t=60.
+  // Two more breaches inside the 120 s cooldown: no action.
+  ASSERT_TRUE(c.Update(120.0, 95.0).ok());
+  auto u = c.Update(150.0, 95.0);
+  ASSERT_TRUE(u.ok());
+  EXPECT_DOUBLE_EQ(*u, 12.0);
+  // After the cooldown expires, the next streak acts.
+  ASSERT_TRUE(c.Update(200.0, 95.0).ok());
+  auto u2 = c.Update(260.0, 95.0);
+  ASSERT_TRUE(u2.ok());
+  EXPECT_DOUBLE_EQ(*u2, 14.0);
+}
+
+TEST(RuleBasedTest, ScaleDownUsesDownStepAndCooldown) {
+  RuleBasedConfig cfg = BaseConfig();
+  RuleBasedController c(cfg);
+  c.Reset(10.0);
+  ASSERT_TRUE(c.Update(0.0, 10.0).ok());
+  auto u = c.Update(60.0, 10.0);
+  ASSERT_TRUE(u.ok());
+  EXPECT_DOUBLE_EQ(*u, 9.0);  // down_step = 1.
+  // Down cooldown (300 s) blocks the next decrease.
+  ASSERT_TRUE(c.Update(120.0, 10.0).ok());
+  auto u2 = c.Update(180.0, 10.0);
+  ASSERT_TRUE(u2.ok());
+  EXPECT_DOUBLE_EQ(*u2, 9.0);
+}
+
+TEST(RuleBasedTest, HoldsInsideBand) {
+  RuleBasedController c(BaseConfig());
+  c.Reset(10.0);
+  for (int i = 0; i < 10; ++i) {
+    auto u = c.Update(i * 60.0, 55.0);
+    ASSERT_TRUE(u.ok());
+    EXPECT_DOUBLE_EQ(*u, 10.0);
+  }
+}
+
+TEST(RuleBasedTest, RespectsLimits) {
+  RuleBasedConfig cfg = BaseConfig();
+  cfg.limits.max = 11.0;
+  cfg.up_cooldown = 0.0;
+  RuleBasedController c(cfg);
+  c.Reset(10.0);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(c.Update(i * 60.0, 95.0).ok());
+  EXPECT_DOUBLE_EQ(c.current_u(), 11.0);
+}
+
+TEST(RuleBasedTest, ReferenceIsBandMidpoint) {
+  RuleBasedController c(BaseConfig());
+  EXPECT_DOUBLE_EQ(c.reference(), 55.0);
+  c.set_reference(65.0);
+  EXPECT_DOUBLE_EQ(c.reference(), 65.0);
+}
+
+TEST(RuleBasedTest, TimeMovingBackwardsRejected) {
+  RuleBasedController c(BaseConfig());
+  c.Reset(10.0);
+  ASSERT_TRUE(c.Update(60.0, 50.0).ok());
+  EXPECT_FALSE(c.Update(30.0, 50.0).ok());
+}
+
+}  // namespace
+}  // namespace flower::control

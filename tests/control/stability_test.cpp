@@ -1,0 +1,76 @@
+#include "control/stability.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace flower::control {
+namespace {
+
+TEST(StabilityTest, BoundShrinksWithDelay) {
+  auto g0 = MaxStableIntegralGain(5.0, 0);
+  auto g1 = MaxStableIntegralGain(5.0, 1);
+  auto g3 = MaxStableIntegralGain(5.0, 3);
+  ASSERT_TRUE(g0.ok());
+  ASSERT_TRUE(g1.ok());
+  ASSERT_TRUE(g3.ok());
+  EXPECT_DOUBLE_EQ(*g0, 0.2);
+  EXPECT_DOUBLE_EQ(*g1, 0.1);
+  EXPECT_DOUBLE_EQ(*g3, 0.05);
+}
+
+TEST(StabilityTest, BoundShrinksWithSensitivity) {
+  EXPECT_GT(*MaxStableIntegralGain(1.0), *MaxStableIntegralGain(10.0));
+}
+
+TEST(StabilityTest, InvalidInputsRejected) {
+  EXPECT_FALSE(MaxStableIntegralGain(0.0).ok());
+  EXPECT_FALSE(MaxStableIntegralGain(-1.0).ok());
+  EXPECT_FALSE(MaxStableIntegralGain(1.0, -1).ok());
+  EXPECT_FALSE(UtilizationPlantSensitivity(0.0, 5.0).ok());
+  EXPECT_FALSE(UtilizationPlantSensitivity(60.0, 0.0).ok());
+}
+
+TEST(StabilityTest, UtilizationPlantSensitivityIsYOverU) {
+  auto b = UtilizationPlantSensitivity(60.0, 12.0);
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(*b, 5.0);
+}
+
+TEST(StabilityTest, IsGainStablePredicate) {
+  EXPECT_TRUE(IsGainStable(0.1, 5.0, 0));   // Bound is 0.2.
+  EXPECT_TRUE(IsGainStable(0.2, 5.0, 0));
+  EXPECT_FALSE(IsGainStable(0.3, 5.0, 0));
+  EXPECT_FALSE(IsGainStable(0.15, 5.0, 1)); // Bound drops to 0.1.
+  EXPECT_FALSE(IsGainStable(0.0, 5.0, 0));
+  EXPECT_FALSE(IsGainStable(0.1, -1.0, 0));
+}
+
+// Empirical check: a gain at the conservative bound converges on the
+// undelayed utilization plant; a gain far above the hard limit (2/|b|)
+// diverges into oscillation.
+TEST(StabilityTest, BoundSeparatesConvergenceFromOscillation) {
+  auto run = [](double gain) {
+    // Plant: y = 600/u (|b| = y/u ≈ 6 at y=60, u=10).
+    double u = 8.0;
+    double prev_err = 0.0;
+    int sign_flips = 0;
+    for (int k = 0; k < 200; ++k) {
+      double y = std::min(100.0, 600.0 / u);
+      double err = y - 60.0;
+      if (k > 150 && err * prev_err < 0.0) ++sign_flips;
+      prev_err = err;
+      u = std::max(1.0, u + gain * err);
+    }
+    return sign_flips;
+  };
+  auto b = UtilizationPlantSensitivity(60.0, 10.0);
+  ASSERT_TRUE(b.ok());
+  auto safe = MaxStableIntegralGain(*b);
+  ASSERT_TRUE(safe.ok());
+  EXPECT_LE(run(*safe), 1);          // Converged: no late oscillation.
+  EXPECT_GE(run(6.0 * *safe), 10);   // Far past 2/|b|: limit cycles.
+}
+
+}  // namespace
+}  // namespace flower::control

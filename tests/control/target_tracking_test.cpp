@@ -1,0 +1,116 @@
+#include "control/target_tracking.h"
+
+#include <gtest/gtest.h>
+
+namespace flower::control {
+namespace {
+
+TargetTrackingConfig BaseConfig() {
+  TargetTrackingConfig cfg;
+  cfg.reference = 60.0;
+  cfg.scale_out_cooldown = 60.0;
+  cfg.scale_in_cooldown = 600.0;
+  cfg.scale_in_margin = 0.9;
+  cfg.limits.min = 1.0;
+  cfg.limits.max = 1000.0;
+  cfg.limits.integer = false;
+  return cfg;
+}
+
+TEST(TargetTrackingTest, JumpsToImpliedCapacity) {
+  TargetTrackingController c(BaseConfig());
+  c.Reset(10.0);
+  // y = 90 at u = 10 implies demand = 900 %, desired = 10 * 90/60 = 15.
+  auto u = c.Update(0.0, 90.0);
+  ASSERT_TRUE(u.ok());
+  EXPECT_DOUBLE_EQ(*u, 15.0);
+}
+
+TEST(TargetTrackingTest, ScaleOutCooldownBlocksRepeatedJumps) {
+  TargetTrackingController c(BaseConfig());
+  c.Reset(10.0);
+  ASSERT_TRUE(c.Update(0.0, 90.0).ok());   // -> 15.
+  auto u = c.Update(30.0, 90.0);           // Inside 60 s cooldown.
+  ASSERT_TRUE(u.ok());
+  EXPECT_DOUBLE_EQ(*u, 15.0);
+  auto u2 = c.Update(61.0, 90.0);          // Cooldown expired.
+  ASSERT_TRUE(u2.ok());
+  EXPECT_DOUBLE_EQ(*u2, 22.5);
+}
+
+TEST(TargetTrackingTest, ScaleInIsConservative) {
+  TargetTrackingConfig cfg = BaseConfig();
+  TargetTrackingController c(cfg);
+  c.Reset(20.0);
+  // y = 57 at u = 20: desired = 19, within the 0.9 margin -> hold.
+  auto u = c.Update(0.0, 57.0);
+  ASSERT_TRUE(u.ok());
+  EXPECT_DOUBLE_EQ(*u, 20.0);
+  // y = 30: desired = 10 < 18 -> allowed (no prior scaling action).
+  auto u2 = c.Update(60.0, 30.0);
+  ASSERT_TRUE(u2.ok());
+  EXPECT_DOUBLE_EQ(*u2, 10.0);
+  // Another drop right away is blocked by the 600 s scale-in cooldown.
+  auto u3 = c.Update(120.0, 30.0);
+  ASSERT_TRUE(u3.ok());
+  EXPECT_DOUBLE_EQ(*u3, 10.0);
+  auto u4 = c.Update(60.0 + 601.0, 30.0);
+  ASSERT_TRUE(u4.ok());
+  EXPECT_DOUBLE_EQ(*u4, 5.0);
+}
+
+TEST(TargetTrackingTest, ScaleInCanBeDisabled) {
+  TargetTrackingConfig cfg = BaseConfig();
+  cfg.scale_in_enabled = false;
+  TargetTrackingController c(cfg);
+  c.Reset(20.0);
+  auto u = c.Update(0.0, 10.0);
+  ASSERT_TRUE(u.ok());
+  EXPECT_DOUBLE_EQ(*u, 20.0);
+}
+
+TEST(TargetTrackingTest, AtReferenceHolds) {
+  TargetTrackingController c(BaseConfig());
+  c.Reset(10.0);
+  for (int i = 0; i < 5; ++i) {
+    auto u = c.Update(i * 60.0, 60.0);
+    ASSERT_TRUE(u.ok());
+    EXPECT_DOUBLE_EQ(*u, 10.0);
+  }
+}
+
+TEST(TargetTrackingTest, SaturatedSignalUnderestimatesSurge) {
+  // The documented weakness: y clips at 100, so one round only scales
+  // by 100/60 even if true demand is 10x.
+  TargetTrackingController c(BaseConfig());
+  c.Reset(10.0);
+  auto u = c.Update(0.0, 100.0);
+  ASSERT_TRUE(u.ok());
+  EXPECT_NEAR(*u, 16.67, 0.01);
+}
+
+TEST(TargetTrackingTest, RespectsLimitsAndQuantization) {
+  TargetTrackingConfig cfg = BaseConfig();
+  cfg.limits.max = 12.0;
+  cfg.limits.integer = true;
+  TargetTrackingController c(cfg);
+  c.Reset(10.0);
+  auto u = c.Update(0.0, 95.0);
+  ASSERT_TRUE(u.ok());
+  EXPECT_DOUBLE_EQ(*u, 12.0);
+}
+
+TEST(TargetTrackingTest, InvalidInputsRejected) {
+  TargetTrackingController c(BaseConfig());
+  c.Reset(10.0);
+  ASSERT_TRUE(c.Update(10.0, 60.0).ok());
+  EXPECT_FALSE(c.Update(5.0, 60.0).ok());  // Time backwards.
+  TargetTrackingConfig cfg = BaseConfig();
+  cfg.reference = 0.0;
+  TargetTrackingController bad(cfg);
+  bad.Reset(10.0);
+  EXPECT_FALSE(bad.Update(0.0, 50.0).ok());
+}
+
+}  // namespace
+}  // namespace flower::control

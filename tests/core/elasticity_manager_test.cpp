@@ -1,0 +1,245 @@
+#include "core/elasticity_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "control/adaptive_gain.h"
+
+namespace flower::core {
+namespace {
+
+const cloudwatch::MetricId kCpu{"Flower/Storm", "CpuUtilization", "c"};
+
+std::unique_ptr<control::Controller> TestController(double reference = 60.0) {
+  control::AdaptiveGainConfig cfg;
+  cfg.reference = reference;
+  cfg.initial_gain = 0.05;
+  cfg.gain_min = 0.01;
+  cfg.gain_max = 0.5;
+  cfg.gamma = 0.01;
+  cfg.limits.min = 1.0;
+  cfg.limits.max = 100.0;
+  return std::make_unique<control::AdaptiveGainController>(cfg);
+}
+
+LayerControlConfig TestConfig(std::function<Status(double)> actuator,
+                              double initial_u = 5.0) {
+  LayerControlConfig cfg;
+  cfg.layer = Layer::kAnalytics;
+  cfg.sensor_metric = kCpu;
+  cfg.monitoring_period_sec = 60.0;
+  cfg.monitoring_window_sec = 120.0;
+  cfg.start_delay_sec = 60.0;
+  cfg.controller = TestController();
+  cfg.actuator = std::move(actuator);
+  cfg.initial_u = initial_u;
+  return cfg;
+}
+
+TEST(ElasticityManagerTest, AttachValidation) {
+  sim::Simulation sim;
+  cloudwatch::MetricStore metrics;
+  ElasticityManager mgr(&sim, &metrics);
+  {
+    LayerControlConfig cfg = TestConfig([](double) { return Status::OK(); });
+    cfg.controller = nullptr;
+    EXPECT_FALSE(mgr.Attach(std::move(cfg)).ok());
+  }
+  {
+    LayerControlConfig cfg = TestConfig(nullptr);
+    EXPECT_FALSE(mgr.Attach(std::move(cfg)).ok());
+  }
+  {
+    LayerControlConfig cfg = TestConfig([](double) { return Status::OK(); });
+    cfg.monitoring_period_sec = 0.0;
+    EXPECT_FALSE(mgr.Attach(std::move(cfg)).ok());
+  }
+  ASSERT_TRUE(
+      mgr.Attach(TestConfig([](double) { return Status::OK(); })).ok());
+  EXPECT_TRUE(mgr.IsAttached(Layer::kAnalytics));
+  EXPECT_EQ(
+      mgr.Attach(TestConfig([](double) { return Status::OK(); })).code(),
+      StatusCode::kAlreadyExists);
+}
+
+TEST(ElasticityManagerTest, ControlLoopSensesAndActuates) {
+  sim::Simulation sim;
+  cloudwatch::MetricStore metrics;
+  ElasticityManager mgr(&sim, &metrics);
+  std::vector<double> actuations;
+  ASSERT_TRUE(mgr.Attach(TestConfig([&](double u) {
+    actuations.push_back(u);
+    return Status::OK();
+  })).ok());
+  // Publish a constant overloaded CPU metric every 30 s.
+  ASSERT_TRUE(sim.SchedulePeriodic(30.0, 30.0, [&] {
+    EXPECT_TRUE(metrics.Put(kCpu, sim.Now(), 90.0).ok());
+    return true;
+  }).ok());
+  sim.RunUntil(600.0);
+  ASSERT_FALSE(actuations.empty());
+  // Persistent +30 error with growing gain must raise the resource.
+  EXPECT_GT(actuations.back(), 5.0);
+  auto state = mgr.GetState(Layer::kAnalytics);
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ((*state)->sensed.size(), actuations.size());
+  EXPECT_EQ((*state)->sensor_misses, 0u);
+}
+
+TEST(ElasticityManagerTest, MissingMetricCountsAsSensorMiss) {
+  sim::Simulation sim;
+  cloudwatch::MetricStore metrics;
+  ElasticityManager mgr(&sim, &metrics);
+  ASSERT_TRUE(
+      mgr.Attach(TestConfig([](double) { return Status::OK(); })).ok());
+  sim.RunUntil(300.0);  // No data ever published.
+  auto state = mgr.GetState(Layer::kAnalytics);
+  ASSERT_TRUE(state.ok());
+  EXPECT_GE((*state)->sensor_misses, 4u);
+  EXPECT_TRUE((*state)->sensed.empty());
+}
+
+TEST(ElasticityManagerTest, ShareUpperBoundCapsActuation) {
+  sim::Simulation sim;
+  cloudwatch::MetricStore metrics;
+  ElasticityManager mgr(&sim, &metrics);
+  std::vector<double> actuations;
+  ASSERT_TRUE(mgr.Attach(TestConfig([&](double u) {
+    actuations.push_back(u);
+    return Status::OK();
+  })).ok());
+  ASSERT_TRUE(mgr.SetShareUpperBound(Layer::kAnalytics, 8.0).ok());
+  ASSERT_TRUE(sim.SchedulePeriodic(30.0, 30.0, [&] {
+    EXPECT_TRUE(metrics.Put(kCpu, sim.Now(), 100.0).ok());
+    return true;
+  }).ok());
+  sim.RunUntil(3600.0);
+  for (double u : actuations) EXPECT_LE(u, 8.0);
+  EXPECT_DOUBLE_EQ(actuations.back(), 8.0);
+}
+
+TEST(ElasticityManagerTest, ShareUpperBoundValidation) {
+  sim::Simulation sim;
+  cloudwatch::MetricStore metrics;
+  ElasticityManager mgr(&sim, &metrics);
+  EXPECT_EQ(mgr.SetShareUpperBound(Layer::kStorage, 5.0).code(),
+            StatusCode::kNotFound);
+  ASSERT_TRUE(
+      mgr.Attach(TestConfig([](double) { return Status::OK(); })).ok());
+  EXPECT_FALSE(mgr.SetShareUpperBound(Layer::kAnalytics, -1.0).ok());
+  EXPECT_TRUE(mgr.SetShareUpperBound(Layer::kAnalytics, 0.0).ok());
+}
+
+TEST(ElasticityManagerTest, ActuatorFailureCountedAndLoopContinues) {
+  sim::Simulation sim;
+  cloudwatch::MetricStore metrics;
+  ElasticityManager mgr(&sim, &metrics);
+  int calls = 0;
+  ASSERT_TRUE(mgr.Attach(TestConfig([&](double) {
+    ++calls;
+    return calls <= 2 ? Status::Internal("boom") : Status::OK();
+  })).ok());
+  ASSERT_TRUE(sim.SchedulePeriodic(30.0, 30.0, [&] {
+    EXPECT_TRUE(metrics.Put(kCpu, sim.Now(), 90.0).ok());
+    return true;
+  }).ok());
+  sim.RunUntil(600.0);
+  auto state = mgr.GetState(Layer::kAnalytics);
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ((*state)->actuation_failures, 2u);
+  EXPECT_GT(calls, 2);
+}
+
+TEST(ElasticityManagerTest, PauseStopsActuation) {
+  sim::Simulation sim;
+  cloudwatch::MetricStore metrics;
+  ElasticityManager mgr(&sim, &metrics);
+  int calls = 0;
+  ASSERT_TRUE(mgr.Attach(TestConfig([&](double) {
+    ++calls;
+    return Status::OK();
+  })).ok());
+  ASSERT_TRUE(sim.SchedulePeriodic(30.0, 30.0, [&] {
+    EXPECT_TRUE(metrics.Put(kCpu, sim.Now(), 90.0).ok());
+    return true;
+  }).ok());
+  sim.RunUntil(300.0);
+  int calls_at_pause = calls;
+  EXPECT_GT(calls_at_pause, 0);
+  ASSERT_TRUE(mgr.SetPaused(Layer::kAnalytics, true).ok());
+  sim.RunUntil(600.0);
+  EXPECT_EQ(calls, calls_at_pause);
+  ASSERT_TRUE(mgr.SetPaused(Layer::kAnalytics, false).ok());
+  sim.RunUntil(900.0);
+  EXPECT_GT(calls, calls_at_pause);
+  EXPECT_FALSE(mgr.SetPaused(Layer::kIngestion, true).ok());
+}
+
+TEST(ElasticityManagerTest, NamedLoopsAllowSeveralPerLayer) {
+  sim::Simulation sim;
+  cloudwatch::MetricStore metrics;
+  ElasticityManager mgr(&sim, &metrics);
+  int calls_a = 0, calls_b = 0;
+  {
+    LayerControlConfig cfg = TestConfig([&](double) {
+      ++calls_a;
+      return Status::OK();
+    });
+    cfg.layer = Layer::kIngestion;
+    cfg.name = "ingestion-impressions";
+    ASSERT_TRUE(mgr.Attach(std::move(cfg)).ok());
+  }
+  {
+    LayerControlConfig cfg = TestConfig([&](double) {
+      ++calls_b;
+      return Status::OK();
+    });
+    cfg.layer = Layer::kIngestion;
+    cfg.name = "ingestion-clicks";
+    ASSERT_TRUE(mgr.Attach(std::move(cfg)).ok());
+  }
+  EXPECT_TRUE(mgr.IsAttached("ingestion-impressions"));
+  EXPECT_TRUE(mgr.IsAttached("ingestion-clicks"));
+  EXPECT_FALSE(mgr.IsAttached(Layer::kIngestion));  // Default name unused.
+  ASSERT_TRUE(sim.SchedulePeriodic(30.0, 30.0, [&] {
+    EXPECT_TRUE(metrics.Put(kCpu, sim.Now(), 90.0).ok());
+    return true;
+  }).ok());
+  sim.RunUntil(600.0);
+  EXPECT_GT(calls_a, 0);
+  EXPECT_GT(calls_b, 0);
+  auto names = mgr.LoopNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "ingestion-clicks");
+  EXPECT_EQ(names[1], "ingestion-impressions");
+  // Per-loop bounds and pause work independently.
+  ASSERT_TRUE(mgr.SetShareUpperBound("ingestion-clicks", 3.0).ok());
+  ASSERT_TRUE(mgr.SetPaused("ingestion-impressions", true).ok());
+  EXPECT_FALSE(mgr.SetPaused("nope", true).ok());
+}
+
+TEST(ElasticityManagerTest, DuplicateLoopNameRejected) {
+  sim::Simulation sim;
+  cloudwatch::MetricStore metrics;
+  ElasticityManager mgr(&sim, &metrics);
+  LayerControlConfig a = TestConfig([](double) { return Status::OK(); });
+  a.name = "x";
+  ASSERT_TRUE(mgr.Attach(std::move(a)).ok());
+  LayerControlConfig b = TestConfig([](double) { return Status::OK(); });
+  b.name = "x";
+  EXPECT_EQ(mgr.Attach(std::move(b)).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(ElasticityManagerTest, GetControllerExposesAttachedController) {
+  sim::Simulation sim;
+  cloudwatch::MetricStore metrics;
+  ElasticityManager mgr(&sim, &metrics);
+  EXPECT_FALSE(mgr.GetController(Layer::kAnalytics).ok());
+  ASSERT_TRUE(
+      mgr.Attach(TestConfig([](double) { return Status::OK(); })).ok());
+  auto controller = mgr.GetController(Layer::kAnalytics);
+  ASSERT_TRUE(controller.ok());
+  EXPECT_EQ((*controller)->name(), "adaptive-gain");
+}
+
+}  // namespace
+}  // namespace flower::core

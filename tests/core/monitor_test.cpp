@@ -1,0 +1,119 @@
+#include "core/monitor.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+namespace flower::core {
+namespace {
+
+const cloudwatch::MetricId kCpu{"Flower/Storm", "CpuUtilization", "c"};
+const cloudwatch::MetricId kUtil{"Flower/Kinesis", "WriteUtilization", "s"};
+
+void Fill(cloudwatch::MetricStore* store) {
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(store->Put(kCpu, 60.0 * i, 10.0 + i).ok());
+    ASSERT_TRUE(store->Put(kUtil, 60.0 * i, 50.0).ok());
+  }
+}
+
+TEST(CrossPlatformMonitorTest, SnapshotAggregates) {
+  cloudwatch::MetricStore store;
+  Fill(&store);
+  CrossPlatformMonitor monitor(&store);
+  monitor.Watch(kCpu);
+  monitor.Watch(kUtil);
+  auto snaps = monitor.Snapshot(0.0, 600.0);
+  ASSERT_EQ(snaps.size(), 2u);
+  EXPECT_EQ(snaps[0].samples, 10u);
+  EXPECT_DOUBLE_EQ(snaps[0].last, 19.0);
+  EXPECT_DOUBLE_EQ(snaps[0].minimum, 10.0);
+  EXPECT_DOUBLE_EQ(snaps[0].maximum, 19.0);
+  EXPECT_DOUBLE_EQ(snaps[0].average, 14.5);
+  EXPECT_DOUBLE_EQ(snaps[1].average, 50.0);
+}
+
+TEST(CrossPlatformMonitorTest, WindowRestrictsSamples) {
+  cloudwatch::MetricStore store;
+  Fill(&store);
+  CrossPlatformMonitor monitor(&store);
+  monitor.Watch(kCpu);
+  auto snaps = monitor.Snapshot(300.0, 420.0);
+  ASSERT_EQ(snaps.size(), 1u);
+  EXPECT_EQ(snaps[0].samples, 2u);  // t = 300, 360.
+}
+
+TEST(CrossPlatformMonitorTest, UnknownMetricHasZeroSamples) {
+  cloudwatch::MetricStore store;
+  CrossPlatformMonitor monitor(&store);
+  monitor.Watch(kCpu);
+  auto snaps = monitor.Snapshot(0.0, 100.0);
+  ASSERT_EQ(snaps.size(), 1u);
+  EXPECT_EQ(snaps[0].samples, 0u);
+}
+
+TEST(CrossPlatformMonitorTest, WatchNamespacePicksUpAllMetrics) {
+  cloudwatch::MetricStore store;
+  Fill(&store);
+  CrossPlatformMonitor monitor(&store);
+  monitor.WatchNamespace("Flower/Storm");
+  EXPECT_EQ(monitor.watched_count(), 1u);
+  monitor.WatchNamespace("");  // Everything.
+  EXPECT_EQ(monitor.watched_count(), 3u);
+}
+
+TEST(CrossPlatformMonitorTest, RenderDashboardConsolidatesSystems) {
+  cloudwatch::MetricStore store;
+  Fill(&store);
+  CrossPlatformMonitor monitor(&store);
+  monitor.Watch(kCpu);
+  monitor.Watch(kUtil);
+  std::ostringstream os;
+  monitor.RenderDashboard(os, 0.0, 600.0);
+  std::string s = os.str();
+  // One view shows metrics of both platforms — the §3.4 feature.
+  EXPECT_NE(s.find("Flower/Storm/CpuUtilization{c}"), std::string::npos);
+  EXPECT_NE(s.find("Flower/Kinesis/WriteUtilization{s}"), std::string::npos);
+  EXPECT_NE(s.find("14.50"), std::string::npos);
+}
+
+TEST(CrossPlatformMonitorTest, DumpCsvEmitsAllDatapointsInWindow) {
+  cloudwatch::MetricStore store;
+  Fill(&store);
+  CrossPlatformMonitor monitor(&store);
+  monitor.Watch(kCpu);
+  monitor.Watch(kUtil);
+  std::ostringstream os;
+  monitor.DumpCsv(os, 60.0, 240.0);  // 3 samples per metric.
+  std::string s = os.str();
+  EXPECT_NE(s.find("metric,time_sec,value"), std::string::npos);
+  // 1 header + 2 metrics x 3 samples = 7 lines.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 7);
+  EXPECT_NE(s.find("Flower/Storm/CpuUtilization{c},60,11"),
+            std::string::npos);
+}
+
+TEST(CrossPlatformMonitorTest, DumpCsvSkipsUnknownMetrics) {
+  cloudwatch::MetricStore store;
+  CrossPlatformMonitor monitor(&store);
+  monitor.Watch(kCpu);
+  std::ostringstream os;
+  monitor.DumpCsv(os, 0.0, 100.0);
+  std::string s = os.str();
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 1);  // Header only.
+}
+
+TEST(CrossPlatformMonitorTest, RenderWithChartsIncludesSparkline) {
+  cloudwatch::MetricStore store;
+  Fill(&store);
+  CrossPlatformMonitor monitor(&store);
+  monitor.Watch(kCpu);
+  std::ostringstream os;
+  monitor.RenderDashboard(os, 0.0, 600.0, /*with_charts=*/true);
+  EXPECT_NE(os.str().find('*'), std::string::npos);
+  EXPECT_NE(os.str().find("max"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flower::core

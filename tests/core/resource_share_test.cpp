@@ -1,0 +1,187 @@
+#include "core/resource_share.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace flower::core {
+namespace {
+
+// The paper's Fig. 4 scenario: maximize (shards, VMs, WCU) subject to a
+// budget and the dependency constraints 5·r_A >= r_I, 2·r_A <= r_I,
+// 2·r_I <= r_S.
+ResourceShareRequest Fig4Request(double budget = 2.0) {
+  ResourceShareRequest req;
+  req.hourly_budget_usd = budget;
+  req.unit_price[0] = 0.015;    // Shard-hour.
+  req.unit_price[1] = 0.10;     // VM-hour.
+  req.unit_price[2] = 0.00065;  // WCU-hour.
+  req.bounds[0] = {1.0, 40.0};
+  req.bounds[1] = {1.0, 20.0};
+  req.bounds[2] = {1.0, 400.0};
+  req.constraints.push_back(LinearConstraint::AtLeast(
+      Layer::kAnalytics, 5.0, Layer::kIngestion, 1.0, "5*vms >= shards"));
+  req.constraints.push_back(LinearConstraint::AtMost(
+      Layer::kAnalytics, 2.0, Layer::kIngestion, -1.0, 0.0,
+      "2*vms <= shards"));
+  req.constraints.push_back(LinearConstraint::AtMost(
+      Layer::kIngestion, 2.0, Layer::kStorage, -1.0, 0.0,
+      "2*shards <= wcu"));
+  return req;
+}
+
+TEST(LinearConstraintTest, AtLeastEncodesCorrectly) {
+  // 5·r_A >= r_I  ⇔  r_I − 5·r_A <= 0.
+  auto c = LinearConstraint::AtLeast(Layer::kAnalytics, 5.0,
+                                     Layer::kIngestion, 1.0);
+  EXPECT_DOUBLE_EQ(c.coeff[0], 1.0);   // Ingestion.
+  EXPECT_DOUBLE_EQ(c.coeff[1], -5.0);  // Analytics.
+  EXPECT_DOUBLE_EQ(c.rhs, 0.0);
+}
+
+TEST(ShareProblemTest, EvaluateComputesViolations) {
+  ShareProblem p(Fig4Request(2.0));
+  std::vector<double> obj, viol;
+  // Feasible point: 10 shards, 4 VMs, 100 WCU.
+  // Cost = 0.15 + 0.40 + 0.065 = 0.615 <= 2. Constraints:
+  // 10 - 20 <= 0 ok; 8 - 10 <= 0 ok; 20 - 100 <= 0 ok.
+  p.Evaluate({10, 4, 100}, &obj, &viol);
+  EXPECT_EQ(obj, (std::vector<double>{10, 4, 100}));
+  ASSERT_EQ(viol.size(), 4u);
+  for (double v : viol) EXPECT_DOUBLE_EQ(v, 0.0);
+  EXPECT_NEAR(p.HourlyCost({10, 4, 100}), 0.615, 1e-12);
+
+  // Violating 2*vms <= shards: 2 shards, 4 VMs.
+  p.Evaluate({2, 4, 100}, &obj, &viol);
+  EXPECT_GT(viol[2], 0.0);  // 8 - 2 = 6.
+
+  // Violating the budget.
+  p.Evaluate({40, 20, 400}, &obj, &viol);
+  EXPECT_GT(viol[0], 0.0);
+}
+
+TEST(ResourceShareAnalyzerTest, ExhaustiveFrontRespectsAllConstraints) {
+  ResourceShareAnalyzer analyzer;
+  auto res = analyzer.AnalyzeExhaustive(Fig4Request(2.0));
+  ASSERT_TRUE(res.ok());
+  ASSERT_FALSE(res->pareto_plans.empty());
+  for (const ProvisioningPlan& p : res->pareto_plans) {
+    EXPECT_LE(p.hourly_cost_usd, 2.0 + 1e-9);
+    EXPECT_LE(p.ingestion(), 5.0 * p.analytics() + 1e-9);
+    EXPECT_LE(2.0 * p.analytics(), p.ingestion() + 1e-9);
+    EXPECT_LE(2.0 * p.ingestion(), p.storage() + 1e-9);
+  }
+}
+
+TEST(ResourceShareAnalyzerTest, Nsga2FrontIsSubsetOfOracle) {
+  ResourceShareAnalyzer oracle_analyzer;
+  auto oracle = oracle_analyzer.AnalyzeExhaustive(Fig4Request(2.0));
+  ASSERT_TRUE(oracle.ok());
+  std::set<std::tuple<double, double, double>> oracle_set;
+  for (const auto& p : oracle->pareto_plans) {
+    oracle_set.insert({p.ingestion(), p.analytics(), p.storage()});
+  }
+
+  opt::Nsga2Config solver;
+  solver.population_size = 100;
+  solver.generations = 150;
+  solver.seed = 3;
+  ResourceShareAnalyzer analyzer(solver);
+  auto res = analyzer.Analyze(Fig4Request(2.0));
+  ASSERT_TRUE(res.ok());
+  ASSERT_FALSE(res->pareto_plans.empty());
+  size_t on_front = 0;
+  for (const auto& p : res->pareto_plans) {
+    if (oracle_set.count({p.ingestion(), p.analytics(), p.storage()})) {
+      ++on_front;
+    }
+  }
+  // Every returned plan should be truly Pareto-optimal (NSGA-II's final
+  // front on this small integer problem is exact or near-exact).
+  EXPECT_GE(static_cast<double>(on_front),
+            0.9 * static_cast<double>(res->pareto_plans.size()));
+  // And the solver should discover a sizeable fraction of the front.
+  EXPECT_GE(res->pareto_plans.size(), oracle->pareto_plans.size() / 3);
+}
+
+TEST(ResourceShareAnalyzerTest, PenaltyHandlingAlsoFindsFeasiblePlans) {
+  ResourceShareRequest req = Fig4Request(2.0);
+  req.handling = ConstraintHandling::kPenalty;
+  opt::Nsga2Config solver;
+  solver.population_size = 100;
+  solver.generations = 150;
+  ResourceShareAnalyzer analyzer(solver);
+  auto res = analyzer.Analyze(req);
+  ASSERT_TRUE(res.ok());
+  for (const ProvisioningPlan& p : res->pareto_plans) {
+    EXPECT_LE(p.hourly_cost_usd, 2.0 + 1e-9);
+    EXPECT_LE(p.ingestion(), 5.0 * p.analytics() + 1e-9);
+  }
+}
+
+TEST(ResourceShareAnalyzerTest, TightBudgetShrinksTheFront) {
+  ResourceShareAnalyzer analyzer;
+  auto rich = analyzer.AnalyzeExhaustive(Fig4Request(2.0));
+  auto poor = analyzer.AnalyzeExhaustive(Fig4Request(0.5));
+  ASSERT_TRUE(rich.ok());
+  ASSERT_TRUE(poor.ok());
+  double rich_max = 0.0, poor_max = 0.0;
+  for (const auto& p : rich->pareto_plans) {
+    rich_max = std::max(rich_max, p.analytics());
+  }
+  for (const auto& p : poor->pareto_plans) {
+    poor_max = std::max(poor_max, p.analytics());
+  }
+  EXPECT_GT(rich_max, poor_max);
+}
+
+TEST(ResourceShareAnalyzerTest, PickBalancedPlanPrefersEvenShares) {
+  ResourceShareAnalyzer analyzer;
+  auto res = analyzer.AnalyzeExhaustive(Fig4Request(2.0));
+  ASSERT_TRUE(res.ok());
+  auto plan = ResourceShareAnalyzer::PickBalancedPlan(*res, Fig4Request(2.0));
+  ASSERT_TRUE(plan.ok());
+  // The balanced plan is a member of the front.
+  bool found = false;
+  for (const auto& p : res->pareto_plans) {
+    if (p.ingestion() == plan->ingestion() &&
+        p.analytics() == plan->analytics() &&
+        p.storage() == plan->storage()) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ResourceShareAnalyzerTest, MaxSharesDominatesEveryPlan) {
+  ResourceShareAnalyzer analyzer;
+  auto res = analyzer.AnalyzeExhaustive(Fig4Request(2.0));
+  ASSERT_TRUE(res.ok());
+  auto max_shares = ResourceShareAnalyzer::MaxShares(*res);
+  ASSERT_TRUE(max_shares.ok());
+  for (const auto& p : res->pareto_plans) {
+    EXPECT_LE(p.ingestion(), max_shares->ingestion());
+    EXPECT_LE(p.analytics(), max_shares->analytics());
+    EXPECT_LE(p.storage(), max_shares->storage());
+  }
+}
+
+TEST(ResourceShareAnalyzerTest, EmptyFrontHandling) {
+  ResourceShareResult empty;
+  EXPECT_FALSE(
+      ResourceShareAnalyzer::PickBalancedPlan(empty, Fig4Request()).ok());
+  EXPECT_FALSE(ResourceShareAnalyzer::MaxShares(empty).ok());
+}
+
+TEST(ResourceShareRequestTest, SetPricesFromBook) {
+  pricing::PriceBook book;
+  book.SetHourlyPrice(pricing::ResourceKind::kKinesisShard, 0.02);
+  ResourceShareRequest req;
+  req.SetPricesFrom(book);
+  EXPECT_DOUBLE_EQ(req.unit_price[0], 0.02);
+  EXPECT_DOUBLE_EQ(req.unit_price[1],
+                   book.HourlyPrice(pricing::ResourceKind::kEc2Instance));
+}
+
+}  // namespace
+}  // namespace flower::core

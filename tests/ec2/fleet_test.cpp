@@ -1,0 +1,102 @@
+#include "ec2/fleet.h"
+
+#include <gtest/gtest.h>
+
+namespace flower::ec2 {
+namespace {
+
+InstanceType TestType() { return {"m4.large", 2, 2.0e6, 0.10}; }
+
+TEST(InstanceCatalogTest, DefaultCatalogLookup) {
+  EXPECT_GE(DefaultCatalog().size(), 4u);
+  auto t = FindInstanceType("m4.large");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->vcpus, 2);
+  EXPECT_EQ(FindInstanceType("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(FleetTest, InitialCountIsRunningImmediately) {
+  sim::Simulation sim;
+  Fleet fleet(&sim, TestType(), 3, 90.0);
+  EXPECT_EQ(fleet.running_count(), 3);
+  EXPECT_EQ(fleet.requested_count(), 3);
+  EXPECT_DOUBLE_EQ(fleet.TotalComputeCapacity(), 6.0e6);
+}
+
+TEST(FleetTest, ScaleUpTakesBootDelay) {
+  sim::Simulation sim;
+  Fleet fleet(&sim, TestType(), 2, 90.0);
+  ASSERT_TRUE(fleet.SetDesiredCount(5).ok());
+  EXPECT_EQ(fleet.requested_count(), 5);
+  EXPECT_EQ(fleet.running_count(), 2);
+  EXPECT_EQ(fleet.booting_count(), 3);
+  sim.RunUntil(89.0);
+  EXPECT_EQ(fleet.running_count(), 2);
+  sim.RunUntil(91.0);
+  EXPECT_EQ(fleet.running_count(), 5);
+  EXPECT_EQ(fleet.booting_count(), 0);
+}
+
+TEST(FleetTest, ScaleDownIsImmediate) {
+  sim::Simulation sim;
+  Fleet fleet(&sim, TestType(), 5, 90.0);
+  ASSERT_TRUE(fleet.SetDesiredCount(2).ok());
+  EXPECT_EQ(fleet.running_count(), 2);
+  EXPECT_EQ(fleet.requested_count(), 2);
+}
+
+TEST(FleetTest, ScaleDownCancelsInFlightBoots) {
+  sim::Simulation sim;
+  Fleet fleet(&sim, TestType(), 2, 90.0);
+  ASSERT_TRUE(fleet.SetDesiredCount(10).ok());
+  sim.RunUntil(10.0);
+  ASSERT_TRUE(fleet.SetDesiredCount(1).ok());
+  sim.RunUntil(200.0);  // Boot completions must not resurrect capacity.
+  EXPECT_EQ(fleet.running_count(), 1);
+  EXPECT_EQ(fleet.requested_count(), 1);
+}
+
+TEST(FleetTest, ScaleUpAfterCancelledScaleDownWorks) {
+  sim::Simulation sim;
+  Fleet fleet(&sim, TestType(), 4, 60.0);
+  ASSERT_TRUE(fleet.SetDesiredCount(2).ok());
+  ASSERT_TRUE(fleet.SetDesiredCount(6).ok());
+  sim.RunUntil(100.0);
+  EXPECT_EQ(fleet.running_count(), 6);
+}
+
+TEST(FleetTest, NegativeTargetRejected) {
+  sim::Simulation sim;
+  Fleet fleet(&sim, TestType(), 2, 90.0);
+  EXPECT_FALSE(fleet.SetDesiredCount(-1).ok());
+}
+
+TEST(FleetTest, NoopWhenTargetEqualsRequested) {
+  sim::Simulation sim;
+  Fleet fleet(&sim, TestType(), 2, 90.0);
+  ASSERT_TRUE(fleet.SetDesiredCount(2).ok());
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(FleetTest, CapacityChangeCallbackFires) {
+  sim::Simulation sim;
+  Fleet fleet(&sim, TestType(), 1, 30.0);
+  int calls = 0;
+  fleet.set_on_capacity_change([&] { ++calls; });
+  ASSERT_TRUE(fleet.SetDesiredCount(3).ok());
+  sim.RunUntil(100.0);
+  EXPECT_EQ(calls, 2);  // Two instances became running.
+  ASSERT_TRUE(fleet.SetDesiredCount(1).ok());
+  EXPECT_EQ(calls, 3);  // Immediate scale-down change.
+}
+
+TEST(FleetTest, ScaleToZeroAllowed) {
+  sim::Simulation sim;
+  Fleet fleet(&sim, TestType(), 2, 30.0);
+  ASSERT_TRUE(fleet.SetDesiredCount(0).ok());
+  EXPECT_EQ(fleet.running_count(), 0);
+  EXPECT_DOUBLE_EQ(fleet.TotalComputeCapacity(), 0.0);
+}
+
+}  // namespace
+}  // namespace flower::ec2

@@ -1,0 +1,109 @@
+#include "flow/sliding_window.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace flower::flow {
+namespace {
+
+struct Emission {
+  int64_t entity;
+  double count;
+  SimTime window_end;
+};
+
+std::vector<Emission> Collect(SlidingWindowCounter* counter, SimTime t) {
+  std::vector<Emission> out;
+  counter->AdvanceTo(t, [&](int64_t e, double c, SimTime end) {
+    out.push_back({e, c, end});
+  });
+  return out;
+}
+
+TEST(SlidingWindowTest, CreateValidatesParameters) {
+  EXPECT_FALSE(SlidingWindowCounter::Create(0.0, 10.0).ok());
+  EXPECT_FALSE(SlidingWindowCounter::Create(60.0, 0.0).ok());
+  EXPECT_FALSE(SlidingWindowCounter::Create(60.0, 45.0).ok());  // Not multiple.
+  EXPECT_FALSE(SlidingWindowCounter::Create(5.0, 10.0).ok());   // W < S.
+  EXPECT_TRUE(SlidingWindowCounter::Create(60.0, 10.0).ok());
+  EXPECT_TRUE(SlidingWindowCounter::Create(10.0, 10.0).ok());   // Tumbling.
+}
+
+TEST(SlidingWindowTest, CountsWithinOneWindow) {
+  auto counter = SlidingWindowCounter::Create(60.0, 10.0).MoveValueOrDie();
+  counter.Add(1, 2.0);
+  counter.Add(1, 5.0);
+  counter.Add(2, 7.0);
+  auto emissions = Collect(&counter, 10.0);  // First slide boundary.
+  ASSERT_EQ(emissions.size(), 2u);
+  std::map<int64_t, double> got;
+  for (const auto& e : emissions) {
+    got[e.entity] = e.count;
+    EXPECT_DOUBLE_EQ(e.window_end, 10.0);
+  }
+  EXPECT_DOUBLE_EQ(got[1], 2.0);
+  EXPECT_DOUBLE_EQ(got[2], 1.0);
+}
+
+TEST(SlidingWindowTest, WindowSlidesAndExpiresOldBuckets) {
+  auto counter = SlidingWindowCounter::Create(20.0, 10.0).MoveValueOrDie();
+  counter.Add(1, 5.0);    // Bucket [0, 10).
+  (void)Collect(&counter, 10.0);
+  counter.Add(1, 15.0);   // Bucket [10, 20).
+  auto at20 = Collect(&counter, 20.0);  // Window [0, 20): count 2.
+  ASSERT_EQ(at20.size(), 1u);
+  EXPECT_DOUBLE_EQ(at20[0].count, 2.0);
+  // Window [10, 30) at boundary 30: only the t=15 event remains.
+  auto at30 = Collect(&counter, 30.0);
+  ASSERT_EQ(at30.size(), 1u);
+  EXPECT_DOUBLE_EQ(at30[0].count, 1.0);
+  // Window [20, 40): empty → no emissions.
+  auto at40 = Collect(&counter, 40.0);
+  EXPECT_TRUE(at40.empty());
+}
+
+TEST(SlidingWindowTest, MultipleBoundariesEmittedInOneAdvance) {
+  auto counter = SlidingWindowCounter::Create(20.0, 10.0).MoveValueOrDie();
+  counter.Add(1, 5.0);
+  auto emissions = Collect(&counter, 35.0);  // Boundaries 10, 20, 30.
+  // Entity 1 appears in windows ending at 10 and 20 (bucket [0,10) is
+  // inside both), not 30.
+  ASSERT_EQ(emissions.size(), 2u);
+  EXPECT_DOUBLE_EQ(emissions[0].window_end, 10.0);
+  EXPECT_DOUBLE_EQ(emissions[1].window_end, 20.0);
+}
+
+TEST(SlidingWindowTest, WeightsAccumulate) {
+  auto counter = SlidingWindowCounter::Create(10.0, 10.0).MoveValueOrDie();
+  counter.Add(7, 1.0, 2.5);
+  counter.Add(7, 2.0, 0.5);
+  auto emissions = Collect(&counter, 10.0);
+  ASSERT_EQ(emissions.size(), 1u);
+  EXPECT_DOUBLE_EQ(emissions[0].count, 3.0);
+}
+
+TEST(SlidingWindowTest, AdvanceBeforeAnyAddIsNoop) {
+  auto counter = SlidingWindowCounter::Create(10.0, 10.0).MoveValueOrDie();
+  EXPECT_TRUE(Collect(&counter, 100.0).empty());
+}
+
+TEST(SlidingWindowTest, TracksDistinctEntities) {
+  auto counter = SlidingWindowCounter::Create(60.0, 10.0).MoveValueOrDie();
+  for (int64_t e = 0; e < 25; ++e) counter.Add(e, 1.0);
+  EXPECT_EQ(counter.tracked_entities(), 25u);
+}
+
+TEST(SlidingWindowTest, TumblingWindowCountsExactlyOnce) {
+  auto counter = SlidingWindowCounter::Create(10.0, 10.0).MoveValueOrDie();
+  counter.Add(1, 3.0);
+  auto first = Collect(&counter, 10.0);
+  ASSERT_EQ(first.size(), 1u);
+  // The event must not reappear in the next tumbling window.
+  auto second = Collect(&counter, 20.0);
+  EXPECT_TRUE(second.empty());
+}
+
+}  // namespace
+}  // namespace flower::flow

@@ -1,0 +1,136 @@
+#include "opt/grid_search.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace flower::opt {
+namespace {
+
+class TinyProblem final : public Problem {
+ public:
+  // Maximize (a, b) over a in [0, 3], b in [0, 3], s.t. a + 2b <= 5.
+  TinyProblem() {
+    vars_.push_back({"a", 0.0, 3.0, true});
+    vars_.push_back({"b", 0.0, 3.0, true});
+  }
+  const std::vector<VariableSpec>& variables() const override { return vars_; }
+  size_t num_objectives() const override { return 2; }
+  size_t num_constraints() const override { return 1; }
+  void Evaluate(const std::vector<double>& x, std::vector<double>* obj,
+                std::vector<double>* viol) const override {
+    obj->assign({x[0], x[1]});
+    viol->assign({std::max(0.0, x[0] + 2.0 * x[1] - 5.0)});
+  }
+
+ private:
+  std::vector<VariableSpec> vars_;
+};
+
+TEST(GridSearchTest, FindsExactFront) {
+  auto front = ExhaustiveParetoFront(TinyProblem());
+  ASSERT_TRUE(front.ok());
+  // Feasible non-dominated: (3,1) and (1,2)... enumerate:
+  // b=0 → a up to 3: (3,0) dominated by (3,1)? (3,1): 3+2=5 ok.
+  // b=1 → a<=3: (3,1). b=2 → a<=1: (1,2). b=3 → a+6<=5 infeasible.
+  ASSERT_EQ(front->size(), 2u);
+  EXPECT_EQ((*front)[0].objectives, (std::vector<double>{1, 2}));
+  EXPECT_EQ((*front)[1].objectives, (std::vector<double>{3, 1}));
+}
+
+TEST(GridSearchTest, SingleVariableMaximum) {
+  class OneVar final : public Problem {
+   public:
+    OneVar() { vars_.push_back({"x", 1.0, 10.0, true}); }
+    const std::vector<VariableSpec>& variables() const override {
+      return vars_;
+    }
+    size_t num_objectives() const override { return 1; }
+    size_t num_constraints() const override { return 0; }
+    void Evaluate(const std::vector<double>& x, std::vector<double>* obj,
+                  std::vector<double>* viol) const override {
+      obj->assign({x[0]});
+      viol->clear();
+    }
+
+   private:
+    std::vector<VariableSpec> vars_;
+  };
+  auto front = ExhaustiveParetoFront(OneVar());
+  ASSERT_TRUE(front.ok());
+  ASSERT_EQ(front->size(), 1u);
+  EXPECT_EQ((*front)[0].x[0], 10.0);
+}
+
+TEST(GridSearchTest, RejectsContinuousVariables) {
+  class ContinuousVar final : public Problem {
+   public:
+    ContinuousVar() { vars_.push_back({"x", 0.0, 1.0, false}); }
+    const std::vector<VariableSpec>& variables() const override {
+      return vars_;
+    }
+    size_t num_objectives() const override { return 1; }
+    size_t num_constraints() const override { return 0; }
+    void Evaluate(const std::vector<double>& x, std::vector<double>* obj,
+                  std::vector<double>* viol) const override {
+      obj->assign({x[0]});
+      viol->clear();
+    }
+
+   private:
+    std::vector<VariableSpec> vars_;
+  };
+  EXPECT_EQ(ExhaustiveParetoFront(ContinuousVar()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(GridSearchTest, RejectsOversizedGrid) {
+  class BigGrid final : public Problem {
+   public:
+    BigGrid() {
+      vars_.push_back({"a", 0.0, 9999.0, true});
+      vars_.push_back({"b", 0.0, 9999.0, true});
+    }
+    const std::vector<VariableSpec>& variables() const override {
+      return vars_;
+    }
+    size_t num_objectives() const override { return 2; }
+    size_t num_constraints() const override { return 0; }
+    void Evaluate(const std::vector<double>& x, std::vector<double>* obj,
+                  std::vector<double>* viol) const override {
+      obj->assign({x[0], x[1]});
+      viol->clear();
+    }
+
+   private:
+    std::vector<VariableSpec> vars_;
+  };
+  EXPECT_EQ(ExhaustiveParetoFront(BigGrid(), 1000).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(GridSearchTest, AllInfeasibleYieldsEmptyFront) {
+  class NoFeasible final : public Problem {
+   public:
+    NoFeasible() { vars_.push_back({"x", 0.0, 5.0, true}); }
+    const std::vector<VariableSpec>& variables() const override {
+      return vars_;
+    }
+    size_t num_objectives() const override { return 1; }
+    size_t num_constraints() const override { return 1; }
+    void Evaluate(const std::vector<double>& x, std::vector<double>* obj,
+                  std::vector<double>* viol) const override {
+      obj->assign({x[0]});
+      viol->assign({1.0});
+    }
+
+   private:
+    std::vector<VariableSpec> vars_;
+  };
+  auto front = ExhaustiveParetoFront(NoFeasible());
+  ASSERT_TRUE(front.ok());
+  EXPECT_TRUE(front->empty());
+}
+
+}  // namespace
+}  // namespace flower::opt

@@ -1,0 +1,320 @@
+#include "opt/nsga2.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "opt/grid_search.h"
+#include "opt/pareto.h"
+
+namespace flower::opt {
+namespace {
+
+/// Schaffer's SCH problem (maximization form): maximize
+/// f1 = -x^2, f2 = -(x-2)^2 over x in [-10, 10]. The Pareto-optimal
+/// set is x in [0, 2].
+class SchafferProblem final : public Problem {
+ public:
+  SchafferProblem() {
+    vars_.push_back({"x", -10.0, 10.0, false});
+  }
+  const std::vector<VariableSpec>& variables() const override { return vars_; }
+  size_t num_objectives() const override { return 2; }
+  size_t num_constraints() const override { return 0; }
+  void Evaluate(const std::vector<double>& x, std::vector<double>* obj,
+                std::vector<double>* viol) const override {
+    obj->assign({-x[0] * x[0], -(x[0] - 2.0) * (x[0] - 2.0)});
+    viol->clear();
+  }
+
+ private:
+  std::vector<VariableSpec> vars_;
+};
+
+/// A constrained integer problem small enough for the exhaustive
+/// oracle: maximize (a, b), a,b in [1, 20], subject to a + b <= 15.
+class BudgetedPair final : public Problem {
+ public:
+  BudgetedPair() {
+    vars_.push_back({"a", 1.0, 20.0, true});
+    vars_.push_back({"b", 1.0, 20.0, true});
+  }
+  const std::vector<VariableSpec>& variables() const override { return vars_; }
+  size_t num_objectives() const override { return 2; }
+  size_t num_constraints() const override { return 1; }
+  void Evaluate(const std::vector<double>& x, std::vector<double>* obj,
+                std::vector<double>* viol) const override {
+    obj->assign({x[0], x[1]});
+    viol->assign({std::max(0.0, x[0] + x[1] - 15.0)});
+  }
+
+ private:
+  std::vector<VariableSpec> vars_;
+};
+
+/// No feasible point exists: a >= 1 but constraint requires a <= 0.
+class InfeasibleProblem final : public Problem {
+ public:
+  InfeasibleProblem() { vars_.push_back({"a", 1.0, 5.0, true}); }
+  const std::vector<VariableSpec>& variables() const override { return vars_; }
+  size_t num_objectives() const override { return 1; }
+  size_t num_constraints() const override { return 1; }
+  void Evaluate(const std::vector<double>& x, std::vector<double>* obj,
+                std::vector<double>* viol) const override {
+    obj->assign({x[0]});
+    viol->assign({x[0]});  // Positive everywhere.
+  }
+
+ private:
+  std::vector<VariableSpec> vars_;
+};
+
+TEST(Nsga2Test, ConfigValidation) {
+  SchafferProblem p;
+  {
+    Nsga2Config cfg;
+    cfg.population_size = 3;  // Too small / odd.
+    EXPECT_FALSE(Nsga2(cfg).Solve(p).ok());
+  }
+  {
+    Nsga2Config cfg;
+    cfg.population_size = 5;  // Odd.
+    EXPECT_FALSE(Nsga2(cfg).Solve(p).ok());
+  }
+  {
+    Nsga2Config cfg;
+    cfg.generations = 0;
+    EXPECT_FALSE(Nsga2(cfg).Solve(p).ok());
+  }
+}
+
+TEST(Nsga2Test, SolvesSchafferFront) {
+  Nsga2Config cfg;
+  cfg.population_size = 60;
+  cfg.generations = 80;
+  cfg.seed = 7;
+  auto res = Nsga2(cfg).Solve(SchafferProblem());
+  ASSERT_TRUE(res.ok());
+  ASSERT_GE(res->pareto_front.size(), 10u);
+  for (const Solution& s : res->pareto_front) {
+    // Pareto set is x in [0, 2]; allow mild numerical slack.
+    EXPECT_GE(s.x[0], -0.1);
+    EXPECT_LE(s.x[0], 2.1);
+  }
+  // The front should cover both extremes reasonably well.
+  double best_f1 = -std::numeric_limits<double>::infinity();
+  double best_f2 = -std::numeric_limits<double>::infinity();
+  for (const Solution& s : res->pareto_front) {
+    best_f1 = std::max(best_f1, s.objectives[0]);
+    best_f2 = std::max(best_f2, s.objectives[1]);
+  }
+  EXPECT_GT(best_f1, -0.05);  // Near x = 0.
+  EXPECT_GT(best_f2, -0.05);  // Near x = 2.
+}
+
+TEST(Nsga2Test, DeterministicForFixedSeed) {
+  Nsga2Config cfg;
+  cfg.population_size = 40;
+  cfg.generations = 30;
+  cfg.seed = 99;
+  auto r1 = Nsga2(cfg).Solve(SchafferProblem());
+  auto r2 = Nsga2(cfg).Solve(SchafferProblem());
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  ASSERT_EQ(r1->pareto_front.size(), r2->pareto_front.size());
+  for (size_t i = 0; i < r1->pareto_front.size(); ++i) {
+    EXPECT_EQ(r1->pareto_front[i].x, r2->pareto_front[i].x);
+  }
+}
+
+TEST(Nsga2Test, DifferentSeedsBothConverge) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    Nsga2Config cfg;
+    cfg.population_size = 60;
+    cfg.generations = 60;
+    cfg.seed = seed;
+    auto res = Nsga2(cfg).Solve(SchafferProblem());
+    ASSERT_TRUE(res.ok());
+    for (const Solution& s : res->pareto_front) {
+      EXPECT_GE(s.x[0], -0.2);
+      EXPECT_LE(s.x[0], 2.2);
+    }
+  }
+}
+
+TEST(Nsga2Test, IntegerProblemMatchesExhaustiveOracle) {
+  BudgetedPair p;
+  auto oracle = ExhaustiveParetoFront(p);
+  ASSERT_TRUE(oracle.ok());
+  // Oracle front: all (a, b) with a + b == 15 → 14 points... but only
+  // non-dominated ones: every (a, 15-a) is mutually non-dominated.
+  ASSERT_EQ(oracle->size(), 14u);
+
+  Nsga2Config cfg;
+  cfg.population_size = 80;
+  cfg.generations = 100;
+  cfg.seed = 5;
+  auto res = Nsga2(cfg).Solve(p);
+  ASSERT_TRUE(res.ok());
+  // Every NSGA-II front point must be on the true front.
+  std::set<std::pair<double, double>> oracle_set;
+  for (const Solution& s : *oracle) {
+    oracle_set.insert({s.objectives[0], s.objectives[1]});
+  }
+  for (const Solution& s : res->pareto_front) {
+    EXPECT_TRUE(oracle_set.count({s.objectives[0], s.objectives[1]}))
+        << "(" << s.objectives[0] << ", " << s.objectives[1]
+        << ") not on the true front";
+  }
+  // And it should find most of the 14 true points.
+  EXPECT_GE(res->pareto_front.size(), 10u);
+}
+
+/// ZDT1 (Zitzler–Deb–Thiele #1), the standard 30-variable benchmark:
+/// minimize f1 = x0, f2 = g(x)·(1 − sqrt(x0/g)) with
+/// g = 1 + 9·mean(x1..x29); the true Pareto front has g = 1, i.e.
+/// f2 = 1 − sqrt(f1). Expressed here in maximization form (negated).
+class Zdt1Problem final : public Problem {
+ public:
+  Zdt1Problem() {
+    for (int i = 0; i < 30; ++i) {
+      vars_.push_back({"x" + std::to_string(i), 0.0, 1.0, false});
+    }
+  }
+  const std::vector<VariableSpec>& variables() const override { return vars_; }
+  size_t num_objectives() const override { return 2; }
+  size_t num_constraints() const override { return 0; }
+  void Evaluate(const std::vector<double>& x, std::vector<double>* obj,
+                std::vector<double>* viol) const override {
+    double g = 0.0;
+    for (size_t i = 1; i < x.size(); ++i) g += x[i];
+    g = 1.0 + 9.0 * g / static_cast<double>(x.size() - 1);
+    double f1 = x[0];
+    double f2 = g * (1.0 - std::sqrt(f1 / g));
+    obj->assign({-f1, -f2});
+    viol->clear();
+  }
+
+ private:
+  std::vector<VariableSpec> vars_;
+};
+
+TEST(Nsga2Test, ConvergesOnZdt1Benchmark) {
+  Nsga2Config cfg;
+  cfg.population_size = 100;
+  cfg.generations = 250;
+  cfg.seed = 3;
+  auto res = Nsga2(cfg).Solve(Zdt1Problem());
+  ASSERT_TRUE(res.ok());
+  ASSERT_GE(res->pareto_front.size(), 30u);
+  // Quality: mean distance of the found front to the true front
+  // f2 = 1 − sqrt(f1) (i.e. g − 1 ≈ 0) should be small.
+  double total_gap = 0.0;
+  double min_f1 = 1.0, max_f1 = 0.0;
+  for (const Solution& s : res->pareto_front) {
+    double f1 = -s.objectives[0];
+    double f2 = -s.objectives[1];
+    double ideal_f2 = 1.0 - std::sqrt(std::max(0.0, f1));
+    total_gap += std::fabs(f2 - ideal_f2);
+    min_f1 = std::min(min_f1, f1);
+    max_f1 = std::max(max_f1, f1);
+  }
+  double mean_gap =
+      total_gap / static_cast<double>(res->pareto_front.size());
+  EXPECT_LT(mean_gap, 0.15);       // Converged close to the true front.
+  EXPECT_LT(min_f1, 0.05);         // Covers the f1 ≈ 0 extreme...
+  EXPECT_GT(max_f1, 0.8);          // ...through to the f1 ≈ 1 extreme.
+}
+
+TEST(Nsga2Test, InfeasibleProblemYieldsEmptyFront) {
+  Nsga2Config cfg;
+  cfg.population_size = 20;
+  cfg.generations = 20;
+  auto res = Nsga2(cfg).Solve(InfeasibleProblem());
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res->pareto_front.empty());
+  EXPECT_EQ(res->final_population.size(), 20u);
+}
+
+TEST(Nsga2Test, EvaluationCountIsPopTimesGenerationsPlusInit) {
+  Nsga2Config cfg;
+  cfg.population_size = 20;
+  cfg.generations = 10;
+  auto res = Nsga2(cfg).Solve(SchafferProblem());
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->evaluations, 20u * 11u);
+}
+
+TEST(Nsga2Test, RejectsInvertedBounds) {
+  class BadBounds final : public Problem {
+   public:
+    BadBounds() { vars_.push_back({"x", 5.0, 1.0, false}); }
+    const std::vector<VariableSpec>& variables() const override {
+      return vars_;
+    }
+    size_t num_objectives() const override { return 1; }
+    size_t num_constraints() const override { return 0; }
+    void Evaluate(const std::vector<double>& x, std::vector<double>* obj,
+                  std::vector<double>* viol) const override {
+      obj->assign({x[0]});
+      viol->clear();
+    }
+
+   private:
+    std::vector<VariableSpec> vars_;
+  };
+  EXPECT_FALSE(Nsga2(Nsga2Config{}).Solve(BadBounds()).ok());
+}
+
+TEST(FastNonDominatedSortTest, RanksLayeredFronts) {
+  using internal::Individual;
+  auto mk = [](double a, double b) {
+    Individual ind;
+    ind.sol.objectives = {a, b};
+    return ind;
+  };
+  std::vector<Individual> pop = {mk(3, 3), mk(1, 1), mk(2, 2),
+                                 mk(3, 1), mk(1, 3)};
+  auto fronts = internal::FastNonDominatedSort(&pop);
+  ASSERT_GE(fronts.size(), 3u);
+  EXPECT_EQ(pop[0].rank, 0);  // (3,3) dominates everything.
+  EXPECT_EQ(pop[2].rank, 1);  // (2,2) dominated only by (3,3).
+  EXPECT_EQ(pop[3].rank, 1);  // (3,1) dominated only by (3,3).
+  EXPECT_EQ(pop[4].rank, 1);
+  EXPECT_EQ(pop[1].rank, 2);  // (1,1) dominated by (2,2) and (3,3).
+}
+
+TEST(CrowdingDistanceTest, BoundariesGetInfinity) {
+  using internal::Individual;
+  auto mk = [](double a, double b) {
+    Individual ind;
+    ind.sol.objectives = {a, b};
+    ind.rank = 0;
+    return ind;
+  };
+  std::vector<Individual> pop = {mk(1, 5), mk(2, 4), mk(3, 3), mk(4, 2),
+                                 mk(5, 1)};
+  std::vector<size_t> front = {0, 1, 2, 3, 4};
+  internal::AssignCrowdingDistance(front, &pop);
+  EXPECT_TRUE(std::isinf(pop[0].crowding));
+  EXPECT_TRUE(std::isinf(pop[4].crowding));
+  EXPECT_FALSE(std::isinf(pop[2].crowding));
+  EXPECT_GT(pop[2].crowding, 0.0);
+}
+
+TEST(CrowdingDistanceTest, TwoPointFrontAllInfinite) {
+  using internal::Individual;
+  Individual a, b;
+  a.sol.objectives = {1, 2};
+  b.sol.objectives = {2, 1};
+  std::vector<Individual> pop = {a, b};
+  internal::AssignCrowdingDistance({0, 1}, &pop);
+  EXPECT_TRUE(std::isinf(pop[0].crowding));
+  EXPECT_TRUE(std::isinf(pop[1].crowding));
+}
+
+}  // namespace
+}  // namespace flower::opt

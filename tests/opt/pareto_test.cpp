@@ -1,0 +1,74 @@
+#include "opt/pareto.h"
+
+#include <gtest/gtest.h>
+
+namespace flower::opt {
+namespace {
+
+Solution Sol(std::vector<double> obj, double violation = 0.0) {
+  Solution s;
+  s.objectives = std::move(obj);
+  s.total_violation = violation;
+  return s;
+}
+
+TEST(DominatesTest, StrictDominance) {
+  EXPECT_TRUE(Dominates({2, 2}, {1, 1}));
+  EXPECT_TRUE(Dominates({2, 1}, {1, 1}));
+  EXPECT_FALSE(Dominates({1, 1}, {1, 1}));  // Equal: no strict better.
+  EXPECT_FALSE(Dominates({2, 0}, {1, 1}));  // Trade-off.
+  EXPECT_FALSE(Dominates({0, 2}, {1, 1}));
+}
+
+TEST(DominatesTest, ThreeObjectives) {
+  EXPECT_TRUE(Dominates({5, 5, 5}, {5, 5, 4}));
+  EXPECT_FALSE(Dominates({5, 5, 3}, {5, 5, 4}));
+}
+
+TEST(ConstrainedDominatesTest, FeasibleBeatsInfeasible) {
+  EXPECT_TRUE(ConstrainedDominates(Sol({0, 0}), Sol({100, 100}, 1.0)));
+  EXPECT_FALSE(ConstrainedDominates(Sol({100, 100}, 1.0), Sol({0, 0})));
+}
+
+TEST(ConstrainedDominatesTest, LessViolationWinsAmongInfeasible) {
+  EXPECT_TRUE(ConstrainedDominates(Sol({0, 0}, 0.5), Sol({9, 9}, 2.0)));
+  EXPECT_FALSE(ConstrainedDominates(Sol({9, 9}, 2.0), Sol({0, 0}, 0.5)));
+  EXPECT_FALSE(ConstrainedDominates(Sol({1, 1}, 1.0), Sol({2, 2}, 1.0)));
+}
+
+TEST(ConstrainedDominatesTest, ParetoAmongFeasible) {
+  EXPECT_TRUE(ConstrainedDominates(Sol({3, 3}), Sol({2, 3})));
+  EXPECT_FALSE(ConstrainedDominates(Sol({3, 1}), Sol({1, 3})));
+}
+
+TEST(ParetoFrontTest, ExtractsNonDominated) {
+  std::vector<Solution> pop = {Sol({1, 5}), Sol({3, 3}), Sol({5, 1}),
+                               Sol({2, 2}), Sol({1, 1})};
+  auto front = ParetoFront(pop);
+  ASSERT_EQ(front.size(), 3u);
+  // Sorted lexicographically by objectives.
+  EXPECT_EQ(front[0].objectives, (std::vector<double>{1, 5}));
+  EXPECT_EQ(front[1].objectives, (std::vector<double>{3, 3}));
+  EXPECT_EQ(front[2].objectives, (std::vector<double>{5, 1}));
+}
+
+TEST(ParetoFrontTest, SkipsInfeasibleAndDeduplicates) {
+  std::vector<Solution> pop = {Sol({9, 9}, 1.0), Sol({1, 2}), Sol({1, 2}),
+                               Sol({2, 1})};
+  auto front = ParetoFront(pop);
+  EXPECT_EQ(front.size(), 2u);
+}
+
+TEST(ParetoFrontTest, EmptyInputAndAllInfeasible) {
+  EXPECT_TRUE(ParetoFront({}).empty());
+  EXPECT_TRUE(ParetoFront({Sol({1, 1}, 2.0)}).empty());
+}
+
+TEST(ParetoFrontTest, SinglePointIsItsOwnFront) {
+  auto front = ParetoFront({Sol({4, 4})});
+  ASSERT_EQ(front.size(), 1u);
+  EXPECT_EQ(front[0].objectives, (std::vector<double>{4, 4}));
+}
+
+}  // namespace
+}  // namespace flower::opt

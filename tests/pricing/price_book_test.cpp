@@ -1,0 +1,72 @@
+#include "pricing/price_book.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace flower::pricing {
+namespace {
+
+TEST(PriceBookTest, DefaultsArePositiveAndOrdered) {
+  PriceBook book;
+  double shard = book.HourlyPrice(ResourceKind::kKinesisShard);
+  double vm = book.HourlyPrice(ResourceKind::kEc2Instance);
+  double wcu = book.HourlyPrice(ResourceKind::kDynamoWcu);
+  double rcu = book.HourlyPrice(ResourceKind::kDynamoRcu);
+  EXPECT_GT(shard, 0.0);
+  EXPECT_GT(vm, shard);   // A VM costs more than a shard.
+  EXPECT_GT(shard, wcu);  // A shard costs more than one WCU.
+  EXPECT_GT(wcu, rcu);    // Writes cost more than reads.
+}
+
+TEST(PriceBookTest, OverridePrice) {
+  PriceBook book;
+  book.SetHourlyPrice(ResourceKind::kEc2Instance, 0.25);
+  EXPECT_DOUBLE_EQ(book.HourlyPrice(ResourceKind::kEc2Instance), 0.25);
+}
+
+TEST(PriceBookTest, CostScalesWithUnitsAndTime) {
+  PriceBook book;
+  book.SetHourlyPrice(ResourceKind::kEc2Instance, 0.10);
+  // 4 instances for 30 minutes = 4 * 0.5 h * 0.10.
+  EXPECT_NEAR(book.Cost(ResourceKind::kEc2Instance, 4, 1800.0), 0.20, 1e-12);
+  EXPECT_DOUBLE_EQ(book.Cost(ResourceKind::kEc2Instance, 0, 3600.0), 0.0);
+}
+
+TEST(ResourceKindToStringTest, AllKinds) {
+  EXPECT_EQ(ResourceKindToString(ResourceKind::kKinesisShard),
+            "kinesis-shard");
+  EXPECT_EQ(ResourceKindToString(ResourceKind::kEc2Instance),
+            "ec2-instance");
+  EXPECT_EQ(ResourceKindToString(ResourceKind::kDynamoWcu), "dynamodb-wcu");
+  EXPECT_EQ(ResourceKindToString(ResourceKind::kDynamoRcu), "dynamodb-rcu");
+}
+
+TEST(CostAccumulatorTest, IntegratesStepChanges) {
+  PriceBook book;
+  book.SetHourlyPrice(ResourceKind::kKinesisShard, 1.0);  // $1/shard-hour.
+  CostAccumulator acc(&book, ResourceKind::kKinesisShard);
+  ASSERT_TRUE(acc.SetQuantity(0.0, 2.0).ok());
+  ASSERT_TRUE(acc.SetQuantity(kHour, 4.0).ok());  // 2 shard-hours accrued.
+  EXPECT_NEAR(acc.CostUpTo(kHour), 2.0, 1e-12);
+  // One more hour at 4 shards.
+  EXPECT_NEAR(acc.CostUpTo(2 * kHour), 6.0, 1e-12);
+  EXPECT_DOUBLE_EQ(acc.current_quantity(), 4.0);
+}
+
+TEST(CostAccumulatorTest, CostBeforeAnyQuantityIsZero) {
+  PriceBook book;
+  CostAccumulator acc(&book, ResourceKind::kEc2Instance);
+  EXPECT_DOUBLE_EQ(acc.CostUpTo(1000.0), 0.0);
+}
+
+TEST(CostAccumulatorTest, RejectsInvalidUpdates) {
+  PriceBook book;
+  CostAccumulator acc(&book, ResourceKind::kEc2Instance);
+  EXPECT_FALSE(acc.SetQuantity(0.0, -1.0).ok());
+  ASSERT_TRUE(acc.SetQuantity(100.0, 1.0).ok());
+  EXPECT_FALSE(acc.SetQuantity(50.0, 2.0).ok());  // Time backwards.
+}
+
+}  // namespace
+}  // namespace flower::pricing

@@ -1,0 +1,111 @@
+#include "sim/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace flower::sim {
+namespace {
+
+TEST(SimulationTest, EventsFireInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  ASSERT_TRUE(sim.ScheduleAt(3.0, [&] { order.push_back(3); }).ok());
+  ASSERT_TRUE(sim.ScheduleAt(1.0, [&] { order.push_back(1); }).ok());
+  ASSERT_TRUE(sim.ScheduleAt(2.0, [&] { order.push_back(2); }).ok());
+  sim.RunUntil(10.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 10.0);
+  EXPECT_EQ(sim.events_executed(), 3u);
+}
+
+TEST(SimulationTest, SameTimeEventsFifo) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(sim.ScheduleAt(1.0, [&order, i] { order.push_back(i); }).ok());
+  }
+  sim.RunUntil(2.0);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulationTest, SchedulingInPastFails) {
+  Simulation sim;
+  ASSERT_TRUE(sim.ScheduleAt(5.0, [] {}).ok());
+  sim.RunUntil(5.0);
+  EXPECT_FALSE(sim.ScheduleAt(4.0, [] {}).ok());
+  EXPECT_FALSE(sim.ScheduleAfter(-1.0, [] {}).ok());
+}
+
+TEST(SimulationTest, RunUntilStopsAtBoundary) {
+  Simulation sim;
+  int fired = 0;
+  ASSERT_TRUE(sim.ScheduleAt(5.0, [&] { ++fired; }).ok());
+  ASSERT_TRUE(sim.ScheduleAt(15.0, [&] { ++fired; }).ok());
+  sim.RunUntil(10.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), 10.0);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.RunUntil(20.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulationTest, EventsCanScheduleEvents) {
+  Simulation sim;
+  std::vector<double> fire_times;
+  ASSERT_TRUE(sim.ScheduleAt(1.0, [&] {
+    fire_times.push_back(sim.Now());
+    (void)sim.ScheduleAfter(2.0, [&] { fire_times.push_back(sim.Now()); });
+  }).ok());
+  sim.RunUntil(10.0);
+  EXPECT_EQ(fire_times, (std::vector<double>{1.0, 3.0}));
+}
+
+TEST(SimulationTest, PeriodicFiresUntilCallbackStops) {
+  Simulation sim;
+  int count = 0;
+  ASSERT_TRUE(sim.SchedulePeriodic(10.0, 10.0, [&] {
+    ++count;
+    return count < 3;
+  }).ok());
+  sim.RunUntil(100.0);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(SimulationTest, PeriodicRunsForever) {
+  Simulation sim;
+  int count = 0;
+  ASSERT_TRUE(sim.SchedulePeriodic(1.0, 1.0, [&] {
+    ++count;
+    return true;
+  }).ok());
+  sim.RunUntil(100.0);
+  EXPECT_EQ(count, 100);
+}
+
+TEST(SimulationTest, PeriodicValidatesArguments) {
+  Simulation sim;
+  EXPECT_FALSE(sim.SchedulePeriodic(0.0, 0.0, [] { return true; }).ok());
+  EXPECT_FALSE(sim.SchedulePeriodic(0.0, -5.0, [] { return true; }).ok());
+}
+
+TEST(SimulationTest, StepExecutesOneEvent) {
+  Simulation sim;
+  int fired = 0;
+  ASSERT_TRUE(sim.ScheduleAt(1.0, [&] { ++fired; }).ok());
+  ASSERT_TRUE(sim.ScheduleAt(2.0, [&] { ++fired; }).ok());
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), 1.0);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulationTest, RunUntilOnEmptyQueueAdvancesClock) {
+  Simulation sim;
+  sim.RunUntil(42.0);
+  EXPECT_EQ(sim.Now(), 42.0);
+}
+
+}  // namespace
+}  // namespace flower::sim

@@ -1,0 +1,85 @@
+#include "stats/robust.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "stats/linreg.h"
+
+namespace flower::stats {
+namespace {
+
+TEST(TheilSenTest, ExactLineRecovered) {
+  std::vector<double> x{0, 1, 2, 3, 4, 5};
+  std::vector<double> y;
+  for (double xi : x) y.push_back(4.8 + 0.2 * xi);
+  auto fit = FitTheilSen(x, y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->slope, 0.2, 1e-12);
+  EXPECT_NEAR(fit->intercept, 4.8, 1e-12);
+  EXPECT_EQ(fit->pairs_used, 15u);
+}
+
+TEST(TheilSenTest, SurvivesGrossOutliersWhereOlsBreaks) {
+  Rng rng(3);
+  std::vector<double> x, y;
+  for (int i = 0; i < 200; ++i) {
+    double xi = rng.Uniform(0, 100);
+    x.push_back(xi);
+    y.push_back(2.0 + 0.5 * xi + rng.Normal(0, 0.2));
+  }
+  // Corrupt 15% of the samples with monitoring glitches (zeros and
+  // absurd spikes).
+  for (int i = 0; i < 30; ++i) {
+    y[static_cast<size_t>(i * 6)] = (i % 2 == 0) ? 0.0 : 5000.0;
+  }
+  auto robust = FitTheilSen(x, y);
+  auto ols = FitSimple(x, y);
+  ASSERT_TRUE(robust.ok());
+  ASSERT_TRUE(ols.ok());
+  EXPECT_NEAR(robust->slope, 0.5, 0.05);
+  EXPECT_NEAR(robust->intercept, 2.0, 1.5);
+  // OLS slope is dragged far off by the spikes.
+  EXPECT_GT(std::fabs(ols->slope - 0.5), 0.5);
+}
+
+TEST(TheilSenTest, SubsamplingKicksInForLargeN) {
+  Rng rng(7);
+  std::vector<double> x, y;
+  for (int i = 0; i < 3000; ++i) {
+    double xi = rng.Uniform(0, 10);
+    x.push_back(xi);
+    y.push_back(1.0 + 3.0 * xi + rng.Normal(0, 0.1));
+  }
+  // 3000 choose 2 ≈ 4.5M pairs > 100k cap → subsample.
+  auto fit = FitTheilSen(x, y, /*max_pairs=*/100000, /*seed=*/5);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_LE(fit->pairs_used, 100000u);
+  EXPECT_NEAR(fit->slope, 3.0, 0.05);
+  EXPECT_NEAR(fit->intercept, 1.0, 0.3);
+}
+
+TEST(TheilSenTest, DeterministicForSeed) {
+  Rng rng(9);
+  std::vector<double> x, y;
+  for (int i = 0; i < 2000; ++i) {
+    double xi = rng.Uniform(0, 10);
+    x.push_back(xi);
+    y.push_back(xi + rng.Normal(0, 1));
+  }
+  auto a = FitTheilSen(x, y, 50000, 11);
+  auto b = FitTheilSen(x, y, 50000, 11);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->slope, b->slope);
+  EXPECT_DOUBLE_EQ(a->intercept, b->intercept);
+}
+
+TEST(TheilSenTest, Validation) {
+  EXPECT_FALSE(FitTheilSen({1, 2}, {1}).ok());
+  EXPECT_FALSE(FitTheilSen({1, 2}, {1, 2}).ok());
+  EXPECT_EQ(FitTheilSen({3, 3, 3}, {1, 2, 3}).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace flower::stats

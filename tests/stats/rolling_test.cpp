@@ -1,0 +1,90 @@
+#include "stats/rolling.h"
+
+#include <gtest/gtest.h>
+
+namespace flower::stats {
+namespace {
+
+TEST(EmaTest, FirstObservationInitializes) {
+  Ema ema(0.5);
+  EXPECT_FALSE(ema.initialized());
+  EXPECT_DOUBLE_EQ(ema.Update(10.0), 10.0);
+  EXPECT_TRUE(ema.initialized());
+}
+
+TEST(EmaTest, ConvergesToConstantInput) {
+  Ema ema(0.3);
+  ema.Update(0.0);
+  double v = 0.0;
+  for (int i = 0; i < 100; ++i) v = ema.Update(5.0);
+  EXPECT_NEAR(v, 5.0, 1e-9);
+}
+
+TEST(EmaTest, AlphaOneTracksExactly) {
+  Ema ema(1.0);
+  ema.Update(1.0);
+  EXPECT_DOUBLE_EQ(ema.Update(42.0), 42.0);
+}
+
+TEST(EmaTest, RecurrenceIsExact) {
+  Ema ema(0.25);
+  ema.Update(8.0);
+  EXPECT_DOUBLE_EQ(ema.Update(4.0), 0.25 * 4.0 + 0.75 * 8.0);
+}
+
+TEST(EmaTest, ResetClearsState) {
+  Ema ema(0.5);
+  ema.Update(10.0);
+  ema.Reset();
+  EXPECT_FALSE(ema.initialized());
+  EXPECT_DOUBLE_EQ(ema.Update(2.0), 2.0);
+}
+
+TEST(RollingWindowTest, MeanOverPartialAndFullWindow) {
+  RollingWindow w(3);
+  w.Add(3.0);
+  EXPECT_DOUBLE_EQ(w.Mean(), 3.0);
+  EXPECT_FALSE(w.full());
+  w.Add(6.0);
+  w.Add(9.0);
+  EXPECT_TRUE(w.full());
+  EXPECT_DOUBLE_EQ(w.Mean(), 6.0);
+}
+
+TEST(RollingWindowTest, EvictsOldest) {
+  RollingWindow w(2);
+  w.Add(1.0);
+  w.Add(2.0);
+  w.Add(10.0);  // Evicts 1.0.
+  EXPECT_EQ(w.size(), 2u);
+  EXPECT_DOUBLE_EQ(w.Mean(), 6.0);
+  EXPECT_DOUBLE_EQ(w.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(w.Max(), 10.0);
+  EXPECT_DOUBLE_EQ(w.Last(), 10.0);
+}
+
+TEST(RollingWindowTest, EmptyWindowIsZero) {
+  RollingWindow w(4);
+  EXPECT_EQ(w.size(), 0u);
+  EXPECT_DOUBLE_EQ(w.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(w.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(w.Max(), 0.0);
+}
+
+TEST(RollingWindowTest, ClearResets) {
+  RollingWindow w(3);
+  w.Add(5.0);
+  w.Clear();
+  EXPECT_EQ(w.size(), 0u);
+  w.Add(1.0);
+  EXPECT_DOUBLE_EQ(w.Mean(), 1.0);
+}
+
+TEST(RollingWindowTest, LongStreamSumStaysAccurate) {
+  RollingWindow w(10);
+  for (int i = 0; i < 100000; ++i) w.Add(1.0);
+  EXPECT_NEAR(w.Mean(), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace flower::stats

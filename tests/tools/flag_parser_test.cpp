@@ -1,0 +1,79 @@
+#include "tools/flag_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace flower::tools {
+namespace {
+
+FlagParser MustParse(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  auto parsed = FlagParser::Parse(static_cast<int>(argv.size()),
+                                  argv.data());
+  EXPECT_TRUE(parsed.ok()) << parsed.status();
+  return parsed.MoveValueOrDie();
+}
+
+TEST(FlagParserTest, KeyValueAndBareFlags) {
+  FlagParser flags = MustParse({"--rate=800", "--quiet"});
+  EXPECT_TRUE(flags.Has("rate"));
+  EXPECT_TRUE(flags.Has("quiet"));
+  EXPECT_FALSE(flags.Has("hours"));
+  EXPECT_EQ(flags.GetString("rate", ""), "800");
+  EXPECT_TRUE(flags.GetBool("quiet"));
+}
+
+TEST(FlagParserTest, TypedGettersWithDefaults) {
+  FlagParser flags = MustParse({"--rate=800.5", "--seed=42"});
+  EXPECT_DOUBLE_EQ(*flags.GetDouble("rate", 0.0), 800.5);
+  EXPECT_EQ(*flags.GetInt("seed", 0), 42);
+  EXPECT_DOUBLE_EQ(*flags.GetDouble("missing", 3.5), 3.5);
+  EXPECT_EQ(*flags.GetInt("missing", 7), 7);
+  EXPECT_EQ(flags.GetString("missing", "x"), "x");
+}
+
+TEST(FlagParserTest, MalformedNumbersAreErrors) {
+  FlagParser flags = MustParse({"--rate=fast", "--seed=4x"});
+  EXPECT_FALSE(flags.GetDouble("rate", 0.0).ok());
+  EXPECT_FALSE(flags.GetInt("seed", 0).ok());
+}
+
+TEST(FlagParserTest, BoolSemantics) {
+  FlagParser flags = MustParse({"--a=false", "--b=0", "--c=true", "--d"});
+  EXPECT_FALSE(flags.GetBool("a"));
+  EXPECT_FALSE(flags.GetBool("b"));
+  EXPECT_TRUE(flags.GetBool("c"));
+  EXPECT_TRUE(flags.GetBool("d"));
+  EXPECT_TRUE(flags.GetBool("missing", true));
+  EXPECT_FALSE(flags.GetBool("missing", false));
+}
+
+TEST(FlagParserTest, RejectsNonFlagsAndDuplicates) {
+  const char* bad1[] = {"prog", "positional"};
+  EXPECT_FALSE(FlagParser::Parse(2, bad1).ok());
+  const char* bad2[] = {"prog", "--a=1", "--a=2"};
+  EXPECT_FALSE(FlagParser::Parse(3, bad2).ok());
+  const char* bad3[] = {"prog", "--"};
+  EXPECT_FALSE(FlagParser::Parse(2, bad3).ok());
+}
+
+TEST(FlagParserTest, UnknownKeysDetected) {
+  FlagParser flags = MustParse({"--rate=1", "--tpyo=2"});
+  auto unknown = flags.UnknownKeys({"rate", "hours"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "tpyo");
+}
+
+TEST(FlagParserTest, ValueMayContainEquals) {
+  FlagParser flags = MustParse({"--expr=a=b"});
+  EXPECT_EQ(flags.GetString("expr", ""), "a=b");
+}
+
+TEST(FlagParserTest, EmptyArgvIsOk) {
+  const char* argv[] = {"prog"};
+  auto parsed = FlagParser::Parse(1, argv);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed->Has("anything"));
+}
+
+}  // namespace
+}  // namespace flower::tools

@@ -1,0 +1,144 @@
+#include "workload/clickstream.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace flower::workload {
+namespace {
+
+kinesis::StreamConfig BigStream() {
+  kinesis::StreamConfig cfg;
+  cfg.name = "clicks";
+  cfg.initial_shards = 16;  // Ample capacity: no throttling.
+  cfg.max_shards = 64;
+  return cfg;
+}
+
+ClickStreamConfig SmallConfig() {
+  ClickStreamConfig cfg;
+  cfg.num_users = 1000;
+  cfg.num_urls = 50;
+  cfg.generator_instances = 4;
+  return cfg;
+}
+
+TEST(ClickStreamTest, GeneratesApproximatelyExpectedVolume) {
+  sim::Simulation sim;
+  kinesis::Stream stream(&sim, nullptr, BigStream());
+  ClickStreamGenerator gen(&sim, &stream,
+                           std::make_shared<ConstantArrival>(500.0),
+                           SmallConfig(), 42);
+  sim.RunUntil(100.0);
+  // ~500 rec/s * 100 s = 50k (Poisson, 4 instances).
+  EXPECT_NEAR(static_cast<double>(gen.total_generated()), 50000.0, 2500.0);
+  EXPECT_EQ(gen.total_dropped(), 0u);
+  EXPECT_EQ(stream.total_incoming(), gen.total_generated());
+}
+
+TEST(ClickStreamTest, DeterministicForSeed) {
+  auto run = [](uint64_t seed) {
+    sim::Simulation sim;
+    kinesis::Stream stream(&sim, nullptr, BigStream());
+    ClickStreamGenerator gen(&sim, &stream,
+                             std::make_shared<ConstantArrival>(200.0),
+                             SmallConfig(), seed);
+    sim.RunUntil(50.0);
+    return gen.total_generated();
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(ClickStreamTest, DropsCountedWhenStreamThrottles) {
+  sim::Simulation sim;
+  kinesis::StreamConfig cfg;
+  cfg.name = "tiny";
+  cfg.initial_shards = 1;  // 1000 rec/s capacity.
+  kinesis::Stream stream(&sim, nullptr, cfg);
+  ClickStreamGenerator gen(&sim, &stream,
+                           std::make_shared<ConstantArrival>(3000.0),
+                           SmallConfig(), 42);
+  sim.RunUntil(60.0);
+  EXPECT_GT(gen.total_dropped(), 0u);
+  EXPECT_NEAR(static_cast<double>(gen.total_dropped()),
+              static_cast<double>(gen.total_generated()) * 2.0 / 3.0,
+              static_cast<double>(gen.total_generated()) * 0.15);
+}
+
+TEST(ClickStreamTest, UrlPopularityIsSkewed) {
+  sim::Simulation sim;
+  kinesis::Stream stream(&sim, nullptr, BigStream());
+  ClickStreamConfig cfg = SmallConfig();
+  cfg.url_zipf_skew = 1.2;
+  ClickStreamGenerator gen(&sim, &stream,
+                           std::make_shared<ConstantArrival>(2000.0), cfg,
+                           42);
+  sim.RunUntil(30.0);
+  // Drain all shards and tally URLs.
+  std::map<int64_t, int> counts;
+  for (int s = 0; s < stream.shard_count(); ++s) {
+    auto recs = stream.GetRecords(s, 1000000);
+    ASSERT_TRUE(recs.ok());
+    for (const auto& r : *recs) counts[r.entity_id]++;
+  }
+  ASSERT_FALSE(counts.empty());
+  // Rank-0 URL should dominate the median URL.
+  int top = counts.begin()->second;
+  for (const auto& [url, c] : counts) top = std::max(top, c);
+  int median = 0;
+  {
+    std::vector<int> v;
+    for (const auto& [url, c] : counts) v.push_back(c);
+    std::sort(v.begin(), v.end());
+    median = v[v.size() / 2];
+  }
+  EXPECT_GT(top, 5 * median);
+}
+
+TEST(ClickStreamTest, StopHaltsEmission) {
+  sim::Simulation sim;
+  kinesis::Stream stream(&sim, nullptr, BigStream());
+  ClickStreamGenerator gen(&sim, &stream,
+                           std::make_shared<ConstantArrival>(500.0),
+                           SmallConfig(), 42);
+  sim.RunUntil(10.0);
+  uint64_t at_stop = gen.total_generated();
+  EXPECT_GT(at_stop, 0u);
+  gen.Stop();
+  sim.RunUntil(20.0);
+  EXPECT_EQ(gen.total_generated(), at_stop);
+}
+
+TEST(ClickStreamTest, ZeroRateGeneratesNothing) {
+  sim::Simulation sim;
+  kinesis::Stream stream(&sim, nullptr, BigStream());
+  ClickStreamGenerator gen(&sim, &stream,
+                           std::make_shared<ConstantArrival>(0.0),
+                           SmallConfig(), 42);
+  sim.RunUntil(20.0);
+  EXPECT_EQ(gen.total_generated(), 0u);
+}
+
+TEST(ClickStreamTest, RecordSizesWithinJitterBounds) {
+  sim::Simulation sim;
+  kinesis::Stream stream(&sim, nullptr, BigStream());
+  ClickStreamConfig cfg = SmallConfig();
+  cfg.record_bytes_mean = 256;
+  cfg.record_bytes_jitter = 64;
+  ClickStreamGenerator gen(&sim, &stream,
+                           std::make_shared<ConstantArrival>(500.0), cfg,
+                           42);
+  sim.RunUntil(10.0);
+  for (int s = 0; s < stream.shard_count(); ++s) {
+    auto recs = stream.GetRecords(s, 100000);
+    ASSERT_TRUE(recs.ok());
+    for (const auto& r : *recs) {
+      EXPECT_GE(r.size_bytes, 192);
+      EXPECT_LE(r.size_bytes, 320);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace flower::workload

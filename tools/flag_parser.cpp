@@ -1,0 +1,83 @@
+#include "tools/flag_parser.h"
+
+#include <algorithm>
+
+namespace flower::tools {
+
+Result<FlagParser> FlagParser::Parse(int argc, const char* const* argv) {
+  FlagParser parser;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0 || arg.size() <= 2) {
+      return Status::InvalidArgument("unexpected argument: '" + arg +
+                                     "' (flags are --key=value)");
+    }
+    std::string body = arg.substr(2);
+    std::string key = body, value = "true";
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      key = body.substr(0, eq);
+      value = body.substr(eq + 1);
+    }
+    if (parser.flags_.count(key) > 0) {
+      return Status::InvalidArgument("duplicate flag: --" + key);
+    }
+    parser.flags_[key] = value;
+  }
+  return parser;
+}
+
+std::string FlagParser::GetString(const std::string& key,
+                                  const std::string& fallback) const {
+  auto it = flags_.find(key);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+Result<double> FlagParser::GetDouble(const std::string& key,
+                                     double fallback) const {
+  auto it = flags_.find(key);
+  if (it == flags_.end()) return fallback;
+  try {
+    size_t pos = 0;
+    double v = std::stod(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument("trailing");
+    return v;
+  } catch (...) {
+    return Status::InvalidArgument("--" + key + " expects a number, got '" +
+                                   it->second + "'");
+  }
+}
+
+Result<int64_t> FlagParser::GetInt(const std::string& key,
+                                   int64_t fallback) const {
+  auto it = flags_.find(key);
+  if (it == flags_.end()) return fallback;
+  try {
+    size_t pos = 0;
+    int64_t v = std::stoll(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument("trailing");
+    return v;
+  } catch (...) {
+    return Status::InvalidArgument("--" + key + " expects an integer, got '" +
+                                   it->second + "'");
+  }
+}
+
+bool FlagParser::GetBool(const std::string& key, bool fallback) const {
+  auto it = flags_.find(key);
+  if (it == flags_.end()) return fallback;
+  return it->second != "false" && it->second != "0";
+}
+
+std::vector<std::string> FlagParser::UnknownKeys(
+    const std::vector<std::string>& known) const {
+  std::vector<std::string> unknown;
+  for (const auto& [key, value] : flags_) {
+    if (std::find(known.begin(), known.end(), key) == known.end()) {
+      unknown.push_back(key);
+    }
+  }
+  return unknown;
+}
+
+}  // namespace flower::tools

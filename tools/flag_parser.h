@@ -1,0 +1,39 @@
+#ifndef FLOWER_TOOLS_FLAG_PARSER_H_
+#define FLOWER_TOOLS_FLAG_PARSER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace flower::tools {
+
+/// Minimal `--key=value` / `--flag` command-line parser for the CLI
+/// tools (no external dependencies).
+class FlagParser {
+ public:
+  /// Parses argv. Errors: arguments not starting with `--`, or
+  /// duplicate keys.
+  static Result<FlagParser> Parse(int argc, const char* const* argv);
+
+  bool Has(const std::string& key) const { return flags_.count(key) > 0; }
+
+  /// Typed getters with defaults; errors when present but unparsable.
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const;
+  Result<double> GetDouble(const std::string& key, double fallback) const;
+  Result<int64_t> GetInt(const std::string& key, int64_t fallback) const;
+  bool GetBool(const std::string& key, bool fallback = false) const;
+
+  /// Keys the program never consumed (typo detection).
+  std::vector<std::string> UnknownKeys(
+      const std::vector<std::string>& known) const;
+
+ private:
+  std::map<std::string, std::string> flags_;
+};
+
+}  // namespace flower::tools
+
+#endif  // FLOWER_TOOLS_FLAG_PARSER_H_

@@ -1,0 +1,358 @@
+// flower_sim — command-line experiment driver for the Flower simulator.
+//
+// Runs the managed click-stream flow for a configurable duration,
+// controller family, and workload, then prints a summary (and
+// optionally the raw metric CSV for plotting). Examples:
+//
+//   flower_sim --hours=4
+//   flower_sim --controller=rule-based --workload=flashcrowd --rate=900
+//   flower_sim --workload=diurnal --rate=800 --amplitude=600 \
+//              --period-hours=6 --reference=70 --csv-out=metrics.csv
+//   flower_sim --trace=prod.csv --controller=feedforward
+//
+// Exit code 0 on success; 2 on bad flags.
+
+#include <cmath>
+#include <fstream>
+#include <iostream>
+
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "control/metrics.h"
+#include "core/flow_builder.h"
+#include "core/monitor.h"
+#include "tools/flag_parser.h"
+#include "workload/trace_io.h"
+
+using namespace flower;
+
+namespace {
+
+constexpr const char* kUsage = R"(flower_sim — Flower simulator experiment driver
+
+Flags (all optional):
+  --controller=NAME     adaptive-gain | adaptive-gain-no-memory | fixed-gain |
+                        quasi-adaptive | rule-based | target-tracking |
+                        feedforward                     [adaptive-gain]
+  --workload=KIND       constant | diurnal | flashcrowd | mmpp   [diurnal]
+  --trace=FILE.csv      replay a rate trace instead of --workload
+  --rate=N              base rate, records/s                     [800]
+  --amplitude=N         diurnal amplitude / surge height         [600]
+  --period-hours=H      diurnal period                           [4]
+  --hours=H             simulated duration                       [4]
+  --reference=PCT       target utilization, all layers           [60]
+  --monitoring-period=S control period, seconds                  [120]
+  --seed=N              RNG seed                                 [42]
+  --seeds=N             replicate over N consecutive seeds and report
+                        mean +/- sd of the headline metrics       [1]
+  --csv-out=FILE        dump watched metrics as CSV
+  --quiet               summary only (no dashboard)
+  --help                this text
+)";
+
+Result<std::shared_ptr<workload::ArrivalProcess>> MakeWorkload(
+    const tools::FlagParser& flags, double hours) {
+  FLOWER_ASSIGN_OR_RETURN(double rate, flags.GetDouble("rate", 800.0));
+  FLOWER_ASSIGN_OR_RETURN(double amplitude,
+                          flags.GetDouble("amplitude", 600.0));
+  FLOWER_ASSIGN_OR_RETURN(double period_hours,
+                          flags.GetDouble("period-hours", 4.0));
+  FLOWER_ASSIGN_OR_RETURN(int64_t seed, flags.GetInt("seed", 42));
+  std::string trace_path = flags.GetString("trace", "");
+  if (!trace_path.empty()) {
+    FLOWER_ASSIGN_OR_RETURN(TimeSeries trace,
+                            workload::LoadRateTraceCsv(trace_path));
+    return std::shared_ptr<workload::ArrivalProcess>(
+        std::make_shared<workload::TraceArrival>(std::move(trace)));
+  }
+  std::string kind = flags.GetString("workload", "diurnal");
+  if (kind == "constant") {
+    return std::shared_ptr<workload::ArrivalProcess>(
+        std::make_shared<workload::ConstantArrival>(rate));
+  }
+  if (kind == "diurnal") {
+    return std::shared_ptr<workload::ArrivalProcess>(
+        std::make_shared<workload::DiurnalArrival>(rate, amplitude,
+                                                   period_hours * kHour));
+  }
+  if (kind == "flashcrowd") {
+    auto composite = std::make_shared<workload::CompositeArrival>();
+    composite->Add(std::make_shared<workload::ConstantArrival>(rate));
+    composite->Add(std::make_shared<workload::FlashCrowdArrival>(
+        0.0, amplitude * 3.0, hours * kHour / 2.0, 30.0 * kMinute,
+        5.0 * kMinute));
+    return std::shared_ptr<workload::ArrivalProcess>(composite);
+  }
+  if (kind == "mmpp") {
+    return std::shared_ptr<workload::ArrivalProcess>(
+        std::make_shared<workload::MmppArrival>(
+            rate, rate + 2.0 * amplitude, 20.0 * kMinute, 10.0 * kMinute,
+            hours * kHour, static_cast<uint64_t>(seed)));
+  }
+  return Status::InvalidArgument("unknown --workload: " + kind);
+}
+
+struct ReplicaMetrics {
+  double drop_pct = 0.0;
+  double out_of_band_pct = 0.0;
+  double overload_pct = 0.0;
+  double mae = 0.0;
+  double resizes = 0.0;
+};
+
+// Runs one replication of the configured scenario and fills `out`.
+// Returns non-zero on error (mirrors RunOrDie's reporting).
+Result<ReplicaMetrics> RunReplica(const tools::FlagParser& flags,
+                                  uint64_t seed) {
+  FLOWER_ASSIGN_OR_RETURN(double hours, flags.GetDouble("hours", 4.0));
+  FLOWER_ASSIGN_OR_RETURN(double reference,
+                          flags.GetDouble("reference", 60.0));
+  FLOWER_ASSIGN_OR_RETURN(double period,
+                          flags.GetDouble("monitoring-period", 120.0));
+  FLOWER_ASSIGN_OR_RETURN(
+      core::ControllerKind kind,
+      core::ControllerKindFromString(
+          flags.GetString("controller", "adaptive-gain")));
+  FLOWER_ASSIGN_OR_RETURN(std::shared_ptr<workload::ArrivalProcess> arrival,
+                          MakeWorkload(flags, hours));
+
+  sim::Simulation sim;
+  cloudwatch::MetricStore metrics;
+  core::LayerElasticityConfig layer_defaults;
+  layer_defaults.reference_utilization_pct = reference;
+  layer_defaults.monitoring_period_sec = period;
+  layer_defaults.monitoring_window_sec = period;
+  core::LayerElasticityConfig analytics = layer_defaults;
+  analytics.max_resource = 40.0;
+  FLOWER_ASSIGN_OR_RETURN(core::ManagedFlow managed,
+                          core::FlowBuilder()
+                              .WithAnalytics(analytics)
+                              .WithControllerKind(kind)
+                              .WithWorkload(arrival)
+                              .WithSeed(seed)
+                              .Build(&sim, &metrics));
+  double horizon = hours * kHour;
+  sim.RunUntil(horizon);
+
+  ReplicaMetrics out;
+  auto& flow = *managed.flow;
+  out.drop_pct =
+      flow.generator()->total_generated() > 0
+          ? 100.0 *
+                static_cast<double>(flow.generator()->total_dropped()) /
+                static_cast<double>(flow.generator()->total_generated())
+          : 0.0;
+  FLOWER_ASSIGN_OR_RETURN(const core::LayerControlState* state,
+                          managed.manager->GetState(core::Layer::kAnalytics));
+  FLOWER_ASSIGN_OR_RETURN(
+      control::ControlQuality quality,
+      control::EvaluateControl(
+          state->sensed.Window(30.0 * kMinute, horizon),
+          state->actuations, reference, 15.0, horizon));
+  out.out_of_band_pct = 100.0 * quality.violation_fraction;
+  out.overload_pct = 100.0 * quality.overload_fraction;
+  out.mae = quality.mean_abs_error;
+  out.resizes = static_cast<double>(quality.actuation_changes);
+  return out;
+}
+
+// Replicated mode: run N seeds, print per-seed rows and mean +/- sd.
+int RunReplicated(const tools::FlagParser& flags, int64_t seeds) {
+  auto seed0 = flags.GetInt("seed", 42);
+  if (!seed0.ok()) {
+    std::cerr << seed0.status() << "\n";
+    return 2;
+  }
+  TablePrinter table({"seed", "drop %", "out-of-band %", "overload %",
+                      "MAE", "resizes"});
+  std::vector<ReplicaMetrics> all;
+  for (int64_t s = 0; s < seeds; ++s) {
+    auto m = RunReplica(flags, static_cast<uint64_t>(*seed0 + s));
+    if (!m.ok()) {
+      std::cerr << "seed " << (*seed0 + s) << ": " << m.status() << "\n";
+      return 1;
+    }
+    table.AddRow({std::to_string(*seed0 + s),
+                  TablePrinter::Num(m->drop_pct, 3),
+                  TablePrinter::Num(m->out_of_band_pct, 1),
+                  TablePrinter::Num(m->overload_pct, 1),
+                  TablePrinter::Num(m->mae, 1),
+                  TablePrinter::Num(m->resizes, 0)});
+    all.push_back(*m);
+  }
+  auto stats_row = [&](auto getter) {
+    std::vector<double> v;
+    for (const ReplicaMetrics& m : all) v.push_back(getter(m));
+    double mean = 0.0;
+    for (double x : v) mean += x;
+    mean /= static_cast<double>(v.size());
+    double var = 0.0;
+    for (double x : v) var += (x - mean) * (x - mean);
+    var = v.size() > 1 ? var / static_cast<double>(v.size() - 1) : 0.0;
+    return TablePrinter::Num(mean, 2) + " +/- " +
+           TablePrinter::Num(std::sqrt(var), 2);
+  };
+  table.AddRow({"mean",
+                stats_row([](const ReplicaMetrics& m) { return m.drop_pct; }),
+                stats_row([](const ReplicaMetrics& m) {
+                  return m.out_of_band_pct;
+                }),
+                stats_row([](const ReplicaMetrics& m) {
+                  return m.overload_pct;
+                }),
+                stats_row([](const ReplicaMetrics& m) { return m.mae; }),
+                stats_row([](const ReplicaMetrics& m) {
+                  return m.resizes;
+                })});
+  table.Print(std::cout);
+  return 0;
+}
+
+int RunOrDie(const tools::FlagParser& flags) {
+  auto hours_or = flags.GetDouble("hours", 4.0);
+  auto reference_or = flags.GetDouble("reference", 60.0);
+  auto period_or = flags.GetDouble("monitoring-period", 120.0);
+  auto seed_or = flags.GetInt("seed", 42);
+  if (!hours_or.ok() || !reference_or.ok() || !period_or.ok() ||
+      !seed_or.ok()) {
+    std::cerr << "bad numeric flag\n";
+    return 2;
+  }
+  double hours = *hours_or;
+  auto kind =
+      core::ControllerKindFromString(flags.GetString("controller",
+                                                     "adaptive-gain"));
+  if (!kind.ok()) {
+    std::cerr << kind.status() << "\n";
+    return 2;
+  }
+  auto arrival = MakeWorkload(flags, hours);
+  if (!arrival.ok()) {
+    std::cerr << arrival.status() << "\n";
+    return 2;
+  }
+
+  sim::Simulation sim;
+  cloudwatch::MetricStore metrics;
+  core::LayerElasticityConfig layer_defaults;
+  layer_defaults.reference_utilization_pct = *reference_or;
+  layer_defaults.monitoring_period_sec = *period_or;
+  layer_defaults.monitoring_window_sec = *period_or;
+  core::LayerElasticityConfig ingestion = layer_defaults;
+  ingestion.max_resource = 64.0;
+  core::LayerElasticityConfig analytics = layer_defaults;
+  analytics.max_resource = 40.0;
+  core::LayerElasticityConfig storage = layer_defaults;
+  storage.min_resource = 5.0;
+  storage.max_resource = 2000.0;
+
+  auto managed = core::FlowBuilder()
+                     .WithIngestion(ingestion)
+                     .WithAnalytics(analytics)
+                     .WithStorage(storage)
+                     .WithControllerKind(*kind)
+                     .WithWorkload(*arrival)
+                     .WithSeed(static_cast<uint64_t>(*seed_or))
+                     .Build(&sim, &metrics);
+  if (!managed.ok()) {
+    std::cerr << "failed to build flow: " << managed.status() << "\n";
+    return 1;
+  }
+  double horizon = hours * kHour;
+  sim.RunUntil(horizon);
+
+  // Summary.
+  auto& flow = *managed->flow;
+  TablePrinter summary({"metric", "value"});
+  summary.AddRow({"controller", core::ControllerKindToString(*kind)});
+  summary.AddRow({"simulated hours", TablePrinter::Num(hours, 1)});
+  summary.AddRow({"events generated",
+                  std::to_string(flow.generator()->total_generated())});
+  double drop_pct =
+      flow.generator()->total_generated() > 0
+          ? 100.0 * static_cast<double>(flow.generator()->total_dropped()) /
+                static_cast<double>(flow.generator()->total_generated())
+          : 0.0;
+  summary.AddRow({"drop rate %", TablePrinter::Num(drop_pct, 3)});
+  summary.AddRow({"tuples acked",
+                  std::to_string(flow.cluster().total_acked())});
+  summary.AddRow({"final shards",
+                  std::to_string(flow.stream().shard_count())});
+  summary.AddRow({"final workers",
+                  std::to_string(flow.cluster().worker_count())});
+  summary.AddRow({"final WCU",
+                  TablePrinter::Num(flow.table().provisioned_wcu(), 0)});
+  auto state = managed->manager->GetState(core::Layer::kAnalytics);
+  if (state.ok() && !(*state)->sensed.empty()) {
+    auto quality = control::EvaluateControl(
+        (*state)->sensed.Window(30.0 * kMinute, horizon),
+        (*state)->actuations, *reference_or, 15.0, horizon);
+    if (quality.ok()) {
+      summary.AddRow({"analytics out-of-band %",
+                      TablePrinter::Num(
+                          100.0 * quality->violation_fraction, 1)});
+      summary.AddRow({"analytics overload %",
+                      TablePrinter::Num(
+                          100.0 * quality->overload_fraction, 1)});
+      summary.AddRow(
+          {"analytics MAE", TablePrinter::Num(quality->mean_abs_error, 1)});
+      summary.AddRow({"resizes",
+                      std::to_string(quality->actuation_changes)});
+    }
+  }
+  summary.Print(std::cout);
+
+  if (!flags.GetBool("quiet")) {
+    core::CrossPlatformMonitor monitor(&metrics);
+    monitor.Watch({"Flower/Kinesis", "WriteUtilization", "clickstream"});
+    monitor.Watch({"Flower/Kinesis", "ShardCount", "clickstream"});
+    monitor.Watch({"Flower/Storm", "CpuUtilization", "storm"});
+    monitor.Watch({"Flower/Storm", "WorkerCount", "storm"});
+    monitor.Watch({"Flower/DynamoDB", "WriteUtilization", "aggregates"});
+    monitor.RenderDashboard(std::cout, std::max(0.0, horizon - kHour),
+                            horizon, /*with_charts=*/true);
+  }
+
+  std::string csv_out = flags.GetString("csv-out", "");
+  if (!csv_out.empty()) {
+    std::ofstream out(csv_out);
+    if (!out) {
+      std::cerr << "cannot write " << csv_out << "\n";
+      return 1;
+    }
+    core::CrossPlatformMonitor monitor(&metrics);
+    monitor.WatchNamespace("");
+    monitor.DumpCsv(out, 0.0, horizon);
+    std::cout << "\nwrote metric CSV to " << csv_out << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags = tools::FlagParser::Parse(argc, argv);
+  if (!flags.ok()) {
+    std::cerr << flags.status() << "\n" << kUsage;
+    return 2;
+  }
+  if (flags->GetBool("help")) {
+    std::cout << kUsage;
+    return 0;
+  }
+  auto unknown = flags->UnknownKeys(
+      {"controller", "workload", "trace", "rate", "amplitude",
+       "period-hours", "hours", "reference", "monitoring-period", "seed",
+       "seeds", "csv-out", "quiet", "help"});
+  if (!unknown.empty()) {
+    std::cerr << "unknown flag: --" << unknown.front() << "\n" << kUsage;
+    return 2;
+  }
+  auto seeds = flags->GetInt("seeds", 1);
+  if (!seeds.ok() || *seeds < 1) {
+    std::cerr << "--seeds expects a positive integer\n";
+    return 2;
+  }
+  if (*seeds > 1) return RunReplicated(*flags, *seeds);
+  return RunOrDie(*flags);
+}
