@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/controller_comparison"
+  "../bench/controller_comparison.pdb"
+  "CMakeFiles/controller_comparison.dir/controller_comparison.cpp.o"
+  "CMakeFiles/controller_comparison.dir/controller_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controller_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/cost_savings"
+  "../bench/cost_savings.pdb"
+  "CMakeFiles/cost_savings.dir/cost_savings.cpp.o"
+  "CMakeFiles/cost_savings.dir/cost_savings.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

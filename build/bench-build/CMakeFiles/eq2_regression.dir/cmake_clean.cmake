@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/eq2_regression"
+  "../bench/eq2_regression.pdb"
+  "CMakeFiles/eq2_regression.dir/eq2_regression.cpp.o"
+  "CMakeFiles/eq2_regression.dir/eq2_regression.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eq2_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig2_correlation.cpp" "bench-build/CMakeFiles/fig2_correlation.dir/fig2_correlation.cpp.o" "gcc" "bench-build/CMakeFiles/fig2_correlation.dir/fig2_correlation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/flower_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/flower_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/flower_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/flower_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/flower_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/flower_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flower_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloudwatch/CMakeFiles/flower_cloudwatch.dir/DependInfo.cmake"
+  "/root/repo/build/src/kinesis/CMakeFiles/flower_kinesis.dir/DependInfo.cmake"
+  "/root/repo/build/src/storm/CMakeFiles/flower_storm.dir/DependInfo.cmake"
+  "/root/repo/build/src/dynamodb/CMakeFiles/flower_dynamodb.dir/DependInfo.cmake"
+  "/root/repo/build/src/ec2/CMakeFiles/flower_ec2.dir/DependInfo.cmake"
+  "/root/repo/build/src/pricing/CMakeFiles/flower_pricing.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/flower_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_correlation"
+  "../bench/fig2_correlation.pdb"
+  "CMakeFiles/fig2_correlation.dir/fig2_correlation.cpp.o"
+  "CMakeFiles/fig2_correlation.dir/fig2_correlation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

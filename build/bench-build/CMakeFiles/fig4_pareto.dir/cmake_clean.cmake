@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_pareto"
+  "../bench/fig4_pareto.pdb"
+  "CMakeFiles/fig4_pareto.dir/fig4_pareto.cpp.o"
+  "CMakeFiles/fig4_pareto.dir/fig4_pareto.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/windowed_planning"
+  "../bench/windowed_planning.pdb"
+  "CMakeFiles/windowed_planning.dir/windowed_planning.cpp.o"
+  "CMakeFiles/windowed_planning.dir/windowed_planning.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/windowed_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ad_attribution.dir/ad_attribution.cpp.o"
+  "CMakeFiles/ad_attribution.dir/ad_attribution.cpp.o.d"
+  "ad_attribution"
+  "ad_attribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ad_attribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitoring_dashboard.dir/monitoring_dashboard.cpp.o"
+  "CMakeFiles/monitoring_dashboard.dir/monitoring_dashboard.cpp.o.d"
+  "monitoring_dashboard"
+  "monitoring_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitoring_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloudwatch/alarm.cpp" "src/cloudwatch/CMakeFiles/flower_cloudwatch.dir/alarm.cpp.o" "gcc" "src/cloudwatch/CMakeFiles/flower_cloudwatch.dir/alarm.cpp.o.d"
+  "/root/repo/src/cloudwatch/metric_store.cpp" "src/cloudwatch/CMakeFiles/flower_cloudwatch.dir/metric_store.cpp.o" "gcc" "src/cloudwatch/CMakeFiles/flower_cloudwatch.dir/metric_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/flower_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/flower_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flower_cloudwatch.dir/alarm.cpp.o"
+  "CMakeFiles/flower_cloudwatch.dir/alarm.cpp.o.d"
+  "CMakeFiles/flower_cloudwatch.dir/metric_store.cpp.o"
+  "CMakeFiles/flower_cloudwatch.dir/metric_store.cpp.o.d"
+  "libflower_cloudwatch.a"
+  "libflower_cloudwatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flower_cloudwatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

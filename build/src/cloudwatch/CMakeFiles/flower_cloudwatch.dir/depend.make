@@ -1,0 +1,2 @@
+# Empty dependencies file for flower_cloudwatch.
+# This may be replaced when dependencies are built.

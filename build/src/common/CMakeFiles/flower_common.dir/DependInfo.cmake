@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/csv.cpp" "src/common/CMakeFiles/flower_common.dir/csv.cpp.o" "gcc" "src/common/CMakeFiles/flower_common.dir/csv.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/common/CMakeFiles/flower_common.dir/logging.cpp.o" "gcc" "src/common/CMakeFiles/flower_common.dir/logging.cpp.o.d"
+  "/root/repo/src/common/random.cpp" "src/common/CMakeFiles/flower_common.dir/random.cpp.o" "gcc" "src/common/CMakeFiles/flower_common.dir/random.cpp.o.d"
+  "/root/repo/src/common/reservoir.cpp" "src/common/CMakeFiles/flower_common.dir/reservoir.cpp.o" "gcc" "src/common/CMakeFiles/flower_common.dir/reservoir.cpp.o.d"
+  "/root/repo/src/common/status.cpp" "src/common/CMakeFiles/flower_common.dir/status.cpp.o" "gcc" "src/common/CMakeFiles/flower_common.dir/status.cpp.o.d"
+  "/root/repo/src/common/table_printer.cpp" "src/common/CMakeFiles/flower_common.dir/table_printer.cpp.o" "gcc" "src/common/CMakeFiles/flower_common.dir/table_printer.cpp.o.d"
+  "/root/repo/src/common/time_series.cpp" "src/common/CMakeFiles/flower_common.dir/time_series.cpp.o" "gcc" "src/common/CMakeFiles/flower_common.dir/time_series.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flower_common.dir/csv.cpp.o"
+  "CMakeFiles/flower_common.dir/csv.cpp.o.d"
+  "CMakeFiles/flower_common.dir/logging.cpp.o"
+  "CMakeFiles/flower_common.dir/logging.cpp.o.d"
+  "CMakeFiles/flower_common.dir/random.cpp.o"
+  "CMakeFiles/flower_common.dir/random.cpp.o.d"
+  "CMakeFiles/flower_common.dir/reservoir.cpp.o"
+  "CMakeFiles/flower_common.dir/reservoir.cpp.o.d"
+  "CMakeFiles/flower_common.dir/status.cpp.o"
+  "CMakeFiles/flower_common.dir/status.cpp.o.d"
+  "CMakeFiles/flower_common.dir/table_printer.cpp.o"
+  "CMakeFiles/flower_common.dir/table_printer.cpp.o.d"
+  "CMakeFiles/flower_common.dir/time_series.cpp.o"
+  "CMakeFiles/flower_common.dir/time_series.cpp.o.d"
+  "libflower_common.a"
+  "libflower_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flower_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

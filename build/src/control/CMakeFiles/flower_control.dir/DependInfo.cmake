@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/control/adaptive_gain.cpp" "src/control/CMakeFiles/flower_control.dir/adaptive_gain.cpp.o" "gcc" "src/control/CMakeFiles/flower_control.dir/adaptive_gain.cpp.o.d"
+  "/root/repo/src/control/controller.cpp" "src/control/CMakeFiles/flower_control.dir/controller.cpp.o" "gcc" "src/control/CMakeFiles/flower_control.dir/controller.cpp.o.d"
+  "/root/repo/src/control/feedforward.cpp" "src/control/CMakeFiles/flower_control.dir/feedforward.cpp.o" "gcc" "src/control/CMakeFiles/flower_control.dir/feedforward.cpp.o.d"
+  "/root/repo/src/control/fixed_gain.cpp" "src/control/CMakeFiles/flower_control.dir/fixed_gain.cpp.o" "gcc" "src/control/CMakeFiles/flower_control.dir/fixed_gain.cpp.o.d"
+  "/root/repo/src/control/metrics.cpp" "src/control/CMakeFiles/flower_control.dir/metrics.cpp.o" "gcc" "src/control/CMakeFiles/flower_control.dir/metrics.cpp.o.d"
+  "/root/repo/src/control/quasi_adaptive.cpp" "src/control/CMakeFiles/flower_control.dir/quasi_adaptive.cpp.o" "gcc" "src/control/CMakeFiles/flower_control.dir/quasi_adaptive.cpp.o.d"
+  "/root/repo/src/control/rule_based.cpp" "src/control/CMakeFiles/flower_control.dir/rule_based.cpp.o" "gcc" "src/control/CMakeFiles/flower_control.dir/rule_based.cpp.o.d"
+  "/root/repo/src/control/stability.cpp" "src/control/CMakeFiles/flower_control.dir/stability.cpp.o" "gcc" "src/control/CMakeFiles/flower_control.dir/stability.cpp.o.d"
+  "/root/repo/src/control/target_tracking.cpp" "src/control/CMakeFiles/flower_control.dir/target_tracking.cpp.o" "gcc" "src/control/CMakeFiles/flower_control.dir/target_tracking.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/flower_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

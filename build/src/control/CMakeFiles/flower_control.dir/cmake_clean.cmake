@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flower_control.dir/adaptive_gain.cpp.o"
+  "CMakeFiles/flower_control.dir/adaptive_gain.cpp.o.d"
+  "CMakeFiles/flower_control.dir/controller.cpp.o"
+  "CMakeFiles/flower_control.dir/controller.cpp.o.d"
+  "CMakeFiles/flower_control.dir/feedforward.cpp.o"
+  "CMakeFiles/flower_control.dir/feedforward.cpp.o.d"
+  "CMakeFiles/flower_control.dir/fixed_gain.cpp.o"
+  "CMakeFiles/flower_control.dir/fixed_gain.cpp.o.d"
+  "CMakeFiles/flower_control.dir/metrics.cpp.o"
+  "CMakeFiles/flower_control.dir/metrics.cpp.o.d"
+  "CMakeFiles/flower_control.dir/quasi_adaptive.cpp.o"
+  "CMakeFiles/flower_control.dir/quasi_adaptive.cpp.o.d"
+  "CMakeFiles/flower_control.dir/rule_based.cpp.o"
+  "CMakeFiles/flower_control.dir/rule_based.cpp.o.d"
+  "CMakeFiles/flower_control.dir/stability.cpp.o"
+  "CMakeFiles/flower_control.dir/stability.cpp.o.d"
+  "CMakeFiles/flower_control.dir/target_tracking.cpp.o"
+  "CMakeFiles/flower_control.dir/target_tracking.cpp.o.d"
+  "libflower_control.a"
+  "libflower_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flower_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flower_core.dir/controller_factory.cpp.o"
+  "CMakeFiles/flower_core.dir/controller_factory.cpp.o.d"
+  "CMakeFiles/flower_core.dir/dependency_analyzer.cpp.o"
+  "CMakeFiles/flower_core.dir/dependency_analyzer.cpp.o.d"
+  "CMakeFiles/flower_core.dir/elasticity_manager.cpp.o"
+  "CMakeFiles/flower_core.dir/elasticity_manager.cpp.o.d"
+  "CMakeFiles/flower_core.dir/flow_builder.cpp.o"
+  "CMakeFiles/flower_core.dir/flow_builder.cpp.o.d"
+  "CMakeFiles/flower_core.dir/monitor.cpp.o"
+  "CMakeFiles/flower_core.dir/monitor.cpp.o.d"
+  "CMakeFiles/flower_core.dir/resource_share.cpp.o"
+  "CMakeFiles/flower_core.dir/resource_share.cpp.o.d"
+  "CMakeFiles/flower_core.dir/windowed_share.cpp.o"
+  "CMakeFiles/flower_core.dir/windowed_share.cpp.o.d"
+  "libflower_core.a"
+  "libflower_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flower_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flower_dynamodb.dir/table.cpp.o"
+  "CMakeFiles/flower_dynamodb.dir/table.cpp.o.d"
+  "libflower_dynamodb.a"
+  "libflower_dynamodb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flower_dynamodb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for flower_dynamodb.
+# This may be replaced when dependencies are built.

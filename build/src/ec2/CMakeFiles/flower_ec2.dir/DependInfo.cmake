@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ec2/fleet.cpp" "src/ec2/CMakeFiles/flower_ec2.dir/fleet.cpp.o" "gcc" "src/ec2/CMakeFiles/flower_ec2.dir/fleet.cpp.o.d"
+  "/root/repo/src/ec2/instance.cpp" "src/ec2/CMakeFiles/flower_ec2.dir/instance.cpp.o" "gcc" "src/ec2/CMakeFiles/flower_ec2.dir/instance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/flower_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/flower_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

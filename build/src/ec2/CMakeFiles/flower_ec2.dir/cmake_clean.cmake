@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flower_ec2.dir/fleet.cpp.o"
+  "CMakeFiles/flower_ec2.dir/fleet.cpp.o.d"
+  "CMakeFiles/flower_ec2.dir/instance.cpp.o"
+  "CMakeFiles/flower_ec2.dir/instance.cpp.o.d"
+  "libflower_ec2.a"
+  "libflower_ec2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flower_ec2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flow/bolts.cpp" "src/flow/CMakeFiles/flower_flow.dir/bolts.cpp.o" "gcc" "src/flow/CMakeFiles/flower_flow.dir/bolts.cpp.o.d"
+  "/root/repo/src/flow/flow.cpp" "src/flow/CMakeFiles/flower_flow.dir/flow.cpp.o" "gcc" "src/flow/CMakeFiles/flower_flow.dir/flow.cpp.o.d"
+  "/root/repo/src/flow/sliding_window.cpp" "src/flow/CMakeFiles/flower_flow.dir/sliding_window.cpp.o" "gcc" "src/flow/CMakeFiles/flower_flow.dir/sliding_window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/flower_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/flower_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloudwatch/CMakeFiles/flower_cloudwatch.dir/DependInfo.cmake"
+  "/root/repo/build/src/kinesis/CMakeFiles/flower_kinesis.dir/DependInfo.cmake"
+  "/root/repo/build/src/storm/CMakeFiles/flower_storm.dir/DependInfo.cmake"
+  "/root/repo/build/src/dynamodb/CMakeFiles/flower_dynamodb.dir/DependInfo.cmake"
+  "/root/repo/build/src/ec2/CMakeFiles/flower_ec2.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/flower_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/flower_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

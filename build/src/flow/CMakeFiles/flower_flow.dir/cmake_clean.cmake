@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flower_flow.dir/bolts.cpp.o"
+  "CMakeFiles/flower_flow.dir/bolts.cpp.o.d"
+  "CMakeFiles/flower_flow.dir/flow.cpp.o"
+  "CMakeFiles/flower_flow.dir/flow.cpp.o.d"
+  "CMakeFiles/flower_flow.dir/sliding_window.cpp.o"
+  "CMakeFiles/flower_flow.dir/sliding_window.cpp.o.d"
+  "libflower_flow.a"
+  "libflower_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flower_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

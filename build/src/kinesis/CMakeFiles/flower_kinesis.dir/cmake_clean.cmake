@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flower_kinesis.dir/stream.cpp.o"
+  "CMakeFiles/flower_kinesis.dir/stream.cpp.o.d"
+  "libflower_kinesis.a"
+  "libflower_kinesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flower_kinesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/grid_search.cpp" "src/opt/CMakeFiles/flower_opt.dir/grid_search.cpp.o" "gcc" "src/opt/CMakeFiles/flower_opt.dir/grid_search.cpp.o.d"
+  "/root/repo/src/opt/nsga2.cpp" "src/opt/CMakeFiles/flower_opt.dir/nsga2.cpp.o" "gcc" "src/opt/CMakeFiles/flower_opt.dir/nsga2.cpp.o.d"
+  "/root/repo/src/opt/pareto.cpp" "src/opt/CMakeFiles/flower_opt.dir/pareto.cpp.o" "gcc" "src/opt/CMakeFiles/flower_opt.dir/pareto.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/flower_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

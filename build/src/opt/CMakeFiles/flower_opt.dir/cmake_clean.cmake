@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flower_opt.dir/grid_search.cpp.o"
+  "CMakeFiles/flower_opt.dir/grid_search.cpp.o.d"
+  "CMakeFiles/flower_opt.dir/nsga2.cpp.o"
+  "CMakeFiles/flower_opt.dir/nsga2.cpp.o.d"
+  "CMakeFiles/flower_opt.dir/pareto.cpp.o"
+  "CMakeFiles/flower_opt.dir/pareto.cpp.o.d"
+  "libflower_opt.a"
+  "libflower_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flower_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libflower_opt.a"
+)

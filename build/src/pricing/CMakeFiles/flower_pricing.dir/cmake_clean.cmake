@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flower_pricing.dir/price_book.cpp.o"
+  "CMakeFiles/flower_pricing.dir/price_book.cpp.o.d"
+  "libflower_pricing.a"
+  "libflower_pricing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flower_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flower_sim.dir/simulation.cpp.o"
+  "CMakeFiles/flower_sim.dir/simulation.cpp.o.d"
+  "libflower_sim.a"
+  "libflower_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flower_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

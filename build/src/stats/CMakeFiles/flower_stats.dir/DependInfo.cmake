@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/correlation.cpp" "src/stats/CMakeFiles/flower_stats.dir/correlation.cpp.o" "gcc" "src/stats/CMakeFiles/flower_stats.dir/correlation.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/flower_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/flower_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/forecast.cpp" "src/stats/CMakeFiles/flower_stats.dir/forecast.cpp.o" "gcc" "src/stats/CMakeFiles/flower_stats.dir/forecast.cpp.o.d"
+  "/root/repo/src/stats/linreg.cpp" "src/stats/CMakeFiles/flower_stats.dir/linreg.cpp.o" "gcc" "src/stats/CMakeFiles/flower_stats.dir/linreg.cpp.o.d"
+  "/root/repo/src/stats/robust.cpp" "src/stats/CMakeFiles/flower_stats.dir/robust.cpp.o" "gcc" "src/stats/CMakeFiles/flower_stats.dir/robust.cpp.o.d"
+  "/root/repo/src/stats/rolling.cpp" "src/stats/CMakeFiles/flower_stats.dir/rolling.cpp.o" "gcc" "src/stats/CMakeFiles/flower_stats.dir/rolling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/flower_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flower_stats.dir/correlation.cpp.o"
+  "CMakeFiles/flower_stats.dir/correlation.cpp.o.d"
+  "CMakeFiles/flower_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/flower_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/flower_stats.dir/forecast.cpp.o"
+  "CMakeFiles/flower_stats.dir/forecast.cpp.o.d"
+  "CMakeFiles/flower_stats.dir/linreg.cpp.o"
+  "CMakeFiles/flower_stats.dir/linreg.cpp.o.d"
+  "CMakeFiles/flower_stats.dir/robust.cpp.o"
+  "CMakeFiles/flower_stats.dir/robust.cpp.o.d"
+  "CMakeFiles/flower_stats.dir/rolling.cpp.o"
+  "CMakeFiles/flower_stats.dir/rolling.cpp.o.d"
+  "libflower_stats.a"
+  "libflower_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flower_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

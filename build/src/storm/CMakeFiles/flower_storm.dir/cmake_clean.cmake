@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flower_storm.dir/cluster.cpp.o"
+  "CMakeFiles/flower_storm.dir/cluster.cpp.o.d"
+  "CMakeFiles/flower_storm.dir/topology.cpp.o"
+  "CMakeFiles/flower_storm.dir/topology.cpp.o.d"
+  "libflower_storm.a"
+  "libflower_storm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flower_storm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/arrival.cpp" "src/workload/CMakeFiles/flower_workload.dir/arrival.cpp.o" "gcc" "src/workload/CMakeFiles/flower_workload.dir/arrival.cpp.o.d"
+  "/root/repo/src/workload/clickstream.cpp" "src/workload/CMakeFiles/flower_workload.dir/clickstream.cpp.o" "gcc" "src/workload/CMakeFiles/flower_workload.dir/clickstream.cpp.o.d"
+  "/root/repo/src/workload/dashboard_reader.cpp" "src/workload/CMakeFiles/flower_workload.dir/dashboard_reader.cpp.o" "gcc" "src/workload/CMakeFiles/flower_workload.dir/dashboard_reader.cpp.o.d"
+  "/root/repo/src/workload/trace_io.cpp" "src/workload/CMakeFiles/flower_workload.dir/trace_io.cpp.o" "gcc" "src/workload/CMakeFiles/flower_workload.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/flower_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/flower_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kinesis/CMakeFiles/flower_kinesis.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloudwatch/CMakeFiles/flower_cloudwatch.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/flower_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

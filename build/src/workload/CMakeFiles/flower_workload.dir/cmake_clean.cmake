@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flower_workload.dir/arrival.cpp.o"
+  "CMakeFiles/flower_workload.dir/arrival.cpp.o.d"
+  "CMakeFiles/flower_workload.dir/clickstream.cpp.o"
+  "CMakeFiles/flower_workload.dir/clickstream.cpp.o.d"
+  "CMakeFiles/flower_workload.dir/dashboard_reader.cpp.o"
+  "CMakeFiles/flower_workload.dir/dashboard_reader.cpp.o.d"
+  "CMakeFiles/flower_workload.dir/trace_io.cpp.o"
+  "CMakeFiles/flower_workload.dir/trace_io.cpp.o.d"
+  "libflower_workload.a"
+  "libflower_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flower_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudwatch_tests.dir/cloudwatch/alarm_test.cpp.o"
+  "CMakeFiles/cloudwatch_tests.dir/cloudwatch/alarm_test.cpp.o.d"
+  "CMakeFiles/cloudwatch_tests.dir/cloudwatch/metric_store_test.cpp.o"
+  "CMakeFiles/cloudwatch_tests.dir/cloudwatch/metric_store_test.cpp.o.d"
+  "cloudwatch_tests"
+  "cloudwatch_tests.pdb"
+  "cloudwatch_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudwatch_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

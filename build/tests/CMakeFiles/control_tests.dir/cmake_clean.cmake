@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/control_tests.dir/control/adaptive_gain_test.cpp.o"
+  "CMakeFiles/control_tests.dir/control/adaptive_gain_test.cpp.o.d"
+  "CMakeFiles/control_tests.dir/control/closed_loop_test.cpp.o"
+  "CMakeFiles/control_tests.dir/control/closed_loop_test.cpp.o.d"
+  "CMakeFiles/control_tests.dir/control/feedforward_test.cpp.o"
+  "CMakeFiles/control_tests.dir/control/feedforward_test.cpp.o.d"
+  "CMakeFiles/control_tests.dir/control/fixed_gain_test.cpp.o"
+  "CMakeFiles/control_tests.dir/control/fixed_gain_test.cpp.o.d"
+  "CMakeFiles/control_tests.dir/control/metrics_test.cpp.o"
+  "CMakeFiles/control_tests.dir/control/metrics_test.cpp.o.d"
+  "CMakeFiles/control_tests.dir/control/quasi_adaptive_test.cpp.o"
+  "CMakeFiles/control_tests.dir/control/quasi_adaptive_test.cpp.o.d"
+  "CMakeFiles/control_tests.dir/control/rule_based_test.cpp.o"
+  "CMakeFiles/control_tests.dir/control/rule_based_test.cpp.o.d"
+  "CMakeFiles/control_tests.dir/control/stability_test.cpp.o"
+  "CMakeFiles/control_tests.dir/control/stability_test.cpp.o.d"
+  "CMakeFiles/control_tests.dir/control/target_tracking_test.cpp.o"
+  "CMakeFiles/control_tests.dir/control/target_tracking_test.cpp.o.d"
+  "control_tests"
+  "control_tests.pdb"
+  "control_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/control_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

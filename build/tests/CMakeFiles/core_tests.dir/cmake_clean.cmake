@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/controller_factory_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/controller_factory_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/dependency_analyzer_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/dependency_analyzer_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/elasticity_manager_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/elasticity_manager_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/flow_builder_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/flow_builder_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/monitor_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/monitor_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/resource_share_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/resource_share_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/windowed_share_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/windowed_share_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_tests.dir/opt/grid_search_test.cpp.o"
+  "CMakeFiles/opt_tests.dir/opt/grid_search_test.cpp.o.d"
+  "CMakeFiles/opt_tests.dir/opt/nsga2_test.cpp.o"
+  "CMakeFiles/opt_tests.dir/opt/nsga2_test.cpp.o.d"
+  "CMakeFiles/opt_tests.dir/opt/pareto_test.cpp.o"
+  "CMakeFiles/opt_tests.dir/opt/pareto_test.cpp.o.d"
+  "opt_tests"
+  "opt_tests.pdb"
+  "opt_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/services_tests.dir/dynamodb/table_test.cpp.o"
+  "CMakeFiles/services_tests.dir/dynamodb/table_test.cpp.o.d"
+  "CMakeFiles/services_tests.dir/ec2/fleet_test.cpp.o"
+  "CMakeFiles/services_tests.dir/ec2/fleet_test.cpp.o.d"
+  "CMakeFiles/services_tests.dir/kinesis/stream_test.cpp.o"
+  "CMakeFiles/services_tests.dir/kinesis/stream_test.cpp.o.d"
+  "CMakeFiles/services_tests.dir/pricing/price_book_test.cpp.o"
+  "CMakeFiles/services_tests.dir/pricing/price_book_test.cpp.o.d"
+  "CMakeFiles/services_tests.dir/storm/cluster_test.cpp.o"
+  "CMakeFiles/services_tests.dir/storm/cluster_test.cpp.o.d"
+  "CMakeFiles/services_tests.dir/storm/topology_test.cpp.o"
+  "CMakeFiles/services_tests.dir/storm/topology_test.cpp.o.d"
+  "services_tests"
+  "services_tests.pdb"
+  "services_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/services_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

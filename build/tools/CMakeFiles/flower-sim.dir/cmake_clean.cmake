@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flower-sim.dir/flower_sim.cpp.o"
+  "CMakeFiles/flower-sim.dir/flower_sim.cpp.o.d"
+  "flower-sim"
+  "flower-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flower-sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

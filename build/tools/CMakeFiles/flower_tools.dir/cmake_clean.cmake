@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flower_tools.dir/flag_parser.cpp.o"
+  "CMakeFiles/flower_tools.dir/flag_parser.cpp.o.d"
+  "libflower_tools.a"
+  "libflower_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flower_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
