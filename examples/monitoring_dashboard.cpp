@@ -9,9 +9,11 @@
 #include <vector>
 
 #include "cloudwatch/alarm.h"
+#include "common/table_printer.h"
 #include "common/units.h"
 #include "core/flow_builder.h"
 #include "core/monitor.h"
+#include "sim/fault_injector.h"
 
 using namespace flower;
 
@@ -25,9 +27,26 @@ int main() {
   arrival->Add(std::make_shared<workload::FlashCrowdArrival>(
       0.0, 2500.0, 40 * kMinute, 20 * kMinute, 2 * kMinute));
 
+  // Inject some weather so the resilience counters have something to
+  // show: analytics resizes fail transiently during the flash crowd,
+  // and the storage metrics drop out for a while.
+  sim::FaultInjector chaos(&sim, /*seed=*/3);
+  chaos.FailActuator("analytics", 40 * kMinute, 55 * kMinute, 0.7);
+  chaos.DropMetrics("storage", 70 * kMinute, 80 * kMinute);
+
+  core::ResiliencePolicy resilience;
+  resilience.retry.max_retries = 3;
+  resilience.retry.initial_backoff_sec = 5.0;
+  resilience.breaker.failure_threshold = 5;
+  resilience.breaker.cooldown_sec = 10 * kMinute;
+  resilience.sensor.on_miss = core::SensorMissPolicy::kHoldLastValue;
+  resilience.sensor.max_hold_sec = 15 * kMinute;
+
   auto managed = core::FlowBuilder()
                      .WithWorkload(arrival)
                      .WithSeed(3)
+                     .WithResilience(resilience)
+                     .WithFaultInjector(&chaos)
                      .Build(&sim, &metrics);
   if (!managed.ok()) {
     std::cerr << managed.status() << "\n";
@@ -88,5 +107,30 @@ int main() {
 
   std::cout << "\nFinal hour with trend charts:\n";
   monitor.RenderDashboard(std::cout, kHour, 2 * kHour, /*with_charts=*/true);
+
+  // Control-loop health: the resilience counters next to the metric
+  // dashboards, one row per loop.
+  std::cout << "\nControl-loop health:\n";
+  TablePrinter health({"loop", "steps", "misses", "stale", "act fails",
+                       "retries", "retry ok", "brk trips", "brk skips",
+                       "breaker"});
+  for (const std::string& name : managed->manager->LoopNames()) {
+    auto state = managed->manager->GetState(name);
+    if (!state.ok()) continue;
+    const core::LayerControlState& s = **state;
+    health.AddRow({name, std::to_string(s.actuations.size()),
+                   std::to_string(s.sensor_misses),
+                   std::to_string(s.stale_sensor_reads),
+                   std::to_string(s.actuation_failures),
+                   std::to_string(s.actuation_retries),
+                   std::to_string(s.retry_successes),
+                   std::to_string(s.breaker_trips),
+                   std::to_string(s.breaker_skipped_steps),
+                   s.breaker_open ? "OPEN" : "closed"});
+  }
+  health.Print(std::cout);
+  std::cout << "\nInjected faults: "
+            << chaos.stats().actuator_failures << " actuation failures, "
+            << chaos.stats().metric_gaps << " metric gaps\n";
   return 0;
 }

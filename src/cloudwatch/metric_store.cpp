@@ -30,21 +30,9 @@ Status MetricStore::Put(const MetricId& id, SimTime time, double value) {
   return Status::OK();
 }
 
-Result<double> MetricStore::GetStatistic(const MetricId& id, SimTime t0,
-                                         SimTime t1, Statistic stat) const {
-  if (t1 <= t0) {
-    return Status::InvalidArgument("GetStatistic: t1 must exceed t0");
-  }
-  auto it = series_.find(id);
-  if (it == series_.end()) {
-    return Status::NotFound("GetStatistic: unknown metric " + id.ToString());
-  }
-  TimeSeries window = it->second.Window(t0, t1);
-  if (window.empty()) {
-    return Status::NotFound("GetStatistic: no datapoints in window for " +
-                            id.ToString());
-  }
-  std::vector<double> v = window.Values();
+namespace {
+
+Result<double> Aggregate(std::vector<double> v, Statistic stat) {
   switch (stat) {
     case Statistic::kAverage:
       return stats::Mean(v);
@@ -69,6 +57,26 @@ Result<double> MetricStore::GetStatistic(const MetricId& id, SimTime t0,
   return Status::Internal("GetStatistic: unhandled statistic");
 }
 
+}  // namespace
+
+Result<double> MetricStore::GetStatistic(const MetricId& id, SimTime t0,
+                                         SimTime t1, Statistic stat) const {
+  if (t1 <= t0) {
+    return Status::InvalidArgument("GetStatistic: t1 must exceed t0");
+  }
+  auto it = series_.find(id);
+  if (it == series_.end()) {
+    return Status::NotFound("GetStatistic: unknown metric " + id.ToString());
+  }
+  // Trailing-window semantics (t0, t1]: see the class comment.
+  TimeSeries window = it->second.WindowLeftOpen(t0, t1);
+  if (window.empty()) {
+    return Status::NotFound("GetStatistic: no datapoints in window for " +
+                            id.ToString());
+  }
+  return Aggregate(window.Values(), stat);
+}
+
 Result<TimeSeries> MetricStore::GetStatisticSeries(const MetricId& id,
                                                    SimTime t0, SimTime t1,
                                                    double period,
@@ -87,8 +95,12 @@ Result<TimeSeries> MetricStore::GetStatisticSeries(const MetricId& id,
   TimeSeries out(id.ToString() + "/" + std::string(StatisticToString(stat)));
   for (SimTime start = t0; start < t1; start += period) {
     SimTime end = std::min(start + period, t1);
-    auto value = GetStatistic(id, start, end, stat);
-    if (!value.ok()) continue;  // Empty period.
+    // Bucket semantics [start, end): a sample at a bucket start belongs
+    // to that bucket, not the previous one.
+    TimeSeries bucket = it->second.Window(start, end);
+    if (bucket.empty()) continue;  // Empty period.
+    auto value = Aggregate(bucket.Values(), stat);
+    if (!value.ok()) continue;
     out.AppendUnchecked(start, *value);
   }
   return out;

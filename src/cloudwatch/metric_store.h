@@ -39,15 +39,24 @@ std::string StatisticToString(Statistic s);
 /// The cross-platform metric store (the simulated stand-in for Amazon
 /// CloudWatch, §3.4). Every simulated service publishes its metrics
 /// here; Flower's sensors and the all-in-one-place visualizer read them
-/// back through the statistics query API, which mirrors CloudWatch
-/// `GetMetricStatistics` semantics (aggregate over [t0, t1)).
+/// back through the statistics query API.
+///
+/// Window-boundary contract (pinned by metric_store_test):
+///  - `GetStatistic(t0, t1)` aggregates over the half-open interval
+///    **(t0, t1]** — trailing-window semantics. A sensor querying
+///    `(now - window, now]` sees a datapoint stamped exactly at `now`,
+///    and two consecutive control steps with back-to-back windows each
+///    count an edge datapoint exactly once.
+///  - `GetStatisticSeries` buckets over **[start, start + period)** —
+///    CloudWatch "period" semantics, a sample at a bucket start belongs
+///    to that bucket.
 class MetricStore {
  public:
   /// Records one datapoint. Datapoints per metric must arrive in
   /// non-decreasing time order (the simulation guarantees this).
   Status Put(const MetricId& id, SimTime time, double value);
 
-  /// Aggregate of the datapoints of `id` in [t0, t1). Errors: unknown
+  /// Aggregate of the datapoints of `id` in (t0, t1]. Errors: unknown
   /// metric, empty window, or t1 <= t0.
   Result<double> GetStatistic(const MetricId& id, SimTime t0, SimTime t1,
                               Statistic stat) const;

@@ -25,6 +25,17 @@ TimeSeries TimeSeries::Window(SimTime t0, SimTime t1) const {
   return out;
 }
 
+TimeSeries TimeSeries::WindowLeftOpen(SimTime t0, SimTime t1) const {
+  TimeSeries out(name_);
+  auto lo = std::upper_bound(
+      samples_.begin(), samples_.end(), t0,
+      [](SimTime t, const Sample& s) { return t < s.time; });
+  for (auto it = lo; it != samples_.end() && it->time <= t1; ++it) {
+    out.AppendUnchecked(it->time, it->value);
+  }
+  return out;
+}
+
 std::vector<double> TimeSeries::Values() const {
   std::vector<double> v;
   v.reserve(samples_.size());

@@ -46,8 +46,15 @@ class TimeSeries {
   SimTime start_time() const { return empty() ? 0.0 : samples_.front().time; }
   SimTime end_time() const { return empty() ? 0.0 : samples_.back().time; }
 
-  /// All samples with time in [t0, t1).
+  /// All samples with time in [t0, t1) (bucket semantics: a sample at
+  /// exactly t0 belongs to this bucket, one at t1 to the next).
   TimeSeries Window(SimTime t0, SimTime t1) const;
+
+  /// All samples with time in (t0, t1] (trailing-window semantics: a
+  /// sample stamped exactly "now" is visible to a query ending at now,
+  /// and consecutive back-to-back windows never count an edge sample
+  /// twice).
+  TimeSeries WindowLeftOpen(SimTime t0, SimTime t1) const;
 
   /// Values only, in time order.
   std::vector<double> Values() const;

@@ -20,6 +20,11 @@ Result<double> AdaptiveGainController::Update(SimTime now, double y) {
     return Status::InvalidArgument(
         "AdaptiveGainController: time moved backwards");
   }
+  if (now == last_time_) {
+    // Duplicate control tick: re-applying Eq. 6–7 at one timestamp would
+    // double-count the gain and integral action, so repeat the output.
+    return config_.limits.Quantize(u_);
+  }
   last_time_ = now;
   double error = y - config_.reference;
   if (config_.reset_gain_each_step) {

@@ -42,7 +42,12 @@ class Controller {
   virtual void Reset(double initial_u) = 0;
 
   /// Computes the next actuator value from measurement `y` at time
-  /// `now`. Must be called with non-decreasing `now`.
+  /// `now`. `now` must be non-decreasing (simulated time is
+  /// nonnegative); time moving backwards is an InvalidArgument error. A
+  /// repeated timestamp (`now` equal to the previous call's) is an
+  /// idempotent no-op that returns the current actuation without
+  /// re-applying the control law — a duplicate tick must not
+  /// double-apply gain/integral action.
   virtual Result<double> Update(SimTime now, double y) = 0;
 
   /// Current actuator value (last returned by Update, or initial).

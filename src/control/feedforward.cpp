@@ -54,6 +54,11 @@ Result<double> FeedforwardController::Update(SimTime now, double y) {
     return Status::InvalidArgument(
         "FeedforwardController: time moved backwards");
   }
+  if (now == last_time_) {
+    // Duplicate control tick: idempotent no-op (no double model/trim
+    // update).
+    return config_.limits.Quantize(u_);
+  }
   last_time_ = now;
 
   Result<double> x = driver_ ? driver_(now)
@@ -67,10 +72,14 @@ Result<double> FeedforwardController::Update(SimTime now, double y) {
   }
 
   // Learn the workload model from the *applied* capacity and measured
-  // utilization — skip saturated samples (y pinned at 100 tells us only
-  // a lower bound on demand, which would bias the model down).
+  // utilization. A saturated sample (y pinned at 100) only lower-bounds
+  // the demand, so it would bias the model down — but if the model
+  // predicts even less than that bound it is certainly wrong, and
+  // refusing to learn would deadlock the loop: stale-low model, trim
+  // clamped to a fraction of it, y stuck at 100 forever. Learn from the
+  // bound in that case so saturation always resolves.
   double applied = config_.limits.Quantize(u_);
-  if (y < 99.0) {
+  if (y < 99.0 || a_ + b_ * (*x) < y * applied) {
     RlsUpdate(*x, y * applied);
   }
 

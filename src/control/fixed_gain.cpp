@@ -23,6 +23,10 @@ Result<double> FixedGainController::Update(SimTime now, double y) {
     return Status::InvalidArgument(
         "FixedGainController: time moved backwards");
   }
+  if (now == last_time_) {
+    // Duplicate control tick: idempotent no-op (no double integration).
+    return config_.limits.Quantize(u_);
+  }
   last_time_ = now;
   double y_h = config_.reference;
   double y_l = low_target();

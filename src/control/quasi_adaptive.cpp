@@ -25,6 +25,11 @@ Result<double> QuasiAdaptiveController::Update(SimTime now, double y) {
     return Status::InvalidArgument(
         "QuasiAdaptiveController: time moved backwards");
   }
+  if (now == last_time_) {
+    // Duplicate control tick: idempotent no-op (no double RLS/integral
+    // update).
+    return prev_u_;
+  }
   last_time_ = now;
 
   // Online model estimation: RLS over (Δu, Δy) with forgetting. The

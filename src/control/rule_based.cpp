@@ -25,6 +25,10 @@ Result<double> RuleBasedController::Update(SimTime now, double y) {
     return Status::InvalidArgument(
         "RuleBasedController: time moved backwards");
   }
+  if (now == last_time_) {
+    // Duplicate control tick: idempotent no-op (no double breach count).
+    return u_;
+  }
   last_time_ = now;
 
   if (y > config_.high_threshold) {

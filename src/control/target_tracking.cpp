@@ -20,6 +20,11 @@ Result<double> TargetTrackingController::Update(SimTime now, double y) {
     return Status::InvalidArgument(
         "TargetTrackingController: time moved backwards");
   }
+  if (now == last_time_) {
+    // Duplicate control tick: idempotent no-op (a repeat at one instant
+    // must not re-enter the cooldown bookkeeping).
+    return config_.limits.Quantize(u_);
+  }
   last_time_ = now;
   if (config_.reference <= 0.0) {
     return Status::FailedPrecondition(

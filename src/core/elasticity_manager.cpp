@@ -3,8 +3,47 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "stats/robust.h"
 
 namespace flower::core {
+
+namespace {
+
+Status ValidateResilience(const ResiliencePolicy& p) {
+  if (p.retry.max_retries < 0) {
+    return Status::InvalidArgument("ElasticityManager: negative max_retries");
+  }
+  if (p.retry.initial_backoff_sec < 0.0 || p.retry.max_backoff_sec < 0.0) {
+    return Status::InvalidArgument("ElasticityManager: negative backoff");
+  }
+  if (p.retry.backoff_multiplier < 1.0) {
+    return Status::InvalidArgument(
+        "ElasticityManager: backoff multiplier must be >= 1");
+  }
+  if (p.retry.jitter_fraction < 0.0 || p.retry.jitter_fraction > 1.0) {
+    return Status::InvalidArgument(
+        "ElasticityManager: jitter fraction must be in [0, 1]");
+  }
+  if (p.breaker.failure_threshold < 0) {
+    return Status::InvalidArgument(
+        "ElasticityManager: negative breaker threshold");
+  }
+  if (p.breaker.failure_threshold > 0 && p.breaker.cooldown_sec <= 0.0) {
+    return Status::InvalidArgument(
+        "ElasticityManager: breaker cooldown must be positive");
+  }
+  if (p.sensor.max_hold_sec < 0.0) {
+    return Status::InvalidArgument("ElasticityManager: negative max_hold");
+  }
+  if (p.sensor.winsorize_fraction < 0.0 ||
+      p.sensor.winsorize_fraction >= 0.5) {
+    return Status::InvalidArgument(
+        "ElasticityManager: winsorize fraction must be in [0, 0.5)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 Status ElasticityManager::Attach(LayerControlConfig config) {
   if (config.name.empty()) config.name = LayerToString(config.layer);
@@ -23,9 +62,14 @@ Status ElasticityManager::Attach(LayerControlConfig config) {
     return Status::InvalidArgument(
         "ElasticityManager: monitoring period/window must be positive");
   }
+  FLOWER_RETURN_NOT_OK(ValidateResilience(config.resilience));
   auto attached = std::make_unique<Attached>();
   attached->config = std::move(config);
   attached->config.controller->Reset(attached->config.initial_u);
+  attached->sense = attached->config.sensor
+                        ? attached->config.sensor
+                        : MakeDefaultSensor(attached->config);
+  attached->rng = Rng(attached->config.resilience.retry.jitter_seed);
   Attached* raw = attached.get();
   Status st = sim_->SchedulePeriodic(
       sim_->Now() + attached->config.start_delay_sec,
@@ -38,19 +82,67 @@ Status ElasticityManager::Attach(LayerControlConfig config) {
   return Status::OK();
 }
 
+std::function<Result<double>(SimTime)> ElasticityManager::MakeDefaultSensor(
+    const LayerControlConfig& config) const {
+  const cloudwatch::MetricStore* metrics = metrics_;
+  cloudwatch::MetricId metric = config.sensor_metric;
+  cloudwatch::Statistic stat = config.sensor_statistic;
+  double window = config.monitoring_window_sec;
+  SensorPolicy policy = config.resilience.sensor;
+  return [metrics, metric, stat, window,
+          policy](SimTime now) -> Result<double> {
+    SimTime t0 = now - window;
+    switch (policy.robust) {
+      case RobustSensing::kOff:
+        return metrics->GetStatistic(metric, t0, now, stat);
+      case RobustSensing::kMedian:
+        return metrics->GetStatistic(metric, t0, now,
+                                     cloudwatch::Statistic::kP50);
+      case RobustSensing::kWinsorizedMean: {
+        FLOWER_ASSIGN_OR_RETURN(const TimeSeries* series,
+                                metrics->GetSeries(metric));
+        TimeSeries w = series->WindowLeftOpen(t0, now);
+        if (w.empty()) {
+          return Status::NotFound("no datapoints in window for " +
+                                  metric.ToString());
+        }
+        return stats::WinsorizedMean(w.Values(), policy.winsorize_fraction);
+      }
+    }
+    return Status::Internal("unhandled robust sensing mode");
+  };
+}
+
 void ElasticityManager::Step(Attached* a) {
   if (a->paused) return;
   SimTime now = sim_->Now();
   const LayerControlConfig& cfg = a->config;
-  auto y = metrics_->GetStatistic(cfg.sensor_metric,
-                                  now - cfg.monitoring_window_sec, now + 1e-9,
-                                  cfg.sensor_statistic);
-  if (!y.ok()) {
-    ++a->state.sensor_misses;
-    return;
+  // A new control step supersedes any retry chain still in flight.
+  ++a->epoch;
+
+  Result<double> raw = a->sense(now);
+  double y;
+  if (raw.ok()) {
+    y = *raw;
+    a->has_last_good = true;
+    a->last_good_value = y;
+    a->last_good_time = now;
+  } else {
+    const SensorPolicy& sp = cfg.resilience.sensor;
+    bool can_hold = sp.on_miss == SensorMissPolicy::kHoldLastValue &&
+                    a->has_last_good &&
+                    (sp.max_hold_sec <= 0.0 ||
+                     now - a->last_good_time <= sp.max_hold_sec);
+    if (!can_hold) {
+      ++a->state.sensor_misses;
+      return;
+    }
+    y = a->last_good_value;
+    ++a->state.stale_sensor_reads;
   }
-  a->state.sensed.AppendUnchecked(now, *y);
-  auto u = cfg.controller->Update(now, *y);
+  a->state.sensed.AppendUnchecked(now, y);
+
+  auto u = cfg.controller->Update(now, y);
   if (!u.ok()) {
     ++a->state.actuation_failures;
     return;
@@ -59,13 +151,58 @@ void ElasticityManager::Step(Attached* a) {
   if (a->state.share_upper_bound > 0.0) {
     amount = std::min(amount, a->state.share_upper_bound);
   }
-  Status st = cfg.actuator(amount);
-  if (!st.ok()) {
-    ++a->state.actuation_failures;
-    FLOWER_LOG(Warning) << "actuation failed for loop '" << cfg.name
-                        << "': " << st;
+  if (a->state.breaker_open && now < a->breaker_reopen_time) {
+    // Open breaker: record what the loop wanted, touch nothing.
+    ++a->state.breaker_skipped_steps;
+    a->state.actuations.AppendUnchecked(now, amount);
+    return;
   }
+  Actuate(a, amount, /*attempt=*/0);
   a->state.actuations.AppendUnchecked(now, amount);
+}
+
+void ElasticityManager::Actuate(Attached* a, double amount, int attempt) {
+  const LayerControlConfig& cfg = a->config;
+  Status st = cfg.actuator(amount);
+  if (st.ok()) {
+    a->consecutive_failures = 0;
+    // A successful half-open probe closes the breaker.
+    a->state.breaker_open = false;
+    if (attempt > 0) ++a->state.retry_successes;
+    return;
+  }
+  ++a->state.actuation_failures;
+  ++a->consecutive_failures;
+  FLOWER_LOG(Warning) << "actuation failed for loop '" << cfg.name
+                      << "' (attempt " << attempt + 1 << "): " << st;
+
+  const CircuitBreakerPolicy& cb = cfg.resilience.breaker;
+  if (cb.failure_threshold > 0 &&
+      a->consecutive_failures >= cb.failure_threshold) {
+    // Trip (or re-trip after a failed half-open probe): stop calling
+    // the actuator until the cooldown elapses.
+    a->state.breaker_open = true;
+    a->breaker_reopen_time = sim_->Now() + cb.cooldown_sec;
+    ++a->state.breaker_trips;
+    return;
+  }
+
+  const RetryPolicy& rp = cfg.resilience.retry;
+  if (attempt >= rp.max_retries) return;
+  double backoff = rp.initial_backoff_sec;
+  for (int i = 0; i < attempt; ++i) backoff *= rp.backoff_multiplier;
+  backoff = std::min(backoff, rp.max_backoff_sec);
+  if (rp.jitter_fraction > 0.0) {
+    backoff += backoff * rp.jitter_fraction * a->rng.Uniform(-1.0, 1.0);
+  }
+  backoff = std::max(backoff, 0.0);
+  uint64_t epoch = a->epoch;
+  (void)sim_->ScheduleAfter(backoff, [this, a, amount, attempt, epoch] {
+    // Superseded by a newer step / pause / breaker trip: drop quietly.
+    if (a->paused || epoch != a->epoch || a->state.breaker_open) return;
+    ++a->state.actuation_retries;
+    Actuate(a, amount, attempt + 1);
+  });
 }
 
 Status ElasticityManager::SetShareUpperBound(const std::string& name,

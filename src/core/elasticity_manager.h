@@ -8,11 +8,73 @@
 #include <vector>
 
 #include "cloudwatch/metric_store.h"
+#include "common/random.h"
 #include "control/controller.h"
 #include "core/layer.h"
 #include "sim/simulation.h"
 
 namespace flower::core {
+
+/// Bounded retry with exponential backoff and jitter for failed
+/// actuations (real resize/provisioning calls throttle and fail
+/// transiently). Disabled by default (max_retries == 0): a failed
+/// actuation is counted and the loop waits for its next period, which
+/// is the original fair-weather behavior.
+struct RetryPolicy {
+  int max_retries = 0;  ///< Retry attempts after the initial failure.
+  double initial_backoff_sec = 2.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_sec = 30.0;
+  /// Uniform jitter of +/- this fraction applied to each backoff so
+  /// retries from many loops do not synchronize into a thundering herd.
+  double jitter_fraction = 0.2;
+  /// Seeds the per-loop jitter stream (deterministic runs).
+  uint64_t jitter_seed = 42;
+};
+
+/// Per-loop circuit breaker. After `failure_threshold` consecutive
+/// failed actuation attempts the loop stops calling the actuator for
+/// `cooldown_sec` (open state), then lets a single probe attempt
+/// through (half-open): success closes the breaker, failure re-opens
+/// it for another cooldown. Disabled by default (threshold == 0).
+struct CircuitBreakerPolicy {
+  int failure_threshold = 0;
+  double cooldown_sec = 300.0;
+};
+
+/// What a loop does when the sensor read fails (no datapoints in the
+/// window, a metric-store gap, or an injected fault).
+enum class SensorMissPolicy {
+  kSkipStep,       ///< Count a miss and skip the step (the default).
+  kHoldLastValue,  ///< Re-use the last good measurement (stale read).
+};
+
+/// Statistic hardening applied to the default metric-store sensor.
+enum class RobustSensing {
+  kOff,             ///< Use `sensor_statistic` as configured.
+  kMedian,          ///< p50 over the window (breakdown point 50%).
+  kWinsorizedMean,  ///< Winsorized mean of the raw window samples.
+};
+
+struct SensorPolicy {
+  SensorMissPolicy on_miss = SensorMissPolicy::kSkipStep;
+  /// kHoldLastValue only: maximum age of the held measurement. A miss
+  /// with an older (or no) last good value still skips the step.
+  /// 0 = no age limit.
+  double max_hold_sec = 0.0;
+  RobustSensing robust = RobustSensing::kOff;
+  double winsorize_fraction = 0.1;  ///< kWinsorizedMean trim fraction.
+};
+
+/// Bundle of the per-loop hardening knobs. Everything is off by
+/// default, which reproduces the original loop behavior exactly; see
+/// DESIGN.md ("Fault injection and control-loop resilience") for how
+/// the pieces compose.
+struct ResiliencePolicy {
+  RetryPolicy retry;
+  CircuitBreakerPolicy breaker;
+  SensorPolicy sensor;
+};
 
 /// Everything needed to run one layer's control loop (paper §2: each
 /// layer gets a sensor, an adaptive controller, and an actuator).
@@ -28,18 +90,25 @@ struct LayerControlConfig {
   /// Control period: how often the loop senses and actuates (§2's
   /// "monitoring window" knob in the demo's configuration wizard).
   double monitoring_period_sec = 60.0;
-  /// The sensor aggregates over the trailing window of this length.
+  /// The sensor aggregates over the trailing window of this length
+  /// (query interval `(now - window, now]`).
   double monitoring_window_sec = 120.0;
   /// First firing of the loop, relative to attach time.
   double start_delay_sec = 60.0;
   /// The control law (owned by the manager after Attach).
   std::unique_ptr<control::Controller> controller;
   /// Applies the new resource amount to the managed service (resize
-  /// shards / VMs / WCU). A failed actuation is counted and the
-  /// previous amount retained.
+  /// shards / VMs / WCU). Failed actuations are counted and, per the
+  /// resilience policy, retried with backoff and/or circuit-broken.
   std::function<Status(double)> actuator;
+  /// Optional sensor override. When unset the loop queries the metric
+  /// store for `sensor_metric` over the trailing monitoring window
+  /// (see MakeDefaultSensor). A FaultInjector wraps either form.
+  std::function<Result<double>(SimTime)> sensor;
   /// Initial actuator value (current provisioned amount).
   double initial_u = 1.0;
+  /// Retry / circuit-breaker / sensor-hardening knobs.
+  ResiliencePolicy resilience;
 };
 
 /// Per-layer runtime traces and counters, for evaluation and the
@@ -47,17 +116,32 @@ struct LayerControlConfig {
 struct LayerControlState {
   TimeSeries sensed;       ///< y_k at each control step.
   TimeSeries actuations;   ///< u_{k+1} returned at each control step.
-  uint64_t sensor_misses = 0;     ///< Steps skipped: no data in window.
-  uint64_t actuation_failures = 0;
+  uint64_t sensor_misses = 0;     ///< Steps skipped: no usable measurement.
+  uint64_t actuation_failures = 0;  ///< Failed attempts (initial + retry).
+  uint64_t actuation_retries = 0;   ///< Backoff retry attempts made.
+  uint64_t retry_successes = 0;     ///< Actuations that landed on a retry.
+  uint64_t breaker_trips = 0;       ///< Transitions into the open state.
+  uint64_t breaker_skipped_steps = 0;  ///< Actuations skipped while open.
+  uint64_t stale_sensor_reads = 0;  ///< Steps run on a held last value.
+  bool breaker_open = false;        ///< Live circuit-breaker state.
   double share_upper_bound = 0.0;  ///< 0 = unbounded.
 };
 
 /// Flower's elasticity manager: runs one adaptive control loop per
-/// layer on the simulation clock. Each loop (1) queries the metric
-/// store for the layer's utilization statistic over the monitoring
-/// window, (2) asks the layer's controller for the next resource
-/// amount, (3) caps it by the layer's resource-share upper bound from
-/// the ResourceShareAnalyzer, and (4) invokes the actuator.
+/// layer on the simulation clock. Each loop (1) senses the layer's
+/// utilization statistic over the trailing monitoring window, (2) asks
+/// the layer's controller for the next resource amount, (3) caps it by
+/// the layer's resource-share upper bound from the
+/// ResourceShareAnalyzer, and (4) invokes the actuator.
+///
+/// The manager is hardened against control-path faults (see
+/// ResiliencePolicy): failed actuations can be retried with bounded
+/// exponential backoff + jitter, a per-loop circuit breaker stops
+/// hammering a persistently failing actuator, sensor misses can fall
+/// back to the last good measurement, and sensing can use robust
+/// statistics that shrug off outlier spikes. All hardening is opt-in;
+/// with the default policy the manager behaves exactly like the
+/// original fair-weather implementation.
 class ElasticityManager {
  public:
   ElasticityManager(sim::Simulation* sim,
@@ -66,8 +150,17 @@ class ElasticityManager {
 
   /// Attaches and starts a control loop. The loop is keyed by
   /// `config.name` (default: the layer name). Errors: duplicate name,
-  /// missing controller/actuator, or non-positive periods.
+  /// missing controller/actuator, non-positive periods, or an invalid
+  /// resilience policy.
   Status Attach(LayerControlConfig config);
+
+  /// The default sensor for `config`: queries this manager's metric
+  /// store for the configured statistic over the trailing monitoring
+  /// window `(now - window, now]`, applying the policy's robust
+  /// statistic when enabled. Exposed so callers (e.g. a FlowBuilder
+  /// wiring a FaultInjector) can wrap it before Attach.
+  std::function<Result<double>(SimTime)> MakeDefaultSensor(
+      const LayerControlConfig& config) const;
 
   /// Sets a loop's maximum resource share (from §3.2's analysis);
   /// 0 disables the cap. Takes effect from the next control step.
@@ -78,7 +171,7 @@ class ElasticityManager {
   }
 
   /// Pauses/resumes a loop (the loop keeps firing but neither senses
-  /// nor actuates while paused).
+  /// nor actuates while paused; outstanding retries are dropped).
   Status SetPaused(const std::string& name, bool paused);
   Status SetPaused(Layer layer, bool paused) {
     return SetPaused(LayerToString(layer), paused);
@@ -110,9 +203,24 @@ class ElasticityManager {
     LayerControlConfig config;
     LayerControlState state;
     bool paused = false;
+    /// Resolved sensor (config.sensor or the default metric query).
+    std::function<Result<double>(SimTime)> sense;
+    /// Jitter stream for retry backoff.
+    Rng rng{42};
+    /// Bumped at every control step; outstanding retries carry the
+    /// epoch they were scheduled under and no-op once superseded.
+    uint64_t epoch = 0;
+    int consecutive_failures = 0;
+    SimTime breaker_reopen_time = 0.0;
+    bool has_last_good = false;
+    double last_good_value = 0.0;
+    SimTime last_good_time = 0.0;
   };
 
   void Step(Attached* a);
+  /// One actuation attempt (attempt 0 = the step's own attempt);
+  /// schedules the next retry / trips the breaker on failure.
+  void Actuate(Attached* a, double amount, int attempt);
 
   sim::Simulation* sim_;
   const cloudwatch::MetricStore* metrics_;

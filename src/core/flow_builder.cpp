@@ -45,6 +45,16 @@ FlowBuilder& FlowBuilder::WithSeed(uint64_t seed) {
   seed_ = seed;
   return *this;
 }
+FlowBuilder& FlowBuilder::WithResilience(ResiliencePolicy policy) {
+  ingestion_.resilience = policy;
+  analytics_.resilience = policy;
+  storage_.resilience = policy;
+  return *this;
+}
+FlowBuilder& FlowBuilder::WithFaultInjector(sim::FaultInjector* injector) {
+  fault_injector_ = injector;
+  return *this;
+}
 
 Result<ManagedFlow> FlowBuilder::Build(
     sim::Simulation* sim, cloudwatch::MetricStore* metrics) const {
@@ -76,15 +86,16 @@ Result<ManagedFlow> FlowBuilder::Build(
                             stream_name};
     cloudwatch::MetricId throttled{"Flower/Kinesis", "ThrottledRecords",
                                    stream_name};
+    // GetStatistic windows are (t0, t1], so a datapoint published at
+    // exactly `now` is seen by this read and by no other.
     const double window = 120.0;
     FLOWER_ASSIGN_OR_RETURN(
         double accepted,
-        store->GetStatistic(in, now - window, now + 1e-9,
+        store->GetStatistic(in, now - window, now,
                             cloudwatch::Statistic::kSum));
-    double rejected =
-        store->GetStatistic(throttled, now - window, now + 1e-9,
-                            cloudwatch::Statistic::kSum)
-            .ValueOr(0.0);
+    double rejected = store->GetStatistic(throttled, now - window, now,
+                                          cloudwatch::Statistic::kSum)
+                          .ValueOr(0.0);
     return (accepted + rejected) / window;
   };
 
@@ -128,6 +139,14 @@ Result<ManagedFlow> FlowBuilder::Build(
     cfg.controller = std::move(controller);
     cfg.actuator = std::move(actuator);
     cfg.initial_u = initial_u;
+    cfg.resilience = lc.resilience;
+    if (fault_injector_ != nullptr) {
+      std::string target = LayerToString(layer);
+      cfg.actuator =
+          fault_injector_->WrapActuator(target, std::move(cfg.actuator));
+      cfg.sensor = fault_injector_->WrapSensor(
+          target, mf.manager->MakeDefaultSensor(cfg));
+    }
     return mf.manager->Attach(std::move(cfg));
   };
 

@@ -8,6 +8,7 @@
 #include "core/controller_factory.h"
 #include "core/elasticity_manager.h"
 #include "flow/flow.h"
+#include "sim/fault_injector.h"
 #include "workload/arrival.h"
 #include "workload/clickstream.h"
 
@@ -27,6 +28,9 @@ struct LayerElasticityConfig {
   /// previous action was still in flight and limit-cycles.
   double monitoring_period_sec = 120.0;
   double monitoring_window_sec = 120.0;
+  /// Retry / circuit-breaker / sensor-hardening knobs for this layer's
+  /// loop. Everything off by default (fair-weather behavior).
+  ResiliencePolicy resilience;
 };
 
 /// A fully assembled managed flow: the data analytics flow plus
@@ -61,6 +65,12 @@ class FlowBuilder {
   FlowBuilder& WithWorkload(std::shared_ptr<workload::ArrivalProcess> arrival,
                             workload::ClickStreamConfig config = {});
   FlowBuilder& WithSeed(uint64_t seed);
+  /// Uses this resilience policy for all enabled layers.
+  FlowBuilder& WithResilience(ResiliencePolicy policy);
+  /// Routes every layer's actuator and sensor through `injector`
+  /// (which must outlive the built ManagedFlow). Loop names —
+  /// "ingestion", "analytics", "storage" — are the fault targets.
+  FlowBuilder& WithFaultInjector(sim::FaultInjector* injector);
 
   /// Validates and assembles everything. Errors propagate from any
   /// component (invalid bounds, references, etc.).
@@ -75,6 +85,7 @@ class FlowBuilder {
   std::shared_ptr<workload::ArrivalProcess> arrival_;
   workload::ClickStreamConfig workload_config_;
   uint64_t seed_ = 42;
+  sim::FaultInjector* fault_injector_ = nullptr;
 };
 
 }  // namespace flower::core

@@ -21,16 +21,25 @@ Status Simulation::SchedulePeriodic(SimTime start, SimTime period,
   if (start < now_) {
     return Status::InvalidArgument("SchedulePeriodic: start is in the past");
   }
-  // The recurring event reschedules itself while cb() returns true.
+  // The recurring event reschedules itself while cb() returns true. The
+  // pending event holds the only strong reference to the recursive
+  // function; it captures itself weakly, so once cb() declines to recur
+  // (or the queue is destroyed) the whole chain is freed. Capturing the
+  // shared_ptr directly would be a reference cycle that leaks every
+  // periodic task ever scheduled.
   auto recur = std::make_shared<std::function<void()>>();
   auto self = this;
-  *recur = [self, period, cb = std::move(cb), recur]() {
+  *recur = [self, period, cb = std::move(cb),
+            weak = std::weak_ptr<std::function<void()>>(recur)]() {
     if (cb()) {
-      // Ignore failure: re-scheduling "now + period" cannot be in the past.
-      (void)self->ScheduleAfter(period, *recur);
+      if (auto strong = weak.lock()) {
+        // Ignore failure: re-scheduling "now + period" cannot be in the
+        // past.
+        (void)self->ScheduleAfter(period, [strong] { (*strong)(); });
+      }
     }
   };
-  return ScheduleAt(start, *recur);
+  return ScheduleAt(start, [recur] { (*recur)(); });
 }
 
 bool Simulation::Step() {
@@ -44,6 +53,7 @@ bool Simulation::Step() {
 }
 
 void Simulation::RunUntil(SimTime end) {
+  if (end < now_) return;  // Past horizon: nothing to run, clock keeps.
   while (!queue_.empty() && queue_.top().time <= end) {
     Step();
   }

@@ -49,8 +49,16 @@ class Simulation {
   Status SchedulePeriodic(SimTime start, SimTime period,
                           std::function<bool()> cb);
 
-  /// Runs events until the queue drains or simulated time would exceed
-  /// `end`. After return, Now() == end unless the queue drained first.
+  /// Runs every event with time <= `end` (inclusive boundary), in time
+  /// order, then advances the clock so Now() == end even when the queue
+  /// drained early. Boundary contract, pinned by simulation_test:
+  ///  - An event scheduled exactly at `end` — including one scheduled
+  ///    at `end` by a callback running inside this call — fires in this
+  ///    call, and exactly once; a subsequent RunUntil can never re-run
+  ///    or drop it.
+  ///  - A periodic event whose firing lands exactly on `end` fires
+  ///    there once and resumes from `end + period` on the next call.
+  ///  - `end < Now()` runs nothing and leaves the clock unchanged.
   void RunUntil(SimTime end);
 
   /// Runs a single event; returns false if the queue is empty.

@@ -39,17 +39,48 @@ TEST(MetricStoreTest, StatisticsOverWindow) {
   for (int i = 0; i < 10; ++i) {
     ASSERT_TRUE(store.Put(kCpu, i * 60.0, static_cast<double>(i)).ok());
   }
-  // Window [120, 360) covers values 2, 3, 4, 5.
+  // Trailing window (120, 360] covers values 3, 4, 5, 6.
   EXPECT_DOUBLE_EQ(*store.GetStatistic(kCpu, 120, 360, Statistic::kAverage),
-                   3.5);
+                   4.5);
   EXPECT_DOUBLE_EQ(*store.GetStatistic(kCpu, 120, 360, Statistic::kSum),
-                   14.0);
+                   18.0);
   EXPECT_DOUBLE_EQ(*store.GetStatistic(kCpu, 120, 360, Statistic::kMinimum),
-                   2.0);
+                   3.0);
   EXPECT_DOUBLE_EQ(*store.GetStatistic(kCpu, 120, 360, Statistic::kMaximum),
-                   5.0);
+                   6.0);
   EXPECT_DOUBLE_EQ(
       *store.GetStatistic(kCpu, 120, 360, Statistic::kSampleCount), 4.0);
+}
+
+// Pins the trailing-window boundary contract: (t0, t1] — a datapoint
+// stamped exactly at the window end is included, one stamped exactly at
+// the window start is not.
+TEST(MetricStoreTest, WindowIsLeftOpenRightClosed) {
+  MetricStore store;
+  ASSERT_TRUE(store.Put(kCpu, 60.0, 1.0).ok());
+  ASSERT_TRUE(store.Put(kCpu, 120.0, 2.0).ok());
+  // Sample at t1 == 120 is visible to a query ending at 120.
+  EXPECT_DOUBLE_EQ(*store.GetStatistic(kCpu, 60, 120, Statistic::kSum), 2.0);
+  // Sample at t0 == 120 is NOT re-counted by the next window.
+  EXPECT_DOUBLE_EQ(*store.GetStatistic(kCpu, 0, 120, Statistic::kSum), 3.0);
+  EXPECT_EQ(
+      store.GetStatistic(kCpu, 120, 180, Statistic::kSum).status().code(),
+      StatusCode::kNotFound);
+}
+
+// A control loop stepping every `period` with window == period issues
+// back-to-back queries (t - period, t]; an edge datapoint must be
+// counted by exactly one of them.
+TEST(MetricStoreTest, ConsecutiveWindowsCountEdgeDatapointOnce) {
+  MetricStore store;
+  ASSERT_TRUE(store.Put(kCpu, 120.0, 5.0).ok());
+  double counted = 0.0;
+  for (double now : {60.0, 120.0, 180.0, 240.0}) {
+    counted += store.GetStatistic(kCpu, now - 60.0, now,
+                                  Statistic::kSampleCount)
+                   .ValueOr(0.0);
+  }
+  EXPECT_DOUBLE_EQ(counted, 1.0);
 }
 
 TEST(MetricStoreTest, PercentileStatistics) {
@@ -147,7 +178,7 @@ TEST(MetricStoreTest, DimensionsDistinguishMetrics) {
   ASSERT_TRUE(store.Put(a, 0.0, 1.0).ok());
   ASSERT_TRUE(store.Put(b, 0.0, 2.0).ok());
   EXPECT_EQ(store.metric_count(), 2u);
-  EXPECT_DOUBLE_EQ(*store.GetStatistic(b, 0, 10, Statistic::kAverage), 2.0);
+  EXPECT_DOUBLE_EQ(*store.GetStatistic(b, -1, 10, Statistic::kAverage), 2.0);
 }
 
 TEST(MetricIdTest, ToStringFormat) {

@@ -135,5 +135,24 @@ TEST(AdaptiveGainTest, SetReferenceChangesTarget) {
   EXPECT_DOUBLE_EQ(*u, 10.0);  // No error at the new reference.
 }
 
+// Regression: a repeated timestamp must not double-apply Eq. 6–7 (the
+// old `now < last_time_` guard let a duplicate tick through).
+TEST(AdaptiveGainTest, DuplicateTimestampIsIdempotentNoOp) {
+  AdaptiveGainController c(BaseConfig());
+  c.Reset(10.0);
+  ASSERT_TRUE(c.Update(0.0, 80.0).ok());
+  auto dup = c.Update(0.0, 80.0);  // Same instant, repeated.
+  ASSERT_TRUE(dup.ok());
+  EXPECT_NEAR(*dup, 15.0, 1e-12);      // Unchanged output...
+  EXPECT_NEAR(c.gain(), 0.25, 1e-12);  // ...and unchanged gain state.
+  // The next real step behaves exactly as if no duplicate happened.
+  auto u2 = c.Update(60.0, 70.0);
+  ASSERT_TRUE(u2.ok());
+  EXPECT_NEAR(c.gain(), 0.35, 1e-12);
+  EXPECT_NEAR(*u2, 18.5, 1e-12);
+  // Time moving backwards is still rejected.
+  EXPECT_FALSE(c.Update(30.0, 70.0).ok());
+}
+
 }  // namespace
 }  // namespace flower::control

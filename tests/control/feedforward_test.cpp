@@ -86,15 +86,49 @@ TEST(FeedforwardTest, SaturatedSamplesDoNotCorruptModel) {
     u = *next;
   }
   double slope_before = c.model_slope();
-  // Deep saturation: y pinned at 100 for several steps.
+  // Deep saturation where the model already predicts demand above the
+  // clipped observation: y=100 only lower-bounds the demand, and the
+  // bound (100 * applied) is below the prediction, so the sample
+  // carries no information.
   plant.x = 5000.0;
-  for (int j = 0; j < 3; ++j, ++k) {
-    auto next = c.Update(60.0 * k, 100.0);
+  auto next = c.Update(60.0 * k, 100.0);
+  ASSERT_TRUE(next.ok());
+  // Slope unchanged: the clipped sample was skipped — and the
+  // driver-based feedforward term escaped saturation regardless.
+  EXPECT_NEAR(c.model_slope(), slope_before, 1e-9);
+  EXPECT_GT(*next, 100.0);
+}
+
+TEST(FeedforwardTest, SaturationWithStaleLowModelStillEscapes) {
+  // Plant whose per-record cost can drift: demand W = cost * x.
+  double cost = 0.5;
+  auto utilization = [&](double u) {
+    return std::min(100.0, cost * 100.0 / std::max(u, 1e-9));
+  };
+  FeedforwardController c(BaseConfig(),
+                          [](SimTime) -> Result<double> { return 100.0; });
+  c.Reset(1.0);
+  double u = 1.0;
+  int k = 0;
+  for (; k < 10; ++k) {
+    auto next = c.Update(60.0 * k, utilization(u));
     ASSERT_TRUE(next.ok());
     u = *next;
   }
-  // Slope unchanged: the clipped samples were skipped.
-  EXPECT_NEAR(c.model_slope(), slope_before, 1e-9);
+  // The cost grows 20x: demand jumps far beyond what the clamped
+  // feedback trim can cover, and y pins at 100 while the model still
+  // predicts the old cheap workload. Regression: the controller used to
+  // skip every saturated sample, so the model stayed stale-low and the
+  // loop deadlocked at 100% utilization forever. Learning from the
+  // clipped lower bound whenever the model predicts below it must pull
+  // capacity up until saturation resolves.
+  cost = 10.0;
+  for (; k < 60; ++k) {
+    auto next = c.Update(60.0 * k, utilization(u));
+    ASSERT_TRUE(next.ok());
+    u = *next;
+  }
+  EXPECT_NEAR(utilization(u), 60.0, 10.0);
 }
 
 TEST(FeedforwardTest, DegradesToFeedbackWithoutDriver) {
@@ -173,6 +207,26 @@ TEST(FeedforwardTest, TimeMovingBackwardsRejected) {
   c.Reset(5.0);
   ASSERT_TRUE(c.Update(60.0, 60.0).ok());
   EXPECT_FALSE(c.Update(30.0, 60.0).ok());
+}
+
+// Regression: a repeated timestamp must be an idempotent no-op — no
+// double model/trim update (twin-trajectory check).
+TEST(FeedforwardTest, DuplicateTimestampIsIdempotentNoOp) {
+  auto driver = [](SimTime t) -> Result<double> { return 100.0 + t; };
+  FeedforwardController a(BaseConfig(), driver);
+  FeedforwardController b(BaseConfig(), driver);
+  a.Reset(10.0);
+  b.Reset(10.0);
+  const double ys[] = {80.0, 75.0, 65.0, 58.0, 62.0};
+  for (int k = 0; k < 5; ++k) {
+    double t = 60.0 * k;
+    auto ua = a.Update(t, ys[k]);
+    auto dup = a.Update(t, ys[k]);  // Duplicate tick on `a` only.
+    auto ub = b.Update(t, ys[k]);
+    ASSERT_TRUE(ua.ok() && dup.ok() && ub.ok());
+    EXPECT_DOUBLE_EQ(*ua, *ub);
+    EXPECT_DOUBLE_EQ(*dup, *ub);
+  }
 }
 
 }  // namespace

@@ -95,5 +95,24 @@ TEST(FixedGainTest, SetReferenceMovesRange) {
   EXPECT_GT(*u, 10.0);
 }
 
+// Regression: a repeated timestamp must be an idempotent no-op — the
+// twin controller without duplicates must follow the same trajectory.
+TEST(FixedGainTest, DuplicateTimestampIsIdempotentNoOp) {
+  FixedGainController a(BaseConfig());
+  FixedGainController b(BaseConfig());
+  a.Reset(10.0);
+  b.Reset(10.0);
+  const double ys[] = {90.0, 85.0, 20.0, 70.0};
+  for (int k = 0; k < 4; ++k) {
+    double t = 60.0 * k;
+    auto ua = a.Update(t, ys[k]);
+    auto dup = a.Update(t, ys[k]);  // Duplicate tick on `a` only.
+    auto ub = b.Update(t, ys[k]);
+    ASSERT_TRUE(ua.ok() && dup.ok() && ub.ok());
+    EXPECT_DOUBLE_EQ(*ua, *ub);
+    EXPECT_DOUBLE_EQ(*dup, *ub);  // Duplicate returns the current u.
+  }
+}
+
 }  // namespace
 }  // namespace flower::control

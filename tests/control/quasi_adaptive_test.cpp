@@ -100,5 +100,24 @@ TEST(QuasiAdaptiveTest, TimeMovingBackwardsRejected) {
   EXPECT_FALSE(c.Update(5.0, 80.0).ok());
 }
 
+// Regression: a repeated timestamp must be an idempotent no-op — no
+// double RLS/integral update (twin-trajectory check).
+TEST(QuasiAdaptiveTest, DuplicateTimestampIsIdempotentNoOp) {
+  QuasiAdaptiveController a(BaseConfig());
+  QuasiAdaptiveController b(BaseConfig());
+  a.Reset(10.0);
+  b.Reset(10.0);
+  const double ys[] = {90.0, 80.0, 65.0, 55.0, 70.0};
+  for (int k = 0; k < 5; ++k) {
+    double t = 60.0 * k;
+    auto ua = a.Update(t, ys[k]);
+    auto dup = a.Update(t, ys[k]);  // Duplicate tick on `a` only.
+    auto ub = b.Update(t, ys[k]);
+    ASSERT_TRUE(ua.ok() && dup.ok() && ub.ok());
+    EXPECT_DOUBLE_EQ(*ua, *ub);
+    EXPECT_DOUBLE_EQ(*dup, *ub);
+  }
+}
+
 }  // namespace
 }  // namespace flower::control

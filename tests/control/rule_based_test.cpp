@@ -107,5 +107,24 @@ TEST(RuleBasedTest, TimeMovingBackwardsRejected) {
   EXPECT_FALSE(c.Update(30.0, 50.0).ok());
 }
 
+// Regression: a repeated timestamp must be an idempotent no-op — it
+// must not double-count threshold breaches (twin-trajectory check).
+TEST(RuleBasedTest, DuplicateTimestampIsIdempotentNoOp) {
+  RuleBasedController a(BaseConfig());
+  RuleBasedController b(BaseConfig());
+  a.Reset(4.0);
+  b.Reset(4.0);
+  const double ys[] = {90.0, 90.0, 90.0, 20.0, 20.0, 20.0};
+  for (int k = 0; k < 6; ++k) {
+    double t = 60.0 * k;
+    auto ua = a.Update(t, ys[k]);
+    auto dup = a.Update(t, ys[k]);  // Duplicate tick on `a` only.
+    auto ub = b.Update(t, ys[k]);
+    ASSERT_TRUE(ua.ok() && dup.ok() && ub.ok());
+    EXPECT_DOUBLE_EQ(*ua, *ub);
+    EXPECT_DOUBLE_EQ(*dup, *ub);
+  }
+}
+
 }  // namespace
 }  // namespace flower::control

@@ -112,5 +112,24 @@ TEST(TargetTrackingTest, InvalidInputsRejected) {
   EXPECT_FALSE(bad.Update(0.0, 50.0).ok());
 }
 
+// Regression: a repeated timestamp must be an idempotent no-op — it
+// must not re-enter the cooldown bookkeeping (twin-trajectory check).
+TEST(TargetTrackingTest, DuplicateTimestampIsIdempotentNoOp) {
+  TargetTrackingController a(BaseConfig());
+  TargetTrackingController b(BaseConfig());
+  a.Reset(10.0);
+  b.Reset(10.0);
+  const double ys[] = {90.0, 95.0, 40.0, 30.0, 60.0};
+  for (int k = 0; k < 5; ++k) {
+    double t = 120.0 * k;
+    auto ua = a.Update(t, ys[k]);
+    auto dup = a.Update(t, ys[k]);  // Duplicate tick on `a` only.
+    auto ub = b.Update(t, ys[k]);
+    ASSERT_TRUE(ua.ok() && dup.ok() && ub.ok());
+    EXPECT_DOUBLE_EQ(*ua, *ub);
+    EXPECT_DOUBLE_EQ(*dup, *ub);
+  }
+}
+
 }  // namespace
 }  // namespace flower::control

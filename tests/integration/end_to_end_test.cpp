@@ -88,15 +88,27 @@ TEST(EndToEndTest, ElasticityFollowsLoadUpAndDown) {
                 .Build(&sim, &metrics);
   ASSERT_TRUE(mf.ok());
 
-  sim.RunUntil(0.9 * kHour);
-  int workers_low1 = mf->flow->cluster().worker_count();
-  sim.RunUntil(1.9 * kHour);
-  int workers_high = mf->flow->cluster().worker_count();
   sim.RunUntil(3.5 * kHour);
-  int workers_low2 = mf->flow->cluster().worker_count();
 
-  EXPECT_GT(workers_high, workers_low1);  // Scaled out under load...
-  EXPECT_LT(workers_low2, workers_high);  // ...and back in afterwards.
+  // Compare time-averaged analytics actuations per phase: at low load
+  // the loop limit-cycles around the quantization floor (worker counts
+  // bounce between ~1 and ~10), so instantaneous worker counts are
+  // phase-sensitive; the phase averages are not.
+  auto state = mf->manager->GetState(Layer::kAnalytics);
+  ASSERT_TRUE(state.ok());
+  auto mean_u = [&](SimTime t0, SimTime t1) {
+    TimeSeries w = (*state)->actuations.Window(t0, t1);
+    EXPECT_GT(w.size(), 5u);
+    double sum = 0.0;
+    for (const Sample& s : w.samples()) sum += s.value;
+    return sum / std::max<double>(1.0, static_cast<double>(w.size()));
+  };
+  double workers_low1 = mean_u(0.4 * kHour, 0.9 * kHour);
+  double workers_high = mean_u(1.4 * kHour, 1.9 * kHour);
+  double workers_low2 = mean_u(2.8 * kHour, 3.5 * kHour);
+
+  EXPECT_GT(workers_high, 1.5 * workers_low1);  // Scaled out under load...
+  EXPECT_LT(workers_low2, 0.7 * workers_high);  // ...and back in afterwards.
 }
 
 TEST(EndToEndTest, DependencyAnalysisFindsIngestionAnalyticsCoupling) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 namespace flower::sim {
@@ -101,10 +102,79 @@ TEST(SimulationTest, StepExecutesOneEvent) {
   EXPECT_FALSE(sim.Step());
 }
 
+// Regression tests for the RunUntil boundary contract: an event at
+// exactly `end` fires in that call, exactly once — never dropped, never
+// re-run by a subsequent RunUntil.
+TEST(SimulationTest, EventExactlyAtEndFiresExactlyOnce) {
+  Simulation sim;
+  int fired = 0;
+  ASSERT_TRUE(sim.ScheduleAt(10.0, [&] { ++fired; }).ok());
+  sim.RunUntil(10.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), 10.0);
+  sim.RunUntil(10.0);  // Same horizon again: no double-fire.
+  EXPECT_EQ(fired, 1);
+  sim.RunUntil(20.0);  // Later horizon: still no double-fire.
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.events_executed(), 1u);
+}
+
+TEST(SimulationTest, EventScheduledAtEndDuringRunStillFires) {
+  Simulation sim;
+  int fired = 0;
+  ASSERT_TRUE(sim.ScheduleAt(5.0, [&] {
+    (void)sim.ScheduleAt(10.0, [&] { ++fired; });
+  }).ok());
+  sim.RunUntil(10.0);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulationTest, PeriodicLandingOnEndFiresOnceAndResumes) {
+  Simulation sim;
+  std::vector<double> fire_times;
+  ASSERT_TRUE(sim.SchedulePeriodic(10.0, 10.0, [&] {
+    fire_times.push_back(sim.Now());
+    return true;
+  }).ok());
+  sim.RunUntil(30.0);  // Lands exactly on a firing.
+  EXPECT_EQ(fire_times, (std::vector<double>{10.0, 20.0, 30.0}));
+  sim.RunUntil(50.0);  // Resumes at 40, no repeat of 30.
+  EXPECT_EQ(fire_times, (std::vector<double>{10.0, 20.0, 30.0, 40.0, 50.0}));
+}
+
+TEST(SimulationTest, RunUntilInPastIsNoOp) {
+  Simulation sim;
+  sim.RunUntil(10.0);
+  int fired = 0;
+  ASSERT_TRUE(sim.ScheduleAt(10.0, [&] { ++fired; }).ok());
+  sim.RunUntil(5.0);  // Horizon before Now(): nothing runs, clock keeps.
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sim.Now(), 10.0);
+  sim.RunUntil(10.0);  // The event at Now() is still runnable, once.
+  EXPECT_EQ(fired, 1);
+}
+
 TEST(SimulationTest, RunUntilOnEmptyQueueAdvancesClock) {
   Simulation sim;
   sim.RunUntil(42.0);
   EXPECT_EQ(sim.Now(), 42.0);
+}
+
+TEST(SimulationTest, PeriodicCallbackIsFreedWhenItStopsRecurring) {
+  // The self-rescheduling closure must not keep itself alive through a
+  // strong reference cycle: once the callback declines to recur, every
+  // capture must be released. Long-lived simulations schedule thousands
+  // of periodic tasks; each used to leak its closure.
+  Simulation sim;
+  auto tracker = std::make_shared<int>(0);
+  std::weak_ptr<int> watch = tracker;
+  ASSERT_TRUE(sim.SchedulePeriodic(1.0, 1.0, [tracker] {
+    return *tracker < 3 && ++*tracker < 3;
+  }).ok());
+  tracker.reset();
+  EXPECT_FALSE(watch.expired());  // The pending event owns the captures.
+  sim.RunUntil(10.0);
+  EXPECT_TRUE(watch.expired());  // Stopped recurring: closure destroyed.
 }
 
 }  // namespace
