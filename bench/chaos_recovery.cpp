@@ -44,7 +44,10 @@ struct RunResult {
   double recover_sec = 0.0;   // Time-to-recover; kHorizon-censored.
   bool recovered = false;
   double drop_pct = 0.0;
-  core::LayerControlState analytics;  // Counters for the health table.
+  /// Plain-value counter snapshot: the registry-backed live state dies
+  /// with the manager at the end of RunScenario.
+  core::LoopCounterSnapshot analytics;
+  size_t analytics_actuations = 0;
   uint64_t injected_failures = 0;
   uint64_t injected_gaps = 0;
   std::vector<double> cpu_trace;
@@ -55,7 +58,7 @@ struct RunResult {
     std::ostringstream os;
     os.precision(12);
     os << violation_sec << '|' << recover_sec << '|' << recovered << '|'
-       << drop_pct << '|' << analytics.actuations.size() << '|'
+       << drop_pct << '|' << analytics_actuations << '|'
        << analytics.sensor_misses << '|' << analytics.stale_sensor_reads
        << '|' << analytics.actuation_failures << '|'
        << analytics.actuation_retries << '|' << analytics.retry_successes
@@ -156,7 +159,8 @@ Result<RunResult> RunScenario(bool hardened, uint64_t seed) {
           1.0, static_cast<double>(mf.flow->generator()->total_generated()));
   FLOWER_ASSIGN_OR_RETURN(const core::LayerControlState* state,
                           mf.manager->GetState(core::Layer::kAnalytics));
-  out.analytics = *state;
+  out.analytics = state->CountersSnapshot();
+  out.analytics_actuations = state->actuations.size();
   out.injected_failures = chaos.stats().actuator_failures;
   out.injected_gaps = chaos.stats().metric_gaps;
   return out;

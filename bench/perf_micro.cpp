@@ -7,15 +7,45 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+
 #include "cloudwatch/metric_store.h"
 #include "common/random.h"
 #include "control/adaptive_gain.h"
 #include "core/resource_share.h"
 #include "flow/sliding_window.h"
+#include "obs/metrics_registry.h"
 #include "opt/nsga2.h"
 #include "sim/simulation.h"
 #include "stats/correlation.h"
 #include "stats/linreg.h"
+
+// Allocation-counting hook: global operator new/delete bump a relaxed
+// counter, so the metrics hot-path guard below can assert that counter
+// increments and histogram records perform zero heap allocations.
+namespace {
+std::atomic<uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, size_t) noexcept { std::free(p); }
+void operator delete[](void* p, size_t) noexcept { std::free(p); }
 
 namespace flower {
 namespace {
@@ -159,7 +189,70 @@ void BM_SlidingWindowAdd(benchmark::State& state) {
 }
 BENCHMARK(BM_SlidingWindowAdd);
 
+void BM_ObsCounterIncrement(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Counter* counter =
+      registry.GetCounter("bench.ops", {{"layer", "analytics"}});
+  for (auto _ : state) {
+    counter->Increment();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ObsCounterIncrement);
+
+void BM_ObsHistogramRecord(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Histogram* hist =
+      registry.GetHistogram("bench.latency_us", {{"layer", "analytics"}});
+  Rng rng(4);
+  double v = 1.0;
+  for (auto _ : state) {
+    v = v < 1e6 ? v * 1.37 : rng.Uniform(0.0, 10.0);
+    hist->Record(v);
+    benchmark::DoNotOptimize(hist);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ObsHistogramRecord);
+
+// Hard guard, run before the benchmarks: 1e5 counter increments plus
+// 1e5 histogram records must not allocate at all once the instruments
+// are registered. Returns false (and fails the binary) on any heap
+// traffic, which would invalidate every hot-path number above.
+bool MetricsHotPathIsAllocationFree() {
+  obs::MetricsRegistry registry;
+  obs::Counter* counter =
+      registry.GetCounter("guard.ops", {{"layer", "analytics"}});
+  obs::Histogram* hist =
+      registry.GetHistogram("guard.latency_us", {{"layer", "analytics"}});
+  constexpr int kOps = 100000;
+  uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < kOps; ++i) {
+    counter->Increment();
+    hist->Record(static_cast<double>(i % 4096) * 0.37);
+  }
+  uint64_t allocs = g_allocations.load(std::memory_order_relaxed) - before;
+  std::printf("metrics hot-path allocation guard: %llu allocations over %d "
+              "counter increments + %d histogram records\n",
+              static_cast<unsigned long long>(allocs), kOps, kOps);
+  return allocs == 0;
+}
+
 }  // namespace
 }  // namespace flower
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN, plus the allocation guard up front.
+int main(int argc, char** argv) {
+  if (!flower::MetricsHotPathIsAllocationFree()) {
+    std::fprintf(stderr,
+                 "FAIL: metrics hot path allocated; registry is not "
+                 "allocation-free\n");
+    return 1;
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -5,7 +5,9 @@
 //
 //   $ ./build/examples/monitoring_dashboard
 
+#include <iomanip>
 #include <iostream>
+#include <sstream>
 #include <vector>
 
 #include "cloudwatch/alarm.h"
@@ -13,11 +15,51 @@
 #include "common/units.h"
 #include "core/flow_builder.h"
 #include "core/monitor.h"
+#include "obs/telemetry.h"
 #include "sim/fault_injector.h"
 
 using namespace flower;
 
+namespace {
+
+std::string Labels(const obs::LabelSet& labels) {
+  std::string out;
+  for (const auto& [k, v] : labels) {
+    if (!out.empty()) out += " ";
+    out += k + "=" + v;
+  }
+  return out;
+}
+
+std::string Num(double v, int digits = 2) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << v;
+  return os.str();
+}
+
+// The live-style instrument table: one row per registered counter,
+// gauge, and histogram, straight from a registry snapshot.
+void RenderMetricsTable(const obs::Telemetry& telemetry, std::ostream& os) {
+  obs::MetricsSnapshot snap = telemetry.metrics().Snapshot();
+  TablePrinter table({"instrument", "labels", "value"});
+  for (const obs::CounterSample& c : snap.counters) {
+    table.AddRow({c.name, Labels(c.labels), std::to_string(c.value)});
+  }
+  for (const obs::GaugeSample& g : snap.gauges) {
+    table.AddRow({g.name, Labels(g.labels), Num(g.value)});
+  }
+  for (const obs::HistogramSample& h : snap.histograms) {
+    table.AddRow({h.name, Labels(h.labels),
+                  "n=" + std::to_string(h.count) + " p50=" + Num(h.p50) +
+                      " p99=" + Num(h.p99) + " max=" + Num(h.max)});
+  }
+  table.Print(os);
+}
+
+}  // namespace
+
 int main() {
+  obs::Telemetry telemetry;
   sim::Simulation sim;
   cloudwatch::MetricStore metrics;
 
@@ -47,6 +89,7 @@ int main() {
                      .WithSeed(3)
                      .WithResilience(resilience)
                      .WithFaultInjector(&chaos)
+                     .WithTelemetry(&telemetry)
                      .Build(&sim, &metrics);
   if (!managed.ok()) {
     std::cerr << managed.status() << "\n";
@@ -97,9 +140,14 @@ int main() {
   monitor.Watch({"Flower/Storm", "CompleteLatency", "storm"});
   monitor.Watch({"Flower/DynamoDB", "WriteUtilization", "aggregates"});
 
-  // Render the consolidated dashboard every 30 simulated minutes.
+  // Render the consolidated dashboard every 30 simulated minutes, with
+  // the telemetry instrument table next to the metric charts — the text
+  // equivalent of the paper's live monitoring pane.
   (void)sim.SchedulePeriodic(30 * kMinute, 30 * kMinute, [&] {
     monitor.RenderDashboard(std::cout, sim.Now() - 30 * kMinute, sim.Now());
+    std::cout << "Telemetry instruments @ t=" << sim.Now() / kMinute
+              << "min:\n";
+    RenderMetricsTable(telemetry, std::cout);
     return sim.Now() < 2 * kHour;
   });
 
@@ -119,16 +167,36 @@ int main() {
     if (!state.ok()) continue;
     const core::LayerControlState& s = **state;
     health.AddRow({name, std::to_string(s.actuations.size()),
-                   std::to_string(s.sensor_misses),
-                   std::to_string(s.stale_sensor_reads),
-                   std::to_string(s.actuation_failures),
-                   std::to_string(s.actuation_retries),
-                   std::to_string(s.retry_successes),
-                   std::to_string(s.breaker_trips),
-                   std::to_string(s.breaker_skipped_steps),
+                   std::to_string(s.sensor_misses()),
+                   std::to_string(s.stale_sensor_reads()),
+                   std::to_string(s.actuation_failures()),
+                   std::to_string(s.actuation_retries()),
+                   std::to_string(s.retry_successes()),
+                   std::to_string(s.breaker_trips()),
+                   std::to_string(s.breaker_skipped_steps()),
                    s.breaker_open ? "OPEN" : "closed"});
   }
   health.Print(std::cout);
+
+  // Tail of the control-decision event log: the structured record of
+  // what each loop sensed and decided, newest last.
+  std::vector<obs::ControlDecisionRecord> decisions =
+      telemetry.decisions().Snapshot();
+  constexpr size_t kTail = 8;
+  size_t first = decisions.size() > kTail ? decisions.size() - kTail : 0;
+  std::cout << "\nLast " << decisions.size() - first
+            << " control decisions (of " << decisions.size() << "):\n";
+  TablePrinter tail({"t min", "loop", "law", "y", "y_r", "gain", "u",
+                     "outcome", "faults"});
+  for (size_t i = first; i < decisions.size(); ++i) {
+    const obs::ControlDecisionRecord& d = decisions[i];
+    tail.AddRow({Num(d.time / kMinute, 0), d.loop, d.law, Num(d.sensed_y, 1),
+                 Num(d.reference, 1), Num(d.gain, 3), Num(d.clamped_u, 1),
+                 obs::StepOutcomeToString(d.outcome),
+                 std::to_string(static_cast<int>(d.fault_mask))});
+  }
+  tail.Print(std::cout);
+
   std::cout << "\nInjected faults: "
             << chaos.stats().actuator_failures << " actuation failures, "
             << chaos.stats().metric_gaps << " metric gaps\n";

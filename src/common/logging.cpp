@@ -8,6 +8,8 @@ namespace flower {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarning};
+std::atomic<LogClockFn> g_clock_fn{nullptr};
+std::atomic<void*> g_clock_ctx{nullptr};
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -24,30 +26,50 @@ const char* LevelTag(LogLevel level) {
 }
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level.store(level); }
-LogLevel GetLogLevel() { return g_level.load(); }
+void SetLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+
+void SetLogClock(LogClockFn fn, void* ctx) {
+  // Context first: a reader that sees the new fn must see its ctx.
+  g_clock_ctx.store(ctx, std::memory_order_release);
+  g_clock_fn.store(fn, std::memory_order_release);
+}
 
 namespace internal {
 
-LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : enabled_(level >= g_level.load()), level_(level) {
-  if (enabled_) {
-    const char* base = file;
-    for (const char* p = file; *p; ++p) {
-      if (*p == '/') base = p + 1;
-    }
-    stream_ << "[" << LevelTag(level) << " " << base << ":" << line << "] ";
+LogMessage::LogMessage(LogLevel level, const char* file, int line,
+                       bool fatal)
+    : enabled_(fatal || level >= g_level.load(std::memory_order_relaxed)),
+      fatal_(fatal) {
+  if (!enabled_) return;
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
   }
+  stream_ << "[" << LevelTag(level);
+  if (LogClockFn clock = g_clock_fn.load(std::memory_order_acquire)) {
+    stream_ << " t=" << clock(g_clock_ctx.load(std::memory_order_acquire))
+            << "s";
+  }
+  stream_ << " " << base << ":" << line << "] ";
 }
 
-LogMessage::~LogMessage() {
+void LogMessage::Flush() {
   if (enabled_) {
     std::cerr << stream_.str() << std::endl;
   }
-  if (level_ == LogLevel::kError && enabled_ &&
-      stream_.str().find("Check failed") != std::string::npos) {
-    std::abort();
-  }
+}
+
+void LogMessage::AbortAfterLogging() {
+  Flush();
+  std::abort();
+}
+
+LogMessage::~LogMessage() {
+  if (fatal_) AbortAfterLogging();
+  Flush();
 }
 
 }  // namespace internal

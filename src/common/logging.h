@@ -10,15 +10,29 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
 /// Process-wide minimum severity; messages below it are discarded.
 /// Defaults to kWarning so simulations stay quiet in tests/benches.
+/// Reads and writes are relaxed atomics: the level is a monotonic
+/// filter, not a synchronization point.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Optional simulated-clock hook: when installed, every log line is
+/// prefixed with the current sim time ("[W t=123.4s file:line]"), so
+/// logs correlate with traces and decision records. A raw function
+/// pointer + context (not std::function) keeps installation trivially
+/// thread-safe and the disabled path free of static-init ordering
+/// hazards. Pass (nullptr, nullptr) to uninstall.
+using LogClockFn = double (*)(void* ctx);
+void SetLogClock(LogClockFn fn, void* ctx);
 
 namespace internal {
 
 /// Accumulates one log line and emits it to stderr on destruction.
+/// A fatal message (FLOWER_CHECK failure) aborts the process after
+/// emitting, regardless of the configured log level.
 class LogMessage {
  public:
-  LogMessage(LogLevel level, const char* file, int line);
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  [[noreturn]] void AbortAfterLogging();
   ~LogMessage();
   LogMessage(const LogMessage&) = delete;
   LogMessage& operator=(const LogMessage&) = delete;
@@ -30,8 +44,10 @@ class LogMessage {
   }
 
  private:
+  void Flush();
+
   bool enabled_;
-  LogLevel level_;
+  bool fatal_;
   std::ostringstream stream_;
 };
 
@@ -42,11 +58,28 @@ class LogMessage {
   ::flower::internal::LogMessage(::flower::LogLevel::k##severity,   \
                                  __FILE__, __LINE__)
 
-/// Unconditional invariant check (active in all build types).
+/// Unconditional invariant check (active in all build types): logs the
+/// failed condition and aborts. Statements after a failed check never
+/// run — do not rely on fall-through.
 #define FLOWER_CHECK(cond)                                               \
-  if (!(cond))                                                           \
-  ::flower::internal::LogMessage(::flower::LogLevel::kError, __FILE__,   \
-                                 __LINE__)                               \
-      << "Check failed: " #cond " "
+  if (cond) {                                                            \
+  } else /* NOLINT(readability/braces) */                                \
+    ::flower::internal::LogMessage(::flower::LogLevel::kError, __FILE__, \
+                                   __LINE__, /*fatal=*/true)             \
+        << "Check failed: " #cond " "
+
+/// Debug-only invariant check: same as FLOWER_CHECK in debug builds,
+/// compiled out (condition not evaluated, operands still type-checked)
+/// under NDEBUG.
+#ifdef NDEBUG
+#define FLOWER_DCHECK(cond)                                              \
+  if (true || (cond)) {                                                  \
+  } else /* NOLINT(readability/braces) */                                \
+    ::flower::internal::LogMessage(::flower::LogLevel::kError, __FILE__, \
+                                   __LINE__, /*fatal=*/true)             \
+        << "Check failed: " #cond " "
+#else
+#define FLOWER_DCHECK(cond) FLOWER_CHECK(cond)
+#endif
 
 #endif  // FLOWER_COMMON_LOGGING_H_

@@ -35,8 +35,11 @@ Result<double> AdaptiveGainController::Update(SimTime now, double y) {
                      config_.gain_max);
   // Eq. 6: integral action with the adapted gain. The integrator state
   // stays continuous; only the returned actuation is quantized.
-  u_ = config_.limits.Clamp(u_ + gain_ * error);
-  return config_.limits.Quantize(u_);
+  double raw_u = u_ + gain_ * error;
+  u_ = config_.limits.Clamp(raw_u);
+  double out = config_.limits.Quantize(u_);
+  Notify(now, y, config_.reference, gain_, raw_u, out);
+  return out;
 }
 
 }  // namespace flower::control

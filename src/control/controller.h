@@ -5,6 +5,7 @@
 
 #include "common/result.h"
 #include "common/time_series.h"
+#include "control/observer.h"
 
 namespace flower::control {
 
@@ -56,6 +57,22 @@ class Controller {
   /// Desired reference measurement y_r (e.g. 60% utilization).
   virtual double reference() const = 0;
   virtual void set_reference(double y_r) = 0;
+
+  /// Installs a telemetry observer notified once per effective Update
+  /// step (duplicate-timestamp no-ops and error returns do not notify).
+  /// Pass nullptr to detach. Not owned; must outlive the controller or
+  /// be detached first.
+  void set_observer(ControlObserver* observer) { observer_ = observer; }
+  ControlObserver* observer() const { return observer_; }
+
+ protected:
+  /// Publishes one step to the observer, if any. `gain` may be NaN for
+  /// laws with no explicit gain.
+  void Notify(SimTime now, double y, double y_r, double gain, double raw_u,
+              double u);
+
+ private:
+  ControlObserver* observer_ = nullptr;
 };
 
 }  // namespace flower::control

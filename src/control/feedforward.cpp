@@ -67,8 +67,11 @@ Result<double> FeedforwardController::Update(SimTime now, double y) {
   if (!x.ok()) {
     // Degraded mode: pure integral feedback on the measurement.
     ++driver_misses_;
-    u_ = config_.limits.Clamp(u_ + config_.trim_gain * (y - config_.reference));
-    return config_.limits.Quantize(u_);
+    double raw_u = u_ + config_.trim_gain * (y - config_.reference);
+    u_ = config_.limits.Clamp(raw_u);
+    double out = config_.limits.Quantize(u_);
+    Notify(now, y, config_.reference, config_.trim_gain, raw_u, out);
+    return out;
   }
 
   // Learn the workload model from the *applied* capacity and measured
@@ -85,8 +88,11 @@ Result<double> FeedforwardController::Update(SimTime now, double y) {
 
   if (observations_ < 3) {
     // Model still cold: feedback only.
-    u_ = config_.limits.Clamp(u_ + config_.trim_gain * (y - config_.reference));
-    return config_.limits.Quantize(u_);
+    double raw_u = u_ + config_.trim_gain * (y - config_.reference);
+    u_ = config_.limits.Clamp(raw_u);
+    double out = config_.limits.Quantize(u_);
+    Notify(now, y, config_.reference, config_.trim_gain, raw_u, out);
+    return out;
   }
 
   // Feedforward term: capacity that puts the predicted demand at the
@@ -99,8 +105,11 @@ Result<double> FeedforwardController::Update(SimTime now, double y) {
   double max_trim = config_.max_trim_fraction * std::max(u_ff, 1.0);
   trim_ = std::clamp(trim_, -max_trim, max_trim);
 
-  u_ = config_.limits.Clamp(u_ff + trim_);
-  return config_.limits.Quantize(u_);
+  double raw_u = u_ff + trim_;
+  u_ = config_.limits.Clamp(raw_u);
+  double out = config_.limits.Quantize(u_);
+  Notify(now, y, config_.reference, config_.trim_gain, raw_u, out);
+  return out;
 }
 
 }  // namespace flower::control

@@ -37,11 +37,16 @@ Result<double> FixedGainController::Update(SimTime now, double y) {
     error = y - y_l;
   } else {
     // Inside the target range: proportional thresholding holds steady.
-    return config_.limits.Quantize(u_);
+    double out = config_.limits.Quantize(u_);
+    Notify(now, y, config_.reference, config_.gain, u_, out);
+    return out;
   }
   // Continuous integrator; only the returned actuation is quantized.
-  u_ = config_.limits.Clamp(u_ + config_.gain * error);
-  return config_.limits.Quantize(u_);
+  double raw_u = u_ + config_.gain * error;
+  u_ = config_.limits.Clamp(raw_u);
+  double out = config_.limits.Quantize(u_);
+  Notify(now, y, config_.reference, config_.gain, raw_u, out);
+  return out;
 }
 
 }  // namespace flower::control

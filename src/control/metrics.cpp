@@ -65,6 +65,12 @@ Result<ControlQuality> EvaluateControl(const TimeSeries& measurements,
 
 Result<double> SettlingTime(const TimeSeries& measurements, SimTime step_time,
                             double reference, double tolerance, double hold) {
+  if (tolerance < 0.0) {
+    return Status::InvalidArgument("SettlingTime: negative tolerance");
+  }
+  if (hold < 0.0) {
+    return Status::InvalidArgument("SettlingTime: negative hold");
+  }
   const auto& s = measurements.samples();
   if (s.empty()) {
     return Status::FailedPrecondition("SettlingTime: empty series");

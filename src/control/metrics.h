@@ -42,6 +42,7 @@ Result<ControlQuality> EvaluateControl(const TimeSeries& measurements,
 /// first time t >= step_time such that y stays within
 /// [reference − tolerance, reference + tolerance] for all subsequent
 /// samples up to `hold` seconds; NotFound when the trace never settles.
+/// Errors: empty series, tolerance < 0, or hold < 0.
 Result<double> SettlingTime(const TimeSeries& measurements, SimTime step_time,
                             double reference, double tolerance, double hold);
 

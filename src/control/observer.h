@@ -1,0 +1,37 @@
+#ifndef FLOWER_CONTROL_OBSERVER_H_
+#define FLOWER_CONTROL_OBSERVER_H_
+
+#include <string>
+
+#include "common/time_series.h"
+
+namespace flower::control {
+
+/// Everything a control law decided in one Update step, surfaced for
+/// telemetry. Controllers publish this through a ControlObserver so the
+/// control library itself stays free of any obs/ dependency — the
+/// ElasticityManager adapts these views into decision records.
+struct ControlStepView {
+  SimTime time = 0.0;
+  double y = 0.0;          ///< Sensed measurement y_k.
+  double reference = 0.0;  ///< Reference y_r.
+  double error = 0.0;      ///< y_k − y_r.
+  /// Adapted gain l_{k+1} after Eq. 7 (adaptive-gain), the effective
+  /// gain for other integral laws, NaN for laws with no explicit gain.
+  double gain = 0.0;
+  double raw_u = 0.0;  ///< Control-law output before quantization.
+  double u = 0.0;      ///< Quantized actuation returned to the manager.
+  std::string law;     ///< Controller family name.
+};
+
+/// Sink for per-step control-law telemetry. Implementations must not
+/// call back into the controller.
+class ControlObserver {
+ public:
+  virtual ~ControlObserver() = default;
+  virtual void OnControlStep(const ControlStepView& step) = 0;
+};
+
+}  // namespace flower::control
+
+#endif  // FLOWER_CONTROL_OBSERVER_H_

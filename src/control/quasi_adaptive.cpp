@@ -60,8 +60,10 @@ Result<double> QuasiAdaptiveController::Update(SimTime now, double y) {
   double error = y - config_.reference;
   // Continuous integrator; only the returned actuation is quantized.
   prev_prev_u_ = prev_u_;
-  u_ = config_.limits.Clamp(u_ + gain * error);
+  double raw_u = u_ + gain * error;
+  u_ = config_.limits.Clamp(raw_u);
   prev_u_ = config_.limits.Quantize(u_);
+  Notify(now, y, config_.reference, gain, raw_u, prev_u_);
   return prev_u_;
 }
 

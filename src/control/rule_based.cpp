@@ -1,5 +1,7 @@
 #include "control/rule_based.h"
 
+#include <limits>
+
 namespace flower::control {
 
 RuleBasedController::RuleBasedController(RuleBasedConfig config)
@@ -59,6 +61,9 @@ Result<double> RuleBasedController::Update(SimTime now, double y) {
     last_action_was_up_ = false;
     low_breaches_ = 0;
   }
+  // No explicit gain in a threshold rule — published as NaN.
+  Notify(now, y, reference(), std::numeric_limits<double>::quiet_NaN(), u_,
+         u_);
   return u_;
 }
 

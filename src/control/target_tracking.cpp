@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace flower::control {
 
@@ -45,7 +46,11 @@ Result<double> TargetTrackingController::Update(SimTime now, double y) {
       last_scale_time_ = now;
     }
   }
-  return config_.limits.Quantize(u_);
+  double out = config_.limits.Quantize(u_);
+  // Ratio law has no explicit gain; raw_u is the pre-cooldown desire.
+  Notify(now, y, config_.reference,
+         std::numeric_limits<double>::quiet_NaN(), desired, out);
+  return out;
 }
 
 }  // namespace flower::control

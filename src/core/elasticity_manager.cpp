@@ -1,6 +1,8 @@
 #include "core/elasticity_manager.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "common/logging.h"
 #include "stats/robust.h"
@@ -8,6 +10,8 @@
 namespace flower::core {
 
 namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
 
 Status ValidateResilience(const ResiliencePolicy& p) {
   if (p.retry.max_retries < 0) {
@@ -45,6 +49,26 @@ Status ValidateResilience(const ResiliencePolicy& p) {
 
 }  // namespace
 
+ElasticityManager::ElasticityManager(sim::Simulation* sim,
+                                     const cloudwatch::MetricStore* metrics)
+    : sim_(sim),
+      metrics_(metrics),
+      owned_telemetry_(std::make_unique<obs::Telemetry>()),
+      telemetry_(owned_telemetry_.get()),
+      next_trace_tid_(obs::kFirstLoopTid) {}
+
+Status ElasticityManager::SetTelemetry(obs::Telemetry* telemetry) {
+  if (telemetry == nullptr) {
+    return Status::InvalidArgument("ElasticityManager: null telemetry");
+  }
+  if (!loops_.empty()) {
+    return Status::FailedPrecondition(
+        "ElasticityManager: SetTelemetry must precede Attach");
+  }
+  telemetry_ = telemetry;
+  return Status::OK();
+}
+
 Status ElasticityManager::Attach(LayerControlConfig config) {
   if (config.name.empty()) config.name = LayerToString(config.layer);
   if (loops_.count(config.name) > 0) {
@@ -70,6 +94,28 @@ Status ElasticityManager::Attach(LayerControlConfig config) {
                         ? attached->config.sensor
                         : MakeDefaultSensor(attached->config);
   attached->rng = Rng(attached->config.resilience.retry.jitter_seed);
+
+  // Register the loop's instruments and trace track.
+  const std::string layer_name = LayerToString(attached->config.layer);
+  obs::LabelSet labels = {{"loop", attached->config.name},
+                          {"layer", layer_name}};
+  obs::MetricsRegistry& m = telemetry_->metrics();
+  LayerControlState::Counters& c = attached->state.counters;
+  c.sensor_misses = m.GetCounter("loop.sensor_misses", labels);
+  c.actuation_failures = m.GetCounter("loop.actuation_failures", labels);
+  c.actuation_retries = m.GetCounter("loop.actuation_retries", labels);
+  c.retry_successes = m.GetCounter("loop.retry_successes", labels);
+  c.breaker_trips = m.GetCounter("loop.breaker_trips", labels);
+  c.breaker_skipped_steps = m.GetCounter("loop.breaker_skipped_steps", labels);
+  c.stale_sensor_reads = m.GetCounter("loop.stale_sensor_reads", labels);
+  attached->gauge_y = m.GetGauge("loop.sensed_y", labels);
+  attached->gauge_u = m.GetGauge("loop.actuation", labels);
+  attached->gauge_gain = m.GetGauge("loop.gain", labels);
+  attached->trace_tid = next_trace_tid_++;
+  telemetry_->trace().SetTrackName(attached->trace_tid,
+                                   "loop:" + attached->config.name);
+  attached->config.controller->set_observer(&attached->observer);
+
   Attached* raw = attached.get();
   Status st = sim_->SchedulePeriodic(
       sim_->Now() + attached->config.start_delay_sec,
@@ -119,9 +165,11 @@ void ElasticityManager::Step(Attached* a) {
   const LayerControlConfig& cfg = a->config;
   // A new control step supersedes any retry chain still in flight.
   ++a->epoch;
+  a->observer.fresh = false;
 
   Result<double> raw = a->sense(now);
   double y;
+  bool stale = false;
   if (raw.ok()) {
     y = *raw;
     a->has_last_good = true;
@@ -134,17 +182,24 @@ void ElasticityManager::Step(Attached* a) {
                     (sp.max_hold_sec <= 0.0 ||
                      now - a->last_good_time <= sp.max_hold_sec);
     if (!can_hold) {
-      ++a->state.sensor_misses;
+      a->state.counters.sensor_misses->Increment();
+      telemetry_->trace().AddInstant("sensor-miss", "control", now,
+                                     a->trace_tid);
+      RecordDecision(a, now, kNaN, /*stale=*/false, kNaN,
+                     obs::StepOutcome::kSensorMiss);
       return;
     }
     y = a->last_good_value;
-    ++a->state.stale_sensor_reads;
+    stale = true;
+    a->state.counters.stale_sensor_reads->Increment();
   }
   a->state.sensed.AppendUnchecked(now, y);
 
   auto u = cfg.controller->Update(now, y);
   if (!u.ok()) {
-    ++a->state.actuation_failures;
+    a->state.counters.actuation_failures->Increment();
+    RecordDecision(a, now, y, stale, kNaN,
+                   obs::StepOutcome::kControllerError);
     return;
   }
   double amount = *u;
@@ -153,28 +208,95 @@ void ElasticityManager::Step(Attached* a) {
   }
   if (a->state.breaker_open && now < a->breaker_reopen_time) {
     // Open breaker: record what the loop wanted, touch nothing.
-    ++a->state.breaker_skipped_steps;
+    a->state.counters.breaker_skipped_steps->Increment();
     a->state.actuations.AppendUnchecked(now, amount);
+    RecordDecision(a, now, y, stale, amount, obs::StepOutcome::kBreakerOpen);
     return;
   }
-  Actuate(a, amount, /*attempt=*/0);
+  bool applied = Actuate(a, amount, /*attempt=*/0);
   a->state.actuations.AppendUnchecked(now, amount);
+  RecordDecision(a, now, y, stale, amount,
+                 applied ? obs::StepOutcome::kActuated
+                         : obs::StepOutcome::kActuationFailed);
 }
 
-void ElasticityManager::Actuate(Attached* a, double amount, int attempt) {
+void ElasticityManager::RecordDecision(Attached* a, SimTime now,
+                                       double sensed_y, bool stale,
+                                       double clamped_u,
+                                       obs::StepOutcome outcome) {
+  const LayerControlConfig& cfg = a->config;
+  obs::ControlDecisionRecord rec;
+  rec.time = now;
+  rec.loop = cfg.name;
+  rec.layer = LayerToString(cfg.layer);
+  rec.sensed_y = sensed_y;
+  rec.stale_sensor = stale;
+  rec.clamped_u = clamped_u;
+  rec.outcome = outcome;
+  rec.fault_mask = telemetry_->FaultMaskAt(rec.layer, now);
+  if (a->observer.fresh && a->observer.last.time == now) {
+    const control::ControlStepView& v = a->observer.last;
+    rec.law = v.law;
+    rec.reference = v.reference;
+    rec.error = v.error;
+    rec.gain = v.gain;
+    rec.raw_u = v.raw_u;
+  } else {
+    // The controller did not run this step (miss / breaker / error).
+    rec.law = cfg.controller->name();
+    rec.reference = cfg.controller->reference();
+    rec.error = std::isnan(sensed_y) ? kNaN : sensed_y - rec.reference;
+    rec.gain = kNaN;
+    rec.raw_u = kNaN;
+  }
+  telemetry_->decisions().Append(rec);
+
+  // Schematic span: control steps are instantaneous in sim time, drawn
+  // at 2% of the period so they are visible at any zoom in Perfetto.
+  double dur = std::max(cfg.monitoring_period_sec * 0.02, 1e-3);
+  obs::TraceEvent args;
+  args.num_args = {{"y", rec.sensed_y},
+                   {"y_r", rec.reference},
+                   {"error", rec.error},
+                   {"gain", rec.gain},
+                   {"u", rec.clamped_u}};
+  args.str_args = {{"outcome", obs::StepOutcomeToString(outcome)},
+                   {"law", rec.law}};
+  telemetry_->trace().AddSpan("step", "control", now, dur, a->trace_tid,
+                              std::move(args));
+  if (!std::isnan(sensed_y)) {
+    telemetry_->trace().AddCounter(cfg.name + ".y", now, a->trace_tid,
+                                   sensed_y);
+    a->gauge_y->Set(sensed_y);
+  }
+  if (!std::isnan(clamped_u)) {
+    telemetry_->trace().AddCounter(cfg.name + ".u", now, a->trace_tid,
+                                   clamped_u);
+    a->gauge_u->Set(clamped_u);
+  }
+  if (!std::isnan(rec.gain)) {
+    telemetry_->trace().AddCounter(cfg.name + ".gain", now, a->trace_tid,
+                                   rec.gain);
+    a->gauge_gain->Set(rec.gain);
+  }
+}
+
+bool ElasticityManager::Actuate(Attached* a, double amount, int attempt) {
   const LayerControlConfig& cfg = a->config;
   Status st = cfg.actuator(amount);
   if (st.ok()) {
     a->consecutive_failures = 0;
     // A successful half-open probe closes the breaker.
     a->state.breaker_open = false;
-    if (attempt > 0) ++a->state.retry_successes;
-    return;
+    if (attempt > 0) a->state.counters.retry_successes->Increment();
+    return true;
   }
-  ++a->state.actuation_failures;
+  a->state.counters.actuation_failures->Increment();
   ++a->consecutive_failures;
   FLOWER_LOG(Warning) << "actuation failed for loop '" << cfg.name
                       << "' (attempt " << attempt + 1 << "): " << st;
+  telemetry_->trace().AddInstant("actuation-failed", "control", sim_->Now(),
+                                 a->trace_tid);
 
   const CircuitBreakerPolicy& cb = cfg.resilience.breaker;
   if (cb.failure_threshold > 0 &&
@@ -183,12 +305,14 @@ void ElasticityManager::Actuate(Attached* a, double amount, int attempt) {
     // the actuator until the cooldown elapses.
     a->state.breaker_open = true;
     a->breaker_reopen_time = sim_->Now() + cb.cooldown_sec;
-    ++a->state.breaker_trips;
-    return;
+    a->state.counters.breaker_trips->Increment();
+    telemetry_->trace().AddSpan("breaker-open", "control", sim_->Now(),
+                                cb.cooldown_sec, a->trace_tid);
+    return false;
   }
 
   const RetryPolicy& rp = cfg.resilience.retry;
-  if (attempt >= rp.max_retries) return;
+  if (attempt >= rp.max_retries) return false;
   double backoff = rp.initial_backoff_sec;
   for (int i = 0; i < attempt; ++i) backoff *= rp.backoff_multiplier;
   backoff = std::min(backoff, rp.max_backoff_sec);
@@ -200,9 +324,15 @@ void ElasticityManager::Actuate(Attached* a, double amount, int attempt) {
   (void)sim_->ScheduleAfter(backoff, [this, a, amount, attempt, epoch] {
     // Superseded by a newer step / pause / breaker trip: drop quietly.
     if (a->paused || epoch != a->epoch || a->state.breaker_open) return;
-    ++a->state.actuation_retries;
+    a->state.counters.actuation_retries->Increment();
+    obs::TraceEvent args;
+    args.num_args = {{"attempt", static_cast<double>(attempt + 1)},
+                     {"u", amount}};
+    telemetry_->trace().AddSpan("retry", "control", sim_->Now(), 0.5,
+                                a->trace_tid, std::move(args));
     Actuate(a, amount, attempt + 1);
   });
+  return false;
 }
 
 Status ElasticityManager::SetShareUpperBound(const std::string& name,

@@ -10,7 +10,9 @@
 #include "cloudwatch/metric_store.h"
 #include "common/random.h"
 #include "control/controller.h"
+#include "control/observer.h"
 #include "core/layer.h"
+#include "obs/telemetry.h"
 #include "sim/simulation.h"
 
 namespace flower::core {
@@ -111,20 +113,75 @@ struct LayerControlConfig {
   ResiliencePolicy resilience;
 };
 
+/// Plain-value copy of a loop's counters, safe to keep after the
+/// manager (and its metrics registry) is gone.
+struct LoopCounterSnapshot {
+  uint64_t sensor_misses = 0;
+  uint64_t actuation_failures = 0;
+  uint64_t actuation_retries = 0;
+  uint64_t retry_successes = 0;
+  uint64_t breaker_trips = 0;
+  uint64_t breaker_skipped_steps = 0;
+  uint64_t stale_sensor_reads = 0;
+};
+
 /// Per-layer runtime traces and counters, for evaluation and the
-/// monitoring dashboard.
+/// monitoring dashboard. The counters live in the manager's telemetry
+/// metrics registry (labeled by loop and layer) so every consumer —
+/// dashboard, exporters, tests — reads the same instruments; the
+/// accessors below are convenience views over them. NOTE: copying this
+/// struct copies *pointers* into the registry — take CountersSnapshot()
+/// if the copy may outlive the manager.
 struct LayerControlState {
   TimeSeries sensed;       ///< y_k at each control step.
   TimeSeries actuations;   ///< u_{k+1} returned at each control step.
-  uint64_t sensor_misses = 0;     ///< Steps skipped: no usable measurement.
-  uint64_t actuation_failures = 0;  ///< Failed attempts (initial + retry).
-  uint64_t actuation_retries = 0;   ///< Backoff retry attempts made.
-  uint64_t retry_successes = 0;     ///< Actuations that landed on a retry.
-  uint64_t breaker_trips = 0;       ///< Transitions into the open state.
-  uint64_t breaker_skipped_steps = 0;  ///< Actuations skipped while open.
-  uint64_t stale_sensor_reads = 0;  ///< Steps run on a held last value.
   bool breaker_open = false;        ///< Live circuit-breaker state.
   double share_upper_bound = 0.0;  ///< 0 = unbounded.
+
+  /// Registry-backed loop counters, installed by the manager at Attach.
+  struct Counters {
+    obs::Counter* sensor_misses = nullptr;
+    obs::Counter* actuation_failures = nullptr;
+    obs::Counter* actuation_retries = nullptr;
+    obs::Counter* retry_successes = nullptr;
+    obs::Counter* breaker_trips = nullptr;
+    obs::Counter* breaker_skipped_steps = nullptr;
+    obs::Counter* stale_sensor_reads = nullptr;
+  };
+  Counters counters;
+
+  /// Steps skipped: no usable measurement.
+  uint64_t sensor_misses() const { return Val(counters.sensor_misses); }
+  /// Failed attempts (initial + retry).
+  uint64_t actuation_failures() const {
+    return Val(counters.actuation_failures);
+  }
+  /// Backoff retry attempts made.
+  uint64_t actuation_retries() const {
+    return Val(counters.actuation_retries);
+  }
+  /// Actuations that landed on a retry.
+  uint64_t retry_successes() const { return Val(counters.retry_successes); }
+  /// Transitions into the open state.
+  uint64_t breaker_trips() const { return Val(counters.breaker_trips); }
+  /// Actuations skipped while open.
+  uint64_t breaker_skipped_steps() const {
+    return Val(counters.breaker_skipped_steps);
+  }
+  /// Steps run on a held last value.
+  uint64_t stale_sensor_reads() const {
+    return Val(counters.stale_sensor_reads);
+  }
+
+  LoopCounterSnapshot CountersSnapshot() const {
+    return {sensor_misses(),       actuation_failures(),
+            actuation_retries(),   retry_successes(),
+            breaker_trips(),       breaker_skipped_steps(),
+            stale_sensor_reads()};
+  }
+
+ private:
+  static uint64_t Val(const obs::Counter* c) { return c ? c->Value() : 0; }
 };
 
 /// Flower's elasticity manager: runs one adaptive control loop per
@@ -145,8 +202,15 @@ struct LayerControlState {
 class ElasticityManager {
  public:
   ElasticityManager(sim::Simulation* sim,
-                    const cloudwatch::MetricStore* metrics)
-      : sim_(sim), metrics_(metrics) {}
+                    const cloudwatch::MetricStore* metrics);
+
+  /// Routes all telemetry (metrics, decision log, trace) to an external
+  /// hub, e.g. one shared with the fault injector and simulator. Must
+  /// be called before the first Attach; `telemetry` must outlive the
+  /// manager. Without this the manager uses a private hub, so decision
+  /// records and counters are always collected.
+  Status SetTelemetry(obs::Telemetry* telemetry);
+  obs::Telemetry* telemetry() const { return telemetry_; }
 
   /// Attaches and starts a control loop. The loop is keyed by
   /// `config.name` (default: the layer name). Errors: duplicate name,
@@ -199,6 +263,18 @@ class ElasticityManager {
   std::vector<std::string> LoopNames() const;
 
  private:
+  /// Captures the controller's view of its latest Update step so the
+  /// manager can stamp decision records with the adapted gain and the
+  /// pre-clamp actuation without reaching into controller internals.
+  struct StepObserver final : control::ControlObserver {
+    control::ControlStepView last;
+    bool fresh = false;
+    void OnControlStep(const control::ControlStepView& view) override {
+      last = view;
+      fresh = true;
+    }
+  };
+
   struct Attached {
     LayerControlConfig config;
     LayerControlState state;
@@ -215,15 +291,32 @@ class ElasticityManager {
     bool has_last_good = false;
     double last_good_value = 0.0;
     SimTime last_good_time = 0.0;
+    /// Telemetry plumbing.
+    StepObserver observer;
+    int trace_tid = 0;
+    obs::Gauge* gauge_y = nullptr;
+    obs::Gauge* gauge_u = nullptr;
+    obs::Gauge* gauge_gain = nullptr;
   };
 
   void Step(Attached* a);
   /// One actuation attempt (attempt 0 = the step's own attempt);
-  /// schedules the next retry / trips the breaker on failure.
-  void Actuate(Attached* a, double amount, int attempt);
+  /// schedules the next retry / trips the breaker on failure. Returns
+  /// whether THIS attempt succeeded (retries land asynchronously).
+  bool Actuate(Attached* a, double amount, int attempt);
+
+  /// Appends one decision record (gain/raw_u filled from the step
+  /// observer when the controller ran) and emits the step's trace span.
+  void RecordDecision(Attached* a, SimTime now, double sensed_y, bool stale,
+                      double clamped_u, obs::StepOutcome outcome);
 
   sim::Simulation* sim_;
   const cloudwatch::MetricStore* metrics_;
+  /// Private fallback hub; `telemetry_` points here unless SetTelemetry
+  /// installed an external one.
+  std::unique_ptr<obs::Telemetry> owned_telemetry_;
+  obs::Telemetry* telemetry_ = nullptr;
+  int next_trace_tid_ = 0;
   std::map<std::string, std::unique_ptr<Attached>> loops_;
 };
 

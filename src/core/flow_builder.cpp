@@ -55,6 +55,10 @@ FlowBuilder& FlowBuilder::WithFaultInjector(sim::FaultInjector* injector) {
   fault_injector_ = injector;
   return *this;
 }
+FlowBuilder& FlowBuilder::WithTelemetry(obs::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  return *this;
+}
 
 Result<ManagedFlow> FlowBuilder::Build(
     sim::Simulation* sim, cloudwatch::MetricStore* metrics) const {
@@ -71,6 +75,13 @@ Result<ManagedFlow> FlowBuilder::Build(
         mf.flow->AttachWorkload(arrival_, workload_config_, seed_));
   }
   mf.manager = std::make_unique<ElasticityManager>(sim, metrics);
+  if (telemetry_ != nullptr) {
+    FLOWER_RETURN_NOT_OK(mf.manager->SetTelemetry(telemetry_));
+    if (fault_injector_ != nullptr) {
+      fault_injector_->SetTelemetry(telemetry_);
+    }
+    sim->SetTelemetry(telemetry_);
+  }
 
   flow::DataAnalyticsFlow* flow = mf.flow.get();
 

@@ -71,6 +71,10 @@ class FlowBuilder {
   /// (which must outlive the built ManagedFlow). Loop names —
   /// "ingestion", "analytics", "storage" — are the fault targets.
   FlowBuilder& WithFaultInjector(sim::FaultInjector* injector);
+  /// Routes the manager's telemetry (metrics, decision log, trace) to
+  /// an external hub, shared with e.g. the fault injector and the
+  /// simulator. Must outlive the built ManagedFlow.
+  FlowBuilder& WithTelemetry(obs::Telemetry* telemetry);
 
   /// Validates and assembles everything. Errors propagate from any
   /// component (invalid bounds, references, etc.).
@@ -86,6 +90,7 @@ class FlowBuilder {
   workload::ClickStreamConfig workload_config_;
   uint64_t seed_ = 42;
   sim::FaultInjector* fault_injector_ = nullptr;
+  obs::Telemetry* telemetry_ = nullptr;
 };
 
 }  // namespace flower::core

@@ -1,0 +1,41 @@
+#include "obs/event_log.h"
+
+namespace flower::obs {
+
+const char* StepOutcomeToString(StepOutcome outcome) {
+  switch (outcome) {
+    case StepOutcome::kActuated: return "actuated";
+    case StepOutcome::kSensorMiss: return "sensor-miss";
+    case StepOutcome::kControllerError: return "controller-error";
+    case StepOutcome::kBreakerOpen: return "breaker-open";
+    case StepOutcome::kActuationFailed: return "actuation-failed";
+  }
+  return "unknown";
+}
+
+DecisionLog::DecisionLog(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(std::min<size_t>(capacity_, 1024));
+}
+
+void DecisionLog::Append(ControlDecisionRecord record) {
+  ++total_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(record));
+    return;
+  }
+  ring_[head_] = std::move(record);
+  head_ = (head_ + 1) % capacity_;
+}
+
+std::vector<ControlDecisionRecord> DecisionLog::Snapshot() const {
+  std::vector<ControlDecisionRecord> out;
+  out.reserve(ring_.size());
+  // Once full, head_ points at the oldest record.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+}  // namespace flower::obs

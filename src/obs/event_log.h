@@ -1,0 +1,80 @@
+#ifndef FLOWER_OBS_EVENT_LOG_H_
+#define FLOWER_OBS_EVENT_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time_series.h"
+
+namespace flower::obs {
+
+/// What a control step ultimately did.
+enum class StepOutcome : uint8_t {
+  kActuated = 0,         ///< Controller ran and the actuation succeeded.
+  kSensorMiss = 1,       ///< No usable measurement; step skipped.
+  kControllerError = 2,  ///< Controller Update returned an error.
+  kBreakerOpen = 3,      ///< Circuit breaker open; actuator untouched.
+  kActuationFailed = 4,  ///< Initial actuation attempt failed (retries
+                         ///< may still land later; see retry counters).
+};
+
+const char* StepOutcomeToString(StepOutcome outcome);
+
+/// Bitmask of fault-injector interference observed during one step
+/// (bit i == 1 << static_cast<int>(sim::FaultKind)). Kept as a plain
+/// uint8_t so obs does not depend on sim.
+using FaultMask = uint8_t;
+
+/// One structured record per control step — the row the paper's §4
+/// demo charts are drawn from: what the loop sensed, what the control
+/// law computed (including the Eq. 7 adapted gain), what was actually
+/// applied, and everything that interfered.
+struct ControlDecisionRecord {
+  SimTime time = 0.0;
+  std::string loop;   ///< Loop name ("analytics", ...).
+  std::string layer;  ///< Layer name.
+  std::string law;    ///< Controller family ("adaptive-gain", ...).
+  double sensed_y = 0.0;    ///< y_k fed to the controller.
+  double reference = 0.0;   ///< y_r.
+  double error = 0.0;       ///< y_k − y_r.
+  /// Adapted gain l_k after the step (Eq. 7); NaN for control laws
+  /// without an explicit gain (rule-based, target-tracking).
+  double gain = 0.0;
+  /// Raw control-law output u_{k+1} before actuator clamping.
+  double raw_u = 0.0;
+  /// Quantized actuation after limits and the share upper bound.
+  double clamped_u = 0.0;
+  bool stale_sensor = false;  ///< Step ran on a held last-good value.
+  StepOutcome outcome = StepOutcome::kActuated;
+  FaultMask fault_mask = 0;   ///< Injected-fault interference this step.
+};
+
+/// Bounded ring buffer of decision records, owned by the
+/// ElasticityManager. Appending past capacity overwrites the oldest
+/// record; `Snapshot` returns the retained records oldest-first.
+class DecisionLog {
+ public:
+  explicit DecisionLog(size_t capacity = 65536);
+
+  void Append(ControlDecisionRecord record);
+
+  size_t capacity() const { return capacity_; }
+  /// Records currently retained (<= capacity).
+  size_t size() const { return ring_.size(); }
+  /// Records ever appended (including overwritten ones).
+  uint64_t total_appended() const { return total_; }
+
+  /// Retained records, oldest first.
+  std::vector<ControlDecisionRecord> Snapshot() const;
+
+ private:
+  size_t capacity_;
+  size_t head_ = 0;  ///< Next write position once the ring is full.
+  uint64_t total_ = 0;
+  std::vector<ControlDecisionRecord> ring_;
+};
+
+}  // namespace flower::obs
+
+#endif  // FLOWER_OBS_EVENT_LOG_H_

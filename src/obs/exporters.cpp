@@ -1,0 +1,211 @@
+#include "obs/exporters.h"
+
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace flower::obs {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// JSON has no NaN/Infinity literals; export them as null.
+std::string JsonNum(double v) {
+  if (std::isnan(v) || std::isinf(v)) return "null";
+  std::ostringstream os;
+  os << std::setprecision(12) << v;
+  return os.str();
+}
+
+// CSV cells are all controlled identifiers/numbers; quote defensively
+// only when a delimiter sneaks in.
+std::string CsvCell(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string LabelsToString(const LabelSet& labels) {
+  std::string out;
+  for (const auto& [k, v] : labels) {
+    if (!out.empty()) out += ';';
+    out += k;
+    out += '=';
+    out += v;
+  }
+  return out;
+}
+
+std::string LabelsToJson(const LabelSet& labels) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + JsonEscape(k) + "\":\"" + JsonEscape(v) + '"';
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+void WriteDecisionCsv(std::ostream& os,
+                      const std::vector<ControlDecisionRecord>& records) {
+  os << "time,loop,layer,law,sensed_y,reference,error,gain,raw_u,"
+        "clamped_u,stale,outcome,fault_mask\n";
+  for (const ControlDecisionRecord& r : records) {
+    os << std::setprecision(12) << r.time << ',' << CsvCell(r.loop) << ','
+       << CsvCell(r.layer) << ',' << CsvCell(r.law) << ',' << r.sensed_y
+       << ',' << r.reference << ',' << r.error << ',' << r.gain << ','
+       << r.raw_u << ',' << r.clamped_u << ',' << (r.stale_sensor ? 1 : 0)
+       << ',' << StepOutcomeToString(r.outcome) << ','
+       << static_cast<int>(r.fault_mask) << '\n';
+  }
+}
+
+void WriteDecisionJsonl(std::ostream& os,
+                        const std::vector<ControlDecisionRecord>& records) {
+  for (const ControlDecisionRecord& r : records) {
+    os << "{\"type\":\"decision\",\"time\":" << JsonNum(r.time)
+       << ",\"loop\":\"" << JsonEscape(r.loop) << "\",\"layer\":\""
+       << JsonEscape(r.layer) << "\",\"law\":\"" << JsonEscape(r.law)
+       << "\",\"sensed_y\":" << JsonNum(r.sensed_y)
+       << ",\"reference\":" << JsonNum(r.reference)
+       << ",\"error\":" << JsonNum(r.error) << ",\"gain\":" << JsonNum(r.gain)
+       << ",\"raw_u\":" << JsonNum(r.raw_u)
+       << ",\"clamped_u\":" << JsonNum(r.clamped_u) << ",\"stale\":"
+       << (r.stale_sensor ? "true" : "false") << ",\"outcome\":\""
+       << StepOutcomeToString(r.outcome)
+       << "\",\"fault_mask\":" << static_cast<int>(r.fault_mask) << "}\n";
+  }
+}
+
+void WriteSnapshotCsv(std::ostream& os, const MetricsSnapshot& snapshot) {
+  os << "kind,name,labels,value,count,sum,min,max,p50,p99\n";
+  for (const CounterSample& c : snapshot.counters) {
+    os << "counter," << CsvCell(c.name) << ','
+       << CsvCell(LabelsToString(c.labels)) << ',' << c.value << ",,,,,,\n";
+  }
+  for (const GaugeSample& g : snapshot.gauges) {
+    os << "gauge," << CsvCell(g.name) << ','
+       << CsvCell(LabelsToString(g.labels)) << ',' << std::setprecision(12)
+       << g.value << ",,,,,,\n";
+  }
+  for (const HistogramSample& h : snapshot.histograms) {
+    os << "histogram," << CsvCell(h.name) << ','
+       << CsvCell(LabelsToString(h.labels)) << ",," << h.count << ','
+       << std::setprecision(12) << h.sum << ',' << h.min << ',' << h.max
+       << ',' << h.p50 << ',' << h.p99 << '\n';
+  }
+}
+
+void WriteSnapshotJsonl(std::ostream& os, const MetricsSnapshot& snapshot,
+                        SimTime at) {
+  for (const CounterSample& c : snapshot.counters) {
+    os << "{\"type\":\"counter\",\"time\":" << JsonNum(at) << ",\"name\":\""
+       << JsonEscape(c.name) << "\",\"labels\":" << LabelsToJson(c.labels)
+       << ",\"value\":" << c.value << "}\n";
+  }
+  for (const GaugeSample& g : snapshot.gauges) {
+    os << "{\"type\":\"gauge\",\"time\":" << JsonNum(at) << ",\"name\":\""
+       << JsonEscape(g.name) << "\",\"labels\":" << LabelsToJson(g.labels)
+       << ",\"value\":" << JsonNum(g.value) << "}\n";
+  }
+  for (const HistogramSample& h : snapshot.histograms) {
+    os << "{\"type\":\"histogram\",\"time\":" << JsonNum(at) << ",\"name\":\""
+       << JsonEscape(h.name) << "\",\"labels\":" << LabelsToJson(h.labels)
+       << ",\"count\":" << h.count << ",\"sum\":" << JsonNum(h.sum)
+       << ",\"min\":" << JsonNum(h.min) << ",\"max\":" << JsonNum(h.max)
+       << ",\"p50\":" << JsonNum(h.p50) << ",\"p99\":" << JsonNum(h.p99)
+       << "}\n";
+  }
+}
+
+void WriteChromeTrace(std::ostream& os, const TraceCollector& trace) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+    os << "\n";
+  };
+  // Process / thread-name metadata first so Perfetto labels the tracks.
+  sep();
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << kTracePid
+     << ",\"tid\":0,\"args\":{\"name\":\"flower\"}}";
+  for (const auto& [tid, name] : trace.track_names()) {
+    sep();
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << kTracePid
+       << ",\"tid\":" << tid << ",\"args\":{\"name\":\"" << JsonEscape(name)
+       << "\"}}";
+  }
+  for (const TraceEvent& e : trace.events()) {
+    sep();
+    os << "{\"name\":\"" << JsonEscape(e.name) << "\",\"cat\":\""
+       << JsonEscape(e.category) << "\",\"ph\":\"" << e.phase
+       << "\",\"pid\":" << kTracePid << ",\"tid\":" << e.tid
+       << ",\"ts\":" << JsonNum(e.ts_us);
+    if (e.phase == 'X') os << ",\"dur\":" << JsonNum(e.dur_us);
+    if (e.phase == 'i') os << ",\"s\":\"t\"";
+    os << ",\"args\":{";
+    bool first_arg = true;
+    for (const auto& [k, v] : e.num_args) {
+      if (!first_arg) os << ',';
+      first_arg = false;
+      os << '"' << JsonEscape(k) << "\":" << JsonNum(v);
+    }
+    for (const auto& [k, v] : e.str_args) {
+      if (!first_arg) os << ',';
+      first_arg = false;
+      os << '"' << JsonEscape(k) << "\":\"" << JsonEscape(v) << '"';
+    }
+    os << "}}";
+  }
+  os << "\n]}\n";
+}
+
+Status ExportToFile(const std::string& path,
+                    const std::function<void(std::ostream&)>& writer) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::InvalidArgument("ExportToFile: cannot open '" + path +
+                                   "' for writing");
+  }
+  writer(out);
+  out.flush();
+  if (!out) {
+    return Status::Internal("ExportToFile: write to '" + path + "' failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace flower::obs

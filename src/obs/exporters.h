@@ -1,0 +1,47 @@
+#ifndef FLOWER_OBS_EXPORTERS_H_
+#define FLOWER_OBS_EXPORTERS_H_
+
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/event_log.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+
+namespace flower::obs {
+
+/// CSV sink for decision records: one header row, then one row per
+/// record (columns: time, loop, layer, law, sensed_y, reference, error,
+/// gain, raw_u, clamped_u, stale, outcome, fault_mask).
+void WriteDecisionCsv(std::ostream& os,
+                      const std::vector<ControlDecisionRecord>& records);
+
+/// JSON-lines sink: one {"type":"decision",...} object per line.
+void WriteDecisionJsonl(std::ostream& os,
+                        const std::vector<ControlDecisionRecord>& records);
+
+/// CSV sink for a metrics snapshot (kind, name, labels, value columns;
+/// histograms summarized as count/sum/min/max/p50/p99).
+void WriteSnapshotCsv(std::ostream& os, const MetricsSnapshot& snapshot);
+
+/// JSON-lines sink: one {"type":"counter"|"gauge"|"histogram",...}
+/// object per line, all stamped with `at` (sim seconds).
+void WriteSnapshotJsonl(std::ostream& os, const MetricsSnapshot& snapshot,
+                        SimTime at);
+
+/// Chrome trace_event JSON (the "JSON Array Format" with an object
+/// wrapper), loadable in Perfetto / chrome://tracing. Emits thread-name
+/// metadata for every named track, then every collected event.
+void WriteChromeTrace(std::ostream& os, const TraceCollector& trace);
+
+/// Opens `path` for writing and runs `writer(stream)`; IO errors become
+/// a non-OK Status.
+Status ExportToFile(const std::string& path,
+                    const std::function<void(std::ostream&)>& writer);
+
+}  // namespace flower::obs
+
+#endif  // FLOWER_OBS_EXPORTERS_H_

@@ -1,0 +1,86 @@
+#include "obs/telemetry.h"
+
+#include <cmath>
+#include <utility>
+
+namespace flower::obs {
+
+void Telemetry::NoteFault(const std::string& target, FaultMask bits,
+                          SimTime now) {
+  FaultNote& note = fault_notes_[target];
+  if (note.time == now) {
+    note.mask = static_cast<FaultMask>(note.mask | bits);
+  } else {
+    note.time = now;
+    note.mask = bits;
+  }
+}
+
+FaultMask Telemetry::FaultMaskAt(const std::string& target,
+                                 SimTime now) const {
+  auto it = fault_notes_.find(target);
+  if (it == fault_notes_.end() || it->second.time != now) return 0;
+  return it->second.mask;
+}
+
+Status Telemetry::ExportTrace(const std::string& path) const {
+  return ExportToFile(path,
+                      [this](std::ostream& os) { WriteChromeTrace(os, trace_); });
+}
+
+Status Telemetry::ExportJsonl(const std::string& path, SimTime at) const {
+  MetricsSnapshot snapshot = metrics_.Snapshot();
+  auto records = decisions_.Snapshot();
+  return ExportToFile(path, [&](std::ostream& os) {
+    WriteDecisionJsonl(os, records);
+    WriteSnapshotJsonl(os, snapshot, at);
+  });
+}
+
+Status Telemetry::ExportDecisionsCsv(const std::string& path) const {
+  auto records = decisions_.Snapshot();
+  return ExportToFile(
+      path, [&](std::ostream& os) { WriteDecisionCsv(os, records); });
+}
+
+std::function<void(const opt::Nsga2GenerationStats&)> MakeNsga2Observer(
+    Telemetry* telemetry, std::string planner_name, SimTime anchor,
+    double slice_sec) {
+  telemetry->trace().SetTrackName(kPlannerTid, "planner:" + planner_name);
+  Counter* generations = telemetry->metrics().GetCounter(
+      "nsga2.generations", {{"planner", planner_name}});
+  Gauge* front_size = telemetry->metrics().GetGauge(
+      "nsga2.front_size", {{"planner", planner_name}});
+  Gauge* hypervolume = telemetry->metrics().GetGauge(
+      "nsga2.hypervolume", {{"planner", planner_name}});
+  Gauge* evaluations = telemetry->metrics().GetGauge(
+      "nsga2.evaluations", {{"planner", planner_name}});
+  return [telemetry, planner_name = std::move(planner_name), anchor,
+          slice_sec, generations, front_size, hypervolume,
+          evaluations](const opt::Nsga2GenerationStats& s) {
+    generations->Increment();
+    front_size->Set(static_cast<double>(s.front_size));
+    evaluations->Set(static_cast<double>(s.evaluations));
+    if (!std::isnan(s.hypervolume)) hypervolume->Set(s.hypervolume);
+
+    // The optimizer runs outside the simulation clock; generations are
+    // drawn as consecutive schematic slices from the planning instant.
+    SimTime t0 = anchor + static_cast<double>(s.generation) * slice_sec;
+    TraceEvent args;
+    args.num_args.emplace_back("generation",
+                               static_cast<double>(s.generation));
+    args.num_args.emplace_back("front_size",
+                               static_cast<double>(s.front_size));
+    args.num_args.emplace_back("evaluations",
+                               static_cast<double>(s.evaluations));
+    if (!std::isnan(s.hypervolume)) {
+      args.num_args.emplace_back("hypervolume", s.hypervolume);
+    }
+    telemetry->trace().AddSpan(planner_name + ".generation", "planning", t0,
+                               slice_sec, kPlannerTid, std::move(args));
+    telemetry->trace().AddCounter("nsga2.front_size", t0, kPlannerTid,
+                                  static_cast<double>(s.front_size));
+  };
+}
+
+}  // namespace flower::obs

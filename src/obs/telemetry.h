@@ -1,0 +1,83 @@
+#ifndef FLOWER_OBS_TELEMETRY_H_
+#define FLOWER_OBS_TELEMETRY_H_
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "obs/event_log.h"
+#include "obs/exporters.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+#include "opt/nsga2.h"
+
+namespace flower::obs {
+
+/// Central telemetry hub for one simulated flow: the metrics registry,
+/// the control-decision log, and the trace collector, plus the
+/// fault-interference scoreboard that lets the ElasticityManager stamp
+/// decision records with the faults injected at the same sim time.
+///
+/// Ownership: the FlowBuilder/tool owns a Telemetry and hands raw
+/// pointers to the manager, simulator, and fault injector; the hub must
+/// outlive all of them. A manager with no external hub creates its own
+/// private one, so instrumentation is never conditional.
+class Telemetry {
+ public:
+  explicit Telemetry(size_t decision_capacity = 65536,
+                     size_t trace_capacity = 1 << 20)
+      : decisions_(decision_capacity), trace_(trace_capacity) {}
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  DecisionLog& decisions() { return decisions_; }
+  const DecisionLog& decisions() const { return decisions_; }
+  TraceCollector& trace() { return trace_; }
+  const TraceCollector& trace() const { return trace_; }
+
+  /// Records that the fault injector interfered with `target` (a layer
+  /// name) at sim time `now`. `bits` is 1 << FaultKind.
+  void NoteFault(const std::string& target, FaultMask bits, SimTime now);
+
+  /// Faults noted for `target` at exactly sim time `now`; 0 otherwise.
+  /// Control steps sense/actuate at the instant they run, so an exact
+  /// match is the right correlation window.
+  FaultMask FaultMaskAt(const std::string& target, SimTime now) const;
+
+  /// Writes the Chrome trace_event JSON to `path`.
+  Status ExportTrace(const std::string& path) const;
+
+  /// Writes decision records then a metrics snapshot, one JSON object
+  /// per line, to `path`. `at` stamps the snapshot lines (sim seconds).
+  Status ExportJsonl(const std::string& path, SimTime at) const;
+
+  /// Writes decision records as CSV to `path`.
+  Status ExportDecisionsCsv(const std::string& path) const;
+
+ private:
+  struct FaultNote {
+    SimTime time = -1.0;
+    FaultMask mask = 0;
+  };
+
+  MetricsRegistry metrics_;
+  DecisionLog decisions_;
+  TraceCollector trace_;
+  std::map<std::string, FaultNote> fault_notes_;
+};
+
+/// Adapts NSGA-II per-generation stats into telemetry: gauges for front
+/// size / hypervolume / evaluations and one span per generation on the
+/// planner track, laid out consecutively from `anchor` (sim seconds)
+/// with `slice_sec` synthetic width each (the optimizer runs outside
+/// the simulation clock, so generation spans are schematic).
+std::function<void(const opt::Nsga2GenerationStats&)> MakeNsga2Observer(
+    Telemetry* telemetry, std::string planner_name, SimTime anchor,
+    double slice_sec = 0.25);
+
+}  // namespace flower::obs
+
+#endif  // FLOWER_OBS_TELEMETRY_H_

@@ -1,0 +1,56 @@
+#include "obs/trace.h"
+
+namespace flower::obs {
+
+bool TraceCollector::Admit() {
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return false;
+  }
+  return true;
+}
+
+void TraceCollector::AddSpan(std::string name, std::string category,
+                             SimTime t0, double dur_sec, int tid,
+                             TraceEvent event_args) {
+  if (!Admit()) return;
+  TraceEvent e = std::move(event_args);
+  e.name = std::move(name);
+  e.category = std::move(category);
+  e.phase = 'X';
+  e.ts_us = SimToTraceUs(t0);
+  e.dur_us = SimToTraceUs(dur_sec);
+  e.tid = tid;
+  events_.push_back(std::move(e));
+}
+
+void TraceCollector::AddInstant(std::string name, std::string category,
+                                SimTime t, int tid, TraceEvent event_args) {
+  if (!Admit()) return;
+  TraceEvent e = std::move(event_args);
+  e.name = std::move(name);
+  e.category = std::move(category);
+  e.phase = 'i';
+  e.ts_us = SimToTraceUs(t);
+  e.tid = tid;
+  events_.push_back(std::move(e));
+}
+
+void TraceCollector::AddCounter(std::string name, SimTime t, int tid,
+                                double value) {
+  if (!Admit()) return;
+  TraceEvent e;
+  e.name = std::move(name);
+  e.category = "counter";
+  e.phase = 'C';
+  e.ts_us = SimToTraceUs(t);
+  e.tid = tid;
+  e.num_args.emplace_back("value", value);
+  events_.push_back(std::move(e));
+}
+
+void TraceCollector::SetTrackName(int tid, std::string name) {
+  track_names_[tid] = std::move(name);
+}
+
+}  // namespace flower::obs

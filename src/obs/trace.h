@@ -1,0 +1,81 @@
+#ifndef FLOWER_OBS_TRACE_H_
+#define FLOWER_OBS_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/time_series.h"
+
+namespace flower::obs {
+
+/// Converts simulated seconds to Chrome-trace microseconds (the trace
+/// timeline is the simulation clock, 1 sim second = 1 trace second).
+inline double SimToTraceUs(SimTime t) { return t * 1e6; }
+
+/// Track ("thread") ids of the exported trace. Control loops get
+/// consecutive ids from kFirstLoopTid in attach order.
+constexpr int kTracePid = 1;
+constexpr int kPlannerTid = 100;
+constexpr int kFaultInjectorTid = 99;
+constexpr int kSimulatorTid = 98;
+constexpr int kFirstLoopTid = 1;
+
+/// One Chrome trace_event entry. Phases used: 'X' (complete span with
+/// duration), 'i' (instant), 'C' (counter track).
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  char phase = 'X';
+  double ts_us = 0.0;
+  double dur_us = 0.0;  ///< 'X' only.
+  int tid = 0;
+  /// Rendered into the event's "args" object. Numeric args keep full
+  /// precision; string args are JSON-escaped at export.
+  std::vector<std::pair<std::string, double>> num_args;
+  std::vector<std::pair<std::string, std::string>> str_args;
+};
+
+/// Bounded in-memory collector of trace events. When the capacity is
+/// reached new events are dropped (and counted) rather than evicting
+/// old ones — a truncated-at-the-end trace stays internally consistent
+/// for Perfetto. Export with obs::WriteChromeTrace.
+class TraceCollector {
+ public:
+  explicit TraceCollector(size_t capacity = 1 << 20) : capacity_(capacity) {}
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  /// Complete span [t0, t0 + dur) on track `tid`, times in sim seconds.
+  void AddSpan(std::string name, std::string category, SimTime t0,
+               double dur_sec, int tid, TraceEvent event_args = {});
+  /// Instant event at `t` on track `tid`.
+  void AddInstant(std::string name, std::string category, SimTime t, int tid,
+                  TraceEvent event_args = {});
+  /// Counter sample: renders as a value track named `name`.
+  void AddCounter(std::string name, SimTime t, int tid, double value);
+
+  /// Names the track in the trace viewer ("analytics", "nsga2", ...).
+  void SetTrackName(int tid, std::string name);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  const std::map<int, std::string>& track_names() const {
+    return track_names_;
+  }
+  uint64_t dropped() const { return dropped_; }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  bool Admit();
+
+  size_t capacity_;
+  uint64_t dropped_ = 0;
+  std::vector<TraceEvent> events_;
+  std::map<int, std::string> track_names_;
+};
+
+}  // namespace flower::obs
+
+#endif  // FLOWER_OBS_TRACE_H_

@@ -205,6 +205,21 @@ Result<Nsga2Result> Nsga2::Solve(const Problem& problem) const {
     for (const auto& f : fronts) internal::AssignCrowdingDistance(f, &pop);
   }
 
+  // Hypervolume reference: the nadir of the initial population, nudged
+  // down so the worst initial point still contributes area. Only 2-
+  // objective problems get a hypervolume (the 2D sweep is exact).
+  const bool track_hv = problem.num_objectives() == 2;
+  double nadir[2] = {0.0, 0.0};
+  if (track_hv) {
+    for (size_t j = 0; j < 2; ++j) {
+      double lo = std::numeric_limits<double>::infinity();
+      for (const Individual& ind : pop) {
+        lo = std::min(lo, ind.sol.objectives[j]);
+      }
+      nadir[j] = lo - 1e-9 * (1.0 + std::fabs(lo));
+    }
+  }
+
   auto tournament = [&](const std::vector<Individual>& p) -> const Individual& {
     size_t a = static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(p.size()) - 1));
     size_t b = static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(p.size()) - 1));
@@ -270,6 +285,22 @@ Result<Nsga2Result> Nsga2::Solve(const Problem& problem) const {
       if (next.size() >= n) break;
     }
     pop = std::move(next);
+
+    if (config_.on_generation) {
+      Nsga2GenerationStats stats;
+      stats.generation = gen;
+      stats.evaluations = result.evaluations;
+      std::vector<std::vector<double>> front_objs;
+      for (const Individual& ind : pop) {
+        if (ind.rank != 0) continue;
+        ++stats.front_size;
+        if (ind.sol.feasible()) front_objs.push_back(ind.sol.objectives);
+      }
+      if (track_hv) {
+        stats.hypervolume = Hypervolume2D(front_objs, nadir[0], nadir[1]);
+      }
+      config_.on_generation(stats);
+    }
   }
 
   for (const Individual& ind : pop) {

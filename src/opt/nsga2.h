@@ -1,6 +1,8 @@
 #ifndef FLOWER_OPT_NSGA2_H_
 #define FLOWER_OPT_NSGA2_H_
 
+#include <functional>
+#include <limits>
 #include <vector>
 
 #include "common/random.h"
@@ -8,6 +10,17 @@
 #include "opt/problem.h"
 
 namespace flower::opt {
+
+/// Per-generation solver telemetry, reported through
+/// Nsga2Config::on_generation after environmental selection.
+struct Nsga2GenerationStats {
+  size_t generation = 0;   ///< 0-based generation index.
+  size_t front_size = 0;   ///< Rank-0 individuals in the new population.
+  size_t evaluations = 0;  ///< Cumulative objective evaluations so far.
+  /// Hypervolume of the feasible rank-0 front w.r.t. the nadir of the
+  /// initial population; NaN for problems with != 2 objectives.
+  double hypervolume = std::numeric_limits<double>::quiet_NaN();
+};
 
 /// Tuning parameters of the NSGA-II solver. Defaults follow Deb et al.
 /// (TEVC 2002): SBX crossover with eta_c = 15, polynomial mutation with
@@ -20,6 +33,9 @@ struct Nsga2Config {
   double eta_crossover = 15.0;    ///< SBX distribution index.
   double eta_mutation = 20.0;     ///< Polynomial mutation index.
   uint64_t seed = 42;
+  /// Optional observer invoked once per generation; keeps the solver
+  /// free of any telemetry dependency.
+  std::function<void(const Nsga2GenerationStats&)> on_generation;
 };
 
 /// Outcome of an NSGA-II run.

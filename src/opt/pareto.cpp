@@ -52,4 +52,28 @@ std::vector<Solution> ParetoFront(const std::vector<Solution>& solutions) {
   return front;
 }
 
+double Hypervolume2D(const std::vector<std::vector<double>>& points,
+                     double ref_x, double ref_y) {
+  // Keep points strictly dominating the reference, drop dominated ones,
+  // then sweep right-to-left accumulating disjoint rectangles.
+  std::vector<std::pair<double, double>> kept;
+  for (const auto& p : points) {
+    if (p.size() != 2) continue;
+    if (!(p[0] > ref_x) || !(p[1] > ref_y)) continue;
+    kept.emplace_back(p[0], p[1]);
+  }
+  std::sort(kept.begin(), kept.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second > b.second;
+  });
+  double hv = 0.0;
+  double prev_y = ref_y;
+  for (const auto& [x, y] : kept) {
+    if (y <= prev_y) continue;  // Dominated by an earlier (wider) point.
+    hv += (x - ref_x) * (y - prev_y);
+    prev_y = y;
+  }
+  return hv;
+}
+
 }  // namespace flower::opt

@@ -22,6 +22,14 @@ bool ConstrainedDominates(const Solution& a, const Solution& b);
 /// collapsed to one representative.
 std::vector<Solution> ParetoFront(const std::vector<Solution>& solutions);
 
+/// Hypervolume of a 2-objective maximization front w.r.t. reference
+/// point (ref_x, ref_y): the area jointly dominated by `points` and
+/// dominating the reference. Points not strictly better than the
+/// reference in both objectives contribute nothing. Returns 0 for an
+/// empty front; points must all have exactly 2 objectives.
+double Hypervolume2D(const std::vector<std::vector<double>>& points,
+                     double ref_x, double ref_y);
+
 }  // namespace flower::opt
 
 #endif  // FLOWER_OPT_PARETO_H_

@@ -108,6 +108,31 @@ bool FaultInjector::Active(FaultKind kind, const std::string& target,
   return false;
 }
 
+void FaultInjector::SetTelemetry(obs::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  if (telemetry_ != nullptr) {
+    telemetry_->trace().SetTrackName(obs::kFaultInjectorTid,
+                                     "fault-injector");
+  }
+}
+
+void FaultInjector::Note(FaultKind kind, const std::string& target) {
+  if (telemetry_ == nullptr) return;
+  SimTime now = sim_->Now();
+  telemetry_->metrics()
+      .GetCounter("fault.injected", {{"kind", FaultKindToString(kind)},
+                                     {"target", target}})
+      ->Increment();
+  obs::TraceEvent args;
+  args.str_args = {{"kind", FaultKindToString(kind)}, {"target", target}};
+  telemetry_->trace().AddInstant("fault:" + FaultKindToString(kind),
+                                 "fault", now, obs::kFaultInjectorTid,
+                                 std::move(args));
+  telemetry_->NoteFault(
+      target, static_cast<obs::FaultMask>(1u << static_cast<int>(kind)),
+      now);
+}
+
 const FaultSpec* FaultInjector::Draw(FaultKind kind,
                                      const std::string& target) {
   SimTime now = sim_->Now();
@@ -128,11 +153,13 @@ std::function<Status(double)> FaultInjector::WrapActuator(
           inner = std::move(inner)](double amount) -> Status {
     if (Draw(FaultKind::kActuatorFailure, target) != nullptr) {
       ++stats_.actuator_failures;
+      Note(FaultKind::kActuatorFailure, target);
       return Status::Internal("fault injection: actuation failed for '" +
                               target + "'");
     }
     if (Draw(FaultKind::kActuatorThrottle, target) != nullptr) {
       ++stats_.actuator_throttles;
+      Note(FaultKind::kActuatorThrottle, target);
       return Status::Throttled("fault injection: actuation throttled for '" +
                                target + "'");
     }
@@ -149,9 +176,11 @@ std::function<Result<double>(SimTime)> FaultInjector::WrapSensor(
     if (const FaultSpec* delay = Draw(FaultKind::kMetricDelay, target)) {
       query_time = now - delay->delay_sec;
       ++stats_.delayed_reads;
+      Note(FaultKind::kMetricDelay, target);
     }
     if (Draw(FaultKind::kMetricGap, target) != nullptr) {
       ++stats_.metric_gaps;
+      Note(FaultKind::kMetricGap, target);
       return Status::NotFound("fault injection: metric gap for '" + target +
                               "'");
     }
@@ -159,6 +188,7 @@ std::function<Result<double>(SimTime)> FaultInjector::WrapSensor(
     if (!value.ok()) return value;
     if (const FaultSpec* spike = Draw(FaultKind::kSensorSpike, target)) {
       ++stats_.sensor_spikes;
+      Note(FaultKind::kSensorSpike, target);
       return *value * spike->factor + spike->offset;
     }
     return value;

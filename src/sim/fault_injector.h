@@ -10,6 +10,7 @@
 #include "common/random.h"
 #include "common/result.h"
 #include "common/time_series.h"
+#include "obs/telemetry.h"
 #include "sim/simulation.h"
 
 namespace flower::sim {
@@ -114,6 +115,13 @@ class FaultInjector {
   /// True when any fault of `kind` is active for `target` at time `t`.
   bool Active(FaultKind kind, const std::string& target, SimTime t) const;
 
+  /// Reports every injected fault to `telemetry`: a per-kind counter, an
+  /// instant trace event on the fault-injector track, and a fault note
+  /// (so the ElasticityManager stamps decision records taken at the
+  /// same sim time with the interference). Pass nullptr to detach. Not
+  /// owned; must outlive the injector or be detached first.
+  void SetTelemetry(obs::Telemetry* telemetry);
+
   const FaultInjectorStats& stats() const { return stats_; }
   size_t fault_count() const;
 
@@ -130,11 +138,15 @@ class FaultInjector {
   /// given the call sequence).
   const FaultSpec* Draw(FaultKind kind, const std::string& target);
 
+  /// Publishes one injected fault to the telemetry hub, if attached.
+  void Note(FaultKind kind, const std::string& target);
+
   Simulation* sim_;
   Rng rng_;
   int next_id_ = 0;
   std::vector<Registered> faults_;
   FaultInjectorStats stats_;
+  obs::Telemetry* telemetry_ = nullptr;
 };
 
 }  // namespace flower::sim

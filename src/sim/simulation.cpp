@@ -1,9 +1,27 @@
 #include "sim/simulation.h"
 
+#include <chrono>
 #include <memory>
 #include <utility>
 
 namespace flower::sim {
+
+void Simulation::SetTelemetry(obs::Telemetry* telemetry) {
+  if (telemetry == nullptr) {
+    exec_time_us_ = nullptr;
+    events_counter_ = nullptr;
+    return;
+  }
+  // Event handlers run in micro- to milliseconds; buckets up to 10 s
+  // catch pathological ones.
+  obs::HistogramOptions opts;
+  opts.min = 0.1;    // 100 ns.
+  opts.max = 1e7;    // 10 s.
+  exec_time_us_ = telemetry->metrics().GetHistogram("sim.event_exec_us", {},
+                                                    opts);
+  events_counter_ = telemetry->metrics().GetCounter("sim.events_executed");
+  telemetry->trace().SetTrackName(obs::kSimulatorTid, "simulator");
+}
 
 Status Simulation::ScheduleAt(SimTime at, Callback cb) {
   if (at < now_) {
@@ -48,7 +66,16 @@ bool Simulation::Step() {
   queue_.pop();
   now_ = ev.time;
   ++events_executed_;
-  ev.cb();
+  if (events_counter_ != nullptr) events_counter_->Increment();
+  if (exec_time_us_ != nullptr) {
+    auto t0 = std::chrono::steady_clock::now();
+    ev.cb();
+    auto t1 = std::chrono::steady_clock::now();
+    exec_time_us_->Record(
+        std::chrono::duration<double, std::micro>(t1 - t0).count());
+  } else {
+    ev.cb();
+  }
   return true;
 }
 

@@ -8,6 +8,7 @@
 
 #include "common/status.h"
 #include "common/time_series.h"
+#include "obs/telemetry.h"
 
 namespace flower::sim {
 
@@ -64,6 +65,13 @@ class Simulation {
   /// Runs a single event; returns false if the queue is empty.
   bool Step();
 
+  /// Instruments the driver: per-event wall-clock execution time lands
+  /// in the `sim.event_exec_us` histogram and executed events in the
+  /// `sim.events_executed` counter of `telemetry`'s registry. Pass
+  /// nullptr to detach. Not owned; must outlive the simulation or be
+  /// detached first.
+  void SetTelemetry(obs::Telemetry* telemetry);
+
   size_t pending_events() const { return queue_.size(); }
   uint64_t events_executed() const { return events_executed_; }
 
@@ -83,6 +91,8 @@ class Simulation {
   SimTime now_ = 0.0;
   uint64_t next_seq_ = 0;
   uint64_t events_executed_ = 0;
+  obs::Histogram* exec_time_us_ = nullptr;
+  obs::Counter* events_counter_ = nullptr;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
 };
 

@@ -50,5 +50,44 @@ TEST_F(LoggingTest, CheckFailureAborts) {
   EXPECT_DEATH({ FLOWER_CHECK(false) << "boom"; }, "Check failed");
 }
 
+TEST_F(LoggingTest, SimClockPrefixesTime) {
+  SetLogLevel(LogLevel::kInfo);
+  double now = 123.5;
+  SetLogClock([](void* ctx) { return *static_cast<double*>(ctx); }, &now);
+  ::testing::internal::CaptureStderr();
+  FLOWER_LOG(Warning) << "with clock";
+  std::string err = ::testing::internal::GetCapturedStderr();
+  SetLogClock(nullptr, nullptr);
+  EXPECT_NE(err.find("[W t=123.5s "), std::string::npos) << err;
+
+  ::testing::internal::CaptureStderr();
+  FLOWER_LOG(Warning) << "without clock";
+  err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(err.find("t="), std::string::npos) << err;
+}
+
+TEST_F(LoggingTest, DcheckMatchesBuildType) {
+#ifdef NDEBUG
+  // Compiled out: a false condition must not abort or print, and the
+  // condition itself must not be evaluated.
+  int evaluations = 0;
+  ::testing::internal::CaptureStderr();
+  FLOWER_DCHECK(++evaluations > 0) << "never";
+  FLOWER_DCHECK(false) << "never";
+  std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_TRUE(err.empty()) << err;
+  EXPECT_EQ(evaluations, 0);
+#else
+  EXPECT_DEATH({ FLOWER_DCHECK(false) << "boom"; }, "Check failed");
+#endif
+}
+
+TEST_F(LoggingTest, FatalCheckIgnoresLogLevel) {
+  // A failed check must abort (and print) even when the level filter
+  // would suppress kError messages entirely.
+  SetLogLevel(static_cast<LogLevel>(static_cast<int>(LogLevel::kError) + 1));
+  EXPECT_DEATH({ FLOWER_CHECK(false) << "fatal"; }, "Check failed");
+}
+
 }  // namespace
 }  // namespace flower

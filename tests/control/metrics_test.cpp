@@ -88,5 +88,48 @@ TEST(SettlingTimeTest, EmptySeriesFails) {
   EXPECT_FALSE(SettlingTime(empty, 0.0, 60.0, 5.0, 60.0).ok());
 }
 
+TEST(SettlingTimeTest, NegativeToleranceIsInvalidArgument) {
+  TimeSeries y = Series({{0, 60}, {60, 60}});
+  EXPECT_EQ(SettlingTime(y, 0.0, 60.0, -1.0, 60.0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SettlingTimeTest, NegativeHoldIsInvalidArgument) {
+  TimeSeries y = Series({{0, 60}, {60, 60}});
+  EXPECT_EQ(SettlingTime(y, 0.0, 60.0, 5.0, -60.0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SettlingTimeTest, SettlesExactlyAtHoldBoundary) {
+  // The window [t, t + hold] is inclusive at the far edge: the sample
+  // sitting exactly `hold` seconds after the candidate must also be in
+  // band for the candidate to count.
+  TimeSeries y = Series({{100, 62}, {160, 61}, {200, 80}, {260, 60},
+                         {320, 59}, {360, 61}});
+  // Candidate t=100: window [100, 200] includes the out-of-band sample
+  // at exactly t=200, so it is rejected; t=260 settles.
+  auto st = SettlingTime(y, 100.0, 60.0, 5.0, 100.0);
+  ASSERT_TRUE(st.ok());
+  EXPECT_DOUBLE_EQ(*st, 160.0);  // 260 - 100.
+}
+
+TEST(EvaluateControlTest, EmptyActuationSeriesYieldsZeroResource) {
+  TimeSeries y = Series({{0, 60}, {60, 65}});
+  TimeSeries no_acts;
+  auto q = EvaluateControl(y, no_acts, 60.0, 10.0, 120.0);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->samples, 2u);
+  EXPECT_DOUBLE_EQ(q->resource_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(q->mean_resource, 0.0);
+  EXPECT_EQ(q->actuation_changes, 0u);
+}
+
+TEST(EvaluateControlTest, HorizonBeforeFirstSampleFails) {
+  TimeSeries y = Series({{100, 60}, {160, 65}});
+  TimeSeries u = Series({{100, 5}});
+  EXPECT_EQ(EvaluateControl(y, u, 60.0, 10.0, 50.0).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
 }  // namespace
 }  // namespace flower::control

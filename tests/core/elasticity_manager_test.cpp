@@ -82,7 +82,7 @@ TEST(ElasticityManagerTest, ControlLoopSensesAndActuates) {
   auto state = mgr.GetState(Layer::kAnalytics);
   ASSERT_TRUE(state.ok());
   EXPECT_EQ((*state)->sensed.size(), actuations.size());
-  EXPECT_EQ((*state)->sensor_misses, 0u);
+  EXPECT_EQ((*state)->sensor_misses(), 0u);
 }
 
 TEST(ElasticityManagerTest, MissingMetricCountsAsSensorMiss) {
@@ -94,7 +94,7 @@ TEST(ElasticityManagerTest, MissingMetricCountsAsSensorMiss) {
   sim.RunUntil(300.0);  // No data ever published.
   auto state = mgr.GetState(Layer::kAnalytics);
   ASSERT_TRUE(state.ok());
-  EXPECT_GE((*state)->sensor_misses, 4u);
+  EXPECT_GE((*state)->sensor_misses(), 4u);
   EXPECT_TRUE((*state)->sensed.empty());
 }
 
@@ -145,7 +145,7 @@ TEST(ElasticityManagerTest, ActuatorFailureCountedAndLoopContinues) {
   sim.RunUntil(600.0);
   auto state = mgr.GetState(Layer::kAnalytics);
   ASSERT_TRUE(state.ok());
-  EXPECT_EQ((*state)->actuation_failures, 2u);
+  EXPECT_EQ((*state)->actuation_failures(), 2u);
   EXPECT_GT(calls, 2);
 }
 

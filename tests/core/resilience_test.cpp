@@ -93,9 +93,9 @@ TEST(ResilienceTest, RetryRecoversTransientActuatorFailure) {
   auto state = mgr.GetState(Layer::kAnalytics);
   ASSERT_TRUE(state.ok());
   // Step at t=60: attempt fails, the 2 s-backoff retry lands it.
-  EXPECT_EQ((*state)->actuation_failures, 1u);
-  EXPECT_EQ((*state)->actuation_retries, 1u);
-  EXPECT_EQ((*state)->retry_successes, 1u);
+  EXPECT_EQ((*state)->actuation_failures(), 1u);
+  EXPECT_EQ((*state)->actuation_retries(), 1u);
+  EXPECT_EQ((*state)->retry_successes(), 1u);
   // Steps kept coming afterwards with no further retries.
   EXPECT_GE((*state)->actuations.size(), 4u);
 }
@@ -116,9 +116,9 @@ TEST(ResilienceTest, RetriesAreBoundedPerStep) {
   auto state = mgr.GetState(Layer::kAnalytics);
   ASSERT_TRUE(state.ok());
   // Each step: the initial attempt plus exactly max_retries retries.
-  EXPECT_EQ((*state)->actuation_retries, 4u);
-  EXPECT_EQ((*state)->actuation_failures, 6u);
-  EXPECT_EQ((*state)->retry_successes, 0u);
+  EXPECT_EQ((*state)->actuation_retries(), 4u);
+  EXPECT_EQ((*state)->actuation_failures(), 6u);
+  EXPECT_EQ((*state)->retry_successes(), 0u);
 }
 
 TEST(ResilienceTest, NewControlStepSupersedesOutstandingRetry) {
@@ -139,8 +139,8 @@ TEST(ResilienceTest, NewControlStepSupersedesOutstandingRetry) {
   auto state = mgr.GetState(Layer::kAnalytics);
   ASSERT_TRUE(state.ok());
   // Every step failed once; no stale retry ever fired.
-  EXPECT_EQ((*state)->actuation_retries, 0u);
-  EXPECT_EQ((*state)->actuation_failures, (*state)->actuations.size());
+  EXPECT_EQ((*state)->actuation_retries(), 0u);
+  EXPECT_EQ((*state)->actuation_failures(), (*state)->actuations.size());
 }
 
 TEST(ResilienceTest, BreakerTripsThenRecoversViaHalfOpenProbe) {
@@ -167,9 +167,9 @@ TEST(ResilienceTest, BreakerTripsThenRecoversViaHalfOpenProbe) {
   // Steps at 60/120/180 fail and trip the breaker; steps at 240..420
   // are skipped (cooldown ends at 430); the t=480 half-open probe
   // succeeds and closes it; t=540/600/660 actuate normally.
-  EXPECT_EQ((*state)->breaker_trips, 1u);
-  EXPECT_EQ((*state)->breaker_skipped_steps, 4u);
-  EXPECT_EQ((*state)->actuation_failures, 3u);
+  EXPECT_EQ((*state)->breaker_trips(), 1u);
+  EXPECT_EQ((*state)->breaker_skipped_steps(), 4u);
+  EXPECT_EQ((*state)->actuation_failures(), 3u);
   EXPECT_FALSE((*state)->breaker_open);
   EXPECT_EQ(calls, 7);  // 3 failures + probe + 3 healthy actuations.
   // The loop kept sensing throughout — the breaker only guards the
@@ -192,8 +192,8 @@ TEST(ResilienceTest, FailedHalfOpenProbeReopensBreaker) {
   ASSERT_TRUE(state.ok());
   // Trip at t=120 (cooldown to 270), failed probe at t=300 re-trips
   // (cooldown to 450), failed probe at t=480 re-trips again.
-  EXPECT_EQ((*state)->breaker_trips, 3u);
-  EXPECT_EQ((*state)->actuation_failures, 4u);
+  EXPECT_EQ((*state)->breaker_trips(), 3u);
+  EXPECT_EQ((*state)->actuation_failures(), 4u);
   EXPECT_TRUE((*state)->breaker_open);
 }
 
@@ -216,8 +216,8 @@ TEST(ResilienceTest, HoldLastValueBridgesSensorGapUntilMaxAge) {
   // Steps 60..240 sense fresh data ((t-120, t] still has datapoints);
   // steps 300 and 360 run on the held value (ages 60 s and 120 s);
   // steps 420+ exceed max_hold_sec and skip.
-  EXPECT_EQ((*state)->stale_sensor_reads, 2u);
-  EXPECT_EQ((*state)->sensor_misses, 2u);
+  EXPECT_EQ((*state)->stale_sensor_reads(), 2u);
+  EXPECT_EQ((*state)->sensor_misses(), 2u);
   EXPECT_EQ((*state)->sensed.size(), 6u);
   // The held steps replayed the last good measurement.
   auto samples = (*state)->sensed.samples();
@@ -314,7 +314,7 @@ TEST(ResilienceTest, ManagedFlowRecoversFromInjectedOutage) {
   // The injector really did interfere, retries landed actuations
   // through the outage, and the loop still scaled the cluster out.
   EXPECT_GT(chaos.stats().actuator_failures, 0u);
-  EXPECT_GT((*state)->retry_successes, 0u);
+  EXPECT_GT((*state)->retry_successes(), 0u);
   EXPECT_GT(mf->flow->cluster().worker_count(), 3);
 }
 

@@ -225,7 +225,7 @@ TEST(EndToEndTest, DayLongSoakStaysHealthy) {
   ASSERT_TRUE(analytics.ok());
   EXPECT_FALSE(
       (*analytics)->actuations.Window(23.0 * kHour, kDay).empty());
-  EXPECT_EQ((*analytics)->actuation_failures, 0u);
+  EXPECT_EQ((*analytics)->actuation_failures(), 0u);
   // (4) metric storage grows linearly with time, not with load: each
   //     service publishes a fixed set of series once per period.
   double periods = kDay / 60.0;

@@ -1,0 +1,67 @@
+#include "obs/event_log.h"
+
+#include <gtest/gtest.h>
+
+namespace flower::obs {
+namespace {
+
+ControlDecisionRecord Rec(SimTime t, const char* loop) {
+  ControlDecisionRecord r;
+  r.time = t;
+  r.loop = loop;
+  return r;
+}
+
+TEST(DecisionLogTest, AppendBelowCapacity) {
+  DecisionLog log(4);
+  log.Append(Rec(1.0, "a"));
+  log.Append(Rec(2.0, "b"));
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.total_appended(), 2u);
+  auto snap = log.Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_DOUBLE_EQ(snap[0].time, 1.0);
+  EXPECT_DOUBLE_EQ(snap[1].time, 2.0);
+}
+
+TEST(DecisionLogTest, OverwritesOldestWhenFull) {
+  DecisionLog log(3);
+  for (int i = 0; i < 5; ++i) {
+    log.Append(Rec(static_cast<double>(i), "loop"));
+  }
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.total_appended(), 5u);
+  auto snap = log.Snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  // Records 0 and 1 were evicted; 2, 3, 4 remain oldest-first.
+  EXPECT_DOUBLE_EQ(snap[0].time, 2.0);
+  EXPECT_DOUBLE_EQ(snap[1].time, 3.0);
+  EXPECT_DOUBLE_EQ(snap[2].time, 4.0);
+}
+
+TEST(DecisionLogTest, SnapshotOrderStableAcrossWraps) {
+  DecisionLog log(4);
+  for (int i = 0; i < 11; ++i) {
+    log.Append(Rec(static_cast<double>(i), "loop"));
+  }
+  auto snap = log.Snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  for (size_t i = 1; i < snap.size(); ++i) {
+    EXPECT_LT(snap[i - 1].time, snap[i].time);
+  }
+  EXPECT_DOUBLE_EQ(snap.back().time, 10.0);
+}
+
+TEST(DecisionLogTest, OutcomeStrings) {
+  EXPECT_STREQ(StepOutcomeToString(StepOutcome::kActuated), "actuated");
+  EXPECT_STREQ(StepOutcomeToString(StepOutcome::kSensorMiss), "sensor-miss");
+  EXPECT_STREQ(StepOutcomeToString(StepOutcome::kControllerError),
+               "controller-error");
+  EXPECT_STREQ(StepOutcomeToString(StepOutcome::kBreakerOpen),
+               "breaker-open");
+  EXPECT_STREQ(StepOutcomeToString(StepOutcome::kActuationFailed),
+               "actuation-failed");
+}
+
+}  // namespace
+}  // namespace flower::obs

@@ -1,0 +1,177 @@
+#include "obs/exporters.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace flower::obs {
+namespace {
+
+std::vector<std::string> Lines(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) out.push_back(line);
+  return out;
+}
+
+ControlDecisionRecord SampleRecord() {
+  ControlDecisionRecord r;
+  r.time = 120.0;
+  r.loop = "analytics";
+  r.layer = "analytics";
+  r.law = "adaptive-gain";
+  r.sensed_y = 78.5;
+  r.reference = 60.0;
+  r.error = 18.5;
+  r.gain = 0.115;
+  r.raw_u = 5.13;
+  r.clamped_u = 5.0;
+  r.stale_sensor = true;
+  r.outcome = StepOutcome::kActuated;
+  r.fault_mask = 4;
+  return r;
+}
+
+TEST(DecisionCsvTest, HeaderAndRow) {
+  std::ostringstream os;
+  WriteDecisionCsv(os, {SampleRecord()});
+  auto lines = Lines(os.str());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0],
+            "time,loop,layer,law,sensed_y,reference,error,gain,raw_u,"
+            "clamped_u,stale,outcome,fault_mask");
+  EXPECT_EQ(lines[1],
+            "120,analytics,analytics,adaptive-gain,78.5,60,18.5,0.115,"
+            "5.13,5,1,actuated,4");
+}
+
+TEST(DecisionJsonlTest, OneObjectPerLine) {
+  std::ostringstream os;
+  WriteDecisionJsonl(os, {SampleRecord(), SampleRecord()});
+  auto lines = Lines(os.str());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"type\":\"decision\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"loop\":\"analytics\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"gain\":0.115"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"stale\":true"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"outcome\":\"actuated\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"fault_mask\":4"), std::string::npos);
+}
+
+TEST(DecisionJsonlTest, NanBecomesNull) {
+  ControlDecisionRecord r = SampleRecord();
+  r.gain = std::numeric_limits<double>::quiet_NaN();
+  std::ostringstream os;
+  WriteDecisionJsonl(os, {r});
+  EXPECT_NE(os.str().find("\"gain\":null"), std::string::npos);
+}
+
+TEST(SnapshotSinksTest, CoverAllKinds) {
+  MetricsRegistry registry;
+  registry.GetCounter("steps", {{"loop", "analytics"}})->Increment(3);
+  registry.GetGauge("gain")->Set(0.25);
+  registry.GetHistogram("lat")->Record(2.0);
+  MetricsSnapshot snap = registry.Snapshot();
+
+  std::ostringstream csv;
+  WriteSnapshotCsv(csv, snap);
+  auto csv_lines = Lines(csv.str());
+  ASSERT_EQ(csv_lines.size(), 4u);  // Header + one per instrument.
+  EXPECT_EQ(csv_lines[0], "kind,name,labels,value,count,sum,min,max,p50,p99");
+  EXPECT_EQ(csv_lines[1].rfind("counter,steps,loop=analytics,3", 0), 0u);
+
+  std::ostringstream jsonl;
+  WriteSnapshotJsonl(jsonl, snap, 3600.0);
+  auto json_lines = Lines(jsonl.str());
+  ASSERT_EQ(json_lines.size(), 3u);
+  EXPECT_NE(json_lines[0].find("\"type\":\"counter\""), std::string::npos);
+  EXPECT_NE(json_lines[0].find("\"time\":3600"), std::string::npos);
+  EXPECT_NE(json_lines[0].find("\"labels\":{\"loop\":\"analytics\"}"),
+            std::string::npos);
+  EXPECT_NE(json_lines[1].find("\"type\":\"gauge\""), std::string::npos);
+  EXPECT_NE(json_lines[2].find("\"type\":\"histogram\""), std::string::npos);
+  EXPECT_NE(json_lines[2].find("\"count\":1"), std::string::npos);
+}
+
+TEST(ChromeTraceTest, WrapperMetadataAndPhases) {
+  TraceCollector trace;
+  trace.SetTrackName(1, "loop:analytics");
+  TraceEvent span_args;
+  span_args.num_args.emplace_back("y", 78.5);
+  span_args.str_args.emplace_back("outcome", "actuated");
+  trace.AddSpan("step", "control", 120.0, 2.4, 1, std::move(span_args));
+  trace.AddInstant("sensor-miss", "control", 240.0, 1);
+  trace.AddCounter("analytics.y", 120.0, 1, 78.5);
+
+  std::ostringstream os;
+  WriteChromeTrace(os, trace);
+  const std::string text = os.str();
+
+  EXPECT_EQ(text.rfind("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", 0),
+            0u);
+  // Metadata first: process name, then the named track.
+  size_t proc = text.find("\"process_name\"");
+  size_t thread = text.find("\"thread_name\"");
+  size_t span = text.find("\"name\":\"step\"");
+  ASSERT_NE(proc, std::string::npos);
+  ASSERT_NE(thread, std::string::npos);
+  ASSERT_NE(span, std::string::npos);
+  EXPECT_LT(proc, thread);
+  EXPECT_LT(thread, span);
+  EXPECT_NE(text.find("\"args\":{\"name\":\"loop:analytics\"}"),
+            std::string::npos);
+  // Sim seconds → microseconds; 'X' carries dur, 'i' carries scope.
+  EXPECT_NE(text.find("\"ts\":120000000"), std::string::npos);
+  EXPECT_NE(text.find("\"dur\":2400000"), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(text.find("\"s\":\"t\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(text.find("\"y\":78.5"), std::string::npos);
+  EXPECT_NE(text.find("\"outcome\":\"actuated\""), std::string::npos);
+}
+
+TEST(ChromeTraceTest, EscapesStrings) {
+  TraceCollector trace;
+  TraceEvent args;
+  args.str_args.emplace_back("msg", "a\"b\\c\nd");
+  trace.AddInstant("weird", "test", 0.0, 1, std::move(args));
+  std::ostringstream os;
+  WriteChromeTrace(os, trace);
+  EXPECT_NE(os.str().find("a\\\"b\\\\c\\nd"), std::string::npos);
+}
+
+TEST(TraceCollectorTest, DropsNewestPastCapacity) {
+  TraceCollector trace(2);
+  trace.AddInstant("a", "t", 0.0, 1);
+  trace.AddInstant("b", "t", 1.0, 1);
+  trace.AddInstant("c", "t", 2.0, 1);
+  EXPECT_EQ(trace.events().size(), 2u);
+  EXPECT_EQ(trace.dropped(), 1u);
+  EXPECT_EQ(trace.events()[0].name, "a");
+  EXPECT_EQ(trace.events()[1].name, "b");
+}
+
+TEST(ExportToFileTest, WritesAndReportsErrors) {
+  const std::string path = ::testing::TempDir() + "/obs_export_test.txt";
+  Status ok = ExportToFile(path, [](std::ostream& os) { os << "hello"; });
+  ASSERT_TRUE(ok.ok()) << ok;
+  std::ifstream in(path);
+  std::string content;
+  std::getline(in, content);
+  EXPECT_EQ(content, "hello");
+  std::remove(path.c_str());
+
+  Status bad = ExportToFile("/nonexistent-dir/x/y.json",
+                            [](std::ostream& os) { os << "x"; });
+  EXPECT_FALSE(bad.ok());
+}
+
+}  // namespace
+}  // namespace flower::obs

@@ -1,0 +1,182 @@
+#include "obs/metrics_registry.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace flower::obs {
+namespace {
+
+TEST(CounterTest, IncrementAndValue) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("steps");
+  EXPECT_EQ(c->Value(), 0u);
+  c->Increment();
+  c->Increment(41);
+  EXPECT_EQ(c->Value(), 42u);
+}
+
+TEST(CounterTest, SameNameAndLabelsIsSameInstrument) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("steps", {{"layer", "analytics"}});
+  Counter* b = registry.GetCounter("steps", {{"layer", "analytics"}});
+  EXPECT_EQ(a, b);
+  a->Increment();
+  EXPECT_EQ(b->Value(), 1u);
+}
+
+TEST(CounterTest, LabelOrderIsNormalized) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("steps", {{"a", "1"}, {"b", "2"}});
+  Counter* b = registry.GetCounter("steps", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(a, b);
+}
+
+TEST(CounterTest, DifferentLabelsAreDistinct) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("steps", {{"layer", "analytics"}});
+  Counter* b = registry.GetCounter("steps", {{"layer", "storage"}});
+  Counter* c = registry.GetCounter("steps");
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  a->Increment();
+  EXPECT_EQ(b->Value(), 0u);
+  EXPECT_EQ(c->Value(), 0u);
+}
+
+TEST(GaugeTest, LastValueWins) {
+  MetricsRegistry registry;
+  Gauge* g = registry.GetGauge("gain", {{"loop", "analytics"}});
+  EXPECT_DOUBLE_EQ(g->Value(), 0.0);
+  g->Set(0.04);
+  g->Set(0.15);
+  EXPECT_DOUBLE_EQ(g->Value(), 0.15);
+}
+
+TEST(HistogramTest, CountSumMinMaxMean) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("lat");
+  EXPECT_EQ(h->TotalCount(), 0u);
+  EXPECT_DOUBLE_EQ(h->Min(), 0.0);
+  EXPECT_DOUBLE_EQ(h->Max(), 0.0);
+  h->Record(2.0);
+  h->Record(10.0);
+  h->Record(6.0);
+  EXPECT_EQ(h->TotalCount(), 3u);
+  EXPECT_DOUBLE_EQ(h->Sum(), 18.0);
+  EXPECT_DOUBLE_EQ(h->Min(), 2.0);
+  EXPECT_DOUBLE_EQ(h->Max(), 10.0);
+  EXPECT_DOUBLE_EQ(h->Mean(), 6.0);
+}
+
+TEST(HistogramTest, UnderflowAndOverflowBuckets) {
+  MetricsRegistry registry;
+  HistogramOptions opts;
+  opts.min = 1.0;
+  opts.max = 16.0;
+  opts.sub_buckets = 1;
+  Histogram* h = registry.GetHistogram("lat", {}, opts);
+  h->Record(0.5);    // Underflow: below min.
+  h->Record(1e9);    // Overflow: at/above max.
+  h->Record(16.0);   // Exactly max → overflow bucket.
+  EXPECT_EQ(h->BucketCount(0), 1u);
+  EXPECT_EQ(h->BucketCount(h->NumBuckets() - 1), 2u);
+  EXPECT_EQ(h->TotalCount(), 3u);
+}
+
+TEST(HistogramTest, BucketsPartitionTheRange) {
+  MetricsRegistry registry;
+  HistogramOptions opts;
+  opts.min = 1.0;
+  opts.max = 8.0;
+  opts.sub_buckets = 2;
+  Histogram* h = registry.GetHistogram("lat", {}, opts);
+  // Upper bounds must be strictly increasing and end at +inf.
+  double prev = 0.0;
+  for (size_t i = 0; i + 1 < h->NumBuckets(); ++i) {
+    EXPECT_GT(h->UpperBound(i), prev);
+    prev = h->UpperBound(i);
+  }
+  EXPECT_TRUE(std::isinf(h->UpperBound(h->NumBuckets() - 1)));
+  // A value lands in the bucket whose [lower, upper) range contains it.
+  h->Record(1.1);
+  uint64_t total = 0;
+  for (size_t i = 0; i < h->NumBuckets(); ++i) total += h->BucketCount(i);
+  EXPECT_EQ(total, 1u);
+}
+
+TEST(HistogramTest, IgnoresNanClampsNegatives) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("lat");
+  h->Record(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h->TotalCount(), 0u);
+  h->Record(-5.0);  // Clamped to 0 → underflow bucket.
+  EXPECT_EQ(h->TotalCount(), 1u);
+  EXPECT_EQ(h->BucketCount(0), 1u);
+}
+
+TEST(HistogramTest, QuantileInterpolatesAndErrorsWhenEmpty) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("lat");
+  EXPECT_FALSE(h->Quantile(0.5).ok());
+  for (int i = 1; i <= 100; ++i) h->Record(static_cast<double>(i));
+  auto p50 = h->Quantile(0.5);
+  ASSERT_TRUE(p50.ok());
+  // Log-linear buckets bound the relative error; p50 of 1..100 is ~50.
+  EXPECT_NEAR(*p50, 50.0, 15.0);
+  auto p99 = h->Quantile(0.99);
+  ASSERT_TRUE(p99.ok());
+  EXPECT_GT(*p99, *p50);
+}
+
+TEST(RegistryTest, SnapshotIsDeepCopy) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("steps", {{"layer", "analytics"}});
+  Gauge* g = registry.GetGauge("gain");
+  Histogram* h = registry.GetHistogram("lat");
+  c->Increment(7);
+  g->Set(1.5);
+  h->Record(3.0);
+
+  MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.counters[0].value, 7u);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].value, 1.5);
+  EXPECT_EQ(snap.histograms[0].count, 1u);
+
+  // Mutating the live registry must not change the snapshot.
+  c->Increment(100);
+  g->Set(9.9);
+  h->Record(4.0);
+  EXPECT_EQ(snap.counters[0].value, 7u);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].value, 1.5);
+  EXPECT_EQ(snap.histograms[0].count, 1u);
+}
+
+TEST(RegistryTest, SnapshotSortedByNameThenLabels) {
+  MetricsRegistry registry;
+  registry.GetCounter("zeta");
+  registry.GetCounter("alpha", {{"layer", "storage"}});
+  registry.GetCounter("alpha", {{"layer", "analytics"}});
+  MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].name, "alpha");
+  EXPECT_EQ(snap.counters[1].name, "alpha");
+  EXPECT_EQ(snap.counters[2].name, "zeta");
+  EXPECT_EQ(snap.counters[0].labels[0].second, "analytics");
+}
+
+TEST(RegistryTest, NumInstrumentsCountsAllKinds) {
+  MetricsRegistry registry;
+  registry.GetCounter("a");
+  registry.GetCounter("a");  // Re-registration: no new instrument.
+  registry.GetGauge("b");
+  registry.GetHistogram("c");
+  EXPECT_EQ(registry.NumInstruments(), 3u);
+}
+
+}  // namespace
+}  // namespace flower::obs

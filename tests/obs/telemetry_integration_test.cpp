@@ -1,0 +1,206 @@
+// Integration test of the telemetry pipeline (the ISSUE 2 acceptance
+// criterion): run the canonical managed flow with a shared Telemetry
+// hub and assert that (a) the decision log's gain column reproduces the
+// Eq. 7 clamped gain trajectory recomputed from the same sensed inputs,
+// and (b) the exported Chrome trace carries control-step spans for all
+// three layers plus the NSGA-II planner track.
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "control/adaptive_gain.h"
+#include "core/flow_builder.h"
+#include "core/resource_share.h"
+#include "obs/telemetry.h"
+#include "sim/fault_injector.h"
+
+namespace flower {
+namespace {
+
+struct RunOutput {
+  obs::Telemetry telemetry;
+  sim::Simulation sim;
+  cloudwatch::MetricStore metrics;
+  std::unique_ptr<sim::FaultInjector> chaos;
+  core::ManagedFlow managed;
+};
+
+// Runs the canonical three-layer click-stream flow for `hours` with the
+// shared telemetry hub (member order above guarantees the hub outlives
+// the manager).
+void RunFlow(RunOutput* out, double hours, bool with_faults) {
+  core::FlowBuilder builder;
+  builder.WithSeed(7).WithTelemetry(&out->telemetry);
+  if (with_faults) {
+    out->chaos = std::make_unique<sim::FaultInjector>(&out->sim, 7);
+    // A deterministic sensor spike squarely inside the run.
+    out->chaos->SpikeSensor("analytics", 30.0 * kMinute, 50.0 * kMinute,
+                            2.0, 0.0, /*probability=*/1.0);
+    builder.WithFaultInjector(out->chaos.get());
+  }
+  auto managed = builder.Build(&out->sim, &out->metrics);
+  ASSERT_TRUE(managed.ok()) << managed.status();
+  out->managed = std::move(*managed);
+  out->sim.RunUntil(hours * kHour);
+}
+
+TEST(TelemetryIntegrationTest, GainColumnReproducesEq7Trajectory) {
+  RunOutput run;
+  ASSERT_NO_FATAL_FAILURE(RunFlow(&run, 3.0, /*with_faults=*/false));
+
+  // The exact Eq. 7 parameters of the attached analytics controller.
+  auto controller = run.managed.manager->GetController(core::Layer::kAnalytics);
+  ASSERT_TRUE(controller.ok());
+  const auto* adaptive =
+      dynamic_cast<const control::AdaptiveGainController*>(*controller);
+  ASSERT_NE(adaptive, nullptr);
+  const control::AdaptiveGainConfig& cfg = adaptive->config();
+
+  std::vector<obs::ControlDecisionRecord> decisions =
+      run.telemetry.decisions().Snapshot();
+  ASSERT_FALSE(decisions.empty());
+
+  // Replay Eq. 7 from the recorded sensed inputs:
+  //   l_{k+1} = clamp(l_k + γ (y_k − y_r), l_min, l_max)
+  // and require the decision log's gain column to match step for step.
+  double gain = cfg.initial_gain;
+  size_t steps = 0;
+  for (const obs::ControlDecisionRecord& d : decisions) {
+    if (d.loop != "analytics") continue;
+    // A missed sensor read skips the step entirely: the controller never
+    // ran, so the gain state is unchanged and there is nothing to check.
+    if (d.outcome == obs::StepOutcome::kSensorMiss) continue;
+    ASSERT_EQ(d.outcome, obs::StepOutcome::kActuated)
+        << "fault-free run must actuate every stepped loop (t=" << d.time
+        << ")";
+    ASSERT_EQ(d.law, "adaptive-gain");
+    gain = std::clamp(gain + cfg.gamma * (d.sensed_y - d.reference),
+                      cfg.gain_min, cfg.gain_max);
+    EXPECT_NEAR(d.gain, gain, 1e-9) << "at t=" << d.time;
+    // The record's error column is the same y_k − y_r the law consumed.
+    EXPECT_NEAR(d.error, d.sensed_y - d.reference, 1e-9);
+    ++steps;
+  }
+  EXPECT_GE(steps, 20u);
+  // The trajectory must actually adapt (not sit at l_0 forever).
+  EXPECT_NE(gain, cfg.initial_gain);
+}
+
+TEST(TelemetryIntegrationTest, TraceHasStepSpansForAllThreeLayers) {
+  RunOutput run;
+  ASSERT_NO_FATAL_FAILURE(RunFlow(&run, 2.0, /*with_faults=*/false));
+
+  const obs::TraceCollector& trace = run.telemetry.trace();
+  std::set<int> step_tids;
+  for (const obs::TraceEvent& e : trace.events()) {
+    if (e.name == "step" && e.phase == 'X') step_tids.insert(e.tid);
+  }
+  EXPECT_EQ(step_tids.size(), 3u);
+
+  std::set<std::string> names;
+  for (const auto& [tid, name] : trace.track_names()) names.insert(name);
+  EXPECT_TRUE(names.count("loop:ingestion"));
+  EXPECT_TRUE(names.count("loop:analytics"));
+  EXPECT_TRUE(names.count("loop:storage"));
+  EXPECT_TRUE(names.count("simulator"));
+  EXPECT_EQ(trace.dropped(), 0u);
+}
+
+TEST(TelemetryIntegrationTest, FaultInterferenceIsStampedOnDecisions) {
+  RunOutput run;
+  ASSERT_NO_FATAL_FAILURE(RunFlow(&run, 2.0, /*with_faults=*/true));
+
+  const auto mask =
+      static_cast<obs::FaultMask>(1u << static_cast<int>(
+                                      sim::FaultKind::kSensorSpike));
+  size_t stamped = 0;
+  for (const obs::ControlDecisionRecord& d :
+       run.telemetry.decisions().Snapshot()) {
+    if (d.loop != "analytics") continue;
+    // FaultSpec windows are [start, end).
+    const bool in_window =
+        d.time >= 30.0 * kMinute && d.time < 50.0 * kMinute;
+    if ((d.fault_mask & mask) != 0) {
+      ++stamped;
+      EXPECT_TRUE(in_window) << "spurious fault stamp at t=" << d.time;
+    }
+  }
+  EXPECT_GT(stamped, 0u);
+  EXPECT_GT(run.chaos->stats().sensor_spikes, 0u);
+}
+
+TEST(TelemetryIntegrationTest, MetricsRegistryTracksTheLoops) {
+  RunOutput run;
+  ASSERT_NO_FATAL_FAILURE(RunFlow(&run, 2.0, /*with_faults=*/false));
+
+  obs::MetricsSnapshot snap = run.telemetry.metrics().Snapshot();
+  auto gauge = [&](const std::string& name, const std::string& loop) {
+    for (const obs::GaugeSample& g : snap.gauges) {
+      if (g.name != name) continue;
+      for (const auto& [k, v] : g.labels) {
+        if (k == "loop" && v == loop) return true;
+      }
+    }
+    return false;
+  };
+  for (const char* loop : {"ingestion", "analytics", "storage"}) {
+    EXPECT_TRUE(gauge("loop.sensed_y", loop)) << loop;
+    EXPECT_TRUE(gauge("loop.actuation", loop)) << loop;
+    EXPECT_TRUE(gauge("loop.gain", loop)) << loop;
+  }
+  // The simulator's event-execution histogram collected samples.
+  bool found_exec = false;
+  for (const obs::HistogramSample& h : snap.histograms) {
+    if (h.name == "sim.event_exec_us") {
+      found_exec = true;
+      EXPECT_GT(h.count, 0u);
+    }
+  }
+  EXPECT_TRUE(found_exec);
+}
+
+TEST(TelemetryIntegrationTest, Nsga2ObserverEmitsPlannerTelemetry) {
+  obs::Telemetry telemetry;
+  core::ResourceShareRequest request;
+  opt::Nsga2Config solver;
+  solver.population_size = 24;
+  solver.generations = 12;
+  solver.on_generation =
+      obs::MakeNsga2Observer(&telemetry, "planner", /*anchor=*/0.0);
+  core::ResourceShareAnalyzer analyzer(solver);
+  auto result = analyzer.Analyze(request);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  size_t generation_spans = 0;
+  for (const obs::TraceEvent& e : telemetry.trace().events()) {
+    if (e.phase == 'X' && e.tid == obs::kPlannerTid) ++generation_spans;
+  }
+  EXPECT_EQ(generation_spans, 12u);
+
+  obs::MetricsSnapshot snap = telemetry.metrics().Snapshot();
+  bool counted = false;
+  for (const obs::CounterSample& c : snap.counters) {
+    if (c.name == "nsga2.generations") {
+      counted = true;
+      EXPECT_EQ(c.value, 12u);
+    }
+  }
+  EXPECT_TRUE(counted);
+  bool front_size = false;
+  for (const obs::GaugeSample& g : snap.gauges) {
+    if (g.name == "nsga2.front_size") {
+      front_size = true;
+      EXPECT_GT(g.value, 0.0);
+    }
+  }
+  EXPECT_TRUE(front_size);
+}
+
+}  // namespace
+}  // namespace flower

@@ -316,5 +316,67 @@ TEST(CrowdingDistanceTest, TwoPointFrontAllInfinite) {
   EXPECT_TRUE(std::isinf(pop[1].crowding));
 }
 
+TEST(Nsga2Test, OnGenerationObserverReportsProgress) {
+  SchafferProblem problem;
+  Nsga2Config cfg;
+  cfg.population_size = 20;
+  cfg.generations = 15;
+  std::vector<Nsga2GenerationStats> seen;
+  cfg.on_generation = [&](const Nsga2GenerationStats& s) {
+    seen.push_back(s);
+  };
+  auto result = Nsga2(cfg).Solve(problem);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(seen.size(), 15u);
+  for (size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i].generation, i);
+    EXPECT_GE(seen[i].front_size, 1u);
+    EXPECT_LE(seen[i].front_size, cfg.population_size);
+    // Two objectives: hypervolume is tracked and never negative.
+    EXPECT_FALSE(std::isnan(seen[i].hypervolume));
+    EXPECT_GE(seen[i].hypervolume, 0.0);
+  }
+  // Evaluations are cumulative and end at the solver total.
+  for (size_t i = 1; i < seen.size(); ++i) {
+    EXPECT_GT(seen[i].evaluations, seen[i - 1].evaluations);
+  }
+  EXPECT_EQ(seen.back().evaluations, result->evaluations);
+  // Hypervolume w.r.t. the fixed initial nadir must not degrade from
+  // the first reported generation to the last (elitist selection).
+  EXPECT_GE(seen.back().hypervolume, seen.front().hypervolume - 1e-9);
+}
+
+TEST(Nsga2Test, OnGenerationHypervolumeNanForThreeObjectives) {
+  // A trivial 3-objective problem: hypervolume tracking is 2-D only.
+  class ThreeObj final : public Problem {
+   public:
+    ThreeObj() { vars_.push_back({"x", 0.0, 1.0, false}); }
+    const std::vector<VariableSpec>& variables() const override {
+      return vars_;
+    }
+    size_t num_objectives() const override { return 3; }
+    size_t num_constraints() const override { return 0; }
+    void Evaluate(const std::vector<double>& x, std::vector<double>* obj,
+                  std::vector<double>* viol) const override {
+      obj->assign({x[0], 1.0 - x[0], x[0] * x[0]});
+      viol->clear();
+    }
+
+   private:
+    std::vector<VariableSpec> vars_;
+  };
+  ThreeObj problem;
+  Nsga2Config cfg;
+  cfg.population_size = 12;
+  cfg.generations = 3;
+  size_t calls = 0;
+  cfg.on_generation = [&](const Nsga2GenerationStats& s) {
+    ++calls;
+    EXPECT_TRUE(std::isnan(s.hypervolume));
+  };
+  ASSERT_TRUE(Nsga2(cfg).Solve(problem).ok());
+  EXPECT_EQ(calls, 3u);
+}
+
 }  // namespace
 }  // namespace flower::opt

@@ -70,5 +70,29 @@ TEST(ParetoFrontTest, SinglePointIsItsOwnFront) {
   EXPECT_EQ(front[0].objectives, (std::vector<double>{4, 4}));
 }
 
+TEST(Hypervolume2DTest, RectangleUnion) {
+  // Maximization front {(1,3),(2,2),(3,1)} w.r.t. reference (0,0):
+  // sweep right-to-left: (3-0)*(1-0) + (2-0)*(2-1) + (1-0)*(3-2) = 6.
+  std::vector<std::vector<double>> pts = {{1, 3}, {2, 2}, {3, 1}};
+  EXPECT_DOUBLE_EQ(Hypervolume2D(pts, 0.0, 0.0), 6.0);
+}
+
+TEST(Hypervolume2DTest, DominatedPointAddsNothing) {
+  std::vector<std::vector<double>> front = {{1, 3}, {3, 1}};
+  double base = Hypervolume2D(front, 0.0, 0.0);
+  front.push_back({1, 1});  // Dominated by both.
+  EXPECT_DOUBLE_EQ(Hypervolume2D(front, 0.0, 0.0), base);
+}
+
+TEST(Hypervolume2DTest, PointsOutsideReferenceIgnored) {
+  // A point at/below the reference contributes no area.
+  std::vector<std::vector<double>> pts = {{3, 3}, {-1, 5}, {5, 0}};
+  EXPECT_DOUBLE_EQ(Hypervolume2D(pts, 0.0, 0.0), 9.0);
+}
+
+TEST(Hypervolume2DTest, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(Hypervolume2D({}, 0.0, 0.0), 0.0);
+}
+
 }  // namespace
 }  // namespace flower::opt

@@ -16,11 +16,14 @@
 #include <fstream>
 #include <iostream>
 
+#include "common/logging.h"
 #include "common/table_printer.h"
 #include "common/units.h"
 #include "control/metrics.h"
 #include "core/flow_builder.h"
 #include "core/monitor.h"
+#include "core/resource_share.h"
+#include "obs/telemetry.h"
 #include "tools/flag_parser.h"
 #include "workload/trace_io.h"
 
@@ -46,9 +49,25 @@ Flags (all optional):
   --seeds=N             replicate over N consecutive seeds and report
                         mean +/- sd of the headline metrics       [1]
   --csv-out=FILE        dump watched metrics as CSV
+  --trace-out=FILE      write a Chrome trace_event JSON of the run (control
+                        steps, retries, faults, NSGA-II planning); open in
+                        Perfetto or chrome://tracing
+  --metrics-out=FILE    write control-decision records plus a final metrics
+                        snapshot as JSON lines
   --quiet               summary only (no dashboard)
   --help                this text
 )";
+
+/// Installs the simulation clock as the log-line time source for the
+/// lifetime of the scope, so stderr logs carry "t=<sim seconds>s".
+struct ScopedLogClock {
+  explicit ScopedLogClock(sim::Simulation* sim) {
+    SetLogClock(
+        [](void* ctx) { return static_cast<sim::Simulation*>(ctx)->Now(); },
+        sim);
+  }
+  ~ScopedLogClock() { SetLogClock(nullptr, nullptr); }
+};
 
 Result<std::shared_ptr<workload::ArrivalProcess>> MakeWorkload(
     const tools::FlagParser& flags, double hours) {
@@ -232,7 +251,14 @@ int RunOrDie(const tools::FlagParser& flags) {
     return 2;
   }
 
+  std::string trace_out = flags.GetString("trace-out", "");
+  std::string metrics_out = flags.GetString("metrics-out", "");
+  const bool observe = !trace_out.empty() || !metrics_out.empty();
+
+  // The hub must outlive the managed flow, so it is declared first.
+  obs::Telemetry telemetry;
   sim::Simulation sim;
+  ScopedLogClock log_clock(&sim);
   cloudwatch::MetricStore metrics;
   core::LayerElasticityConfig layer_defaults;
   layer_defaults.reference_utilization_pct = *reference_or;
@@ -246,18 +272,49 @@ int RunOrDie(const tools::FlagParser& flags) {
   storage.min_resource = 5.0;
   storage.max_resource = 2000.0;
 
-  auto managed = core::FlowBuilder()
-                     .WithIngestion(ingestion)
-                     .WithAnalytics(analytics)
-                     .WithStorage(storage)
-                     .WithControllerKind(*kind)
-                     .WithWorkload(*arrival)
-                     .WithSeed(static_cast<uint64_t>(*seed_or))
-                     .Build(&sim, &metrics);
+  core::FlowBuilder builder;
+  builder.WithIngestion(ingestion)
+      .WithAnalytics(analytics)
+      .WithStorage(storage)
+      .WithControllerKind(*kind)
+      .WithWorkload(*arrival)
+      .WithSeed(static_cast<uint64_t>(*seed_or));
+  if (observe) builder.WithTelemetry(&telemetry);
+  auto managed = builder.Build(&sim, &metrics);
   if (!managed.ok()) {
     std::cerr << "failed to build flow: " << managed.status() << "\n";
     return 1;
   }
+
+  if (observe) {
+    // An instrumented NSGA-II share-planning pass. The planner runs
+    // before the control loops start, so its generation spans anchor at
+    // t=0 on the planner track. The plan is reported, not applied:
+    // turning tracing on must not change the run it observes.
+    core::ResourceShareRequest request;
+    opt::Nsga2Config solver;
+    solver.population_size = 48;
+    solver.generations = 40;
+    solver.seed = static_cast<uint64_t>(*seed_or);
+    solver.on_generation =
+        obs::MakeNsga2Observer(&telemetry, "share-planner", /*anchor=*/0.0);
+    core::ResourceShareAnalyzer analyzer(solver);
+    auto shares = analyzer.Analyze(request);
+    if (shares.ok()) {
+      auto plan =
+          core::ResourceShareAnalyzer::PickBalancedPlan(*shares, request);
+      if (plan.ok()) {
+        FLOWER_LOG(Info) << "share plan (balanced): ingestion="
+                         << plan->ingestion()
+                         << " analytics=" << plan->analytics()
+                         << " storage=" << plan->storage() << " cost=$"
+                         << plan->hourly_cost_usd << "/h";
+      }
+    } else {
+      FLOWER_LOG(Warning) << "share planning failed: " << shares.status();
+    }
+  }
+
   double horizon = hours * kHour;
   sim.RunUntil(horizon);
 
@@ -325,6 +382,26 @@ int RunOrDie(const tools::FlagParser& flags) {
     monitor.DumpCsv(out, 0.0, horizon);
     std::cout << "\nwrote metric CSV to " << csv_out << "\n";
   }
+
+  if (!trace_out.empty()) {
+    Status st = telemetry.ExportTrace(trace_out);
+    if (!st.ok()) {
+      std::cerr << st << "\n";
+      return 1;
+    }
+    std::cout << "wrote Chrome trace (" << telemetry.trace().events().size()
+              << " events) to " << trace_out << "\n";
+  }
+  if (!metrics_out.empty()) {
+    Status st = telemetry.ExportJsonl(metrics_out, horizon);
+    if (!st.ok()) {
+      std::cerr << st << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << telemetry.decisions().Snapshot().size()
+              << " decision records + metrics snapshot to " << metrics_out
+              << "\n";
+  }
   return 0;
 }
 
@@ -343,7 +420,7 @@ int main(int argc, char** argv) {
   auto unknown = flags->UnknownKeys(
       {"controller", "workload", "trace", "rate", "amplitude",
        "period-hours", "hours", "reference", "monitoring-period", "seed",
-       "seeds", "csv-out", "quiet", "help"});
+       "seeds", "csv-out", "trace-out", "metrics-out", "quiet", "help"});
   if (!unknown.empty()) {
     std::cerr << "unknown flag: --" << unknown.front() << "\n" << kUsage;
     return 2;
