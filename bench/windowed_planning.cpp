@@ -11,10 +11,15 @@
 //      4-hour window under a budget and dependency constraints.
 //   3. Compare the planned-capacity cost against static peak
 //      provisioning (the proactive counterpart of the COST bench).
+//   4. Re-plan a finer (1-hour-window) horizon at 1 thread and at
+//      --threads N: the plans must be bit-identical, and on machines
+//      with enough cores the windows parallelize near-linearly.
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <iostream>
+#include <thread>
 
 #include "bench/bench_util.h"
 #include "common/random.h"
@@ -22,6 +27,7 @@
 #include "common/units.h"
 #include "core/windowed_share.h"
 #include "stats/forecast.h"
+#include "tools/flag_parser.h"
 
 namespace flower {
 namespace {
@@ -40,7 +46,27 @@ TimeSeries History(uint64_t seed) {
   return out;
 }
 
-int Run() {
+bool PlansIdentical(const std::vector<core::WindowPlan>& a,
+                    const std::vector<core::WindowPlan>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].start != b[i].start || a[i].end != b[i].end ||
+        a[i].forecast_rate != b[i].forecast_rate ||
+        a[i].within_budget != b[i].within_budget ||
+        a[i].plan.hourly_cost_usd != b[i].plan.hourly_cost_usd) {
+      return false;
+    }
+    for (int l = 0; l < core::kNumLayers; ++l) {
+      if (a[i].plan.shares[l] != b[i].plan.shares[l] ||
+          a[i].demand.shares[l] != b[i].demand.shares[l]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+int Run(size_t threads) {
   bench::Header(
       "PLAN  Windowed resource shares from forecasts (paper §2 extension)");
   TimeSeries history = History(7);
@@ -155,10 +181,55 @@ int Run() {
             << TablePrinter::Num(planned_cost_day, 2) << "  saving: "
             << TablePrinter::Num(saving, 1) << "%\n";
 
+  // --- 4. Parallel re-planning: 1-hour windows give 24 independent
+  // NSGA-II runs, the coarse grain the exec::ThreadPool fans out over.
+  std::cout << "\nParallel re-planning (1h windows, 24 solver runs):\n";
+  core::WindowedShareAnalyzer serial_analyzer(base, model, solver,
+                                              /*num_threads=*/1);
+  auto ps0 = std::chrono::steady_clock::now();
+  auto serial_plans = serial_analyzer.PlanHorizon(forecast, 1.0 * kHour);
+  auto ps1 = std::chrono::steady_clock::now();
+  core::WindowedShareAnalyzer parallel_analyzer(base, model, solver, threads);
+  auto pp0 = std::chrono::steady_clock::now();
+  auto parallel_plans = parallel_analyzer.PlanHorizon(forecast, 1.0 * kHour);
+  auto pp1 = std::chrono::steady_clock::now();
+  bool speedup_ok = false;
+  bool plans_identical = false;
+  double serial_ms = std::chrono::duration<double, std::milli>(ps1 - ps0).count();
+  double parallel_ms =
+      std::chrono::duration<double, std::milli>(pp1 - pp0).count();
+  unsigned hw = std::thread::hardware_concurrency();
+  if (serial_plans.ok() && parallel_plans.ok()) {
+    plans_identical = PlansIdentical(*serial_plans, *parallel_plans);
+    double speedup = parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0;
+    std::cout << "  1 thread:  " << TablePrinter::Num(serial_ms, 1)
+              << " ms over " << serial_plans->size() << " windows\n"
+              << "  " << threads << " threads: "
+              << TablePrinter::Num(parallel_ms, 1) << " ms  (speedup "
+              << TablePrinter::Num(speedup, 2) << "x, "
+              << hw << " hardware threads available)\n";
+    speedup_ok = speedup >= 3.0;
+  } else {
+    if (!serial_plans.ok()) std::cerr << serial_plans.status() << "\n";
+    if (!parallel_plans.ok()) std::cerr << parallel_plans.status() << "\n";
+  }
+
   bool ok = true;
   ok &= bench::Verdict(
       "seasonal-naive beats last-value naive at the 4h planning horizon",
       mae_seasonal > 0.0 && mae_seasonal < mae_naive);
+  ok &= bench::Verdict(
+      "1h-window horizon is bit-identical at 1 vs " +
+          std::to_string(threads) + " threads",
+      plans_identical);
+  if (hw >= 8 && threads >= 8) {
+    ok &= bench::Verdict("re-planning speeds up >= 3x at 8+ threads",
+                         speedup_ok);
+  } else {
+    std::cout << "[SKIP] speedup >= 3x check needs 8+ hardware threads "
+                 "(have "
+              << hw << ", requested " << threads << ")\n";
+  }
   bool follows = false;
   double min_vms = 1e18, max_vms = 0.0;
   for (const core::WindowPlan& wp : *plans) {
@@ -183,4 +254,17 @@ int Run() {
 }  // namespace
 }  // namespace flower
 
-int main() { return flower::Run(); }
+int main(int argc, char** argv) {
+  auto flags = flower::tools::FlagParser::Parse(argc, argv);
+  if (!flags.ok()) {
+    std::cerr << flags.status()
+              << "\nusage: windowed_planning [--threads=N]\n";
+    return 2;
+  }
+  auto threads = flags->GetInt("threads", 8);
+  if (!threads.ok() || *threads < 1) {
+    std::cerr << "--threads expects a positive integer\n";
+    return 2;
+  }
+  return flower::Run(static_cast<size_t>(*threads));
+}

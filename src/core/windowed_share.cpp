@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exec/thread_pool.h"
+
 namespace flower::core {
 
 ProvisioningPlan DemandModel::MinimumFor(double records_per_sec) const {
@@ -73,23 +75,42 @@ Result<std::vector<WindowPlan>> WindowedShareAnalyzer::PlanHorizon(
   if (window_sec <= 0.0) {
     return Status::InvalidArgument("PlanHorizon: window must be positive");
   }
-  std::vector<WindowPlan> plans;
+  // Pass 1 (serial): slice the horizon and pick each window's peak
+  // forecast sample, so intra-window bursts are covered.
+  struct PendingWindow {
+    SimTime start = 0.0;
+    SimTime end = 0.0;
+    double peak = 0.0;
+  };
+  std::vector<PendingWindow> pending;
   SimTime t0 = rate_forecast.start_time();
   SimTime horizon_end = rate_forecast.end_time();
   for (SimTime start = t0; start <= horizon_end; start += window_sec) {
     SimTime end = start + window_sec;
     TimeSeries window = rate_forecast.Window(start, end);
     if (window.empty()) continue;
-    // Plan for the window's peak forecast sample so intra-window bursts
-    // are covered.
     double peak = 0.0;
     for (const Sample& s : window.samples()) peak = std::max(peak, s.value);
-    FLOWER_ASSIGN_OR_RETURN(WindowPlan plan, PlanWindow(start, end, peak));
-    plans.push_back(plan);
+    pending.push_back({start, end, peak});
   }
-  if (plans.empty()) {
+  if (pending.empty()) {
     return Status::FailedPrecondition("PlanHorizon: no plannable windows");
   }
+
+  // Pass 2 (parallel): windows are independent NSGA-II runs, each
+  // writing only its own slot, so the horizon is bit-identical at any
+  // thread count. Window-level parallelism is the coarse grain that
+  // gives near-linear speedup (each window is one full solver run).
+  std::vector<WindowPlan> plans(pending.size());
+  exec::ThreadPool pool(num_threads_);
+  FLOWER_RETURN_NOT_OK(pool.ParallelFor(
+      0, pending.size(), 1, [&](size_t i) -> Status {
+        Result<WindowPlan> plan =
+            PlanWindow(pending[i].start, pending[i].end, pending[i].peak);
+        if (!plan.ok()) return plan.status();
+        plans[i] = std::move(*plan);
+        return Status::OK();
+      }));
   return plans;
 }
 

@@ -59,9 +59,19 @@ struct WindowPlan {
 /// their share upper bounds for that window.
 class WindowedShareAnalyzer {
  public:
+  /// `num_threads` parallelizes PlanHorizon across windows (0 =
+  /// hardware concurrency). Each window's NSGA-II run is independent
+  /// and seeded from the solver config, so the planned horizon is
+  /// bit-identical at any thread count; errors propagate first-wins.
+  /// Window-level threading composes multiplicatively with
+  /// `solver.num_threads` (each window spawns its own solver pool), so
+  /// enable one level or the other, not both.
   WindowedShareAnalyzer(ResourceShareRequest base_request, DemandModel model,
-                        opt::Nsga2Config solver = {})
-      : base_(std::move(base_request)), model_(model), solver_(solver) {}
+                        opt::Nsga2Config solver = {}, size_t num_threads = 1)
+      : base_(std::move(base_request)),
+        model_(model),
+        solver_(solver),
+        num_threads_(num_threads) {}
 
   /// Plans consecutive windows of `window_sec` covering the forecast
   /// series (rate sampled as the mean over each window; the plan must
@@ -70,7 +80,8 @@ class WindowedShareAnalyzer {
   Result<std::vector<WindowPlan>> PlanHorizon(const TimeSeries& rate_forecast,
                                               double window_sec) const;
 
-  /// Plans one window for the given demand rate.
+  /// Plans one window for the given demand rate. Thread-safe: const
+  /// state only, with solver state local to the call.
   Result<WindowPlan> PlanWindow(SimTime start, SimTime end,
                                 double records_per_sec) const;
 
@@ -78,6 +89,7 @@ class WindowedShareAnalyzer {
   ResourceShareRequest base_;
   DemandModel model_;
   opt::Nsga2Config solver_;
+  size_t num_threads_;
 };
 
 }  // namespace flower::core

@@ -1,0 +1,120 @@
+#include "exec/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace flower::exec {
+
+/// One ParallelFor invocation. Lives on the calling thread's stack;
+/// workers may only touch it between joining (under mu_) and checking
+/// out (under mu_), which is what lets the caller wait for
+/// `workers_running_ == 0` before the Sweep goes out of scope.
+struct ThreadPool::Sweep {
+  size_t end = 0;
+  size_t grain = 1;
+  const std::function<Status(size_t)>* body = nullptr;
+  std::atomic<size_t> next{0};
+  std::atomic<bool> failed{false};
+  Status first_error;  // Written only by the thread that wins `failed`.
+};
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    num_threads = hw == 0 ? 1 : hw;
+  }
+  workers_.reserve(num_threads - 1);
+  for (size_t i = 0; i + 1 < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::RunChunks(Sweep* sweep) {
+  for (;;) {
+    size_t lo = sweep->next.fetch_add(sweep->grain, std::memory_order_relaxed);
+    if (lo >= sweep->end) return;
+    size_t hi = std::min(lo + sweep->grain, sweep->end);
+    // First error wins: once a failure is recorded the remaining chunks
+    // are claimed (so the sweep terminates) but never executed.
+    if (sweep->failed.load(std::memory_order_acquire)) continue;
+    for (size_t i = lo; i < hi; ++i) {
+      Status st = (*sweep->body)(i);
+      if (!st.ok()) {
+        bool expected = false;
+        if (sweep->failed.compare_exchange_strong(
+                expected, true, std::memory_order_acq_rel)) {
+          sweep->first_error = std::move(st);
+        }
+        break;
+      }
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen = 0;
+  for (;;) {
+    Sweep* sweep = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || (sweep_ != nullptr && sweep_id_ != seen);
+      });
+      if (shutdown_) return;
+      seen = sweep_id_;
+      sweep = sweep_;
+      ++workers_running_;
+    }
+    RunChunks(sweep);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--workers_running_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+Status ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
+                               const std::function<Status(size_t)>& body) {
+  if (end <= begin) return Status::OK();
+  if (grain == 0) grain = 1;
+  // Nothing to fan out: run inline, stopping at the first error (the
+  // remaining indices are the "drained" work).
+  if (workers_.empty() || end - begin <= grain) {
+    for (size_t i = begin; i < end; ++i) {
+      FLOWER_RETURN_NOT_OK(body(i));
+    }
+    return Status::OK();
+  }
+
+  Sweep sweep;
+  sweep.end = end;
+  sweep.grain = grain;
+  sweep.body = &body;
+  sweep.next.store(begin, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sweep_ = &sweep;
+    ++sweep_id_;
+  }
+  work_cv_.notify_all();
+  RunChunks(&sweep);  // The calling thread participates.
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // No worker may join once sweep_ is retracted; wait out the ones
+    // already inside before the Sweep leaves scope.
+    sweep_ = nullptr;
+    done_cv_.wait(lock, [this] { return workers_running_ == 0; });
+  }
+  return sweep.first_error;
+}
+
+}  // namespace flower::exec

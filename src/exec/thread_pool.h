@@ -1,0 +1,68 @@
+#ifndef FLOWER_EXEC_THREAD_POOL_H_
+#define FLOWER_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace flower::exec {
+
+/// Fixed-size fork-join worker pool for the planning hot paths.
+///
+/// `num_threads` counts the calling thread: ThreadPool(1) owns no
+/// worker threads and runs every ParallelFor inline, so single-threaded
+/// callers pay no synchronization. ThreadPool(0) sizes the pool to the
+/// hardware concurrency. Workers are started once in the constructor
+/// and parked between sweeps; the destructor joins them.
+///
+/// Concurrency contract: one ParallelFor sweep runs at a time per pool
+/// (the call is a barrier). Nested ParallelFor on the *same* pool is
+/// not supported — give inner parallel sections their own pool, or run
+/// them single-threaded.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism, including the calling thread.
+  size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Applies `body` to every index in [begin, end). Indices are split
+  /// into chunks of up to `grain` consecutive indices, claimed
+  /// dynamically by the workers plus the calling thread. Empty ranges
+  /// return OK without invoking `body`; a range that fits in one chunk
+  /// (or a 1-thread pool) runs inline on the calling thread.
+  ///
+  /// Error propagation is StatusOr-style: the first non-OK status wins,
+  /// every not-yet-started chunk is drained without running, and the
+  /// winning status is returned once all in-flight work has finished.
+  /// `body` must be safe to call concurrently from multiple threads.
+  Status ParallelFor(size_t begin, size_t end, size_t grain,
+                     const std::function<Status(size_t)>& body);
+
+ private:
+  struct Sweep;
+
+  void WorkerLoop();
+  static void RunChunks(Sweep* sweep);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // New sweep posted, or shutdown.
+  std::condition_variable done_cv_;  // A worker left the current sweep.
+  Sweep* sweep_ = nullptr;           // Guarded by mu_.
+  uint64_t sweep_id_ = 0;            // Guarded by mu_.
+  size_t workers_running_ = 0;       // Guarded by mu_.
+  bool shutdown_ = false;            // Guarded by mu_.
+};
+
+}  // namespace flower::exec
+
+#endif  // FLOWER_EXEC_THREAD_POOL_H_

@@ -4,11 +4,32 @@
 #include <cmath>
 #include <limits>
 
+#include "exec/sub_rng.h"
+#include "exec/thread_pool.h"
 #include "opt/pareto.h"
 
 namespace flower::opt {
 
 namespace internal {
+
+bool CrowdedLess(const Individual& a, const Individual& b) {
+  if (a.rank != b.rank) return a.rank < b.rank;
+  return a.crowding > b.crowding;
+}
+
+size_t BinaryTournamentIndex(const std::vector<Individual>& pop, Rng* rng) {
+  size_t n = pop.size();
+  size_t a = static_cast<size_t>(
+      rng->UniformInt(0, static_cast<int64_t>(n) - 1));
+  if (n < 2) return a;
+  // Draw without replacement: a == b would degrade the slot to a single
+  // random pick with no selection pressure at all.
+  size_t b = a;
+  while (b == a) {
+    b = static_cast<size_t>(rng->UniformInt(0, static_cast<int64_t>(n) - 1));
+  }
+  return CrowdedLess(pop[a], pop[b]) ? a : b;
+}
 
 std::vector<std::vector<size_t>> FastNonDominatedSort(
     std::vector<Individual>* pop) {
@@ -64,15 +85,23 @@ void AssignCrowdingDistance(const std::vector<size_t>& front,
   }
   std::vector<size_t> order(front);
   for (size_t obj = 0; obj < m; ++obj) {
+    // Ties broken by index so the boundary choice (and hence the
+    // infinities) is stable across platforms and thread counts.
     std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-      return (*pop)[a].sol.objectives[obj] < (*pop)[b].sol.objectives[obj];
+      double oa = (*pop)[a].sol.objectives[obj];
+      double ob = (*pop)[b].sol.objectives[obj];
+      if (oa != ob) return oa < ob;
+      return a < b;
     });
     double lo = (*pop)[order.front()].sol.objectives[obj];
     double hi = (*pop)[order.back()].sol.objectives[obj];
     (*pop)[order.front()].crowding = std::numeric_limits<double>::infinity();
     (*pop)[order.back()].crowding = std::numeric_limits<double>::infinity();
     double span = hi - lo;
-    if (span <= 0.0) continue;
+    // Degenerate range guard: a front where every individual shares one
+    // objective value (span == 0), or a non-finite span, would divide
+    // into NaN/Inf crowding and poison the crowded-comparison sort.
+    if (!std::isfinite(span) || span <= 0.0) continue;
     for (size_t i = 1; i + 1 < l; ++i) {
       double gap = (*pop)[order[i + 1]].sol.objectives[obj] -
                    (*pop)[order[i - 1]].sol.objectives[obj];
@@ -86,13 +115,6 @@ void AssignCrowdingDistance(const std::vector<size_t>& front,
 namespace {
 
 using internal::Individual;
-
-// Crowded-comparison operator (Deb 2002): lower rank wins; equal rank →
-// larger crowding distance wins.
-bool CrowdedLess(const Individual& a, const Individual& b) {
-  if (a.rank != b.rank) return a.rank < b.rank;
-  return a.crowding > b.crowding;
-}
 
 void Repair(const std::vector<VariableSpec>& specs, std::vector<double>* x) {
   for (size_t i = 0; i < specs.size(); ++i) {
@@ -179,7 +201,6 @@ Result<Nsga2Result> Nsga2::Solve(const Problem& problem) const {
                                      "' has inverted bounds");
     }
   }
-  Rng rng(config_.seed);
   double mut_prob = config_.mutation_prob >= 0.0
                         ? config_.mutation_prob
                         : 1.0 / static_cast<double>(specs.size());
@@ -187,19 +208,29 @@ Result<Nsga2Result> Nsga2::Solve(const Problem& problem) const {
   size_t n = config_.population_size;
   Nsga2Result result;
 
+  // Determinism contract: every parallel task draws only from its own
+  // (seed, stream, index) sub-generator — stream 0 seeds the initial
+  // population per individual, stream g+1 seeds generation g per
+  // offspring pair — and all selection/reduction runs on this thread.
+  // The Pareto front is therefore bit-identical at any thread count.
+  exec::ThreadPool pool(config_.num_threads);
+  auto grain_for = [&](size_t items) {
+    return std::max<size_t>(1, items / (4 * pool.num_threads()));
+  };
+
   // Initial random population.
-  std::vector<Individual> pop;
-  pop.reserve(2 * n);
-  for (size_t i = 0; i < n; ++i) {
-    std::vector<double> x(specs.size());
-    for (size_t j = 0; j < specs.size(); ++j) {
-      x[j] = rng.Uniform(specs[j].lower, specs[j].upper);
-    }
-    Individual ind;
-    ind.sol = Evaluate(problem, std::move(x));
-    ++result.evaluations;
-    pop.push_back(std::move(ind));
-  }
+  std::vector<Individual> pop(n);
+  FLOWER_RETURN_NOT_OK(pool.ParallelFor(
+      0, n, grain_for(n), [&](size_t i) -> Status {
+        Rng rng = exec::SubRng(config_.seed, 0, i);
+        std::vector<double> x(specs.size());
+        for (size_t j = 0; j < specs.size(); ++j) {
+          x[j] = rng.Uniform(specs[j].lower, specs[j].upper);
+        }
+        pop[i].sol = Evaluate(problem, std::move(x));
+        return Status::OK();
+      }));
+  result.evaluations += n;
   {
     auto fronts = internal::FastNonDominatedSort(&pop);
     for (const auto& f : fronts) internal::AssignCrowdingDistance(f, &pop);
@@ -220,43 +251,40 @@ Result<Nsga2Result> Nsga2::Solve(const Problem& problem) const {
     }
   }
 
-  auto tournament = [&](const std::vector<Individual>& p) -> const Individual& {
-    size_t a = static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(p.size()) - 1));
-    size_t b = static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(p.size()) - 1));
-    return CrowdedLess(p[a], p[b]) ? p[a] : p[b];
-  };
-
+  size_t pairs = n / 2;
   for (size_t gen = 0; gen < config_.generations; ++gen) {
-    // Offspring generation.
-    std::vector<Individual> offspring;
-    offspring.reserve(n);
-    while (offspring.size() < n) {
-      std::vector<double> c1 = tournament(pop).sol.x;
-      std::vector<double> c2 = tournament(pop).sol.x;
-      if (rng.Bernoulli(config_.crossover_prob)) {
-        for (size_t j = 0; j < specs.size(); ++j) {
-          if (rng.Bernoulli(0.5)) {
-            SbxGene(config_.eta_crossover, specs[j].lower, specs[j].upper,
-                    &rng, &c1[j], &c2[j]);
+    // Offspring generation: tournament, crossover, mutation, and
+    // evaluation fan out per pair; `pop` is read-only in the sweep and
+    // each task writes only its two offspring slots.
+    std::vector<Individual> offspring(n);
+    FLOWER_RETURN_NOT_OK(pool.ParallelFor(
+        0, pairs, grain_for(pairs), [&](size_t p) -> Status {
+          Rng rng = exec::SubRng(config_.seed, gen + 1, p);
+          std::vector<double> c1 =
+              pop[internal::BinaryTournamentIndex(pop, &rng)].sol.x;
+          std::vector<double> c2 =
+              pop[internal::BinaryTournamentIndex(pop, &rng)].sol.x;
+          if (rng.Bernoulli(config_.crossover_prob)) {
+            for (size_t j = 0; j < specs.size(); ++j) {
+              if (rng.Bernoulli(0.5)) {
+                SbxGene(config_.eta_crossover, specs[j].lower,
+                        specs[j].upper, &rng, &c1[j], &c2[j]);
+              }
+            }
           }
-        }
-      }
-      for (auto* child : {&c1, &c2}) {
-        for (size_t j = 0; j < specs.size(); ++j) {
-          if (rng.Bernoulli(mut_prob)) {
-            PolyMutateGene(config_.eta_mutation, specs[j].lower,
-                           specs[j].upper, &rng, &(*child)[j]);
+          for (auto* child : {&c1, &c2}) {
+            for (size_t j = 0; j < specs.size(); ++j) {
+              if (rng.Bernoulli(mut_prob)) {
+                PolyMutateGene(config_.eta_mutation, specs[j].lower,
+                               specs[j].upper, &rng, &(*child)[j]);
+              }
+            }
           }
-        }
-      }
-      for (auto& child : {std::move(c1), std::move(c2)}) {
-        if (offspring.size() >= n) break;
-        Individual ind;
-        ind.sol = Evaluate(problem, child);
-        ++result.evaluations;
-        offspring.push_back(std::move(ind));
-      }
-    }
+          offspring[2 * p].sol = Evaluate(problem, std::move(c1));
+          offspring[2 * p + 1].sol = Evaluate(problem, std::move(c2));
+          return Status::OK();
+        }));
+    result.evaluations += n;
 
     // Environmental selection over parents + offspring.
     std::vector<Individual> merged;
@@ -275,7 +303,10 @@ Result<Nsga2Result> Nsga2::Solve(const Problem& problem) const {
       } else {
         std::vector<size_t> sorted(front);
         std::sort(sorted.begin(), sorted.end(), [&](size_t a, size_t b) {
-          return merged[a].crowding > merged[b].crowding;
+          if (merged[a].crowding != merged[b].crowding) {
+            return merged[a].crowding > merged[b].crowding;
+          }
+          return a < b;  // Stable truncation under crowding ties.
         });
         for (size_t idx : sorted) {
           if (next.size() >= n) break;
@@ -286,6 +317,8 @@ Result<Nsga2Result> Nsga2::Solve(const Problem& problem) const {
     }
     pop = std::move(next);
 
+    // Telemetry stays on the coordinator thread: the observer runs once
+    // per generation, after the parallel section has joined.
     if (config_.on_generation) {
       Nsga2GenerationStats stats;
       stats.generation = gen;

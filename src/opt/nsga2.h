@@ -33,8 +33,16 @@ struct Nsga2Config {
   double eta_crossover = 15.0;    ///< SBX distribution index.
   double eta_mutation = 20.0;     ///< Polynomial mutation index.
   uint64_t seed = 42;
+  /// Worker threads for the per-generation variation/evaluation fan-out
+  /// (0 = hardware concurrency). Results are bit-identical at any
+  /// thread count: every offspring pair draws from its own RNG stream
+  /// keyed by (seed, generation, pair index), and all reductions run on
+  /// the calling thread. With num_threads > 1 the Problem's Evaluate
+  /// must be safe to call concurrently (const and stateless suffices).
+  size_t num_threads = 1;
   /// Optional observer invoked once per generation; keeps the solver
-  /// free of any telemetry dependency.
+  /// free of any telemetry dependency. Always called on the thread that
+  /// called Solve, after the generation's parallel section has joined.
   std::function<void(const Nsga2GenerationStats&)> on_generation;
 };
 
@@ -55,7 +63,7 @@ struct Nsga2Result {
 /// binary tournament selection under constrained domination, simulated
 /// binary crossover, and polynomial mutation. Integer variables are
 /// handled by rounding before evaluation. Deterministic for a fixed
-/// config.
+/// config, independent of num_threads.
 class Nsga2 {
  public:
   explicit Nsga2(Nsga2Config config) : config_(config) {}
@@ -77,12 +85,24 @@ struct Individual {
   double crowding = 0.0;
 };
 
+/// Crowded-comparison operator (Deb 2002): lower rank wins; equal rank
+/// → larger crowding distance wins.
+bool CrowdedLess(const Individual& a, const Individual& b);
+
+/// Binary tournament under the crowded-comparison operator. Draws two
+/// *distinct* competitor indices (collisions are redrawn) so a slot
+/// never silently degrades to a single random pick; returns the winning
+/// index. Exposed for unit tests.
+size_t BinaryTournamentIndex(const std::vector<Individual>& pop, Rng* rng);
+
 /// Fast non-dominated sort: assigns ranks (0 = best) and returns the
 /// fronts as index lists.
 std::vector<std::vector<size_t>> FastNonDominatedSort(
     std::vector<Individual>* pop);
 
 /// Assigns crowding distance within one front (indices into pop).
+/// Degenerate objective ranges (f_max == f_min, or non-finite spans)
+/// contribute zero distance instead of NaN/Inf.
 void AssignCrowdingDistance(const std::vector<size_t>& front,
                             std::vector<Individual>* pop);
 

@@ -1,8 +1,34 @@
 #include "stats/rolling.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace flower::stats {
+
+void RollingWindow::Evict() {
+  double y = buf_.front();
+  buf_.pop_front();
+  sum_ -= y;
+  double m = static_cast<double>(buf_.size());  // Count after removal.
+  if (buf_.empty()) {
+    mean_ = 0.0;
+    m2_ = 0.0;
+    return;
+  }
+  // Reverse Welford update: removing y from a window of m+1 samples.
+  double mean_after = (mean_ * (m + 1.0) - y) / m;
+  m2_ -= (y - mean_) * (y - mean_after);
+  mean_ = mean_after;
+  // Guard the invariant m2_ >= 0 against rounding in the subtraction.
+  if (m2_ < 0.0) m2_ = 0.0;
+}
+
+double RollingWindow::Variance() const {
+  if (buf_.size() < 2) return 0.0;
+  return std::max(0.0, m2_) / static_cast<double>(buf_.size() - 1);
+}
+
+double RollingWindow::StdDev() const { return std::sqrt(Variance()); }
 
 double RollingWindow::Min() const {
   if (buf_.empty()) return 0.0;

@@ -33,8 +33,16 @@ class Ema {
   double value_ = 0.0;
 };
 
-/// Fixed-capacity rolling window with O(1) mean and O(n) min/max.
-/// Used by sensors to smooth utilization over a monitoring window.
+/// Fixed-capacity rolling window with O(1) mean/variance and O(n)
+/// min/max. Used by sensors to smooth utilization over a monitoring
+/// window.
+///
+/// Variance is maintained with Welford's algorithm (add and evict
+/// updates on the running mean/M2 state) rather than a sum-of-squares
+/// update: for large-mean/low-variance series — DynamoDB capacity
+/// counters sit at ~1e9 with unit-scale jitter — the naive
+/// E[x²] − E[x]² form cancels catastrophically and goes negative,
+/// which turns the stddev into NaN downstream.
 class RollingWindow {
  public:
   explicit RollingWindow(size_t capacity) : capacity_(capacity) {}
@@ -42,10 +50,11 @@ class RollingWindow {
   void Add(double x) {
     buf_.push_back(x);
     sum_ += x;
-    if (buf_.size() > capacity_) {
-      sum_ -= buf_.front();
-      buf_.pop_front();
-    }
+    double n = static_cast<double>(buf_.size());
+    double delta = x - mean_;
+    mean_ += delta / n;
+    m2_ += delta * (x - mean_);
+    if (buf_.size() > capacity_) Evict();
   }
 
   size_t size() const { return buf_.size(); }
@@ -53,15 +62,27 @@ class RollingWindow {
   double Mean() const {
     return buf_.empty() ? 0.0 : sum_ / static_cast<double>(buf_.size());
   }
+  /// Unbiased sample variance of the window; 0 when size < 2.
+  double Variance() const;
+  double StdDev() const;
   double Min() const;
   double Max() const;
   double Last() const { return buf_.empty() ? 0.0 : buf_.back(); }
-  void Clear() { buf_.clear(); sum_ = 0.0; }
+  void Clear() {
+    buf_.clear();
+    sum_ = 0.0;
+    mean_ = 0.0;
+    m2_ = 0.0;
+  }
 
  private:
+  void Evict();
+
   size_t capacity_;
   std::deque<double> buf_;
   double sum_ = 0.0;
+  double mean_ = 0.0;  // Welford running mean of the window.
+  double m2_ = 0.0;    // Welford sum of squared deviations.
 };
 
 }  // namespace flower::stats

@@ -141,6 +141,55 @@ TEST(WindowedShareTest, HorizonValidatesInput) {
   EXPECT_FALSE(analyzer.PlanHorizon(one, -1.0).ok());
 }
 
+TEST(WindowedShareTest, HorizonIsBitIdenticalAcrossThreadCounts) {
+  // PlanHorizon fans each window out to its own solver run; the plans
+  // must be bitwise-identical no matter how many threads execute them.
+  TimeSeries forecast("rate");
+  for (double t = 0.0; t < kDay; t += 10.0 * kMinute) {
+    double rate = 1000.0 + 800.0 * std::sin(2.0 * M_PI * t / kDay);
+    forecast.AppendUnchecked(t, std::max(100.0, rate));
+  }
+  WindowedShareAnalyzer serial(BaseRequest(4.0), Model(), FastSolver(),
+                               /*num_threads=*/1);
+  WindowedShareAnalyzer parallel(BaseRequest(4.0), Model(), FastSolver(),
+                                 /*num_threads=*/4);
+  auto a = serial.PlanHorizon(forecast, 2.0 * kHour);
+  auto b = parallel.PlanHorizon(forecast, 2.0 * kHour);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  ASSERT_GE(a->size(), 10u);
+  for (size_t i = 0; i < a->size(); ++i) {
+    const WindowPlan& wa = (*a)[i];
+    const WindowPlan& wb = (*b)[i];
+    EXPECT_EQ(wa.start, wb.start);
+    EXPECT_EQ(wa.end, wb.end);
+    EXPECT_EQ(wa.forecast_rate, wb.forecast_rate);
+    EXPECT_EQ(wa.within_budget, wb.within_budget);
+    EXPECT_EQ(wa.plan.hourly_cost_usd, wb.plan.hourly_cost_usd);
+    for (int l = 0; l < kNumLayers; ++l) {
+      EXPECT_EQ(wa.plan.shares[l], wb.plan.shares[l]) << "window " << i;
+      EXPECT_EQ(wa.demand.shares[l], wb.demand.shares[l]) << "window " << i;
+    }
+  }
+}
+
+TEST(WindowedShareTest, ParallelHorizonPropagatesWindowErrors) {
+  // An invalid solver config makes every PlanWindow fail inside the
+  // parallel sweep; the first error must surface as the call's status
+  // rather than crash or hang.
+  opt::Nsga2Config bad_solver = FastSolver();
+  bad_solver.population_size = 5;  // Odd: NSGA-II rejects it.
+  WindowedShareAnalyzer analyzer(BaseRequest(4.0), Model(), bad_solver,
+                                 /*num_threads=*/4);
+  TimeSeries forecast("rate");
+  for (int i = 0; i < 24; ++i) {
+    forecast.AppendUnchecked(i * kHour, 2000.0);
+  }
+  auto plans = analyzer.PlanHorizon(forecast, kHour);
+  EXPECT_FALSE(plans.ok());
+}
+
 TEST(WindowedShareTest, DependencyConstraintsStillHold) {
   ResourceShareRequest req = BaseRequest(4.0);
   req.constraints.push_back(LinearConstraint::AtMost(

@@ -202,5 +202,51 @@ TEST(TelemetryIntegrationTest, Nsga2ObserverEmitsPlannerTelemetry) {
   EXPECT_TRUE(front_size);
 }
 
+TEST(TelemetryIntegrationTest, PlannerTelemetryInvariantUnderSolverThreads) {
+  // The NSGA-II observer always runs on the coordinator thread, once
+  // per generation, so the recorded planner telemetry must be identical
+  // whether the solver fans out over 1 or 4 threads.
+  auto run = [](size_t threads, obs::Telemetry* telemetry) {
+    core::ResourceShareRequest request;
+    opt::Nsga2Config solver;
+    solver.population_size = 24;
+    solver.generations = 12;
+    solver.num_threads = threads;
+    solver.on_generation =
+        obs::MakeNsga2Observer(telemetry, "planner", /*anchor=*/0.0);
+    core::ResourceShareAnalyzer analyzer(solver);
+    auto result = analyzer.Analyze(request);
+    ASSERT_TRUE(result.ok()) << result.status();
+  };
+  obs::Telemetry serial, parallel;
+  ASSERT_NO_FATAL_FAILURE(run(1, &serial));
+  ASSERT_NO_FATAL_FAILURE(run(4, &parallel));
+
+  auto planner_spans = [](const obs::Telemetry& t) {
+    std::vector<std::pair<double, double>> spans;
+    for (const obs::TraceEvent& e : t.trace().events()) {
+      if (e.phase == 'X' && e.tid == obs::kPlannerTid) {
+        spans.push_back({e.ts_us, e.dur_us});
+      }
+    }
+    return spans;
+  };
+  EXPECT_EQ(planner_spans(serial).size(), 12u);
+  EXPECT_EQ(planner_spans(serial), planner_spans(parallel));
+
+  auto planner_gauges = [](const obs::Telemetry& t) {
+    std::vector<std::pair<std::string, double>> out;
+    obs::MetricsSnapshot snap = t.metrics().Snapshot();
+    for (const obs::GaugeSample& g : snap.gauges) {
+      if (g.name.rfind("nsga2.", 0) == 0) out.push_back({g.name, g.value});
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  auto serial_gauges = planner_gauges(serial);
+  EXPECT_FALSE(serial_gauges.empty());
+  EXPECT_EQ(serial_gauges, planner_gauges(parallel));
+}
+
 }  // namespace
 }  // namespace flower

@@ -316,6 +316,158 @@ TEST(CrowdingDistanceTest, TwoPointFrontAllInfinite) {
   EXPECT_TRUE(std::isinf(pop[1].crowding));
 }
 
+TEST(CrowdingDistanceTest, DuplicateObjectiveFrontHasNoNan) {
+  // Regression: a front where every individual carries identical
+  // objectives (f_max == f_min in every dimension) used to divide by a
+  // zero span; crowding must stay finite-or-inf, never NaN, so the
+  // crowded-comparison sort stays a strict weak ordering.
+  using internal::Individual;
+  auto mk = [] {
+    Individual ind;
+    ind.sol.objectives = {3.0, 7.0};
+    ind.rank = 0;
+    return ind;
+  };
+  std::vector<Individual> pop = {mk(), mk(), mk(), mk(), mk()};
+  std::vector<size_t> front = {0, 1, 2, 3, 4};
+  internal::AssignCrowdingDistance(front, &pop);
+  for (const Individual& ind : pop) {
+    EXPECT_FALSE(std::isnan(ind.crowding));
+  }
+  // Interior individuals collect zero distance; boundaries keep inf.
+  EXPECT_TRUE(std::isinf(pop[0].crowding));
+  EXPECT_TRUE(std::isinf(pop[4].crowding));
+  EXPECT_EQ(pop[2].crowding, 0.0);
+  // The comparator must be safe to sort with (no NaN poisoning).
+  std::vector<Individual> sorted = pop;
+  std::sort(sorted.begin(), sorted.end(), internal::CrowdedLess);
+  EXPECT_EQ(sorted.size(), pop.size());
+}
+
+TEST(CrowdingDistanceTest, OneDegenerateObjectiveStillSpreadsOnTheOther) {
+  // Only objective 0 is degenerate; objective 1 must still produce a
+  // finite, positive interior distance.
+  using internal::Individual;
+  auto mk = [](double b) {
+    Individual ind;
+    ind.sol.objectives = {1.0, b};
+    ind.rank = 0;
+    return ind;
+  };
+  std::vector<Individual> pop = {mk(0.0), mk(1.0), mk(2.0), mk(3.0)};
+  internal::AssignCrowdingDistance({0, 1, 2, 3}, &pop);
+  EXPECT_TRUE(std::isinf(pop[0].crowding));
+  EXPECT_TRUE(std::isinf(pop[3].crowding));
+  EXPECT_FALSE(std::isnan(pop[1].crowding));
+  EXPECT_GT(pop[1].crowding, 0.0);
+  EXPECT_TRUE(std::isfinite(pop[1].crowding));
+}
+
+TEST(BinaryTournamentTest, WorstIndividualNeverWinsAgainstDistinctRival) {
+  // Regression: the tournament used to draw competitors *with*
+  // replacement, so a == b let the strictly worst individual win a
+  // "tournament" against itself. With distinct competitors the unique
+  // rank-maximal individual can never win any tournament.
+  using internal::Individual;
+  std::vector<Individual> pop(8);
+  for (size_t i = 0; i < pop.size(); ++i) {
+    pop[i].rank = static_cast<int>(i);  // pop[7] is strictly worst.
+    pop[i].crowding = 1.0;
+  }
+  Rng rng(123);
+  for (int trial = 0; trial < 2000; ++trial) {
+    EXPECT_NE(internal::BinaryTournamentIndex(pop, &rng), 7u);
+  }
+}
+
+TEST(BinaryTournamentTest, SelectionPressureFavorsBetterRanks) {
+  // Over many seeded draws, rank-0 individuals must win far more often
+  // than uniform sampling would give them.
+  using internal::Individual;
+  std::vector<Individual> pop(10);
+  for (size_t i = 0; i < pop.size(); ++i) {
+    pop[i].rank = static_cast<int>(i / 2);  // Two individuals per rank.
+    pop[i].crowding = 0.0;
+  }
+  Rng rng(42);
+  int rank0_wins = 0;
+  const int kTrials = 5000;
+  for (int t = 0; t < kTrials; ++t) {
+    size_t w = internal::BinaryTournamentIndex(pop, &rng);
+    if (pop[w].rank == 0) ++rank0_wins;
+  }
+  // Uniform sampling would give rank 0 a 20% share; the tournament
+  // gives it P(at least one of two distinct draws is rank 0) ≈ 38%.
+  EXPECT_GT(rank0_wins, kTrials * 30 / 100);
+}
+
+TEST(BinaryTournamentTest, SingletonPopulationReturnsTheOnlyIndex) {
+  using internal::Individual;
+  std::vector<Individual> pop(1);
+  pop[0].rank = 0;
+  Rng rng(7);
+  EXPECT_EQ(internal::BinaryTournamentIndex(pop, &rng), 0u);
+}
+
+TEST(Nsga2Test, ThreadCountInvariance) {
+  // The tentpole determinism contract: the same seed must give a
+  // byte-identical Pareto front and identical per-generation telemetry
+  // at 1, 4, and 16 threads.
+  auto run = [](size_t threads) {
+    Nsga2Config cfg;
+    cfg.population_size = 40;
+    cfg.generations = 25;
+    cfg.seed = 2024;
+    cfg.num_threads = threads;
+    std::vector<Nsga2GenerationStats> stats;
+    cfg.on_generation = [&](const Nsga2GenerationStats& s) {
+      stats.push_back(s);
+    };
+    auto res = Nsga2(cfg).Solve(Zdt1Problem());
+    EXPECT_TRUE(res.ok());
+    return std::make_pair(*res, stats);
+  };
+  auto [base, base_stats] = run(1);
+  for (size_t threads : {4u, 16u}) {
+    auto [res, stats] = run(threads);
+    ASSERT_EQ(res.pareto_front.size(), base.pareto_front.size())
+        << threads << " threads";
+    for (size_t i = 0; i < base.pareto_front.size(); ++i) {
+      EXPECT_EQ(res.pareto_front[i].x, base.pareto_front[i].x);
+      EXPECT_EQ(res.pareto_front[i].objectives,
+                base.pareto_front[i].objectives);
+    }
+    ASSERT_EQ(res.final_population.size(), base.final_population.size());
+    for (size_t i = 0; i < base.final_population.size(); ++i) {
+      EXPECT_EQ(res.final_population[i].x, base.final_population[i].x);
+    }
+    ASSERT_EQ(stats.size(), base_stats.size());
+    for (size_t i = 0; i < base_stats.size(); ++i) {
+      EXPECT_EQ(stats[i].front_size, base_stats[i].front_size);
+      EXPECT_EQ(stats[i].evaluations, base_stats[i].evaluations);
+      EXPECT_EQ(stats[i].hypervolume, base_stats[i].hypervolume);
+    }
+  }
+}
+
+TEST(Nsga2Test, HardwareThreadCountAlsoDeterministic) {
+  // num_threads = 0 (hardware concurrency) must match the 1-thread run.
+  Nsga2Config cfg;
+  cfg.population_size = 20;
+  cfg.generations = 10;
+  cfg.seed = 77;
+  cfg.num_threads = 1;
+  auto serial = Nsga2(cfg).Solve(SchafferProblem());
+  cfg.num_threads = 0;
+  auto parallel = Nsga2(cfg).Solve(SchafferProblem());
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  ASSERT_EQ(serial->pareto_front.size(), parallel->pareto_front.size());
+  for (size_t i = 0; i < serial->pareto_front.size(); ++i) {
+    EXPECT_EQ(serial->pareto_front[i].x, parallel->pareto_front[i].x);
+  }
+}
+
 TEST(Nsga2Test, OnGenerationObserverReportsProgress) {
   SchafferProblem problem;
   Nsga2Config cfg;

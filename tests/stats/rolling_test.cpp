@@ -2,8 +2,24 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <deque>
+
+#include "common/random.h"
+
 namespace flower::stats {
 namespace {
+
+// Two-pass reference: exact mean, then exact sum of squared deviations.
+double TwoPassVariance(const std::deque<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double m2 = 0.0;
+  for (double x : xs) m2 += (x - mean) * (x - mean);
+  return m2 / static_cast<double>(xs.size() - 1);
+}
 
 TEST(EmaTest, FirstObservationInitializes) {
   Ema ema(0.5);
@@ -84,6 +100,77 @@ TEST(RollingWindowTest, LongStreamSumStaysAccurate) {
   RollingWindow w(10);
   for (int i = 0; i < 100000; ++i) w.Add(1.0);
   EXPECT_NEAR(w.Mean(), 1.0, 1e-9);
+}
+
+TEST(RollingWindowTest, VarianceOfSmallWindowIsExact) {
+  RollingWindow w(5);
+  for (double x : {2.0, 4.0, 4.0, 4.0, 6.0}) w.Add(x);
+  // Sample variance of {2,4,4,4,6}: mean 4, m2 = 8, / 4 = 2.
+  EXPECT_DOUBLE_EQ(w.Variance(), 2.0);
+  EXPECT_DOUBLE_EQ(w.StdDev(), std::sqrt(2.0));
+}
+
+TEST(RollingWindowTest, VarianceIsZeroBelowTwoSamples) {
+  RollingWindow w(4);
+  EXPECT_DOUBLE_EQ(w.Variance(), 0.0);
+  EXPECT_DOUBLE_EQ(w.StdDev(), 0.0);
+  w.Add(123.0);
+  EXPECT_DOUBLE_EQ(w.Variance(), 0.0);
+}
+
+TEST(RollingWindowTest, VarianceSurvivesCatastrophicCancellation) {
+  // Regression for the Welford rewrite: a DynamoDB-style counter near
+  // 1e9 with unit jitter. The naive E[x²] − E[x]² update loses all 17
+  // significant digits to cancellation and can go negative, turning the
+  // stddev into NaN; Welford keeps the full relative precision.
+  RollingWindow w(16);
+  for (int i = 0; i < 200; ++i) {
+    w.Add(1.0e9 + ((i % 2 == 0) ? 1.0 : -1.0));
+  }
+  // The full window alternates 1e9+1 / 1e9−1: mean 1e9, sample
+  // variance 16/15.
+  EXPECT_GE(w.Variance(), 0.0);
+  EXPECT_NEAR(w.Variance(), 16.0 / 15.0, 1e-6);
+  EXPECT_FALSE(std::isnan(w.StdDev()));
+  EXPECT_NEAR(w.StdDev(), std::sqrt(16.0 / 15.0), 1e-6);
+}
+
+TEST(RollingWindowTest, SlidingVarianceMatchesTwoPassRecompute) {
+  // Property check: after arbitrary add/evict sequences, the O(1)
+  // Welford state must agree with an exact two-pass recompute of the
+  // window contents.
+  RollingWindow w(7);
+  std::deque<double> shadow;
+  Rng rng(2026);
+  for (int i = 0; i < 500; ++i) {
+    double x = rng.Uniform(-50.0, 50.0);
+    w.Add(x);
+    shadow.push_back(x);
+    if (shadow.size() > 7) shadow.pop_front();
+    ASSERT_NEAR(w.Variance(), TwoPassVariance(shadow), 1e-7) << "step " << i;
+  }
+}
+
+TEST(RollingWindowTest, SlidingVarianceTracksRegimeChange) {
+  // Once the noisy prefix is fully evicted, the window must see only
+  // the constant regime and report (near-)zero variance.
+  RollingWindow w(8);
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) w.Add(rng.Uniform(0.0, 100.0));
+  EXPECT_GT(w.Variance(), 1.0);
+  for (int i = 0; i < 8; ++i) w.Add(42.0);
+  EXPECT_NEAR(w.Variance(), 0.0, 1e-6);
+  EXPECT_GE(w.Variance(), 0.0);
+}
+
+TEST(RollingWindowTest, ClearResetsVarianceState) {
+  RollingWindow w(4);
+  for (double x : {1.0, 100.0, 1.0, 100.0}) w.Add(x);
+  EXPECT_GT(w.Variance(), 0.0);
+  w.Clear();
+  EXPECT_DOUBLE_EQ(w.Variance(), 0.0);
+  for (double x : {5.0, 5.0, 5.0}) w.Add(x);
+  EXPECT_DOUBLE_EQ(w.Variance(), 0.0);
 }
 
 }  // namespace

@@ -46,6 +46,8 @@ Flags (all optional):
   --reference=PCT       target utilization, all layers           [60]
   --monitoring-period=S control period, seconds                  [120]
   --seed=N              RNG seed                                 [42]
+  --threads=N           NSGA-II planner worker threads (0 = all cores);
+                        the planned shares are bit-identical at any N  [1]
   --seeds=N             replicate over N consecutive seeds and report
                         mean +/- sd of the headline metrics       [1]
   --csv-out=FILE        dump watched metrics as CSV
@@ -251,6 +253,12 @@ int RunOrDie(const tools::FlagParser& flags) {
     return 2;
   }
 
+  auto threads_or = flags.GetInt("threads", 1);
+  if (!threads_or.ok() || *threads_or < 0) {
+    std::cerr << "--threads expects a non-negative integer\n";
+    return 2;
+  }
+
   std::string trace_out = flags.GetString("trace-out", "");
   std::string metrics_out = flags.GetString("metrics-out", "");
   const bool observe = !trace_out.empty() || !metrics_out.empty();
@@ -296,6 +304,7 @@ int RunOrDie(const tools::FlagParser& flags) {
     solver.population_size = 48;
     solver.generations = 40;
     solver.seed = static_cast<uint64_t>(*seed_or);
+    solver.num_threads = static_cast<size_t>(*threads_or);
     solver.on_generation =
         obs::MakeNsga2Observer(&telemetry, "share-planner", /*anchor=*/0.0);
     core::ResourceShareAnalyzer analyzer(solver);
@@ -420,7 +429,8 @@ int main(int argc, char** argv) {
   auto unknown = flags->UnknownKeys(
       {"controller", "workload", "trace", "rate", "amplitude",
        "period-hours", "hours", "reference", "monitoring-period", "seed",
-       "seeds", "csv-out", "trace-out", "metrics-out", "quiet", "help"});
+       "seeds", "threads", "csv-out", "trace-out", "metrics-out", "quiet",
+       "help"});
   if (!unknown.empty()) {
     std::cerr << "unknown flag: --" << unknown.front() << "\n" << kUsage;
     return 2;

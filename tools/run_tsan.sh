@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Configure a ThreadSanitizer build and run the planner test label under
+# it. These tests drive the exec::ThreadPool fan-out inside NSGA-II and
+# the windowed planner at multiple thread counts, where ordering bugs
+# (a worker publishing results the coordinator reads without a
+# happens-before edge) would hide from the plain build.
+#
+#   $ tools/run_tsan.sh              # build + ctest -L planner
+#   $ tools/run_tsan.sh -R ThreadPool  # forward extra ctest args
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build-tsan"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DFLOWER_SANITIZE_THREAD=ON \
+  -DFLOWER_BUILD_BENCHMARKS=OFF \
+  -DFLOWER_BUILD_EXAMPLES=OFF
+cmake --build "${build_dir}" -j "$(nproc)" \
+  --target exec_tests opt_tests core_tests flower-sim
+
+cd "${build_dir}"
+TSAN_OPTIONS=halt_on_error=1 \
+  ctest -L planner --output-on-failure "$@"
+
+# End-to-end: a multi-threaded planning pass through the CLI, with the
+# telemetry trace enabled, must be race-free too.
+TSAN_OPTIONS=halt_on_error=1 \
+  ./tools/flower-sim --hours=1 --threads=4 --quiet \
+    --trace-out="${build_dir}/tsan-trace.json"
