@@ -26,6 +26,8 @@
 #include "common/logging.h"
 #include "common/table_printer.h"
 #include "common/units.h"
+#include "obs/health/health_monitor.h"
+#include "obs/telemetry.h"
 #include "sim/fault_injector.h"
 
 namespace flower {
@@ -38,6 +40,10 @@ constexpr double kSurgeLength = 30.0 * kMinute;
 constexpr SimTime kHorizon = 2.5 * kHour;
 constexpr double kCpuSlo = 85.0;          // alarm line (dashboard example).
 constexpr double kRecoverHold = 5.0 * kMinute;
+constexpr double kControlPeriod = 120.0;  // FlowBuilder default.
+constexpr double kHealthEval = 60.0;      // anomaly-bank tick spacing.
+// The flow-health layer must notice each fault window this fast.
+constexpr double kDetectBudget = 2.0 * kControlPeriod;
 
 struct RunResult {
   double violation_sec = 0.0;
@@ -51,6 +57,12 @@ struct RunResult {
   uint64_t injected_failures = 0;
   uint64_t injected_gaps = 0;
   std::vector<double> cpu_trace;
+  /// Seconds from each fault window's onset to the first anomaly event
+  /// the health layer raised on the matching stream; < 0 = never seen.
+  double detect_actuator_sec = -1.0;
+  double detect_gap_sec = -1.0;
+  double detect_spike_sec = -1.0;
+  size_t anomaly_events = 0;
 
   // Everything observable, fixed precision: two serializations are equal
   // iff the runs took identical trajectories.
@@ -64,11 +76,24 @@ struct RunResult {
        << analytics.actuation_retries << '|' << analytics.retry_successes
        << '|' << analytics.breaker_trips << '|'
        << analytics.breaker_skipped_steps << '|' << injected_failures << '|'
-       << injected_gaps;
+       << injected_gaps << '|' << detect_actuator_sec << '|' << detect_gap_sec
+       << '|' << detect_spike_sec << '|' << anomaly_events;
     for (double v : cpu_trace) os << '|' << v;
     return os.str();
   }
 };
+
+// First anomaly the health layer raised at/after `t0` on a stream whose
+// id contains `metric`, as a latency from `t0`; -1 if never flagged.
+double DetectionLatency(const std::deque<obs::health::AnomalyEvent>& log,
+                        const std::string& metric, SimTime t0) {
+  for (const obs::health::AnomalyEvent& ev : log) {
+    if (ev.time >= t0 && ev.stream.find(metric) != std::string::npos) {
+      return ev.time - t0;
+    }
+  }
+  return -1.0;
+}
 
 // The fault schedule every run replays, seeded identically.
 void ScheduleFaults(sim::FaultInjector* chaos) {
@@ -100,8 +125,32 @@ core::ResiliencePolicy HardenedPolicy() {
 Result<RunResult> RunScenario(bool hardened, uint64_t seed) {
   sim::Simulation sim;
   cloudwatch::MetricStore metrics;
+  obs::Telemetry telemetry;
   sim::FaultInjector chaos(&sim, seed);
   ScheduleFaults(&chaos);
+
+  // The flow-health layer rides along: one anomaly detector per
+  // resilience counter plus the sensed signal itself, so every fault
+  // window in the schedule has a stream that should light up.
+  obs::health::HealthMonitorConfig health_cfg;
+  health_cfg.eval_period_sec = kHealthEval;
+  obs::health::HealthMonitor health(&telemetry, health_cfg);
+  for (const char* metric :
+       {"loop.actuation_failures", "loop.sensor_misses",
+        "loop.stale_sensor_reads"}) {
+    FLOWER_RETURN_NOT_OK(health.Watch(
+        obs::health::AnomalyBank::Source::kCounterRate,
+        {metric, {{"loop", "analytics"}, {"layer", "analytics"}}},
+        "analytics"));
+  }
+  FLOWER_RETURN_NOT_OK(health.Watch(
+      obs::health::AnomalyBank::Source::kGauge,
+      {"loop.sensed_y", {{"loop", "analytics"}, {"layer", "analytics"}}},
+      "analytics"));
+  (void)sim.SchedulePeriodic(kHealthEval, kHealthEval, [&] {
+    health.Evaluate(sim.Now());
+    return true;
+  });
 
   auto arrival = std::make_shared<workload::CompositeArrival>();
   arrival->Add(std::make_shared<workload::ConstantArrival>(kBaseRate));
@@ -112,6 +161,7 @@ Result<RunResult> RunScenario(bool hardened, uint64_t seed) {
   builder.WithFlowConfig(bench::CanonicalFlow())
       .WithWorkload(arrival, bench::CanonicalWorkload())
       .WithSeed(seed)
+      .WithTelemetry(&telemetry)
       .WithFaultInjector(&chaos);
   if (hardened) builder.WithResilience(HardenedPolicy());
   FLOWER_ASSIGN_OR_RETURN(core::ManagedFlow mf,
@@ -163,6 +213,25 @@ Result<RunResult> RunScenario(bool hardened, uint64_t seed) {
   out.analytics_actuations = state->actuations.size();
   out.injected_failures = chaos.stats().actuator_failures;
   out.injected_gaps = chaos.stats().metric_gaps;
+
+  // Detection latency per fault window, from the anomaly log. The gap
+  // shows up as sensor misses (unhardened) or stale hold-last reads
+  // (hardened) — either stream counts as noticing it.
+  const auto& anomaly_log = health.anomaly_log();
+  out.anomaly_events = anomaly_log.size();
+  out.detect_actuator_sec =
+      DetectionLatency(anomaly_log, "loop.actuation_failures", kSurgeStart);
+  double gap_start = kSurgeStart + 6.0 * kMinute;
+  double via_miss =
+      DetectionLatency(anomaly_log, "loop.sensor_misses", gap_start);
+  double via_stale =
+      DetectionLatency(anomaly_log, "loop.stale_sensor_reads", gap_start);
+  out.detect_gap_sec = via_miss < 0.0
+                           ? via_stale
+                           : (via_stale < 0.0 ? via_miss
+                                              : std::min(via_miss, via_stale));
+  out.detect_spike_sec =
+      DetectionLatency(anomaly_log, "loop.sensed_y", 110.0 * kMinute);
   return out;
 }
 
@@ -210,6 +279,17 @@ int Run() {
   row("hardened", *hardened);
   table.Print(std::cout);
 
+  auto latency = [](double v) {
+    return v < 0.0 ? std::string("never") : TablePrinter::Num(v, 0) + "s";
+  };
+  std::cout << "\nAnomaly detection latency (hardened run, budget "
+            << kDetectBudget << "s = 2 control periods):\n"
+            << "  actuator-failure window: " << latency(hardened->detect_actuator_sec)
+            << "\n  metric-gap window:       " << latency(hardened->detect_gap_sec)
+            << "\n  sensor-spike window:     " << latency(hardened->detect_spike_sec)
+            << "\n  total anomaly events:    " << hardened->anomaly_events
+            << "\n";
+
   std::cout << "\nGround-truth analytics CPU from surge onset:\n";
   std::cout << AsciiChart(unhardened->cpu_trace, 6, 72,
                           "unhardened (85% = SLO line)");
@@ -232,6 +312,16 @@ int Run() {
   ok &= bench::Verdict("hardened loop recovers sooner",
                        hardened->recovered &&
                            hardened->recover_sec < unhardened->recover_sec);
+  auto detected = [&](double v) { return v >= 0.0 && v <= kDetectBudget; };
+  ok &= bench::Verdict(
+      "anomaly bank flags the actuator-failure window within 2 periods",
+      detected(hardened->detect_actuator_sec));
+  ok &= bench::Verdict(
+      "anomaly bank flags the metric-gap window within 2 periods",
+      detected(hardened->detect_gap_sec));
+  ok &= bench::Verdict(
+      "anomaly bank flags the sensor-spike window within 2 periods",
+      detected(hardened->detect_spike_sec));
   return ok ? 0 : 1;
 }
 

@@ -13,8 +13,10 @@
 #include "cloudwatch/alarm.h"
 #include "common/table_printer.h"
 #include "common/units.h"
+#include "core/dependency_analyzer.h"
 #include "core/flow_builder.h"
 #include "core/monitor.h"
+#include "obs/health/health_monitor.h"
 #include "obs/telemetry.h"
 #include "sim/fault_injector.h"
 
@@ -132,6 +134,53 @@ int main() {
     return true;
   });
 
+  // Flow-health layer next to the raw alarms: utilization SLOs per
+  // loop, anomaly detectors on the sensed signals and failure rates,
+  // and Eq. 1 dependency edges for root-cause attribution.
+  obs::health::HealthMonitorConfig health_cfg;
+  health_cfg.eval_period_sec = kMinute;
+  obs::health::HealthMonitor flow_health(&telemetry, health_cfg);
+  for (const obs::health::SloSpec& spec :
+       obs::health::MakeDefaultSloPack(/*util_threshold=*/90.0,
+                                       /*objective=*/0.95)) {
+    if (auto st = flow_health.AddSlo(spec); !st.ok()) {
+      std::cerr << st << "\n";
+      return 1;
+    }
+  }
+  for (const char* layer : {"ingestion", "analytics", "storage"}) {
+    (void)flow_health.Watch(
+        obs::health::AnomalyBank::Source::kGauge,
+        {"loop.sensed_y", {{"loop", layer}, {"layer", layer}}}, layer);
+    (void)flow_health.Watch(
+        obs::health::AnomalyBank::Source::kCounterRate,
+        {"loop.actuation_failures", {{"loop", layer}, {"layer", layer}}},
+        layer);
+  }
+  managed->manager->SetHealthAnnotator(
+      [&](const std::string& layer, SimTime) {
+        return flow_health.MaskFor(layer);
+      });
+  (void)sim.SchedulePeriodic(kMinute, kMinute, [&] {
+    flow_health.Evaluate(sim.Now());
+    return true;
+  });
+  // Re-learn Eq. 1 edges over the trailing hour so attribution follows
+  // the load as it shifts.
+  core::DependencyAnalyzer analyzer;
+  const std::vector<core::LayerMetric> layer_metrics = {
+      {core::Layer::kIngestion,
+       {"Flower/Kinesis", "IncomingRecords", "clickstream"}},
+      {core::Layer::kAnalytics, {"Flower/Storm", "CpuUtilization", "storm"}},
+      {core::Layer::kStorage,
+       {"Flower/DynamoDB", "ConsumedWriteCapacityUnits", "aggregates"}},
+  };
+  (void)sim.SchedulePeriodic(kHour, 30 * kMinute, [&] {
+    flow_health.SetDependencyEdges(core::ToHealthEdges(analyzer.AnalyzeAll(
+        metrics, layer_metrics, sim.Now() - kHour, sim.Now())));
+    return true;
+  });
+
   core::CrossPlatformMonitor monitor(&metrics);
   monitor.Watch({"Flower/Kinesis", "WriteUtilization", "clickstream"});
   monitor.Watch({"Flower/Kinesis", "ShardCount", "clickstream"});
@@ -177,6 +226,48 @@ int main() {
                    s.breaker_open ? "OPEN" : "closed"});
   }
   health.Print(std::cout);
+
+  // Flow-health panel: the SLO engine's view of the same run — burn
+  // rates, budget spend, fired alerts, and (when something broke) the
+  // ranked root-cause attribution.
+  std::cout << "\nFlow health (" << flow_health.evaluations()
+            << " evaluations):\n";
+  TablePrinter slo_table({"slo", "layer", "good", "burn 5m", "burn 1h",
+                          "budget", "state", "alerts"});
+  for (const obs::health::SloStatus& s : flow_health.Statuses()) {
+    slo_table.AddRow({s.id, s.layer, Num(s.good_fraction, 3),
+                      Num(s.burn_fast), Num(s.burn_slow),
+                      Num(s.budget_consumed * 100.0, 1) + "%",
+                      s.breached ? "BREACHED" : "ok",
+                      std::to_string(s.alerts_fired)});
+  }
+  slo_table.Print(std::cout);
+
+  const auto& anomalies = flow_health.anomaly_log();
+  std::cout << "Anomalies flagged: " << anomalies.size();
+  if (!anomalies.empty()) {
+    const obs::health::AnomalyEvent& last = anomalies.back();
+    std::cout << " (last: " << last.stream << " "
+              << obs::health::AnomalyKindToString(last.kind) << " @ t="
+              << Num(last.time / kMinute, 0) << "min, score="
+              << Num(last.score, 1) << ")";
+  }
+  std::cout << "\n";
+  if (flow_health.reports().empty()) {
+    std::cout << "No SLO breach reports — flow healthy.\n";
+  } else {
+    const obs::health::HealthReport& report = flow_health.reports().back();
+    std::cout << "Latest health report (t="
+              << Num(report.time / kMinute, 0) << "min): " << report.summary
+              << "\n";
+    TablePrinter ranking({"rank", "layer", "score", "top evidence"});
+    int rank = 1;
+    for (const obs::health::LayerAttribution& a : report.ranking) {
+      ranking.AddRow({std::to_string(rank++), a.layer, Num(a.score, 1),
+                      a.evidence.empty() ? "" : a.evidence.front().detail});
+    }
+    ranking.Print(std::cout);
+  }
 
   // Tail of the control-decision event log: the structured record of
   // what each loop sensed and decided, newest last.

@@ -1,6 +1,7 @@
 #ifndef FLOWER_CONTROL_OBSERVER_H_
 #define FLOWER_CONTROL_OBSERVER_H_
 
+#include <cstdint>
 #include <string>
 
 #include "common/time_series.h"
@@ -22,6 +23,13 @@ struct ControlStepView {
   double raw_u = 0.0;  ///< Control-law output before quantization.
   double u = 0.0;      ///< Quantized actuation returned to the manager.
   std::string law;     ///< Controller family name.
+  /// Flow-health bits (obs::HealthMask layout) active when the step
+  /// ran. Controllers always leave this 0 — the control library knows
+  /// nothing about health — it is filled by supervisors (the
+  /// ElasticityManager's health annotator) when they re-publish
+  /// annotated views, so breach-aware laws/observers can react without
+  /// a dependency on obs/health.
+  uint8_t health_mask = 0;
 };
 
 /// Sink for per-step control-law telemetry. Implementations must not

@@ -162,4 +162,23 @@ std::vector<Dependency> DependencyAnalyzer::AnalyzeAll(
   return out;
 }
 
+std::vector<obs::health::DependencyEdge> ToHealthEdges(
+    const std::vector<Dependency>& dependencies) {
+  std::vector<obs::health::DependencyEdge> edges;
+  edges.reserve(dependencies.size());
+  for (const Dependency& d : dependencies) {
+    obs::health::DependencyEdge e;
+    e.predictor_layer = LayerToString(d.predictor.layer);
+    e.response_layer = LayerToString(d.response.layer);
+    e.predictor_metric = d.predictor.id.ToString();
+    e.response_metric = d.response.id.ToString();
+    e.slope = d.fit.slope;
+    e.correlation = d.fit.correlation;
+    e.r_squared = d.fit.r_squared;
+    e.significant = d.significant;
+    edges.push_back(std::move(e));
+  }
+  return edges;
+}
+
 }  // namespace flower::core

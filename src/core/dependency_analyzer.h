@@ -6,6 +6,7 @@
 
 #include "cloudwatch/metric_store.h"
 #include "core/layer.h"
+#include "obs/health/attribution.h"
 #include "stats/correlation.h"
 #include "stats/linreg.h"
 #include "stats/robust.h"
@@ -98,6 +99,14 @@ class DependencyAnalyzer {
  private:
   DependencyAnalyzerConfig config_;
 };
+
+/// Converts analyzer results into the neutral edge form the
+/// obs::health::RootCauseAttributor consumes (obs cannot include core,
+/// so the conversion lives on the core side of the seam). Keeps every
+/// edge, significant or not — the attributor ignores non-significant
+/// ones but exporters may still want to show what was ruled out.
+std::vector<obs::health::DependencyEdge> ToHealthEdges(
+    const std::vector<Dependency>& dependencies);
 
 }  // namespace flower::core
 

@@ -69,6 +69,17 @@ Status ElasticityManager::SetTelemetry(obs::Telemetry* telemetry) {
   return Status::OK();
 }
 
+void ElasticityManager::SetHealthAnnotator(
+    std::function<obs::HealthMask(const std::string& layer, SimTime now)>
+        annotator) {
+  health_annotator_ = std::move(annotator);
+}
+
+void ElasticityManager::SetAnnotatedStepObserver(
+    control::ControlObserver* observer) {
+  annotated_observer_ = observer;
+}
+
 Status ElasticityManager::Attach(LayerControlConfig config) {
   if (config.name.empty()) config.name = LayerToString(config.layer);
   if (loops_.count(config.name) > 0) {
@@ -111,6 +122,7 @@ Status ElasticityManager::Attach(LayerControlConfig config) {
   attached->gauge_y = m.GetGauge("loop.sensed_y", labels);
   attached->gauge_u = m.GetGauge("loop.actuation", labels);
   attached->gauge_gain = m.GetGauge("loop.gain", labels);
+  attached->breach_steps = m.GetCounter("loop.breach_steps", labels);
   attached->trace_tid = next_trace_tid_++;
   telemetry_->trace().SetTrackName(attached->trace_tid,
                                    "loop:" + attached->config.name);
@@ -234,6 +246,10 @@ void ElasticityManager::RecordDecision(Attached* a, SimTime now,
   rec.clamped_u = clamped_u;
   rec.outcome = outcome;
   rec.fault_mask = telemetry_->FaultMaskAt(rec.layer, now);
+  if (health_annotator_) {
+    rec.health_mask = health_annotator_(rec.layer, now);
+    if (rec.health_mask != 0) a->breach_steps->Increment();
+  }
   if (a->observer.fresh && a->observer.last.time == now) {
     const control::ControlStepView& v = a->observer.last;
     rec.law = v.law;
@@ -250,6 +266,20 @@ void ElasticityManager::RecordDecision(Attached* a, SimTime now,
     rec.raw_u = kNaN;
   }
   telemetry_->decisions().Append(rec);
+
+  if (annotated_observer_ != nullptr) {
+    control::ControlStepView annotated;
+    annotated.time = rec.time;
+    annotated.y = rec.sensed_y;
+    annotated.reference = rec.reference;
+    annotated.error = rec.error;
+    annotated.gain = rec.gain;
+    annotated.raw_u = rec.raw_u;
+    annotated.u = rec.clamped_u;
+    annotated.law = rec.law;
+    annotated.health_mask = rec.health_mask;
+    annotated_observer_->OnControlStep(annotated);
+  }
 
   // Schematic span: control steps are instantaneous in sim time, drawn
   // at 2% of the period so they are visible at any zoom in Perfetto.

@@ -212,6 +212,24 @@ class ElasticityManager {
   Status SetTelemetry(obs::Telemetry* telemetry);
   obs::Telemetry* telemetry() const { return telemetry_; }
 
+  /// Queried at every control step for the layer's current flow-health
+  /// bits (obs::HealthMask layout, typically
+  /// obs::health::HealthMonitor::MaskFor). The mask is stamped on the
+  /// step's decision record, counted in the loop.breach_steps counter
+  /// when any breach bit is set, and forwarded to the annotated-step
+  /// observer. Pass nullptr to detach (records stamp 0 again).
+  void SetHealthAnnotator(
+      std::function<obs::HealthMask(const std::string& layer, SimTime now)>
+          annotator);
+
+  /// Observer invoked after every control step with the step view
+  /// *including* the health annotation (control::ControlStepView::
+  /// health_mask) — the seam for breach-aware supervisors and tests.
+  /// Unlike the controller's own observer this fires for every step,
+  /// including sensor misses and breaker skips (y/raw_u NaN there).
+  /// `observer` must outlive the manager; nullptr detaches.
+  void SetAnnotatedStepObserver(control::ControlObserver* observer);
+
   /// Attaches and starts a control loop. The loop is keyed by
   /// `config.name` (default: the layer name). Errors: duplicate name,
   /// missing controller/actuator, non-positive periods, or an invalid
@@ -297,6 +315,9 @@ class ElasticityManager {
     obs::Gauge* gauge_y = nullptr;
     obs::Gauge* gauge_u = nullptr;
     obs::Gauge* gauge_gain = nullptr;
+    /// Steps that ran while the health annotator reported any breach
+    /// bit for this loop's layer.
+    obs::Counter* breach_steps = nullptr;
   };
 
   void Step(Attached* a);
@@ -316,6 +337,9 @@ class ElasticityManager {
   /// installed an external one.
   std::unique_ptr<obs::Telemetry> owned_telemetry_;
   obs::Telemetry* telemetry_ = nullptr;
+  std::function<obs::HealthMask(const std::string&, SimTime)>
+      health_annotator_;
+  control::ControlObserver* annotated_observer_ = nullptr;
   int next_trace_tid_ = 0;
   std::map<std::string, std::unique_ptr<Attached>> loops_;
 };

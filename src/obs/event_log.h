@@ -26,6 +26,12 @@ const char* StepOutcomeToString(StepOutcome outcome);
 /// uint8_t so obs does not depend on sim.
 using FaultMask = uint8_t;
 
+/// Bitmask of flow-health state stamped on a step by the health layer
+/// (bits are obs::health::kHealthFlowBreach / kHealthLayerBreach /
+/// kHealthAnomaly). Plain uint8_t for the same reason as FaultMask:
+/// control code carries it without depending on obs/health.
+using HealthMask = uint8_t;
+
 /// One structured record per control step — the row the paper's §4
 /// demo charts are drawn from: what the loop sensed, what the control
 /// law computed (including the Eq. 7 adapted gain), what was actually
@@ -48,6 +54,9 @@ struct ControlDecisionRecord {
   bool stale_sensor = false;  ///< Step ran on a held last-good value.
   StepOutcome outcome = StepOutcome::kActuated;
   FaultMask fault_mask = 0;   ///< Injected-fault interference this step.
+  /// Flow-health state (SLO breach / anomaly bits) at step time, 0 when
+  /// no health annotator is installed on the manager.
+  HealthMask health_mask = 0;
 };
 
 /// Bounded ring buffer of decision records, owned by the

@@ -7,7 +7,7 @@
 
 namespace flower::obs {
 
-namespace {
+namespace internal {
 
 std::string JsonEscape(const std::string& s) {
   std::string out;
@@ -40,6 +40,26 @@ std::string JsonNum(double v) {
   return os.str();
 }
 
+std::string LabelsToJson(const LabelSet& labels) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + JsonEscape(k) + "\":\"" + JsonEscape(v) + '"';
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace internal
+
+namespace {
+
+using internal::JsonEscape;
+using internal::JsonNum;
+using internal::LabelsToJson;
+
 // CSV cells are all controlled identifiers/numbers; quote defensively
 // only when a delimiter sneaks in.
 std::string CsvCell(const std::string& s) {
@@ -64,16 +84,75 @@ std::string LabelsToString(const LabelSet& labels) {
   return out;
 }
 
-std::string LabelsToJson(const LabelSet& labels) {
+// OpenMetrics metric-name charset; every other byte maps to '_'.
+std::string SanitizeMetricName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (size_t i = 0; i < name.size(); ++i) {
+    char c = name[i];
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+              c == ':' || (i > 0 && c >= '0' && c <= '9');
+    out += ok ? c : '_';
+  }
+  if (out.empty()) out = "_";
+  return out;
+}
+
+std::string SanitizeLabelName(const std::string& name) {
+  std::string out = SanitizeMetricName(name);
+  // Label names additionally may not contain ':'.
+  for (char& c : out) {
+    if (c == ':') c = '_';
+  }
+  return out;
+}
+
+// Label *values* keep arbitrary text, escaped per the exposition format.
+std::string OpenMetricsEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+// Rendered {label="value",...} block with an optional trailing `le`
+// pair (histogram bucket rows); empty string for no labels and no le.
+std::string OpenMetricsLabels(const LabelSet& labels,
+                              const std::string& le = "") {
+  if (labels.empty() && le.empty()) return "";
   std::string out = "{";
   bool first = true;
   for (const auto& [k, v] : labels) {
     if (!first) out += ',';
     first = false;
-    out += '"' + JsonEscape(k) + "\":\"" + JsonEscape(v) + '"';
+    out += SanitizeLabelName(k);
+    out += "=\"";
+    out += OpenMetricsEscape(v);
+    out += '"';
+  }
+  if (!le.empty()) {
+    if (!first) out += ',';
+    out += "le=\"";
+    out += le;
+    out += '"';
   }
   out += '}';
   return out;
+}
+
+std::string OpenMetricsNum(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  std::ostringstream os;
+  os << std::setprecision(12) << v;
+  return os.str();
 }
 
 }  // namespace
@@ -81,14 +160,15 @@ std::string LabelsToJson(const LabelSet& labels) {
 void WriteDecisionCsv(std::ostream& os,
                       const std::vector<ControlDecisionRecord>& records) {
   os << "time,loop,layer,law,sensed_y,reference,error,gain,raw_u,"
-        "clamped_u,stale,outcome,fault_mask\n";
+        "clamped_u,stale,outcome,fault_mask,health_mask\n";
   for (const ControlDecisionRecord& r : records) {
     os << std::setprecision(12) << r.time << ',' << CsvCell(r.loop) << ','
        << CsvCell(r.layer) << ',' << CsvCell(r.law) << ',' << r.sensed_y
        << ',' << r.reference << ',' << r.error << ',' << r.gain << ','
        << r.raw_u << ',' << r.clamped_u << ',' << (r.stale_sensor ? 1 : 0)
        << ',' << StepOutcomeToString(r.outcome) << ','
-       << static_cast<int>(r.fault_mask) << '\n';
+       << static_cast<int>(r.fault_mask) << ','
+       << static_cast<int>(r.health_mask) << '\n';
   }
 }
 
@@ -105,7 +185,8 @@ void WriteDecisionJsonl(std::ostream& os,
        << ",\"clamped_u\":" << JsonNum(r.clamped_u) << ",\"stale\":"
        << (r.stale_sensor ? "true" : "false") << ",\"outcome\":\""
        << StepOutcomeToString(r.outcome)
-       << "\",\"fault_mask\":" << static_cast<int>(r.fault_mask) << "}\n";
+       << "\",\"fault_mask\":" << static_cast<int>(r.fault_mask)
+       << ",\"health_mask\":" << static_cast<int>(r.health_mask) << "}\n";
   }
 }
 
@@ -148,6 +229,56 @@ void WriteSnapshotJsonl(std::ostream& os, const MetricsSnapshot& snapshot,
        << ",\"p50\":" << JsonNum(h.p50) << ",\"p99\":" << JsonNum(h.p99)
        << "}\n";
   }
+}
+
+void WriteSnapshotOpenMetrics(std::ostream& os,
+                              const MetricsSnapshot& snapshot) {
+  // Snapshot samples arrive sorted by (name, labels), so one family's
+  // series are contiguous; a TYPE header is emitted whenever the
+  // sanitized family name changes.
+  std::string prev;
+  for (const CounterSample& c : snapshot.counters) {
+    std::string fam = SanitizeMetricName(c.name);
+    if (fam != prev) {
+      os << "# TYPE " << fam << " counter\n";
+      prev = fam;
+    }
+    os << fam << "_total" << OpenMetricsLabels(c.labels) << ' ' << c.value
+       << '\n';
+  }
+  prev.clear();
+  for (const GaugeSample& g : snapshot.gauges) {
+    std::string fam = SanitizeMetricName(g.name);
+    if (fam != prev) {
+      os << "# TYPE " << fam << " gauge\n";
+      prev = fam;
+    }
+    os << fam << OpenMetricsLabels(g.labels) << ' ' << OpenMetricsNum(g.value)
+       << '\n';
+  }
+  prev.clear();
+  for (const HistogramSample& h : snapshot.histograms) {
+    std::string fam = SanitizeMetricName(h.name);
+    if (fam != prev) {
+      os << "# TYPE " << fam << " histogram\n";
+      prev = fam;
+    }
+    // Exposition buckets are cumulative; the registry's are disjoint.
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < h.buckets.size(); ++i) {
+      cumulative += h.buckets[i];
+      bool overflow = std::isinf(h.bounds[i]);
+      os << fam << "_bucket"
+         << OpenMetricsLabels(h.labels,
+                              overflow ? "+Inf" : OpenMetricsNum(h.bounds[i]))
+         << ' ' << cumulative << '\n';
+    }
+    os << fam << "_sum" << OpenMetricsLabels(h.labels) << ' '
+       << OpenMetricsNum(h.sum) << '\n';
+    os << fam << "_count" << OpenMetricsLabels(h.labels) << ' ' << h.count
+       << '\n';
+  }
+  os << "# EOF\n";
 }
 
 void WriteChromeTrace(std::ostream& os, const TraceCollector& trace) {

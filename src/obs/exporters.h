@@ -13,9 +13,18 @@
 
 namespace flower::obs {
 
+/// Shared JSON formatting used by every JSONL sink in obs (exporters,
+/// the health monitor). Not a stable public API.
+namespace internal {
+std::string JsonEscape(const std::string& s);
+/// JSON has no NaN/Infinity literals; they render as null.
+std::string JsonNum(double v);
+std::string LabelsToJson(const LabelSet& labels);
+}  // namespace internal
+
 /// CSV sink for decision records: one header row, then one row per
 /// record (columns: time, loop, layer, law, sensed_y, reference, error,
-/// gain, raw_u, clamped_u, stale, outcome, fault_mask).
+/// gain, raw_u, clamped_u, stale, outcome, fault_mask, health_mask).
 void WriteDecisionCsv(std::ostream& os,
                       const std::vector<ControlDecisionRecord>& records);
 
@@ -31,6 +40,16 @@ void WriteSnapshotCsv(std::ostream& os, const MetricsSnapshot& snapshot);
 /// object per line, all stamped with `at` (sim seconds).
 void WriteSnapshotJsonl(std::ostream& os, const MetricsSnapshot& snapshot,
                         SimTime at);
+
+/// OpenMetrics / Prometheus text exposition of a metrics snapshot:
+/// `# TYPE` headers per family, counters suffixed `_total`, histograms
+/// as cumulative `_bucket{le="..."}` series plus `_sum`/`_count`, and a
+/// terminating `# EOF`. Instrument names are sanitized to the metric
+/// charset ([a-zA-Z0-9_:]; every other byte becomes '_'), so
+/// "loop.sensed_y" exports as "loop_sensed_y". Scrape-compatible with
+/// Prometheus and lintable by tools/check_openmetrics.py.
+void WriteSnapshotOpenMetrics(std::ostream& os,
+                              const MetricsSnapshot& snapshot);
 
 /// Chrome trace_event JSON (the "JSON Array Format" with an object
 /// wrapper), loadable in Perfetto / chrome://tracing. Emits thread-name

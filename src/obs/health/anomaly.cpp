@@ -1,0 +1,204 @@
+#include "obs/health/anomaly.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "exec/thread_pool.h"
+
+namespace flower::obs::health {
+
+namespace {
+
+/// E|X - mu| = sigma * sqrt(2/pi) for a Gaussian, so sigma ≈ 1.2533 *
+/// mean absolute deviation — the same consistency idea as the classic
+/// 1.4826 * MAD, applied to the exponentially weighted abs-deviation.
+constexpr double kMadToSigma = 1.2533141373155003;
+
+}  // namespace
+
+const char* AnomalyKindToString(AnomalyKind kind) {
+  switch (kind) {
+    case AnomalyKind::kSpike:
+      return "spike";
+    case AnomalyKind::kLevelShift:
+      return "level_shift";
+  }
+  return "unknown";
+}
+
+AnomalyDetector::AnomalyDetector(AnomalyConfig config)
+    : config_(config),
+      seed_(config.warmup_samples == 0 ? 1 : config.warmup_samples) {
+  if (config_.ewma_alpha <= 0.0 || config_.ewma_alpha > 1.0) {
+    config_.ewma_alpha = 0.25;
+  }
+  if (config_.scale_alpha <= 0.0 || config_.scale_alpha > 1.0) {
+    config_.scale_alpha = 0.1;
+  }
+  if (config_.z_threshold <= 0.0) config_.z_threshold = 5.0;
+  if (config_.min_scale <= 0.0) config_.min_scale = 1e-6;
+  if (config_.ph_lambda <= 0.0) config_.ph_lambda = 8.0;
+  if (config_.ph_delta < 0.0) config_.ph_delta = 0.0;
+}
+
+double AnomalyDetector::scale() const {
+  return std::max(config_.min_scale, kMadToSigma * abs_dev_);
+}
+
+AnomalyDetector::Sample AnomalyDetector::Update(double x) {
+  Sample out;
+  if (std::isnan(x)) return out;
+
+  if (!warmed_up_) {
+    seed_.Add(x);
+    if (seed_.full()) {
+      // Seed location from the window mean and the abs-deviation from
+      // the window stddev (sigma -> mean-abs-dev is the inverse of the
+      // consistency factor).
+      mean_ = seed_.Mean();
+      abs_dev_ = seed_.StdDev() / kMadToSigma;
+      warmed_up_ = true;
+    }
+    return out;
+  }
+
+  double s = scale();
+  double residual = x - mean_;
+  out.z = residual / s;
+  out.spike = std::abs(out.z) >= config_.z_threshold;
+
+  // Two-sided Page–Hinkley on the winsorized residual: accumulate
+  // drift beyond the allowance delta and alarm when the excursion from
+  // the running extremum exceeds lambda. Clamping the input to 3 sigma
+  // keeps a single wild sample — the spike detector's job — from
+  // tripping the drift alarm on its own.
+  double zc = std::clamp(out.z, -3.0, 3.0);
+  ph_up_ += zc - config_.ph_delta;
+  ph_up_min_ = std::min(ph_up_min_, ph_up_);
+  ph_down_ += zc + config_.ph_delta;
+  ph_down_max_ = std::max(ph_down_max_, ph_down_);
+  double up_stat = ph_up_ - ph_up_min_;
+  double down_stat = ph_down_max_ - ph_down_;
+  out.ph_stat = std::max(up_stat, down_stat);
+  if (out.ph_stat >= config_.ph_lambda) {
+    out.shift = true;
+    // Restart the test at the new level: re-center the location on the
+    // sample and zero the accumulators, otherwise the alarm latches
+    // forever after one shift.
+    mean_ = x;
+    ph_up_ = ph_up_min_ = 0.0;
+    ph_down_ = ph_down_max_ = 0.0;
+  }
+
+  // Winsorized state update: clamp the residual to 3 sigma so outliers
+  // nudge the baseline instead of capturing it.
+  double clamped = std::clamp(residual, -3.0 * s, 3.0 * s);
+  if (!out.shift) {
+    mean_ += config_.ewma_alpha * clamped;
+  }
+  abs_dev_ += config_.scale_alpha * (std::abs(clamped) - abs_dev_);
+  return out;
+}
+
+Status AnomalyBank::Watch(Source source, MetricSelector selector,
+                          std::string layer, AnomalyConfig config) {
+  std::sort(selector.labels.begin(), selector.labels.end());
+  for (const Stream& s : streams_) {
+    if (s.source == source && s.selector.name == selector.name &&
+        s.selector.labels == selector.labels) {
+      return Status::InvalidArgument("AnomalyBank: duplicate watch for " +
+                                     selector.ToString());
+    }
+  }
+  Stream s{source,
+           selector,
+           selector.ToString(),
+           std::move(layer),
+           AnomalyDetector(config),
+           /*has_last_counter=*/false,
+           /*last_counter=*/0.0,
+           StreamState{}};
+  s.state.stream = s.display;
+  s.state.layer = s.layer;
+  streams_.push_back(std::move(s));
+  return Status::OK();
+}
+
+std::vector<AnomalyEvent> AnomalyBank::UpdateAll(
+    SimTime now, const MetricsSnapshot& snapshot, exec::ThreadPool* pool) {
+  struct Slot {
+    bool sampled = false;
+    double value = 0.0;
+    AnomalyDetector::Sample sample;
+  };
+  std::vector<Slot> slots(streams_.size());
+
+  // Per-stream work is independent (each touches only its own detector
+  // and slot), so it parallelizes with no synchronization; the merge
+  // below runs in stream order, keeping output identical at any thread
+  // count.
+  auto body = [&](size_t i) -> Status {
+    Stream& s = streams_[i];
+    Slot& slot = slots[i];
+    double x = 0.0;
+    switch (s.source) {
+      case Source::kGauge: {
+        const GaugeSample* g = FindGauge(snapshot, s.selector);
+        if (g == nullptr) return Status::OK();
+        x = g->value;
+        break;
+      }
+      case Source::kCounterRate: {
+        const CounterSample* c = FindCounter(snapshot, s.selector);
+        if (c == nullptr) return Status::OK();
+        double v = static_cast<double>(c->value);
+        if (!s.has_last_counter) {
+          s.has_last_counter = true;
+          s.last_counter = v;
+          return Status::OK();
+        }
+        x = std::max(0.0, v - s.last_counter);
+        s.last_counter = v;
+        break;
+      }
+    }
+    slot.sampled = true;
+    slot.value = x;
+    slot.sample = s.detector.Update(x);
+    return Status::OK();
+  };
+
+  if (pool != nullptr && pool->num_threads() > 1 && streams_.size() > 1) {
+    pool->ParallelFor(0, streams_.size(), 1, body);
+  } else {
+    for (size_t i = 0; i < streams_.size(); ++i) body(i);
+  }
+
+  std::vector<AnomalyEvent> events;
+  for (size_t i = 0; i < streams_.size(); ++i) {
+    Stream& s = streams_[i];
+    const Slot& slot = slots[i];
+    if (!slot.sampled) continue;
+    s.state.last_value = slot.value;
+    s.state.last_z = slot.sample.z;
+    s.state.anomalous = slot.sample.spike || slot.sample.shift;
+    if (slot.sample.spike) {
+      events.push_back({now, s.display, s.layer, AnomalyKind::kSpike,
+                        slot.value, std::abs(slot.sample.z)});
+    }
+    if (slot.sample.shift) {
+      events.push_back({now, s.display, s.layer, AnomalyKind::kLevelShift,
+                        slot.value, slot.sample.ph_stat});
+    }
+  }
+  return events;
+}
+
+std::vector<AnomalyBank::StreamState> AnomalyBank::States() const {
+  std::vector<StreamState> out;
+  out.reserve(streams_.size());
+  for (const Stream& s : streams_) out.push_back(s.state);
+  return out;
+}
+
+}  // namespace flower::obs::health

@@ -1,0 +1,150 @@
+#ifndef FLOWER_OBS_HEALTH_ANOMALY_H_
+#define FLOWER_OBS_HEALTH_ANOMALY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/time_series.h"
+#include "obs/health/slo.h"
+#include "obs/metrics_registry.h"
+#include "stats/rolling.h"
+
+namespace flower::exec {
+class ThreadPool;
+}  // namespace flower::exec
+
+namespace flower::obs::health {
+
+/// Tuning for one stream's detector pair. Defaults are sized for
+/// one-sample-per-evaluation-tick streams (60 s cadence): warmup is two
+/// sim-minutes of history, the spike gate is ~5 robust sigmas, and the
+/// Page–Hinkley budget trips after a sustained ~2-sigma level shift in
+/// roughly 4 samples.
+struct AnomalyConfig {
+  double ewma_alpha = 0.25;  ///< Location tracking speed.
+  double scale_alpha = 0.1;  ///< Robust scale (EW abs-deviation) speed.
+  double z_threshold = 5.0;  ///< |z| above this flags a spike.
+  /// Samples buffered in a stats::RollingWindow to seed the EWMA
+  /// location/scale before any flagging starts.
+  size_t warmup_samples = 8;
+  /// Absolute floor on the scale estimate so constant streams do not
+  /// divide by zero (any change on a flat stream is then a spike).
+  double min_scale = 1e-6;
+  double ph_delta = 0.5;    ///< PH drift allowance, in robust sigmas.
+  double ph_lambda = 8.0;   ///< PH alarm threshold, in robust sigmas.
+};
+
+enum class AnomalyKind {
+  kSpike,      ///< One-sample outlier (EWMA + MAD-style z-score gate).
+  kLevelShift, ///< Sustained mean change (Page–Hinkley).
+};
+
+const char* AnomalyKindToString(AnomalyKind kind);
+
+struct AnomalyEvent {
+  SimTime time = 0.0;
+  std::string stream;  ///< Display id, e.g. "loop.sensed_y{loop=storage}".
+  std::string layer;   ///< Layer tag attached at Watch(); may be "".
+  AnomalyKind kind = AnomalyKind::kSpike;
+  double value = 0.0;  ///< The observed sample.
+  double score = 0.0;  ///< |z| for spikes; PH statistic for shifts.
+};
+
+/// O(1)-per-sample detector: EWMA location + exponentially weighted
+/// mean absolute deviation as a MAD-style robust scale (×1.2533 for
+/// Gaussian consistency), gating a z-score spike test; plus a
+/// two-sided Page–Hinkley cumulative test on the normalized residual
+/// for level shifts. The first `warmup_samples` observations are
+/// collected in a stats::RollingWindow and used to seed location and
+/// scale; nothing is flagged during warmup. State updates winsorize
+/// the residual at 3 sigma so a single spike cannot drag the baseline
+/// to the outlier and mask the next one.
+class AnomalyDetector {
+ public:
+  explicit AnomalyDetector(AnomalyConfig config);
+
+  struct Sample {
+    bool spike = false;
+    bool shift = false;
+    double z = 0.0;        ///< Signed z-score vs the pre-update baseline.
+    double ph_stat = 0.0;  ///< Max of the two one-sided PH statistics.
+  };
+
+  Sample Update(double x);
+
+  bool warmed_up() const { return warmed_up_; }
+  double mean() const { return mean_; }
+  double scale() const;
+
+ private:
+  AnomalyConfig config_;
+  stats::RollingWindow seed_;
+  bool warmed_up_ = false;
+  double mean_ = 0.0;
+  double abs_dev_ = 0.0;  ///< EW mean absolute deviation.
+  // Two-sided Page–Hinkley accumulators over the normalized residual.
+  double ph_up_ = 0.0;
+  double ph_up_min_ = 0.0;
+  double ph_down_ = 0.0;
+  double ph_down_max_ = 0.0;
+};
+
+/// A set of detectors bound to registry instruments. `UpdateAll` pulls
+/// each watched stream's current sample out of a MetricsSnapshot
+/// (gauges directly; counters as per-tick rate) and advances its
+/// detector. Detector updates are independent per stream, so they fan
+/// out across a thread pool with per-stream result slots merged in
+/// stream order — output is bit-identical at any thread count.
+class AnomalyBank {
+ public:
+  enum class Source {
+    kGauge,        ///< Sample = gauge value.
+    kCounterRate,  ///< Sample = counter delta per tick.
+  };
+
+  /// Registers a stream. `layer` tags resulting events for attribution
+  /// ("" for flow-level streams). Duplicate (source, selector) watches
+  /// are rejected.
+  Status Watch(Source source, MetricSelector selector, std::string layer,
+               AnomalyConfig config = {});
+
+  /// Advances every stream one tick. Streams whose instrument is absent
+  /// from the snapshot skip the tick (detectors hold state). `pool` may
+  /// be null for inline execution.
+  std::vector<AnomalyEvent> UpdateAll(SimTime now,
+                                      const MetricsSnapshot& snapshot,
+                                      exec::ThreadPool* pool = nullptr);
+
+  struct StreamState {
+    std::string stream;
+    std::string layer;
+    double last_value = 0.0;
+    double last_z = 0.0;
+    bool anomalous = false;  ///< Spike or shift on the latest tick.
+  };
+  /// Current per-stream state in registration order (for publication
+  /// and dashboards).
+  std::vector<StreamState> States() const;
+
+  size_t NumStreams() const { return streams_.size(); }
+
+ private:
+  struct Stream {
+    Source source;
+    MetricSelector selector;
+    std::string display;  ///< selector.ToString(), cached.
+    std::string layer;
+    AnomalyDetector detector;
+    // Counter-rate differencing state.
+    bool has_last_counter = false;
+    double last_counter = 0.0;
+    StreamState state;
+  };
+
+  std::vector<Stream> streams_;
+};
+
+}  // namespace flower::obs::health
+
+#endif  // FLOWER_OBS_HEALTH_ANOMALY_H_

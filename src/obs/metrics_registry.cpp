@@ -30,8 +30,18 @@ void AtomicMax(std::atomic<double>* a, double v) {
   }
 }
 
+// Canonical label form: sorted by key, duplicate keys collapsed with
+// the *last* written value winning (repeated assignment semantics), so
+// {a=1,b=2}, {b=2,a=1}, and {a=0,a=1,b=2} all address the same series.
 LabelSet Normalize(LabelSet labels) {
-  std::sort(labels.begin(), labels.end());
+  std::stable_sort(labels.begin(), labels.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  auto last_of_key = std::unique(
+      labels.rbegin(), labels.rend(),
+      [](const auto& a, const auto& b) { return a.first == b.first; });
+  labels.erase(labels.begin(), last_of_key.base());
   return labels;
 }
 
@@ -121,7 +131,12 @@ Result<double> Histogram::Quantile(double q) const {
       if (hi < lo) hi = lo;
       double frac = (target - static_cast<double>(seen)) /
                     static_cast<double>(c);
-      return lo + frac * (hi - lo);
+      // Interpolation assumes mass spread across the whole bucket; the
+      // recorded Min()/Max() bound where mass can actually sit, so
+      // clamping into [Min, Max] is a strict tightening (and makes the
+      // estimate exact for constant streams, where the winning bucket
+      // is wide but Min == Max).
+      return std::clamp(lo + frac * (hi - lo), Min(), Max());
     }
     seen += c;
   }

@@ -52,6 +52,59 @@ TEST(DecisionLogTest, SnapshotOrderStableAcrossWraps) {
   EXPECT_DOUBLE_EQ(snap.back().time, 10.0);
 }
 
+TEST(DecisionLogTest, ExactCapacityBoundary) {
+  // Filling to exactly capacity is the last append before wraparound
+  // kicks in: nothing evicted yet, order still insertion order.
+  DecisionLog log(4);
+  for (int i = 0; i < 4; ++i) {
+    log.Append(Rec(static_cast<double>(i), "loop"));
+  }
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.total_appended(), 4u);
+  auto snap = log.Snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  EXPECT_DOUBLE_EQ(snap.front().time, 0.0);
+  EXPECT_DOUBLE_EQ(snap.back().time, 3.0);
+
+  // One more append evicts exactly the oldest record.
+  log.Append(Rec(4.0, "loop"));
+  snap = log.Snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  EXPECT_DOUBLE_EQ(snap.front().time, 1.0);
+  EXPECT_DOUBLE_EQ(snap.back().time, 4.0);
+  EXPECT_EQ(log.total_appended(), 5u);
+}
+
+TEST(DecisionLogTest, CapacityOneAlwaysKeepsNewest) {
+  DecisionLog log(1);
+  for (int i = 0; i < 7; ++i) {
+    log.Append(Rec(static_cast<double>(i), "loop"));
+    auto snap = log.Snapshot();
+    ASSERT_EQ(snap.size(), 1u);
+    EXPECT_DOUBLE_EQ(snap[0].time, static_cast<double>(i));
+  }
+  EXPECT_EQ(log.total_appended(), 7u);
+}
+
+TEST(DecisionLogTest, ManyFullWrapsStayOldestFirst) {
+  // Drive the ring through dozens of complete revolutions, checking the
+  // snapshot contract (oldest-first, strictly increasing, newest == last
+  // appended) at every position of the write cursor.
+  DecisionLog log(5);
+  for (int i = 0; i < 57; ++i) {
+    log.Append(Rec(static_cast<double>(i), "loop"));
+    if (i < 10) continue;
+    auto snap = log.Snapshot();
+    ASSERT_EQ(snap.size(), 5u);
+    for (size_t j = 1; j < snap.size(); ++j) {
+      EXPECT_DOUBLE_EQ(snap[j].time, snap[j - 1].time + 1.0);
+    }
+    EXPECT_DOUBLE_EQ(snap.back().time, static_cast<double>(i));
+  }
+  EXPECT_EQ(log.total_appended(), 57u);
+  EXPECT_EQ(log.size(), 5u);
+}
+
 TEST(DecisionLogTest, OutcomeStrings) {
   EXPECT_STREQ(StepOutcomeToString(StepOutcome::kActuated), "actuated");
   EXPECT_STREQ(StepOutcomeToString(StepOutcome::kSensorMiss), "sensor-miss");

@@ -36,6 +36,7 @@ ControlDecisionRecord SampleRecord() {
   r.stale_sensor = true;
   r.outcome = StepOutcome::kActuated;
   r.fault_mask = 4;
+  r.health_mask = 3;
   return r;
 }
 
@@ -46,10 +47,10 @@ TEST(DecisionCsvTest, HeaderAndRow) {
   ASSERT_EQ(lines.size(), 2u);
   EXPECT_EQ(lines[0],
             "time,loop,layer,law,sensed_y,reference,error,gain,raw_u,"
-            "clamped_u,stale,outcome,fault_mask");
+            "clamped_u,stale,outcome,fault_mask,health_mask");
   EXPECT_EQ(lines[1],
             "120,analytics,analytics,adaptive-gain,78.5,60,18.5,0.115,"
-            "5.13,5,1,actuated,4");
+            "5.13,5,1,actuated,4,3");
 }
 
 TEST(DecisionJsonlTest, OneObjectPerLine) {
@@ -63,6 +64,7 @@ TEST(DecisionJsonlTest, OneObjectPerLine) {
   EXPECT_NE(lines[0].find("\"stale\":true"), std::string::npos);
   EXPECT_NE(lines[0].find("\"outcome\":\"actuated\""), std::string::npos);
   EXPECT_NE(lines[0].find("\"fault_mask\":4"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"health_mask\":3"), std::string::npos);
 }
 
 TEST(DecisionJsonlTest, NanBecomesNull) {
@@ -98,6 +100,44 @@ TEST(SnapshotSinksTest, CoverAllKinds) {
   EXPECT_NE(json_lines[1].find("\"type\":\"gauge\""), std::string::npos);
   EXPECT_NE(json_lines[2].find("\"type\":\"histogram\""), std::string::npos);
   EXPECT_NE(json_lines[2].find("\"count\":1"), std::string::npos);
+}
+
+TEST(OpenMetricsTest, FamiliesSuffixesAndEof) {
+  MetricsRegistry registry;
+  registry.GetCounter("loop.steps", {{"loop", "analytics"}})->Increment(3);
+  registry.GetCounter("loop.steps", {{"loop", "ingestion"}})->Increment(1);
+  registry.GetGauge("slo.burn_fast", {{"slo", "flow/latency"}})->Set(2.5);
+  Histogram* h = registry.GetHistogram("lat");
+  h->Record(2.0);
+  h->Record(4.0);
+
+  std::ostringstream os;
+  WriteSnapshotOpenMetrics(os, registry.Snapshot());
+  const std::string text = os.str();
+  auto lines = Lines(text);
+
+  // Dots sanitize to underscores; counters get _total; one TYPE line per
+  // family even with several label sets.
+  EXPECT_NE(text.find("# TYPE loop_steps counter"), std::string::npos);
+  EXPECT_EQ(text.find("# TYPE loop_steps counter"),
+            text.rfind("# TYPE loop_steps counter"));
+  EXPECT_NE(text.find("loop_steps_total{loop=\"analytics\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("loop_steps_total{loop=\"ingestion\"} 1"),
+            std::string::npos);
+  // Label values keep their raw characters (only name chars sanitize).
+  EXPECT_NE(text.find("slo_burn_fast{slo=\"flow/latency\"} 2.5"),
+            std::string::npos);
+  // Histogram: cumulative buckets ending at le="+Inf" == _count.
+  EXPECT_NE(text.find("# TYPE lat histogram"), std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("lat_sum 6"), std::string::npos);
+  EXPECT_NE(text.find("lat_count 2"), std::string::npos);
+  size_t inf_bucket = text.find("lat_bucket{le=\"+Inf\"}");
+  size_t first_bucket = text.find("lat_bucket{");
+  EXPECT_LT(first_bucket, inf_bucket);
+  ASSERT_FALSE(lines.empty());
+  EXPECT_EQ(lines.back(), "# EOF");
 }
 
 TEST(ChromeTraceTest, WrapperMetadataAndPhases) {

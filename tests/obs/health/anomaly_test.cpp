@@ -1,0 +1,224 @@
+#include "obs/health/anomaly.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/thread_pool.h"
+
+namespace flower::obs::health {
+namespace {
+
+AnomalyConfig TestConfig() {
+  AnomalyConfig cfg;
+  cfg.warmup_samples = 4;
+  return cfg;
+}
+
+// A mildly noisy but stationary signal: deterministic pseudo-noise so
+// the detector sees a realistic scale without an RNG in the test.
+double Wobble(int i, double base, double amplitude) {
+  return base + amplitude * std::sin(0.7 * i) * std::cos(1.3 * i);
+}
+
+TEST(AnomalyDetectorTest, NeverFlagsDuringWarmup) {
+  AnomalyConfig cfg = TestConfig();
+  cfg.warmup_samples = 6;
+  AnomalyDetector detector(cfg);
+  // Wild values during warmup must not flag: the detector has no
+  // baseline yet, only the seed window.
+  const double wild[] = {0.0, 1000.0, -500.0, 3.0, 700.0, 2.0};
+  for (double x : wild) {
+    auto s = detector.Update(x);
+    EXPECT_FALSE(s.spike);
+    EXPECT_FALSE(s.shift);
+  }
+  EXPECT_TRUE(detector.warmed_up());
+}
+
+TEST(AnomalyDetectorTest, QuietSignalStaysQuiet) {
+  AnomalyDetector detector(TestConfig());
+  for (int i = 0; i < 200; ++i) {
+    auto s = detector.Update(Wobble(i, 50.0, 1.0));
+    EXPECT_FALSE(s.spike) << "sample " << i;
+    EXPECT_FALSE(s.shift) << "sample " << i;
+  }
+  EXPECT_NEAR(detector.mean(), 50.0, 2.0);
+}
+
+TEST(AnomalyDetectorTest, FlagsSpikeAndRecoverBaseline) {
+  AnomalyDetector detector(TestConfig());
+  for (int i = 0; i < 50; ++i) detector.Update(Wobble(i, 50.0, 1.0));
+  double mean_before = detector.mean();
+
+  auto s = detector.Update(500.0);
+  EXPECT_TRUE(s.spike);
+  EXPECT_GT(s.z, TestConfig().z_threshold);
+
+  // Winsorized update: one outlier nudges the baseline by at most
+  // 3 sigma * alpha, so the mean stays close to the true level and the
+  // next normal sample is not flagged as a negative spike.
+  EXPECT_LT(detector.mean(), mean_before + 10.0);
+  auto next = detector.Update(Wobble(51, 50.0, 1.0));
+  EXPECT_FALSE(next.spike);
+}
+
+TEST(AnomalyDetectorTest, FlagsLevelShiftAndRecenters) {
+  AnomalyDetector detector(TestConfig());
+  for (int i = 0; i < 60; ++i) detector.Update(Wobble(i, 50.0, 1.0));
+
+  // Step to a moderately higher level: each sample is a few sigma out
+  // (not a one-sample spike at the default gate of 5), but Page–Hinkley
+  // accumulates the drift and alarms.
+  bool shifted = false;
+  int alarm_after = -1;
+  for (int i = 0; i < 20 && !shifted; ++i) {
+    auto s = detector.Update(Wobble(i, 54.0, 1.0));
+    shifted = s.shift;
+    alarm_after = i;
+  }
+  EXPECT_TRUE(shifted);
+  EXPECT_LE(alarm_after, 15);
+  // Recenter-on-alarm: the detector adopts the new level and goes quiet
+  // instead of latching the alarm.
+  for (int i = 0; i < 30; ++i) {
+    auto s = detector.Update(Wobble(100 + i, 54.0, 1.0));
+    EXPECT_FALSE(s.shift) << "sample " << i;
+  }
+}
+
+TEST(AnomalyDetectorTest, ConstantStreamFlagsAnyChange) {
+  AnomalyDetector detector(TestConfig());
+  for (int i = 0; i < 20; ++i) detector.Update(5.0);
+  // Scale bottoms out at min_scale; the first real movement is a spike.
+  auto s = detector.Update(5.1);
+  EXPECT_TRUE(s.spike);
+}
+
+TEST(AnomalyDetectorTest, IgnoresNan) {
+  AnomalyDetector detector(TestConfig());
+  for (int i = 0; i < 20; ++i) detector.Update(Wobble(i, 50.0, 1.0));
+  double mean_before = detector.mean();
+  auto s = detector.Update(std::nan(""));
+  EXPECT_FALSE(s.spike);
+  EXPECT_FALSE(s.shift);
+  EXPECT_DOUBLE_EQ(detector.mean(), mean_before);
+}
+
+TEST(AnomalyBankTest, RejectsDuplicateWatch) {
+  AnomalyBank bank;
+  MetricSelector sel{"loop.sensed_y", {{"loop", "storage"}}};
+  ASSERT_TRUE(bank.Watch(AnomalyBank::Source::kGauge, sel, "storage").ok());
+  // Same stream, labels listed in a different order: still a duplicate.
+  EXPECT_FALSE(bank.Watch(AnomalyBank::Source::kGauge, sel, "storage").ok());
+  // Same selector as a counter-rate stream is a different watch.
+  EXPECT_TRUE(
+      bank.Watch(AnomalyBank::Source::kCounterRate, sel, "storage").ok());
+  EXPECT_EQ(bank.NumStreams(), 2u);
+}
+
+TEST(AnomalyBankTest, GaugeAndCounterRateStreams) {
+  MetricsRegistry registry;
+  Gauge* y = registry.GetGauge("y", {{"loop", "a"}});
+  Counter* fails = registry.GetCounter("fails", {{"loop", "a"}});
+
+  AnomalyBank bank;
+  AnomalyConfig cfg = TestConfig();
+  ASSERT_TRUE(
+      bank.Watch(AnomalyBank::Source::kGauge, {"y", {{"loop", "a"}}}, "a",
+                 cfg)
+          .ok());
+  ASSERT_TRUE(bank.Watch(AnomalyBank::Source::kCounterRate,
+                         {"fails", {{"loop", "a"}}}, "a", cfg)
+                  .ok());
+
+  // Steady state: gauge wobbles, counter never moves (rate 0).
+  SimTime t = 0.0;
+  for (int i = 0; i < 40; ++i) {
+    y->Set(Wobble(i, 50.0, 1.0));
+    auto events = bank.UpdateAll(t += 60.0, registry.Snapshot());
+    EXPECT_TRUE(events.empty()) << "tick " << i;
+  }
+
+  // The counter jumps: the rate stream spikes; the gauge stays quiet.
+  fails->Increment(50);
+  auto events = bank.UpdateAll(t += 60.0, registry.Snapshot());
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, AnomalyKind::kSpike);
+  EXPECT_NE(events[0].stream.find("fails"), std::string::npos);
+  EXPECT_EQ(events[0].layer, "a");
+  EXPECT_DOUBLE_EQ(events[0].value, 50.0);
+
+  auto states = bank.States();
+  ASSERT_EQ(states.size(), 2u);
+  EXPECT_FALSE(states[0].anomalous);  // Gauge stream, registration order.
+  EXPECT_TRUE(states[1].anomalous);
+}
+
+TEST(AnomalyBankTest, MissingInstrumentSkipsTheTick) {
+  AnomalyBank bank;
+  ASSERT_TRUE(
+      bank.Watch(AnomalyBank::Source::kGauge, {"ghost", {}}, "").ok());
+  MetricsRegistry registry;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(bank.UpdateAll(60.0 * i, registry.Snapshot()).empty());
+  }
+  EXPECT_FALSE(bank.States()[0].anomalous);
+}
+
+TEST(AnomalyBankTest, ThreadCountInvariant) {
+  // Identical watch set and snapshot sequence, one bank inline and one
+  // on a 4-thread pool: every event and every stream state must match
+  // exactly, in the same order.
+  MetricsRegistry registry;
+  std::vector<Gauge*> gauges;
+  for (int g = 0; g < 8; ++g) {
+    gauges.push_back(
+        registry.GetGauge("sig", {{"idx", std::to_string(g)}}));
+  }
+  AnomalyBank inline_bank, pooled_bank;
+  AnomalyConfig cfg = TestConfig();
+  for (int g = 0; g < 8; ++g) {
+    MetricSelector sel{"sig", {{"idx", std::to_string(g)}}};
+    ASSERT_TRUE(
+        inline_bank.Watch(AnomalyBank::Source::kGauge, sel, "layer", cfg)
+            .ok());
+    ASSERT_TRUE(
+        pooled_bank.Watch(AnomalyBank::Source::kGauge, sel, "layer", cfg)
+            .ok());
+  }
+  exec::ThreadPool pool(4);
+
+  SimTime t = 0.0;
+  for (int i = 0; i < 60; ++i) {
+    for (int g = 0; g < 8; ++g) {
+      double base = 10.0 * (g + 1);
+      // Stream g spikes on tick 40 + g.
+      double v = i == 40 + g ? base * 20.0 : Wobble(i + g, base, 0.5);
+      gauges[g]->Set(v);
+    }
+    MetricsSnapshot snap = registry.Snapshot();
+    auto a = inline_bank.UpdateAll(t += 60.0, snap, nullptr);
+    auto b = pooled_bank.UpdateAll(t, snap, &pool);
+    ASSERT_EQ(a.size(), b.size()) << "tick " << i;
+    for (size_t k = 0; k < a.size(); ++k) {
+      EXPECT_EQ(a[k].stream, b[k].stream);
+      EXPECT_EQ(a[k].kind, b[k].kind);
+      EXPECT_DOUBLE_EQ(a[k].value, b[k].value);
+      EXPECT_DOUBLE_EQ(a[k].score, b[k].score);
+    }
+    auto sa = inline_bank.States();
+    auto sb = pooled_bank.States();
+    ASSERT_EQ(sa.size(), sb.size());
+    for (size_t k = 0; k < sa.size(); ++k) {
+      EXPECT_EQ(sa[k].stream, sb[k].stream);
+      EXPECT_DOUBLE_EQ(sa[k].last_value, sb[k].last_value);
+      EXPECT_DOUBLE_EQ(sa[k].last_z, sb[k].last_z);
+      EXPECT_EQ(sa[k].anomalous, sb[k].anomalous);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace flower::obs::health

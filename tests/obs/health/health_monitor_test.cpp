@@ -1,0 +1,178 @@
+#include "obs/health/health_monitor.h"
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace flower::obs::health {
+namespace {
+
+SloSpec TightUtilSpec(const char* layer) {
+  SloSpec spec;
+  spec.id = std::string(layer) + "/util";
+  spec.layer = layer;
+  spec.kind = SliKind::kGaugeBelow;
+  spec.metric = {"cpu", {{"layer", layer}}};
+  spec.threshold = 85.0;
+  spec.objective = 0.9;
+  spec.fast_window_sec = 300.0;
+  spec.slow_window_sec = 600.0;
+  spec.budget_window_sec = 1200.0;
+  spec.burn_alert_threshold = 5.0;  // Reachable with a 0.9 objective.
+  return spec;
+}
+
+TEST(HealthMonitorTest, RejectsDuplicateAndInvalidSlos) {
+  Telemetry telemetry;
+  HealthMonitor monitor(&telemetry);
+  ASSERT_TRUE(monitor.AddSlo(TightUtilSpec("analytics")).ok());
+  EXPECT_FALSE(monitor.AddSlo(TightUtilSpec("analytics")).ok());
+  SloSpec bad = TightUtilSpec("storage");
+  bad.objective = 2.0;
+  EXPECT_FALSE(monitor.AddSlo(bad).ok());
+}
+
+TEST(HealthMonitorTest, PublishesSloGaugesIntoTheRegistry) {
+  Telemetry telemetry;
+  HealthMonitor monitor(&telemetry);
+  ASSERT_TRUE(monitor.AddSlo(TightUtilSpec("analytics")).ok());
+  Gauge* cpu = telemetry.metrics().GetGauge("cpu", {{"layer", "analytics"}});
+  cpu->Set(50.0);
+  for (int i = 1; i <= 10; ++i) monitor.Evaluate(60.0 * i);
+
+  // The monitor's own state flows through the same registry every other
+  // instrument uses.
+  MetricsSnapshot snap = telemetry.metrics().Snapshot();
+  const GaugeSample* good = FindGauge(
+      snap, {"slo.good_fraction",
+             {{"slo", "analytics/util"}, {"layer", "analytics"}}});
+  ASSERT_NE(good, nullptr);
+  EXPECT_DOUBLE_EQ(good->value, 1.0);
+  const GaugeSample* breached = FindGauge(
+      snap,
+      {"slo.breached", {{"slo", "analytics/util"}, {"layer", "analytics"}}});
+  ASSERT_NE(breached, nullptr);
+  EXPECT_DOUBLE_EQ(breached->value, 0.0);
+}
+
+TEST(HealthMonitorTest, BreachReportAndMaskLifecycle) {
+  Telemetry telemetry;
+  HealthMonitorConfig config;
+  config.eval_period_sec = 60.0;
+  HealthMonitor monitor(&telemetry, config);
+  ASSERT_TRUE(monitor.AddSlo(TightUtilSpec("analytics")).ok());
+
+  Gauge* cpu = telemetry.metrics().GetGauge("cpu", {{"layer", "analytics"}});
+  cpu->Set(50.0);
+  SimTime t = 0.0;
+  for (int i = 0; i < 20; ++i) monitor.Evaluate(t += 60.0);
+  EXPECT_TRUE(monitor.ActiveAlerts().empty());
+  EXPECT_EQ(monitor.MaskFor("analytics"), 0);
+
+  // Saturate until the multi-window alert fires.
+  cpu->Set(99.0);
+  int fired_tick = -1;
+  for (int i = 0; i < 15 && fired_tick < 0; ++i) {
+    monitor.Evaluate(t += 60.0);
+    if (!monitor.ActiveAlerts().empty()) fired_tick = i;
+  }
+  ASSERT_GE(fired_tick, 0);
+  EXPECT_EQ(monitor.ActiveAlerts().front(), "analytics/util");
+  EXPECT_EQ(monitor.MaskFor("analytics") & kHealthLayerBreach,
+            kHealthLayerBreach);
+  EXPECT_EQ(monitor.MaskFor("storage"), 0);  // Layer SLO, not flow-wide.
+  ASSERT_EQ(monitor.reports().size(), 1u);   // Report on the alert edge.
+  EXPECT_EQ(monitor.reports().front().slo.id, "analytics/util");
+
+  // Recover: alert clears, mask drops.
+  cpu->Set(40.0);
+  for (int i = 0; i < 10; ++i) monitor.Evaluate(t += 60.0);
+  EXPECT_TRUE(monitor.ActiveAlerts().empty());
+  EXPECT_EQ(monitor.MaskFor("analytics") & kHealthLayerBreach, 0);
+}
+
+TEST(HealthMonitorTest, FlowWideSloSetsFlowBitForEveryLayer) {
+  Telemetry telemetry;
+  HealthMonitor monitor(&telemetry);
+  SloSpec flow = TightUtilSpec("analytics");
+  flow.id = "flow/util";
+  flow.layer = "";  // Flow-wide.
+  ASSERT_TRUE(monitor.AddSlo(flow).ok());
+  Gauge* cpu = telemetry.metrics().GetGauge("cpu", {{"layer", "analytics"}});
+  cpu->Set(99.0);
+  SimTime t = 0.0;
+  for (int i = 0; i < 20; ++i) monitor.Evaluate(t += 60.0);
+  ASSERT_FALSE(monitor.ActiveAlerts().empty());
+  EXPECT_EQ(monitor.MaskFor("analytics") & kHealthFlowBreach,
+            kHealthFlowBreach);
+  EXPECT_EQ(monitor.MaskFor("storage") & kHealthFlowBreach,
+            kHealthFlowBreach);
+}
+
+TEST(HealthMonitorTest, AnomalyEventsAreLoggedCountedAndBounded) {
+  Telemetry telemetry;
+  HealthMonitorConfig config;
+  config.max_anomaly_events = 3;
+  HealthMonitor monitor(&telemetry, config);
+  AnomalyConfig detector;
+  detector.warmup_samples = 4;
+  ASSERT_TRUE(monitor
+                  .Watch(AnomalyBank::Source::kGauge, {"sig", {}},
+                         "analytics", detector)
+                  .ok());
+  Gauge* sig = telemetry.metrics().GetGauge("sig");
+  SimTime t = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    sig->Set(10.0 + 0.1 * (i % 3));
+    monitor.Evaluate(t += 60.0);
+  }
+  ASSERT_TRUE(monitor.anomaly_log().empty());
+
+  // Alternate spikes: each flagged tick appends one event; the log
+  // keeps only the newest max_anomaly_events.
+  for (int i = 0; i < 10; ++i) {
+    sig->Set(i % 2 == 0 ? 500.0 + i : 10.0);
+    monitor.Evaluate(t += 60.0);
+  }
+  EXPECT_LE(monitor.anomaly_log().size(), 3u);
+  EXPECT_FALSE(monitor.anomaly_log().empty());
+  // The mask carries the anomaly bit for the stream's layer while the
+  // latest tick is anomalous.
+  MetricsSnapshot snap = telemetry.metrics().Snapshot();
+  const CounterSample* counted = FindCounter(snap, {"health.anomalies", {}});
+  ASSERT_NE(counted, nullptr);
+  EXPECT_GE(counted->value, monitor.anomaly_log().size());
+}
+
+TEST(HealthMonitorTest, JsonlSerializationIsStable) {
+  Telemetry telemetry;
+  HealthMonitor monitor(&telemetry);
+  ASSERT_TRUE(monitor.AddSlo(TightUtilSpec("analytics")).ok());
+  Gauge* cpu = telemetry.metrics().GetGauge("cpu", {{"layer", "analytics"}});
+  cpu->Set(99.0);
+  SimTime t = 0.0;
+  for (int i = 0; i < 20; ++i) monitor.Evaluate(t += 60.0);
+
+  std::ostringstream a, b;
+  monitor.WriteJsonl(a);
+  monitor.WriteJsonl(b);
+  EXPECT_EQ(a.str(), b.str());  // Pure serialization, no hidden state.
+  EXPECT_NE(a.str().find("\"type\":\"slo\""), std::string::npos);
+  EXPECT_NE(a.str().find("\"type\":\"report\""), std::string::npos);
+  EXPECT_NE(a.str().find("\"id\":\"analytics/util\""), std::string::npos);
+}
+
+TEST(MakeDefaultSloPackTest, CoversAllThreeLayers) {
+  std::vector<SloSpec> pack = MakeDefaultSloPack(90.0, 0.95);
+  ASSERT_EQ(pack.size(), 3u);
+  for (const SloSpec& spec : pack) {
+    EXPECT_TRUE(ValidateSloSpec(spec).ok()) << spec.id;
+    EXPECT_EQ(spec.metric.name, "loop.sensed_y");
+    EXPECT_DOUBLE_EQ(spec.threshold, 90.0);
+  }
+  EXPECT_EQ(pack[0].id, "ingestion/utilization");
+}
+
+}  // namespace
+}  // namespace flower::obs::health

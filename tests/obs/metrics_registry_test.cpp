@@ -130,6 +130,70 @@ TEST(HistogramTest, QuantileInterpolatesAndErrorsWhenEmpty) {
   EXPECT_GT(*p99, *p50);
 }
 
+TEST(HistogramTest, QuantileClampsIntoObservedRange) {
+  MetricsRegistry registry;
+  // A constant stream lands all mass in one wide log-linear bucket;
+  // interpolation alone would smear the estimate across it, but the
+  // recorded min == max pins every quantile exactly.
+  Histogram* constant = registry.GetHistogram("const");
+  for (int i = 0; i < 50; ++i) constant->Record(42.0);
+  for (double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    auto est = constant->Quantile(q);
+    ASSERT_TRUE(est.ok());
+    EXPECT_DOUBLE_EQ(*est, 42.0) << "q=" << q;
+  }
+
+  // Two distinct values: estimates can never leave [min, max].
+  Histogram* pair = registry.GetHistogram("pair");
+  pair->Record(10.0);
+  pair->Record(11.0);
+  auto lo = pair->Quantile(0.01);
+  auto hi = pair->Quantile(0.99);
+  ASSERT_TRUE(lo.ok());
+  ASSERT_TRUE(hi.ok());
+  EXPECT_GE(*lo, 10.0);
+  EXPECT_LE(*hi, 11.0);
+}
+
+TEST(HistogramTest, QuantileErrorBoundedByBucketWidth) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("lat");  // Octave buckets, 4 sub.
+  for (int i = 1; i <= 1000; ++i) h->Record(static_cast<double>(i));
+  // Log-linear layout: each bucket spans at most 1/4 octave, so the
+  // interpolated estimate is within one bucket (≤ 25% relative) of the
+  // true quantile everywhere in range.
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    auto est = h->Quantile(q);
+    ASSERT_TRUE(est.ok());
+    double truth = q * 1000.0;
+    EXPECT_NEAR(*est, truth, 0.25 * truth + 1.0) << "q=" << q;
+  }
+}
+
+TEST(RegistryTest, DuplicateLabelKeysCollapseLastWins) {
+  MetricsRegistry registry;
+  // {a=0,a=1} ≡ {a=1}: repeated assignment, last value wins, and both
+  // spellings must address the same series for every instrument kind.
+  Counter* c1 = registry.GetCounter("steps", {{"a", "0"}, {"a", "1"}});
+  Counter* c2 = registry.GetCounter("steps", {{"a", "1"}});
+  EXPECT_EQ(c1, c2);
+  Gauge* g1 = registry.GetGauge("g", {{"k", "x"}, {"b", "2"}, {"k", "y"}});
+  Gauge* g2 = registry.GetGauge("g", {{"b", "2"}, {"k", "y"}});
+  EXPECT_EQ(g1, g2);
+  Histogram* h1 = registry.GetHistogram("h", {{"z", "1"}, {"z", "2"}});
+  Histogram* h2 = registry.GetHistogram("h", {{"z", "2"}});
+  EXPECT_EQ(h1, h2);
+
+  // The snapshot shows the collapsed form, not the raw duplicate.
+  MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  ASSERT_EQ(snap.counters[0].labels.size(), 1u);
+  EXPECT_EQ(snap.counters[0].labels[0].first, "a");
+  EXPECT_EQ(snap.counters[0].labels[0].second, "1");
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  ASSERT_EQ(snap.gauges[0].labels.size(), 2u);
+}
+
 TEST(RegistryTest, SnapshotIsDeepCopy) {
   MetricsRegistry registry;
   Counter* c = registry.GetCounter("steps", {{"layer", "analytics"}});

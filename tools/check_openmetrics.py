@@ -1,0 +1,215 @@
+#!/usr/bin/env python3
+"""Minimal offline OpenMetrics text-format linter.
+
+Validates the subset of the OpenMetrics 1.0 exposition format that
+obs::WriteSnapshotOpenMetrics emits, with no network and no third-party
+packages, so CI can gate the exporter without pulling a real parser:
+
+  - metric/label names match the spec grammar
+  - every sample belongs to a family announced by a ``# TYPE`` line,
+    and families are contiguous (no interleaving)
+  - counter samples use the ``_total`` suffix
+  - histogram families expose ``_bucket`` series with non-decreasing
+    cumulative counts, a closing ``le="+Inf"`` bucket matching
+    ``_count``, plus ``_sum`` and ``_count``
+  - sample values parse as floats (``NaN``/``+Inf``/``-Inf`` allowed)
+  - the exposition ends with exactly one ``# EOF`` line
+
+Usage: check_openmetrics.py FILE [FILE...]; exits non-zero on the first
+malformed file, printing every violation with its line number.
+"""
+
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})? "
+    r"(?P<value>\S+)(?: (?P<timestamp>\S+))?$"
+)
+LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+TYPES = {"counter", "gauge", "histogram", "summary", "unknown", "info",
+         "stateset", "gaugehistogram"}
+
+
+def parse_value(text):
+    if text in ("+Inf", "-Inf", "Inf"):
+        return float(text.replace("Inf", "inf"))
+    if text == "NaN":
+        return float("nan")
+    return float(text)  # raises ValueError on garbage
+
+
+class Checker:
+    def __init__(self, path):
+        self.path = path
+        self.errors = []
+        # Family currently open by # TYPE, and every family ever seen
+        # (to catch interleaving).
+        self.family = None
+        self.family_type = None
+        self.seen_families = set()
+        # Histogram state for the open family.
+        self.buckets = []  # (le, count) in exposition order
+        self.hist_count = None
+        self.hist_labels = None
+
+    def err(self, lineno, msg):
+        self.errors.append(f"{self.path}:{lineno}: {msg}")
+
+    def close_family(self, lineno):
+        if self.family_type == "histogram" and self.hist_labels is not None:
+            self.flush_histogram(lineno)
+        self.family = None
+        self.family_type = None
+
+    def flush_histogram(self, lineno):
+        if not self.buckets:
+            self.err(lineno, f"histogram '{self.family}' has no _bucket "
+                             "samples")
+        else:
+            prev = -1.0
+            prev_le = None
+            for le, count in self.buckets:
+                if prev_le is not None and le <= prev_le:
+                    self.err(lineno, f"histogram '{self.family}' bucket "
+                                     f"le={le} not increasing")
+                if count < prev:
+                    self.err(lineno, f"histogram '{self.family}' cumulative "
+                                     f"count decreased at le={le}")
+                prev, prev_le = count, le
+            last_le, last_count = self.buckets[-1]
+            if last_le != float("inf"):
+                self.err(lineno, f"histogram '{self.family}' missing "
+                                 'le="+Inf" bucket')
+            elif self.hist_count is not None and last_count != self.hist_count:
+                self.err(lineno, f"histogram '{self.family}' +Inf bucket "
+                                 f"({last_count}) != _count "
+                                 f"({self.hist_count})")
+        self.buckets = []
+        self.hist_count = None
+        self.hist_labels = None
+
+    def on_type(self, lineno, rest):
+        parts = rest.split()
+        if len(parts) != 2 or parts[1] not in TYPES:
+            self.err(lineno, f"malformed # TYPE line: '{rest}'")
+            return
+        name, mtype = parts
+        if not METRIC_NAME.match(name):
+            self.err(lineno, f"invalid family name '{name}'")
+        self.close_family(lineno)
+        if name in self.seen_families:
+            self.err(lineno, f"family '{name}' announced twice "
+                             "(families must be contiguous)")
+        self.seen_families.add(name)
+        self.family = name
+        self.family_type = mtype
+
+    def on_sample(self, lineno, line):
+        m = SAMPLE.match(line)
+        if not m:
+            self.err(lineno, f"unparseable sample line: '{line}'")
+            return
+        name = m.group("name")
+        labels = {}
+        if m.group("labels"):
+            body = m.group("labels")
+            consumed = 0
+            for lm in LABEL.finditer(body):
+                labels[lm.group(1)] = lm.group(2)
+                consumed = lm.end()
+                if consumed < len(body) and body[consumed] == ",":
+                    consumed += 1
+            if consumed != len(body):
+                self.err(lineno, f"malformed label set: '{{{body}}}'")
+            for k in labels:
+                if not LABEL_NAME.match(k):
+                    self.err(lineno, f"invalid label name '{k}'")
+        try:
+            value = parse_value(m.group("value"))
+        except ValueError:
+            self.err(lineno, f"bad sample value '{m.group('value')}'")
+            return
+        if self.family is None:
+            self.err(lineno, f"sample '{name}' before any # TYPE line")
+            return
+        suffixes = {
+            "counter": ["_total", "_created"],
+            "histogram": ["_bucket", "_sum", "_count", "_created"],
+            "summary": ["_sum", "_count", "_created", ""],
+        }.get(self.family_type, [""])
+        if not any(name == self.family + s for s in suffixes):
+            self.err(lineno, f"sample '{name}' does not belong to open "
+                             f"{self.family_type} family '{self.family}'")
+            return
+        if self.family_type == "counter" and value < 0:
+            self.err(lineno, f"counter '{name}' has negative value {value}")
+        if self.family_type == "histogram":
+            # Bucket runs are per-label-set; flush when the non-le labels
+            # change so cumulative checks don't span series.
+            series = tuple(sorted((k, v) for k, v in labels.items()
+                                  if k != "le"))
+            if self.hist_labels is not None and series != self.hist_labels:
+                self.flush_histogram(lineno)
+            self.hist_labels = series
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    self.err(lineno, f"bucket sample missing le label")
+                else:
+                    try:
+                        self.buckets.append((parse_value(labels["le"]),
+                                             value))
+                    except ValueError:
+                        self.err(lineno, f"bad le value '{labels['le']}'")
+            elif name.endswith("_count"):
+                self.hist_count = value
+
+    def check(self, text):
+        lines = text.split("\n")
+        if not text.endswith("\n"):
+            self.err(len(lines), "exposition must end with a newline")
+        else:
+            lines = lines[:-1]
+        if not lines or lines[-1] != "# EOF":
+            self.err(len(lines), "exposition must end with '# EOF'")
+        for lineno, line in enumerate(lines, start=1):
+            if line == "# EOF":
+                if lineno != len(lines):
+                    self.err(lineno, "'# EOF' before end of exposition")
+                self.close_family(lineno)
+            elif line.startswith("# TYPE "):
+                self.on_type(lineno, line[len("# TYPE "):])
+            elif line.startswith("# HELP ") or line.startswith("# UNIT "):
+                continue
+            elif line.startswith("#"):
+                self.err(lineno, f"unknown comment line: '{line}'")
+            elif line.strip():
+                self.on_sample(lineno, line)
+            else:
+                self.err(lineno, "blank line in exposition")
+        return self.errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip().splitlines()[0])
+        print(f"usage: {argv[0]} FILE [FILE...]")
+        return 2
+    failed = False
+    for path in argv[1:]:
+        with open(path, encoding="utf-8") as f:
+            errors = Checker(path).check(f.read())
+        if errors:
+            failed = True
+            for e in errors:
+                print(e)
+        else:
+            print(f"{path}: OK")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

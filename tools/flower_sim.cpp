@@ -20,9 +20,11 @@
 #include "common/table_printer.h"
 #include "common/units.h"
 #include "control/metrics.h"
+#include "core/dependency_analyzer.h"
 #include "core/flow_builder.h"
 #include "core/monitor.h"
 #include "core/resource_share.h"
+#include "obs/health/health_monitor.h"
 #include "obs/telemetry.h"
 #include "tools/flag_parser.h"
 #include "workload/trace_io.h"
@@ -56,6 +58,11 @@ Flags (all optional):
                         Perfetto or chrome://tracing
   --metrics-out=FILE    write control-decision records plus a final metrics
                         snapshot as JSON lines
+  --health-out=FILE     run the flow-health layer (SLO engine, anomaly
+                        detectors, root-cause attribution) alongside the
+                        control loops and write its state as JSON lines
+  --openmetrics-out=FILE  write the final metrics snapshot in OpenMetrics/
+                        Prometheus text exposition format
   --quiet               summary only (no dashboard)
   --help                this text
 )";
@@ -261,7 +268,10 @@ int RunOrDie(const tools::FlagParser& flags) {
 
   std::string trace_out = flags.GetString("trace-out", "");
   std::string metrics_out = flags.GetString("metrics-out", "");
-  const bool observe = !trace_out.empty() || !metrics_out.empty();
+  std::string health_out = flags.GetString("health-out", "");
+  std::string openmetrics_out = flags.GetString("openmetrics-out", "");
+  const bool observe = !trace_out.empty() || !metrics_out.empty() ||
+                       !health_out.empty() || !openmetrics_out.empty();
 
   // The hub must outlive the managed flow, so it is declared first.
   obs::Telemetry telemetry;
@@ -322,6 +332,57 @@ int RunOrDie(const tools::FlagParser& flags) {
     } else {
       FLOWER_LOG(Warning) << "share planning failed: " << shares.status();
     }
+  }
+
+  // The flow-health layer: stock SLO pack over the per-loop sensed
+  // utilization, anomaly detectors on the loop gauges and failure
+  // counters, periodic Eq. 1 dependency re-learning for attribution,
+  // and the health annotator stamping decision records.
+  std::unique_ptr<obs::health::HealthMonitor> health;
+  core::DependencyAnalyzer dep_analyzer;
+  if (!health_out.empty()) {
+    obs::health::HealthMonitorConfig hcfg;
+    hcfg.eval_period_sec = *period_or;
+    health = std::make_unique<obs::health::HealthMonitor>(&telemetry, hcfg);
+    for (const obs::health::SloSpec& spec :
+         obs::health::MakeDefaultSloPack()) {
+      Status st = health->AddSlo(spec);
+      if (!st.ok()) {
+        std::cerr << st << "\n";
+        return 1;
+      }
+    }
+    for (const char* layer : {"ingestion", "analytics", "storage"}) {
+      obs::LabelSet labels{{"loop", layer}, {"layer", layer}};
+      health->Watch(obs::health::AnomalyBank::Source::kGauge,
+                    {"loop.sensed_y", labels}, layer);
+      health->Watch(obs::health::AnomalyBank::Source::kCounterRate,
+                    {"loop.actuation_failures", labels}, layer);
+    }
+    managed->manager->SetHealthAnnotator(
+        [&health](const std::string& layer, SimTime) {
+          return health->MaskFor(layer);
+        });
+    sim.SchedulePeriodic(hcfg.eval_period_sec, hcfg.eval_period_sec,
+                         [&health, &sim] {
+                           health->Evaluate(sim.Now());
+                           return true;
+                         });
+    sim.SchedulePeriodic(
+        30.0 * kMinute, 30.0 * kMinute, [&health, &dep_analyzer, &metrics,
+                                         &sim] {
+          std::vector<core::LayerMetric> lm = {
+              {core::Layer::kIngestion,
+               {"Flower/Kinesis", "IncomingRecords", "clickstream"}},
+              {core::Layer::kAnalytics,
+               {"Flower/Storm", "CpuUtilization", "storm"}},
+              {core::Layer::kStorage,
+               {"Flower/DynamoDB", "ConsumedWriteCapacityUnits",
+                "aggregates"}}};
+          health->SetDependencyEdges(core::ToHealthEdges(
+              dep_analyzer.AnalyzeAll(metrics, lm, 0.0, sim.Now())));
+          return true;
+        });
   }
 
   double horizon = hours * kHour;
@@ -411,6 +472,27 @@ int RunOrDie(const tools::FlagParser& flags) {
               << " decision records + metrics snapshot to " << metrics_out
               << "\n";
   }
+  if (health != nullptr) {
+    Status st = health->ExportJsonl(health_out);
+    if (!st.ok()) {
+      std::cerr << st << "\n";
+      return 1;
+    }
+    std::cout << "wrote health state (" << health->Statuses().size()
+              << " SLOs, " << health->ActiveAlerts().size()
+              << " active alerts, " << health->reports().size()
+              << " reports) to " << health_out << "\n";
+  }
+  if (!openmetrics_out.empty()) {
+    Status st = obs::ExportToFile(openmetrics_out, [&](std::ostream& os) {
+      obs::WriteSnapshotOpenMetrics(os, telemetry.metrics().Snapshot());
+    });
+    if (!st.ok()) {
+      std::cerr << st << "\n";
+      return 1;
+    }
+    std::cout << "wrote OpenMetrics snapshot to " << openmetrics_out << "\n";
+  }
   return 0;
 }
 
@@ -429,8 +511,8 @@ int main(int argc, char** argv) {
   auto unknown = flags->UnknownKeys(
       {"controller", "workload", "trace", "rate", "amplitude",
        "period-hours", "hours", "reference", "monitoring-period", "seed",
-       "seeds", "threads", "csv-out", "trace-out", "metrics-out", "quiet",
-       "help"});
+       "seeds", "threads", "csv-out", "trace-out", "metrics-out",
+       "health-out", "openmetrics-out", "quiet", "help"});
   if (!unknown.empty()) {
     std::cerr << "unknown flag: --" << unknown.front() << "\n" << kUsage;
     return 2;
