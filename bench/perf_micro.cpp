@@ -7,6 +7,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -239,15 +240,86 @@ bool MetricsHotPathIsAllocationFree() {
   return allocs == 0;
 }
 
+// Minimal 2-variable / 2-objective / 1-constraint problem whose
+// Evaluate performs no allocations once the caller's buffers hold two
+// elements — isolates the solver's own heap behavior.
+class GuardProblem final : public opt::Problem {
+ public:
+  GuardProblem() {
+    specs_.push_back({"a", 0.0, 10.0, false});
+    specs_.push_back({"b", 0.0, 10.0, false});
+  }
+  const std::vector<opt::VariableSpec>& variables() const override {
+    return specs_;
+  }
+  size_t num_objectives() const override { return 2; }
+  size_t num_constraints() const override { return 1; }
+  void Evaluate(const std::vector<double>& x,
+                std::vector<double>* objectives,
+                std::vector<double>* violations) const override {
+    objectives->push_back(x[0]);
+    objectives->push_back(10.0 - x[0] + 0.1 * x[1]);
+    violations->push_back(std::max(0.0, x[0] + x[1] - 15.0));
+  }
+
+ private:
+  std::vector<opt::VariableSpec> specs_;
+};
+
+// Second hard guard: NSGA-II's generation loop must be allocation-free
+// in steady state. The first generations warm the arena/workspace/
+// scratch capacities (and the thread_local violation buffer); every
+// generation after the warm-up window must perform zero heap
+// allocations, with the convergence-stall bookkeeping enabled so the
+// early-exit path is covered too.
+bool PlannerSteadyStateIsAllocationLean() {
+  constexpr size_t kGenerations = 12;
+  constexpr size_t kWarmupGenerations = 2;
+  static uint64_t per_gen[kGenerations];
+  static uint64_t last_mark;
+  GuardProblem problem;
+  opt::Nsga2Config cfg;
+  cfg.population_size = 32;
+  cfg.generations = kGenerations;
+  cfg.num_threads = 1;
+  cfg.stall_generations = kGenerations + 1;  // Bookkeeping on, no exit.
+  cfg.on_generation = [](const opt::Nsga2GenerationStats& s) {
+    uint64_t now = g_allocations.load(std::memory_order_relaxed);
+    per_gen[s.generation] = now - last_mark;
+    last_mark = now;
+  };
+  opt::Nsga2 solver(cfg);
+  last_mark = g_allocations.load(std::memory_order_relaxed);
+  auto res = solver.Solve(problem);
+  if (!res.ok()) {
+    std::printf("planner steady-state guard: solve failed\n");
+    return false;
+  }
+  uint64_t steady = 0;
+  for (size_t g = kWarmupGenerations; g < kGenerations; ++g) {
+    steady += per_gen[g];
+  }
+  std::printf("planner steady-state allocation guard: %llu allocations over "
+              "generations %zu..%zu (warm-up gens excluded)\n",
+              static_cast<unsigned long long>(steady), kWarmupGenerations,
+              kGenerations - 1);
+  return steady == 0;
+}
+
 }  // namespace
 }  // namespace flower
 
-// BENCHMARK_MAIN, plus the allocation guard up front.
+// BENCHMARK_MAIN, plus the allocation guards up front.
 int main(int argc, char** argv) {
   if (!flower::MetricsHotPathIsAllocationFree()) {
     std::fprintf(stderr,
                  "FAIL: metrics hot path allocated; registry is not "
                  "allocation-free\n");
+    return 1;
+  }
+  if (!flower::PlannerSteadyStateIsAllocationLean()) {
+    std::fprintf(stderr,
+                 "FAIL: NSGA-II generation loop allocated in steady state\n");
     return 1;
   }
   benchmark::Initialize(&argc, argv);

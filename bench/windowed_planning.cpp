@@ -66,9 +66,14 @@ bool PlansIdentical(const std::vector<core::WindowPlan>& a,
   return true;
 }
 
-int Run(size_t threads) {
+int Run(size_t threads, bool warm_start, size_t stall_generations) {
   bench::Header(
       "PLAN  Windowed resource shares from forecasts (paper §2 extension)");
+  if (warm_start || stall_generations > 0) {
+    std::cout << "incremental planning: warm_start="
+              << (warm_start ? "on" : "off")
+              << " stall_generations=" << stall_generations << "\n";
+  }
   TimeSeries history = History(7);
   const double step = 10.0 * kMinute;
 
@@ -130,7 +135,11 @@ int Run(size_t threads) {
   opt::Nsga2Config solver;
   solver.population_size = 80;
   solver.generations = 100;
-  core::WindowedShareAnalyzer analyzer(base, model, solver);
+  core::IncrementalPlanning inc;
+  inc.warm_start = warm_start;
+  inc.stall_generations = stall_generations;
+  core::WindowedShareAnalyzer analyzer(base, model, solver,
+                                       /*num_threads=*/1, inc);
   auto plans = analyzer.PlanHorizon(forecast, 4.0 * kHour);
   if (!plans.ok()) {
     std::cerr << plans.status() << "\n";
@@ -183,13 +192,19 @@ int Run(size_t threads) {
 
   // --- 4. Parallel re-planning: 1-hour windows give 24 independent
   // NSGA-II runs, the coarse grain the exec::ThreadPool fans out over.
+  // A warm chain is inherently sequential across windows, so this
+  // comparison keeps warm starts off and carries only the stall knob
+  // (deterministic and thread-count-invariant).
   std::cout << "\nParallel re-planning (1h windows, 24 solver runs):\n";
+  core::IncrementalPlanning stall_only;
+  stall_only.stall_generations = stall_generations;
   core::WindowedShareAnalyzer serial_analyzer(base, model, solver,
-                                              /*num_threads=*/1);
+                                              /*num_threads=*/1, stall_only);
   auto ps0 = std::chrono::steady_clock::now();
   auto serial_plans = serial_analyzer.PlanHorizon(forecast, 1.0 * kHour);
   auto ps1 = std::chrono::steady_clock::now();
-  core::WindowedShareAnalyzer parallel_analyzer(base, model, solver, threads);
+  core::WindowedShareAnalyzer parallel_analyzer(base, model, solver, threads,
+                                                stall_only);
   auto pp0 = std::chrono::steady_clock::now();
   auto parallel_plans = parallel_analyzer.PlanHorizon(forecast, 1.0 * kHour);
   auto pp1 = std::chrono::steady_clock::now();
@@ -258,7 +273,8 @@ int main(int argc, char** argv) {
   auto flags = flower::tools::FlagParser::Parse(argc, argv);
   if (!flags.ok()) {
     std::cerr << flags.status()
-              << "\nusage: windowed_planning [--threads=N]\n";
+              << "\nusage: windowed_planning [--threads=N] [--warm-start] "
+                 "[--stall-generations=N]\n";
     return 2;
   }
   auto threads = flags->GetInt("threads", 8);
@@ -266,5 +282,12 @@ int main(int argc, char** argv) {
     std::cerr << "--threads expects a positive integer\n";
     return 2;
   }
-  return flower::Run(static_cast<size_t>(*threads));
+  auto stall = flags->GetInt("stall-generations", 0);
+  if (!stall.ok() || *stall < 0) {
+    std::cerr << "--stall-generations expects a non-negative integer\n";
+    return 2;
+  }
+  return flower::Run(static_cast<size_t>(*threads),
+                     flags->GetBool("warm-start"),
+                     static_cast<size_t>(*stall));
 }

@@ -32,7 +32,7 @@ Status MetricStore::Put(const MetricId& id, SimTime time, double value) {
 
 namespace {
 
-Result<double> Aggregate(std::vector<double> v, Statistic stat) {
+Result<double> Aggregate(const std::vector<double>& v, Statistic stat) {
   switch (stat) {
     case Statistic::kAverage:
       return stats::Mean(v);
@@ -47,12 +47,13 @@ Result<double> Aggregate(std::vector<double> v, Statistic stat) {
       return *std::max_element(v.begin(), v.end());
     case Statistic::kSampleCount:
       return static_cast<double>(v.size());
+    // Percentile sorts its input, so only these branches pay a copy.
     case Statistic::kP50:
-      return stats::Percentile(std::move(v), 50.0);
+      return stats::Percentile(v, 50.0);
     case Statistic::kP90:
-      return stats::Percentile(std::move(v), 90.0);
+      return stats::Percentile(v, 90.0);
     case Statistic::kP99:
-      return stats::Percentile(std::move(v), 99.0);
+      return stats::Percentile(v, 99.0);
   }
   return Status::Internal("GetStatistic: unhandled statistic");
 }
@@ -93,13 +94,25 @@ Result<TimeSeries> MetricStore::GetStatisticSeries(const MetricId& id,
                             id.ToString());
   }
   TimeSeries out(id.ToString() + "/" + std::string(StatisticToString(stat)));
+  // Buckets tile [t0, t1) left to right and the samples are time-
+  // sorted, so one forward sweep visits every sample once — no
+  // per-bucket lower_bound, no per-bucket TimeSeries copy. Bucket
+  // semantics stay [start, end): a sample at a bucket start belongs to
+  // that bucket, not the previous one.
+  const std::vector<Sample>& samples = it->second.samples();
+  auto cur = std::lower_bound(
+      samples.begin(), samples.end(), t0,
+      [](const Sample& s, SimTime t) { return s.time < t; });
+  std::vector<double> bucket_values;
   for (SimTime start = t0; start < t1; start += period) {
     SimTime end = std::min(start + period, t1);
-    // Bucket semantics [start, end): a sample at a bucket start belongs
-    // to that bucket, not the previous one.
-    TimeSeries bucket = it->second.Window(start, end);
-    if (bucket.empty()) continue;  // Empty period.
-    auto value = Aggregate(bucket.Values(), stat);
+    bucket_values.clear();
+    while (cur != samples.end() && cur->time < end) {
+      bucket_values.push_back(cur->value);
+      ++cur;
+    }
+    if (bucket_values.empty()) continue;  // Empty period.
+    auto value = Aggregate(bucket_values, stat);
     if (!value.ok()) continue;
     out.AppendUnchecked(start, *value);
   }

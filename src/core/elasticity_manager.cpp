@@ -365,6 +365,70 @@ bool ElasticityManager::Actuate(Attached* a, double amount, int attempt) {
   return false;
 }
 
+Status ElasticityManager::EnableReplanning(ReplanConfig config) {
+  if (replan_ != nullptr) {
+    return Status::FailedPrecondition(
+        "ElasticityManager: re-planning already enabled");
+  }
+  if (config.period_sec <= 0.0) {
+    return Status::InvalidArgument(
+        "ElasticityManager: re-plan period must be positive");
+  }
+  if (config.start_delay_sec < 0.0) {
+    return Status::InvalidArgument(
+        "ElasticityManager: negative re-plan start delay");
+  }
+  auto state = std::make_unique<ReplanState>();
+  state->analyzer =
+      ResourceShareAnalyzer(config.solver, config.incremental);
+  state->analyzer.SetMetricsRegistry(&telemetry_->metrics());
+  state->failures = telemetry_->metrics().GetCounter("planner.replan_failures");
+  state->front_size = telemetry_->metrics().GetGauge("planner.front_size");
+  state->config = std::move(config);
+  ReplanState* raw = state.get();
+  FLOWER_RETURN_NOT_OK(sim_->SchedulePeriodic(
+      sim_->Now() + state->config.start_delay_sec, state->config.period_sec,
+      [this, raw] {
+        ReplanStep(raw);
+        return true;
+      }));
+  replan_ = std::move(state);
+  return Status::OK();
+}
+
+void ElasticityManager::ReplanStep(ReplanState* s) {
+  SimTime now = sim_->Now();
+  if (s->config.update_request) {
+    s->config.update_request(now, &s->config.request);
+  }
+  Result<ResourceShareResult> res =
+      s->analyzer.AnalyzeIncremental(s->config.request);
+  if (!res.ok()) {
+    // Keep the previous bounds; a transiently unsolvable request must
+    // not strip the loops of their caps.
+    s->failures->Increment();
+    return;
+  }
+  s->front_size->Set(static_cast<double>(res->pareto_plans.size()));
+  Result<ProvisioningPlan> max_shares =
+      ResourceShareAnalyzer::MaxShares(*res);
+  if (max_shares.ok()) {
+    for (int i = 0; i < kNumLayers; ++i) {
+      Layer layer = static_cast<Layer>(i);
+      if (!IsAttached(layer)) continue;
+      (void)SetShareUpperBound(layer, max_shares->shares[i]);
+    }
+  }
+  if (s->config.on_plan) s->config.on_plan(now, *res);
+}
+
+Result<PlannerCounters> ElasticityManager::ReplanCounters() const {
+  if (replan_ == nullptr) {
+    return Status::NotFound("ElasticityManager: re-planning not enabled");
+  }
+  return replan_->analyzer.counters();
+}
+
 Status ElasticityManager::SetShareUpperBound(const std::string& name,
                                              double bound) {
   auto it = loops_.find(name);

@@ -12,6 +12,7 @@
 #include "control/controller.h"
 #include "control/observer.h"
 #include "core/layer.h"
+#include "core/resource_share.h"
 #include "obs/telemetry.h"
 #include "sim/simulation.h"
 
@@ -76,6 +77,29 @@ struct ResiliencePolicy {
   RetryPolicy retry;
   CircuitBreakerPolicy breaker;
   SensorPolicy sensor;
+};
+
+/// Periodic resource-share re-planning on the simulation clock
+/// (paper §3.2 run as part of the control plane). Every `period_sec`
+/// the manager re-runs the share analysis through an incremental
+/// ResourceShareAnalyzer — plan cache, warm starts, and convergence
+/// early-exit per `incremental` — and applies the front's per-layer
+/// MaxShares as the attached loops' share upper bounds. Consecutive
+/// periods with an unchanged request are served from the plan cache
+/// (no solver run at all) when `incremental.cache` is on.
+struct ReplanConfig {
+  ResourceShareRequest request;
+  opt::Nsga2Config solver;
+  IncrementalPlanning incremental;
+  double period_sec = 3600.0;
+  double start_delay_sec = 0.0;
+  /// Optional hook refreshing the request before each re-plan (budget
+  /// drift, newly learned dependency constraints). An unchanged
+  /// request keeps the plan cache hot.
+  std::function<void(SimTime, ResourceShareRequest*)> update_request;
+  /// Invoked after every successful re-plan with the (possibly
+  /// cached) result.
+  std::function<void(SimTime, const ResourceShareResult&)> on_plan;
 };
 
 /// Everything needed to run one layer's control loop (paper §2: each
@@ -244,6 +268,17 @@ class ElasticityManager {
   std::function<Result<double>(SimTime)> MakeDefaultSensor(
       const LayerControlConfig& config) const;
 
+  /// Starts the periodic incremental re-planning loop. The analyzer's
+  /// planner.* counters land in this manager's metrics registry.
+  /// Errors: already enabled, or non-positive period. Failed re-plan
+  /// runs are counted (planner.replan_failures) and skipped; the loops
+  /// keep their previous bounds.
+  Status EnableReplanning(ReplanConfig config);
+  bool replanning_enabled() const { return replan_ != nullptr; }
+  /// Counters of the re-planning analyzer (NotFound when re-planning
+  /// was never enabled).
+  Result<PlannerCounters> ReplanCounters() const;
+
   /// Sets a loop's maximum resource share (from §3.2's analysis);
   /// 0 disables the cap. Takes effect from the next control step.
   /// The Layer overloads address the loop with the default name.
@@ -320,7 +355,15 @@ class ElasticityManager {
     obs::Counter* breach_steps = nullptr;
   };
 
+  struct ReplanState {
+    ReplanConfig config;
+    ResourceShareAnalyzer analyzer;
+    obs::Counter* failures = nullptr;
+    obs::Gauge* front_size = nullptr;
+  };
+
   void Step(Attached* a);
+  void ReplanStep(ReplanState* s);
   /// One actuation attempt (attempt 0 = the step's own attempt);
   /// schedules the next retry / trips the breaker on failure. Returns
   /// whether THIS attempt succeeded (retries land asynchronously).
@@ -342,6 +385,7 @@ class ElasticityManager {
   control::ControlObserver* annotated_observer_ = nullptr;
   int next_trace_tid_ = 0;
   std::map<std::string, std::unique_ptr<Attached>> loops_;
+  std::unique_ptr<ReplanState> replan_;
 };
 
 }  // namespace flower::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 
 #include "opt/grid_search.h"
@@ -80,28 +81,32 @@ void ShareProblem::Evaluate(const std::vector<double>& x,
                               request_.hourly_budget_usd)
           : std::max(0.0, cost);
 
-  std::vector<double> dep_violations;
-  dep_violations.reserve(request_.constraints.size());
-  for (const LinearConstraint& c : request_.constraints) {
-    double lhs = 0.0;
-    for (int i = 0; i < kNumLayers; ++i) {
-      lhs += c.coeff[i] * x[static_cast<size_t>(i)];
-    }
-    dep_violations.push_back(std::max(0.0, lhs - c.rhs));
-  }
-
+  // Dependency violations go straight into the output (or the penalty
+  // sum) — no intermediate vector, so the solver's steady-state loop
+  // stays allocation-free once the caller's buffers are warm.
+  violations->clear();
   if (request_.handling == ConstraintHandling::kPenalty) {
-    violations->clear();
     double total = budget_violation;
-    for (double v : dep_violations) total += v;
+    for (const LinearConstraint& c : request_.constraints) {
+      double lhs = 0.0;
+      for (int i = 0; i < kNumLayers; ++i) {
+        lhs += c.coeff[i] * x[static_cast<size_t>(i)];
+      }
+      total += std::max(0.0, lhs - c.rhs);
+    }
     for (double& obj : *objectives) {
       obj -= request_.penalty_weight * total;
     }
     return;
   }
-  violations->clear();
   violations->push_back(budget_violation);
-  for (double v : dep_violations) violations->push_back(v);
+  for (const LinearConstraint& c : request_.constraints) {
+    double lhs = 0.0;
+    for (int i = 0; i < kNumLayers; ++i) {
+      lhs += c.coeff[i] * x[static_cast<size_t>(i)];
+    }
+    violations->push_back(std::max(0.0, lhs - c.rhs));
+  }
 }
 
 namespace {
@@ -124,11 +129,12 @@ ResourceShareResult ToResult(const std::vector<opt::Solution>& front,
 
 }  // namespace
 
-Result<ResourceShareResult> ResourceShareAnalyzer::Analyze(
-    const ResourceShareRequest& request) const {
+Result<ResourceShareResult> ResourceShareAnalyzer::Run(
+    const ResourceShareRequest& request, const opt::Nsga2Config& config) {
   ShareProblem problem(request);
-  opt::Nsga2 solver(solver_config_);
+  opt::Nsga2 solver(config);
   FLOWER_ASSIGN_OR_RETURN(opt::Nsga2Result res, solver.Solve(problem));
+  ResourceShareResult out;
   if (request.handling == ConstraintHandling::kPenalty) {
     // Under penalty handling every solution is formally "feasible";
     // filter to truly feasible plans by re-checking the constraints.
@@ -148,9 +154,134 @@ Result<ResourceShareResult> ResourceShareAnalyzer::Analyze(
         feasible.push_back(std::move(f));
       }
     }
-    return ToResult(opt::ParetoFront(feasible), checker, res.evaluations);
+    out = ToResult(opt::ParetoFront(feasible), checker, res.evaluations);
+  } else {
+    out = ToResult(res.pareto_front, problem, res.evaluations);
   }
-  return ToResult(res.pareto_front, problem, res.evaluations);
+  out.early_exit = res.early_exit;
+  out.final_population.reserve(res.final_population.size());
+  for (opt::Solution& s : res.final_population) {
+    out.final_population.push_back(std::move(s.x));
+  }
+  return out;
+}
+
+Result<ResourceShareResult> ResourceShareAnalyzer::Analyze(
+    const ResourceShareRequest& request) const {
+  return Run(request, solver_config_);
+}
+
+Result<ResourceShareResult> ResourceShareAnalyzer::AnalyzeIncremental(
+    const ResourceShareRequest& request) {
+  opt::Nsga2Config config = solver_config_;
+  config.stall_generations = incremental_.stall_generations;
+  config.stall_tolerance = incremental_.stall_tolerance;
+
+  auto bump = [this](uint64_t PlannerCounters::*field, const char* name,
+                     uint64_t delta) {
+    if (delta == 0) return;
+    counters_.*field += delta;
+    if (registry_ != nullptr) {
+      registry_->GetCounter(name)->Increment(delta);
+    }
+  };
+
+  std::string fingerprint;
+  if (incremental_.cache) {
+    fingerprint = Fingerprint(request, config);
+    if (fingerprint == cached_fingerprint_ && !cached_fingerprint_.empty()) {
+      bump(&PlannerCounters::cache_hits, "planner.cache_hits", 1);
+      ResourceShareResult out = cached_result_;
+      out.cache_hit = true;
+      out.evaluations = 0;  // Nothing was solved for this call.
+      return out;
+    }
+    bump(&PlannerCounters::cache_misses, "planner.cache_misses", 1);
+    // Invalidate now; the cache is (re)filled only by a successful
+    // solve below, so a failed solve can never be served as a hit.
+    cached_fingerprint_.clear();
+  }
+
+  if (incremental_.warm_start && !last_population_.empty()) {
+    // Partial injection (see IncrementalPlanning::seed_fraction): the
+    // prefix of the rank-ordered final population seeds the next solve;
+    // the solver tops the rest up with fresh random individuals.
+    double frac = std::clamp(incremental_.seed_fraction, 0.0, 1.0);
+    size_t max_seeds = static_cast<size_t>(
+        std::ceil(frac * static_cast<double>(config.population_size)));
+    max_seeds = std::min(max_seeds, last_population_.size());
+    config.seed_population.assign(
+        last_population_.begin(),
+        last_population_.begin() + static_cast<long>(max_seeds));
+    bump(&PlannerCounters::warm_starts, "planner.warm_starts", 1);
+  }
+
+  FLOWER_ASSIGN_OR_RETURN(ResourceShareResult out, Run(request, config));
+  bump(&PlannerCounters::evaluations, "planner.evaluations",
+       out.evaluations);
+  if (out.early_exit) {
+    bump(&PlannerCounters::early_exits, "planner.early_exits", 1);
+  }
+  if (incremental_.warm_start) last_population_ = out.final_population;
+  if (incremental_.cache) {
+    cached_result_ = out;
+    cached_fingerprint_ = std::move(fingerprint);
+  }
+  return out;
+}
+
+void ResourceShareAnalyzer::SetMetricsRegistry(
+    obs::MetricsRegistry* registry) {
+  registry_ = registry;
+}
+
+std::string ResourceShareAnalyzer::Fingerprint(
+    const ResourceShareRequest& request, const opt::Nsga2Config& solver) {
+  // Canonical text form: %.17g round-trips doubles exactly, and every
+  // field lands in a fixed position, so string equality is problem
+  // equality (no hash collisions to reason about).
+  std::string fp;
+  fp.reserve(256);
+  char buf[64];
+  auto add = [&](double v) {
+    std::snprintf(buf, sizeof(buf), "%.17g,", v);
+    fp += buf;
+  };
+  auto add_u = [&](unsigned long long v) {
+    std::snprintf(buf, sizeof(buf), "%llu,", v);
+    fp += buf;
+  };
+  fp += "budget:";
+  add(request.hourly_budget_usd);
+  fp += "prices:";
+  for (int i = 0; i < kNumLayers; ++i) add(request.unit_price[i]);
+  fp += "bounds:";
+  for (int i = 0; i < kNumLayers; ++i) {
+    add(request.bounds[i].min);
+    add(request.bounds[i].max);
+  }
+  fp += "handling:";
+  add_u(static_cast<unsigned long long>(request.handling));
+  fp += "penalty:";
+  add(request.penalty_weight);
+  fp += "constraints:";
+  for (const LinearConstraint& c : request.constraints) {
+    fp += '[';
+    for (int i = 0; i < kNumLayers; ++i) add(c.coeff[i]);
+    add(c.rhs);
+    fp += ']';
+  }
+  fp += "solver:";
+  add_u(solver.population_size);
+  add_u(solver.generations);
+  add(solver.crossover_prob);
+  add(solver.mutation_prob);
+  add(solver.eta_crossover);
+  add(solver.eta_mutation);
+  add_u(solver.seed);
+  add_u(solver.stall_generations);
+  add(solver.stall_tolerance);
+  return fp;
 }
 
 Result<ResourceShareResult> ResourceShareAnalyzer::AnalyzeExhaustive(

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/layer.h"
+#include "obs/metrics_registry.h"
 #include "opt/nsga2.h"
 #include "opt/problem.h"
 #include "pricing/price_book.h"
@@ -103,6 +104,49 @@ class ShareProblem final : public opt::Problem {
 struct ResourceShareResult {
   std::vector<ProvisioningPlan> pareto_plans;
   size_t evaluations = 0;
+  /// Final solver population (decision vectors) — feed through
+  /// IncrementalPlanning::warm_start / Nsga2Config::seed_population to
+  /// warm the next solve. Empty for the exhaustive oracle.
+  std::vector<std::vector<double>> final_population;
+  /// True when the convergence early-exit stopped the solver before
+  /// its configured generation count.
+  bool early_exit = false;
+  /// True when AnalyzeIncremental served this result from the plan
+  /// cache without running the solver (evaluations is then 0).
+  bool cache_hit = false;
+};
+
+/// Knobs of the incremental planning engine (warm starts, plan cache,
+/// convergence early-exit). Everything off by default reproduces the
+/// cold-start behavior bit for bit.
+struct IncrementalPlanning {
+  /// Seed each solve with the previous solve's final population
+  /// (clamped to the new bounds by the solver's repair step).
+  bool warm_start = false;
+  /// Memoize the last front keyed by a canonical fingerprint of
+  /// (budget, prices, bounds, constraints, handling, solver config);
+  /// an identical request returns the memoized result without running
+  /// the solver, any drift forces a fresh solve.
+  bool cache = false;
+  /// Forwarded to Nsga2Config::stall_generations / stall_tolerance
+  /// (0 = run the full generation budget).
+  size_t stall_generations = 0;
+  double stall_tolerance = 1e-4;
+  /// Fraction of the population seeded from the carried-over solutions
+  /// on a warm start; the remainder is drawn fresh by the solver.
+  /// Seeding everything narrows exploration and can shrink the front,
+  /// so partial injection is the default. Clamped to [0, 1].
+  double seed_fraction = 0.5;
+};
+
+/// Cumulative incremental-planning counters (mirrored into the metrics
+/// registry as planner.* when one is attached).
+struct PlannerCounters {
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t warm_starts = 0;
+  uint64_t early_exits = 0;
+  uint64_t evaluations = 0;
 };
 
 /// Resource share analysis (paper §3.2): searches the provisioning-plan
@@ -112,11 +156,41 @@ struct ResourceShareResult {
 /// upper bounds.
 class ResourceShareAnalyzer {
  public:
-  explicit ResourceShareAnalyzer(opt::Nsga2Config solver_config = {})
-      : solver_config_(solver_config) {}
+  explicit ResourceShareAnalyzer(opt::Nsga2Config solver_config = {},
+                                 IncrementalPlanning incremental = {})
+      : solver_config_(std::move(solver_config)), incremental_(incremental) {}
 
-  /// Runs NSGA-II on the request.
+  /// Runs NSGA-II on the request (always a cold solve; the incremental
+  /// knobs only affect AnalyzeIncremental).
   Result<ResourceShareResult> Analyze(const ResourceShareRequest& request) const;
+
+  /// Incremental analysis across successive control periods: consults
+  /// the plan cache (when enabled) before solving, warm-starts the
+  /// solver from the previous period's final population (when enabled),
+  /// and applies the convergence early-exit knobs. With a default
+  /// IncrementalPlanning this is exactly Analyze plus counter upkeep.
+  Result<ResourceShareResult> AnalyzeIncremental(
+      const ResourceShareRequest& request);
+
+  /// Canonical plan-cache key: a textual fingerprint of every
+  /// result-affecting field of (request, solver config) — budget,
+  /// prices, bounds, constraint coefficients, handling, penalty
+  /// weight, population/generations/operator parameters, seed, and the
+  /// stall knobs. Deliberately excludes num_threads (results are
+  /// thread-count-invariant), the observer, and the seed population
+  /// (warm starts refine convergence speed, not the problem).
+  static std::string Fingerprint(const ResourceShareRequest& request,
+                                 const opt::Nsga2Config& solver);
+
+  /// Mirrors the planner.* counters into `registry` (cache_hits,
+  /// cache_misses, warm_starts, early_exits, evaluations). `registry`
+  /// must outlive the analyzer; nullptr detaches.
+  void SetMetricsRegistry(obs::MetricsRegistry* registry);
+
+  /// Cumulative counters since construction (local mirror, available
+  /// without a registry).
+  const PlannerCounters& counters() const { return counters_; }
+  const IncrementalPlanning& incremental() const { return incremental_; }
 
   /// Exact Pareto front by exhaustive integer-grid enumeration (test
   /// oracle / small problems). Errors when the grid is too large.
@@ -133,7 +207,19 @@ class ResourceShareAnalyzer {
   static Result<ProvisioningPlan> MaxShares(const ResourceShareResult& result);
 
  private:
+  /// Shared solve path of Analyze / AnalyzeIncremental.
+  static Result<ResourceShareResult> Run(const ResourceShareRequest& request,
+                                         const opt::Nsga2Config& config);
+
   opt::Nsga2Config solver_config_;
+  IncrementalPlanning incremental_;
+  obs::MetricsRegistry* registry_ = nullptr;
+  PlannerCounters counters_;
+  /// Warm-start memory: the previous solve's final population.
+  std::vector<std::vector<double>> last_population_;
+  /// Plan cache (valid when cached_fingerprint_ is non-empty).
+  std::string cached_fingerprint_;
+  ResourceShareResult cached_result_;
 };
 
 }  // namespace flower::core

@@ -55,12 +55,15 @@ std::function<void(const opt::Nsga2GenerationStats&)> MakeNsga2Observer(
       "nsga2.hypervolume", {{"planner", planner_name}});
   Gauge* evaluations = telemetry->metrics().GetGauge(
       "nsga2.evaluations", {{"planner", planner_name}});
+  Gauge* stalled = telemetry->metrics().GetGauge(
+      "nsga2.stalled_generations", {{"planner", planner_name}});
   return [telemetry, planner_name = std::move(planner_name), anchor,
-          slice_sec, generations, front_size, hypervolume,
-          evaluations](const opt::Nsga2GenerationStats& s) {
+          slice_sec, generations, front_size, hypervolume, evaluations,
+          stalled](const opt::Nsga2GenerationStats& s) {
     generations->Increment();
     front_size->Set(static_cast<double>(s.front_size));
     evaluations->Set(static_cast<double>(s.evaluations));
+    stalled->Set(static_cast<double>(s.stalled_generations));
     if (!std::isnan(s.hypervolume)) hypervolume->Set(s.hypervolume);
 
     // The optimizer runs outside the simulation clock; generations are

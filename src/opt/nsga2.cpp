@@ -1,8 +1,11 @@
 #include "opt/nsga2.h"
 
 #include <algorithm>
+#include <array>
+#include <bit>
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "exec/sub_rng.h"
 #include "exec/thread_pool.h"
@@ -12,13 +15,25 @@ namespace flower::opt {
 
 namespace internal {
 
+void SortWorkspace::Reserve(size_t n) {
+  size_t words = (n + 63) / 64;
+  dominates.reserve(n * words);
+  domination_count.reserve(n);
+  front_data.reserve(n);
+  front_offsets.reserve(n + 1);
+  order.reserve(n);
+  truncate.reserve(n);
+  selected.reserve(n);
+  perm.reserve(n);
+  visited.reserve(n);
+}
+
 bool CrowdedLess(const Individual& a, const Individual& b) {
   if (a.rank != b.rank) return a.rank < b.rank;
   return a.crowding > b.crowding;
 }
 
-size_t BinaryTournamentIndex(const std::vector<Individual>& pop, Rng* rng) {
-  size_t n = pop.size();
+size_t BinaryTournamentIndex(const Individual* pop, size_t n, Rng* rng) {
   size_t a = static_cast<size_t>(
       rng->UniformInt(0, static_cast<int64_t>(n) - 1));
   if (n < 2) return a;
@@ -31,83 +46,121 @@ size_t BinaryTournamentIndex(const std::vector<Individual>& pop, Rng* rng) {
   return CrowdedLess(pop[a], pop[b]) ? a : b;
 }
 
-std::vector<std::vector<size_t>> FastNonDominatedSort(
-    std::vector<Individual>* pop) {
-  size_t n = pop->size();
-  std::vector<std::vector<size_t>> dominated(n);
-  std::vector<int> domination_count(n, 0);
-  std::vector<std::vector<size_t>> fronts;
-  std::vector<size_t> first;
+void FastNonDominatedSort(Individual* pop, size_t n, SortWorkspace* ws) {
+  size_t words = (n + 63) / 64;
+  ws->words_per_row = words;
+  ws->dominates.assign(n * words, 0);
+  ws->domination_count.assign(n, 0);
+  ws->front_data.clear();
+  ws->front_offsets.clear();
+  ws->front_offsets.push_back(0);
+  if (n == 0) return;
+  uint64_t* bits = ws->dominates.data();
+  int* cnt = ws->domination_count.data();
+  // Constrained domination is antisymmetric, so each unordered pair
+  // needs at most two comparisons; the bit row of p lists everything p
+  // dominates (ascending when scanned word-by-word, matching the
+  // dominated-list order of the textbook formulation).
   for (size_t p = 0; p < n; ++p) {
-    for (size_t q = 0; q < n; ++q) {
-      if (p == q) continue;
-      if (ConstrainedDominates((*pop)[p].sol, (*pop)[q].sol)) {
-        dominated[p].push_back(q);
-      } else if (ConstrainedDominates((*pop)[q].sol, (*pop)[p].sol)) {
-        ++domination_count[p];
+    for (size_t q = p + 1; q < n; ++q) {
+      if (ConstrainedDominates(pop[p].sol, pop[q].sol)) {
+        bits[p * words + q / 64] |= uint64_t{1} << (q % 64);
+        ++cnt[q];
+      } else if (ConstrainedDominates(pop[q].sol, pop[p].sol)) {
+        bits[q * words + p / 64] |= uint64_t{1} << (p % 64);
+        ++cnt[p];
       }
     }
-    if (domination_count[p] == 0) {
-      (*pop)[p].rank = 0;
-      first.push_back(p);
+  }
+  for (size_t p = 0; p < n; ++p) {
+    if (cnt[p] == 0) {
+      pop[p].rank = 0;
+      ws->front_data.push_back(p);
     }
   }
-  fronts.push_back(std::move(first));
-  size_t i = 0;
-  while (i < fronts.size() && !fronts[i].empty()) {
-    std::vector<size_t> next;
-    for (size_t p : fronts[i]) {
-      for (size_t q : dominated[p]) {
-        if (--domination_count[q] == 0) {
-          (*pop)[q].rank = static_cast<int>(i) + 1;
-          next.push_back(q);
+  ws->front_offsets.push_back(ws->front_data.size());
+  size_t begin = 0;
+  size_t end = ws->front_data.size();
+  int rank = 0;
+  while (begin < end) {
+    for (size_t k = begin; k < end; ++k) {
+      const uint64_t* row = bits + ws->front_data[k] * words;
+      for (size_t w = 0; w < words; ++w) {
+        uint64_t word = row[w];
+        while (word != 0) {
+          size_t q = w * 64 + static_cast<size_t>(std::countr_zero(word));
+          word &= word - 1;
+          if (--cnt[q] == 0) {
+            pop[q].rank = rank + 1;
+            ws->front_data.push_back(q);
+          }
         }
       }
     }
-    if (next.empty()) break;
-    fronts.push_back(std::move(next));
-    ++i;
+    begin = end;
+    end = ws->front_data.size();
+    ++rank;
+    if (end > begin) ws->front_offsets.push_back(end);
   }
+}
+
+std::vector<std::vector<size_t>> FastNonDominatedSort(
+    std::vector<Individual>* pop) {
+  SortWorkspace ws;
+  ws.Reserve(pop->size());
+  FastNonDominatedSort(pop->data(), pop->size(), &ws);
+  std::vector<std::vector<size_t>> fronts;
+  for (size_t i = 0; i < ws.num_fronts(); ++i) {
+    fronts.emplace_back(ws.front_begin(i), ws.front_begin(i) + ws.front_size(i));
+  }
+  if (fronts.empty()) fronts.emplace_back();
   return fronts;
 }
 
-void AssignCrowdingDistance(const std::vector<size_t>& front,
-                            std::vector<Individual>* pop) {
-  if (front.empty()) return;
-  for (size_t idx : front) (*pop)[idx].crowding = 0.0;
-  size_t m = (*pop)[front[0]].sol.objectives.size();
-  size_t l = front.size();
-  if (l <= 2) {
-    for (size_t idx : front) {
-      (*pop)[idx].crowding = std::numeric_limits<double>::infinity();
+void AssignCrowdingDistance(const size_t* front, size_t front_len,
+                            Individual* pop,
+                            std::vector<size_t>* order_scratch) {
+  if (front_len == 0) return;
+  for (size_t k = 0; k < front_len; ++k) pop[front[k]].crowding = 0.0;
+  size_t m = pop[front[0]].sol.objectives.size();
+  if (front_len <= 2) {
+    for (size_t k = 0; k < front_len; ++k) {
+      pop[front[k]].crowding = std::numeric_limits<double>::infinity();
     }
     return;
   }
-  std::vector<size_t> order(front);
+  order_scratch->assign(front, front + front_len);
+  auto& order = *order_scratch;
   for (size_t obj = 0; obj < m; ++obj) {
     // Ties broken by index so the boundary choice (and hence the
     // infinities) is stable across platforms and thread counts.
     std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-      double oa = (*pop)[a].sol.objectives[obj];
-      double ob = (*pop)[b].sol.objectives[obj];
+      double oa = pop[a].sol.objectives[obj];
+      double ob = pop[b].sol.objectives[obj];
       if (oa != ob) return oa < ob;
       return a < b;
     });
-    double lo = (*pop)[order.front()].sol.objectives[obj];
-    double hi = (*pop)[order.back()].sol.objectives[obj];
-    (*pop)[order.front()].crowding = std::numeric_limits<double>::infinity();
-    (*pop)[order.back()].crowding = std::numeric_limits<double>::infinity();
+    double lo = pop[order.front()].sol.objectives[obj];
+    double hi = pop[order.back()].sol.objectives[obj];
+    pop[order.front()].crowding = std::numeric_limits<double>::infinity();
+    pop[order.back()].crowding = std::numeric_limits<double>::infinity();
     double span = hi - lo;
     // Degenerate range guard: a front where every individual shares one
     // objective value (span == 0), or a non-finite span, would divide
     // into NaN/Inf crowding and poison the crowded-comparison sort.
     if (!std::isfinite(span) || span <= 0.0) continue;
-    for (size_t i = 1; i + 1 < l; ++i) {
-      double gap = (*pop)[order[i + 1]].sol.objectives[obj] -
-                   (*pop)[order[i - 1]].sol.objectives[obj];
-      (*pop)[order[i]].crowding += gap / span;
+    for (size_t i = 1; i + 1 < front_len; ++i) {
+      double gap = pop[order[i + 1]].sol.objectives[obj] -
+                   pop[order[i - 1]].sol.objectives[obj];
+      pop[order[i]].crowding += gap / span;
     }
   }
+}
+
+void AssignCrowdingDistance(const std::vector<size_t>& front,
+                            std::vector<Individual>* pop) {
+  std::vector<size_t> scratch;
+  AssignCrowdingDistance(front.data(), front.size(), pop->data(), &scratch);
 }
 
 }  // namespace internal
@@ -126,15 +179,19 @@ void Repair(const std::vector<VariableSpec>& specs, std::vector<double>* x) {
   }
 }
 
-Solution Evaluate(const Problem& problem, std::vector<double> x) {
-  Repair(problem.variables(), &x);
-  Solution s;
-  s.x = std::move(x);
-  std::vector<double> violations;
-  problem.Evaluate(s.x, &s.objectives, &violations);
-  s.total_violation = 0.0;
-  for (double v : violations) s.total_violation += std::max(0.0, v);
-  return s;
+// Repairs and evaluates sol->x in place, reusing the solution's
+// objective buffer and a per-thread violation scratch so the
+// steady-state loop stays allocation-free (Problem implementations see
+// cleared vectors, exactly as if freshly constructed).
+void EvaluateInPlace(const Problem& problem, Solution* sol) {
+  Repair(problem.variables(), &sol->x);
+  thread_local std::vector<double> violations;
+  violations.clear();
+  sol->objectives.clear();
+  problem.Evaluate(sol->x, &sol->objectives, &violations);
+  double total = 0.0;
+  for (double v : violations) total += std::max(0.0, v);
+  sol->total_violation = total;
 }
 
 // Simulated binary crossover (SBX) on one gene pair.
@@ -180,6 +237,32 @@ void PolyMutateGene(double eta, double lo, double hi, Rng* rng, double* x) {
   *x = std::clamp(*x + delta * span, lo, hi);
 }
 
+// Applies the dest <- src gather `perm` to arena in place, one move per
+// element, following permutation cycles. `done` is caller scratch.
+void ApplyGather(std::vector<Individual>* arena,
+                 const std::vector<size_t>& perm, std::vector<char>* done) {
+  size_t total = arena->size();
+  done->assign(total, 0);
+  for (size_t start = 0; start < total; ++start) {
+    if ((*done)[start] || perm[start] == start) {
+      (*done)[start] = 1;
+      continue;
+    }
+    Individual tmp = std::move((*arena)[start]);
+    size_t d = start;
+    while (true) {
+      size_t src = perm[d];
+      (*done)[d] = 1;
+      if (src == start) {
+        (*arena)[d] = std::move(tmp);
+        break;
+      }
+      (*arena)[d] = std::move((*arena)[src]);
+      d = src;
+    }
+  }
+}
+
 }  // namespace
 
 Result<Nsga2Result> Nsga2::Solve(const Problem& problem) const {
@@ -201,11 +284,20 @@ Result<Nsga2Result> Nsga2::Solve(const Problem& problem) const {
                                      "' has inverted bounds");
     }
   }
+  for (const auto& seed_x : config_.seed_population) {
+    if (seed_x.size() != specs.size()) {
+      return Status::InvalidArgument(
+          "Nsga2: seed_population entry has " +
+          std::to_string(seed_x.size()) + " variables, problem has " +
+          std::to_string(specs.size()));
+    }
+  }
   double mut_prob = config_.mutation_prob >= 0.0
                         ? config_.mutation_prob
                         : 1.0 / static_cast<double>(specs.size());
 
-  size_t n = config_.population_size;
+  const size_t n = config_.population_size;
+  const size_t num_obj = problem.num_objectives();
   Nsga2Result result;
 
   // Determinism contract: every parallel task draws only from its own
@@ -218,128 +310,249 @@ Result<Nsga2Result> Nsga2::Solve(const Problem& problem) const {
     return std::max<size_t>(1, items / (4 * pool.num_threads()));
   };
 
-  // Initial random population.
-  std::vector<Individual> pop(n);
-  FLOWER_RETURN_NOT_OK(pool.ParallelFor(
-      0, n, grain_for(n), [&](size_t i) -> Status {
-        Rng rng = exec::SubRng(config_.seed, 0, i);
-        std::vector<double> x(specs.size());
-        for (size_t j = 0; j < specs.size(); ++j) {
-          x[j] = rng.Uniform(specs[j].lower, specs[j].upper);
-        }
-        pop[i].sol = Evaluate(problem, std::move(x));
-        return Status::OK();
-      }));
+  // Persistent parent+offspring arena: parents live in [0, n), each
+  // generation's offspring are written into [n, 2n), and environmental
+  // selection permutes the arena instead of copying individuals. All
+  // sort/crowding/selection scratch lives in `ws`; after the first
+  // generation warms the buffers the loop allocates nothing.
+  std::vector<Individual> arena(2 * n);
+  internal::SortWorkspace ws;
+  ws.Reserve(2 * n);
+
+  // Initial population: seeded slots first (repaired to bounds by
+  // EvaluateInPlace), then random fill from the same per-index streams
+  // as a cold start so warm starts stay thread-count-invariant.
+  const size_t num_seeds = std::min(config_.seed_population.size(), n);
+  std::function<Status(size_t)> init_body = [&](size_t i) -> Status {
+    Solution& sol = arena[i].sol;
+    if (i < num_seeds) {
+      sol.x = config_.seed_population[i];
+    } else {
+      Rng rng = exec::SubRng(config_.seed, 0, i);
+      sol.x.resize(specs.size());
+      for (size_t j = 0; j < specs.size(); ++j) {
+        sol.x[j] = rng.Uniform(specs[j].lower, specs[j].upper);
+      }
+    }
+    EvaluateInPlace(problem, &sol);
+    return Status::OK();
+  };
+  FLOWER_RETURN_NOT_OK(pool.ParallelFor(0, n, grain_for(n), init_body));
   result.evaluations += n;
-  {
-    auto fronts = internal::FastNonDominatedSort(&pop);
-    for (const auto& f : fronts) internal::AssignCrowdingDistance(f, &pop);
+  internal::FastNonDominatedSort(arena.data(), n, &ws);
+  for (size_t fi = 0; fi < ws.num_fronts(); ++fi) {
+    internal::AssignCrowdingDistance(ws.front_begin(fi), ws.front_size(fi),
+                                     arena.data(), &ws.order);
   }
 
   // Hypervolume reference: the nadir of the initial population, nudged
   // down so the worst initial point still contributes area. Only 2-
-  // objective problems get a hypervolume (the 2D sweep is exact).
-  const bool track_hv = problem.num_objectives() == 2;
-  double nadir[2] = {0.0, 0.0};
-  if (track_hv) {
-    for (size_t j = 0; j < 2; ++j) {
+  // objective problems get a hypervolume in the generation stats (the
+  // 2D sweep is exact); the convergence early-exit additionally uses an
+  // exact 3D hypervolume for 3-objective problems, and a front-change
+  // test otherwise.
+  const bool stall_on = config_.stall_generations > 0;
+  const bool track_hv = num_obj == 2;
+  const bool track_hv3 = stall_on && num_obj == 3;
+  const bool track_signature = stall_on && !track_hv && !track_hv3;
+  double nadir[3] = {0.0, 0.0, 0.0};
+  if (track_hv || track_hv3) {
+    size_t dims = track_hv ? 2 : 3;
+    for (size_t j = 0; j < dims; ++j) {
       double lo = std::numeric_limits<double>::infinity();
-      for (const Individual& ind : pop) {
-        lo = std::min(lo, ind.sol.objectives[j]);
+      for (size_t i = 0; i < n; ++i) {
+        lo = std::min(lo, arena[i].sol.objectives[j]);
       }
       nadir[j] = lo - 1e-9 * (1.0 + std::fabs(lo));
     }
   }
 
-  size_t pairs = n / 2;
-  for (size_t gen = 0; gen < config_.generations; ++gen) {
-    // Offspring generation: tournament, crossover, mutation, and
-    // evaluation fan out per pair; `pop` is read-only in the sweep and
-    // each task writes only its two offspring slots.
-    std::vector<Individual> offspring(n);
-    FLOWER_RETURN_NOT_OK(pool.ParallelFor(
-        0, pairs, grain_for(pairs), [&](size_t p) -> Status {
-          Rng rng = exec::SubRng(config_.seed, gen + 1, p);
-          std::vector<double> c1 =
-              pop[internal::BinaryTournamentIndex(pop, &rng)].sol.x;
-          std::vector<double> c2 =
-              pop[internal::BinaryTournamentIndex(pop, &rng)].sol.x;
-          if (rng.Bernoulli(config_.crossover_prob)) {
-            for (size_t j = 0; j < specs.size(); ++j) {
-              if (rng.Bernoulli(0.5)) {
-                SbxGene(config_.eta_crossover, specs[j].lower,
-                        specs[j].upper, &rng, &c1[j], &c2[j]);
-              }
-            }
-          }
-          for (auto* child : {&c1, &c2}) {
-            for (size_t j = 0; j < specs.size(); ++j) {
-              if (rng.Bernoulli(mut_prob)) {
-                PolyMutateGene(config_.eta_mutation, specs[j].lower,
-                               specs[j].upper, &rng, &(*child)[j]);
-              }
-            }
-          }
-          offspring[2 * p].sol = Evaluate(problem, std::move(c1));
-          offspring[2 * p + 1].sol = Evaluate(problem, std::move(c2));
-          return Status::OK();
-        }));
-    result.evaluations += n;
+  // Pre-sized indicator scratch (the front holds at most n members).
+  std::vector<std::pair<double, double>> hv_pairs;
+  std::vector<std::array<double, 3>> hv_triples;
+  std::vector<std::pair<double, double>> hv3_xy;
+  std::vector<double> front_sig, prev_sig;
+  if (track_hv) hv_pairs.reserve(n);
+  if (track_hv3) {
+    hv_triples.reserve(n);
+    hv3_xy.reserve(n);
+  }
+  if (track_signature) {
+    front_sig.reserve(n * num_obj);
+    prev_sig.reserve(n * num_obj);
+  }
 
-    // Environmental selection over parents + offspring.
-    std::vector<Individual> merged;
-    merged.reserve(pop.size() + offspring.size());
-    for (auto& i : pop) merged.push_back(std::move(i));
-    for (auto& i : offspring) merged.push_back(std::move(i));
-    auto fronts = internal::FastNonDominatedSort(&merged);
-    for (const auto& f : fronts) {
-      internal::AssignCrowdingDistance(f, &merged);
-    }
-    std::vector<Individual> next;
-    next.reserve(n);
-    for (const auto& front : fronts) {
-      if (next.size() + front.size() <= n) {
-        for (size_t idx : front) next.push_back(std::move(merged[idx]));
-      } else {
-        std::vector<size_t> sorted(front);
-        std::sort(sorted.begin(), sorted.end(), [&](size_t a, size_t b) {
-          if (merged[a].crowding != merged[b].crowding) {
-            return merged[a].crowding > merged[b].crowding;
-          }
-          return a < b;  // Stable truncation under crowding ties.
-        });
-        for (size_t idx : sorted) {
-          if (next.size() >= n) break;
-          next.push_back(std::move(merged[idx]));
+  const size_t pairs = n / 2;
+  const Individual* parents = arena.data();
+  size_t cur_gen = 0;
+  // Offspring generation: tournament, crossover, mutation, and
+  // evaluation fan out per pair; parents are read-only in the sweep and
+  // each task writes only its two offspring slots. The body is hoisted
+  // out of the loop so the per-generation dispatch reuses one
+  // std::function (no per-generation closure allocation).
+  std::function<Status(size_t)> offspring_body = [&](size_t p) -> Status {
+    Rng rng = exec::SubRng(config_.seed, cur_gen + 1, p);
+    std::vector<double>& c1 = arena[n + 2 * p].sol.x;
+    std::vector<double>& c2 = arena[n + 2 * p + 1].sol.x;
+    c1 = parents[internal::BinaryTournamentIndex(parents, n, &rng)].sol.x;
+    c2 = parents[internal::BinaryTournamentIndex(parents, n, &rng)].sol.x;
+    if (rng.Bernoulli(config_.crossover_prob)) {
+      for (size_t j = 0; j < specs.size(); ++j) {
+        if (rng.Bernoulli(0.5)) {
+          SbxGene(config_.eta_crossover, specs[j].lower, specs[j].upper,
+                  &rng, &c1[j], &c2[j]);
         }
       }
-      if (next.size() >= n) break;
     }
-    pop = std::move(next);
+    for (auto* child : {&c1, &c2}) {
+      for (size_t j = 0; j < specs.size(); ++j) {
+        if (rng.Bernoulli(mut_prob)) {
+          PolyMutateGene(config_.eta_mutation, specs[j].lower,
+                         specs[j].upper, &rng, &(*child)[j]);
+        }
+      }
+    }
+    EvaluateInPlace(problem, &arena[n + 2 * p].sol);
+    EvaluateInPlace(problem, &arena[n + 2 * p + 1].sol);
+    return Status::OK();
+  };
+
+  size_t stall_count = 0;
+  double best_indicator = 0.0;
+  bool have_indicator = false;
+  for (size_t gen = 0; gen < config_.generations; ++gen) {
+    cur_gen = gen;
+    FLOWER_RETURN_NOT_OK(
+        pool.ParallelFor(0, pairs, grain_for(pairs), offspring_body));
+    result.evaluations += n;
+
+    // Environmental selection over parents + offspring: rank and crowd
+    // all 2n arena slots, pick survivor *indices* front by front
+    // (crowding-distance truncation on the overflow front), then gather
+    // survivors into [0, n) with one move per displaced individual.
+    internal::FastNonDominatedSort(arena.data(), 2 * n, &ws);
+    for (size_t fi = 0; fi < ws.num_fronts(); ++fi) {
+      internal::AssignCrowdingDistance(ws.front_begin(fi), ws.front_size(fi),
+                                       arena.data(), &ws.order);
+    }
+    ws.selected.clear();
+    for (size_t fi = 0; fi < ws.num_fronts(); ++fi) {
+      const size_t* front = ws.front_begin(fi);
+      size_t front_len = ws.front_size(fi);
+      if (ws.selected.size() + front_len <= n) {
+        ws.selected.insert(ws.selected.end(), front, front + front_len);
+      } else {
+        ws.truncate.assign(front, front + front_len);
+        std::sort(ws.truncate.begin(), ws.truncate.end(),
+                  [&](size_t a, size_t b) {
+                    if (arena[a].crowding != arena[b].crowding) {
+                      return arena[a].crowding > arena[b].crowding;
+                    }
+                    return a < b;  // Stable truncation under crowding ties.
+                  });
+        for (size_t idx : ws.truncate) {
+          if (ws.selected.size() >= n) break;
+          ws.selected.push_back(idx);
+        }
+      }
+      if (ws.selected.size() >= n) break;
+    }
+    // Gather permutation: dest k < n reads selected[k]; dests [n, 2n)
+    // absorb the unselected slots in ascending order.
+    ws.visited.assign(2 * n, 0);
+    for (size_t k = 0; k < n; ++k) ws.visited[ws.selected[k]] = 1;
+    ws.perm.assign(2 * n, 0);
+    for (size_t k = 0; k < n; ++k) ws.perm[k] = ws.selected[k];
+    size_t spill = n;
+    for (size_t src = 0; src < 2 * n; ++src) {
+      if (!ws.visited[src]) ws.perm[spill++] = src;
+    }
+    ApplyGather(&arena, ws.perm, &ws.visited);
+
+    // Generation stats and the convergence indicator both come from one
+    // coordinator-side scan of the new parent population, so the
+    // early-exit decision is deterministic and thread-count-invariant.
+    Nsga2GenerationStats stats;
+    stats.generation = gen;
+    stats.evaluations = result.evaluations;
+    bool early = false;
+    if (config_.on_generation || stall_on) {
+      hv_pairs.clear();
+      hv_triples.clear();
+      front_sig.clear();
+      for (size_t i = 0; i < n; ++i) {
+        const Individual& ind = arena[i];
+        if (ind.rank != 0) continue;
+        ++stats.front_size;
+        if (!ind.sol.feasible()) continue;
+        const std::vector<double>& obj = ind.sol.objectives;
+        if (track_hv) {
+          hv_pairs.emplace_back(obj[0], obj[1]);
+        } else if (track_hv3) {
+          hv_triples.push_back({obj[0], obj[1], obj[2]});
+        } else if (track_signature) {
+          front_sig.insert(front_sig.end(), obj.begin(), obj.end());
+        }
+      }
+      double indicator = 0.0;
+      bool indicator_is_hv = false;
+      if (track_hv) {
+        stats.hypervolume =
+            Hypervolume2DInPlace(&hv_pairs, nadir[0], nadir[1]);
+        indicator = stats.hypervolume;
+        indicator_is_hv = true;
+      } else if (track_hv3) {
+        indicator = Hypervolume3DInPlace(&hv_triples, nadir[0], nadir[1],
+                                         nadir[2], &hv3_xy);
+        indicator_is_hv = true;
+      }
+      if (stall_on) {
+        bool improved;
+        if (indicator_is_hv) {
+          if (!have_indicator) {
+            improved = true;
+          } else {
+            double rel = (indicator - best_indicator) /
+                         std::max(std::fabs(best_indicator), 1e-12);
+            improved = rel > config_.stall_tolerance;
+          }
+          if (!have_indicator || indicator > best_indicator) {
+            best_indicator = indicator;
+          }
+          have_indicator = true;
+        } else {
+          improved = gen == 0 || front_sig != prev_sig;
+          prev_sig.assign(front_sig.begin(), front_sig.end());
+        }
+        if (improved) {
+          stall_count = 0;
+        } else {
+          ++stall_count;
+        }
+        stats.stalled_generations = stall_count;
+        early = stall_count >= config_.stall_generations;
+      }
+    }
 
     // Telemetry stays on the coordinator thread: the observer runs once
     // per generation, after the parallel section has joined.
-    if (config_.on_generation) {
-      Nsga2GenerationStats stats;
-      stats.generation = gen;
-      stats.evaluations = result.evaluations;
-      std::vector<std::vector<double>> front_objs;
-      for (const Individual& ind : pop) {
-        if (ind.rank != 0) continue;
-        ++stats.front_size;
-        if (ind.sol.feasible()) front_objs.push_back(ind.sol.objectives);
-      }
-      if (track_hv) {
-        stats.hypervolume = Hypervolume2D(front_objs, nadir[0], nadir[1]);
-      }
-      config_.on_generation(stats);
+    if (config_.on_generation) config_.on_generation(stats);
+    result.generations_run = gen + 1;
+    if (early) {
+      result.early_exit = true;
+      break;
     }
   }
 
-  for (const Individual& ind : pop) {
-    result.final_population.push_back(ind.sol);
+  result.final_population.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    result.final_population.push_back(std::move(arena[i].sol));
   }
-  result.pareto_front = ParetoFront(result.final_population);
+  std::vector<size_t> front_idx = ParetoFrontIndices(result.final_population);
+  result.pareto_front.reserve(front_idx.size());
+  for (size_t i : front_idx) {
+    result.pareto_front.push_back(result.final_population[i]);
+  }
   return result;
 }
 

@@ -22,9 +22,12 @@ bool ConstrainedDominates(const Solution& a, const Solution& b) {
   return Dominates(a.objectives, b.objectives);
 }
 
-std::vector<Solution> ParetoFront(const std::vector<Solution>& solutions) {
-  std::vector<Solution> front;
-  for (const Solution& s : solutions) {
+std::vector<size_t> ParetoFrontIndices(
+    const std::vector<Solution>& solutions) {
+  // Non-dominated feasible candidates, in input order.
+  std::vector<size_t> candidates;
+  for (size_t i = 0; i < solutions.size(); ++i) {
+    const Solution& s = solutions[i];
     if (!s.feasible()) continue;
     bool dominated = false;
     for (const Solution& t : solutions) {
@@ -34,23 +37,56 @@ std::vector<Solution> ParetoFront(const std::vector<Solution>& solutions) {
         break;
       }
     }
-    if (dominated) continue;
-    bool duplicate = false;
-    for (const Solution& f : front) {
-      if (f.objectives == s.objectives) {
-        duplicate = true;
-        break;
-      }
-    }
-    if (!duplicate) front.push_back(s);
+    if (!dominated) candidates.push_back(i);
   }
-  // Canonical order: lexicographic by objectives, for stable output.
-  std::sort(front.begin(), front.end(),
-            [](const Solution& a, const Solution& b) {
-              return a.objectives < b.objectives;
-            });
+  // Canonical order (lexicographic by objectives, index as tie-break)
+  // makes duplicates adjacent, so dedup keeps the earliest occurrence
+  // without any Solution copies.
+  std::sort(candidates.begin(), candidates.end(), [&](size_t a, size_t b) {
+    if (solutions[a].objectives != solutions[b].objectives) {
+      return solutions[a].objectives < solutions[b].objectives;
+    }
+    return a < b;
+  });
+  candidates.erase(
+      std::unique(candidates.begin(), candidates.end(),
+                  [&](size_t a, size_t b) {
+                    return solutions[a].objectives == solutions[b].objectives;
+                  }),
+      candidates.end());
+  return candidates;
+}
+
+std::vector<Solution> ParetoFront(const std::vector<Solution>& solutions) {
+  std::vector<Solution> front;
+  std::vector<size_t> idx = ParetoFrontIndices(solutions);
+  front.reserve(idx.size());
+  for (size_t i : idx) front.push_back(solutions[i]);
   return front;
 }
+
+namespace {
+
+// Core 2D sweep over pairs already filtered to strictly dominate the
+// reference. Sorts `pts` (x desc, y desc) then accumulates disjoint
+// rectangles right-to-left.
+double SweepHypervolume2D(std::vector<std::pair<double, double>>* pts,
+                          double ref_x, double ref_y) {
+  std::sort(pts->begin(), pts->end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second > b.second;
+  });
+  double hv = 0.0;
+  double prev_y = ref_y;
+  for (const auto& [x, y] : *pts) {
+    if (y <= prev_y) continue;  // Dominated by an earlier (wider) point.
+    hv += (x - ref_x) * (y - prev_y);
+    prev_y = y;
+  }
+  return hv;
+}
+
+}  // namespace
 
 double Hypervolume2D(const std::vector<std::vector<double>>& points,
                      double ref_x, double ref_y) {
@@ -62,18 +98,79 @@ double Hypervolume2D(const std::vector<std::vector<double>>& points,
     if (!(p[0] > ref_x) || !(p[1] > ref_y)) continue;
     kept.emplace_back(p[0], p[1]);
   }
-  std::sort(kept.begin(), kept.end(), [](const auto& a, const auto& b) {
-    if (a.first != b.first) return a.first > b.first;
-    return a.second > b.second;
-  });
+  return SweepHypervolume2D(&kept, ref_x, ref_y);
+}
+
+double Hypervolume2DInPlace(std::vector<std::pair<double, double>>* points,
+                            double ref_x, double ref_y) {
+  // Drop points not strictly dominating the reference in place, then
+  // run the same sweep as the copying overload (identical numerics).
+  points->erase(std::remove_if(points->begin(), points->end(),
+                               [&](const std::pair<double, double>& p) {
+                                 return !(p.first > ref_x) ||
+                                        !(p.second > ref_y);
+                               }),
+                points->end());
+  return SweepHypervolume2D(points, ref_x, ref_y);
+}
+
+double Hypervolume3DInPlace(
+    std::vector<std::array<double, 3>>* points, double ref_x, double ref_y,
+    double ref_z, std::vector<std::pair<double, double>>* xy_scratch) {
+  auto& pts = *points;
+  pts.erase(std::remove_if(pts.begin(), pts.end(),
+                           [&](const std::array<double, 3>& p) {
+                             return !(p[0] > ref_x) || !(p[1] > ref_y) ||
+                                    !(p[2] > ref_z);
+                           }),
+            pts.end());
+  if (pts.empty()) return 0.0;
+  // Slab decomposition on f2: sort descending, then every band between
+  // consecutive distinct f2 values contributes (band height) x (2D
+  // hypervolume of the (f0, f1) projections of all points above it).
+  std::sort(pts.begin(), pts.end(),
+            [](const std::array<double, 3>& a,
+               const std::array<double, 3>& b) { return a[2] > b[2]; });
+  xy_scratch->clear();
   double hv = 0.0;
-  double prev_y = ref_y;
-  for (const auto& [x, y] : kept) {
-    if (y <= prev_y) continue;  // Dominated by an earlier (wider) point.
-    hv += (x - ref_x) * (y - prev_y);
-    prev_y = y;
+  size_t i = 0;
+  while (i < pts.size()) {
+    double z = pts[i][2];
+    // Add the whole group of points sharing this f2 level, keeping the
+    // projection sorted by x desc / y desc so the sweep below is O(n).
+    while (i < pts.size() && pts[i][2] == z) {
+      std::pair<double, double> xy{pts[i][0], pts[i][1]};
+      auto pos = std::upper_bound(
+          xy_scratch->begin(), xy_scratch->end(), xy,
+          [](const auto& a, const auto& b) {
+            if (a.first != b.first) return a.first > b.first;
+            return a.second > b.second;
+          });
+      xy_scratch->insert(pos, xy);
+      ++i;
+    }
+    double z_next = i < pts.size() ? pts[i][2] : ref_z;
+    double area = 0.0;
+    double prev_y = ref_y;
+    for (const auto& [x, y] : *xy_scratch) {
+      if (y <= prev_y) continue;
+      area += (x - ref_x) * (y - prev_y);
+      prev_y = y;
+    }
+    hv += area * (z - z_next);
   }
   return hv;
+}
+
+double Hypervolume3D(const std::vector<std::vector<double>>& points,
+                     double ref_x, double ref_y, double ref_z) {
+  std::vector<std::array<double, 3>> pts;
+  for (const auto& p : points) {
+    if (p.size() != 3) continue;
+    pts.push_back({p[0], p[1], p[2]});
+  }
+  std::vector<std::pair<double, double>> scratch;
+  return Hypervolume3DInPlace(&pts, ref_x, ref_y, ref_z, &scratch);
 }
 
 }  // namespace flower::opt

@@ -1,6 +1,8 @@
 #ifndef FLOWER_OPT_PARETO_H_
 #define FLOWER_OPT_PARETO_H_
 
+#include <array>
+#include <utility>
 #include <vector>
 
 #include "opt/problem.h"
@@ -22,6 +24,14 @@ bool ConstrainedDominates(const Solution& a, const Solution& b);
 /// collapsed to one representative.
 std::vector<Solution> ParetoFront(const std::vector<Solution>& solutions);
 
+/// Indices into `solutions` forming the same deduplicated feasible
+/// front as ParetoFront, sorted lexicographically by objectives; a
+/// duplicate objective vector keeps its earliest occurrence. Lets the
+/// solver copy only the surviving solutions instead of deep-copying
+/// every candidate through the dedup pass.
+std::vector<size_t> ParetoFrontIndices(
+    const std::vector<Solution>& solutions);
+
 /// Hypervolume of a 2-objective maximization front w.r.t. reference
 /// point (ref_x, ref_y): the area jointly dominated by `points` and
 /// dominating the reference. Points not strictly better than the
@@ -29,6 +39,29 @@ std::vector<Solution> ParetoFront(const std::vector<Solution>& solutions);
 /// empty front; points must all have exactly 2 objectives.
 double Hypervolume2D(const std::vector<std::vector<double>>& points,
                      double ref_x, double ref_y);
+
+/// In-place variant for allocation-free repeated evaluation (the
+/// solver's per-generation convergence indicator): `points` is scratch
+/// owned by the caller and is reordered by the call. Named rather than
+/// overloaded: an empty braced list would otherwise prefer the pointer
+/// overload (null) over the vector one.
+double Hypervolume2DInPlace(std::vector<std::pair<double, double>>* points,
+                            double ref_x, double ref_y);
+
+/// Exact hypervolume of a 3-objective maximization front w.r.t.
+/// (ref_x, ref_y, ref_z), by sweeping slabs of the third objective and
+/// accumulating the 2D hypervolume of each slab's (f0, f1) projection.
+/// O(n^2) after the sort. Points not strictly better than the
+/// reference in all three objectives contribute nothing.
+double Hypervolume3D(const std::vector<std::vector<double>>& points,
+                     double ref_x, double ref_y, double ref_z);
+
+/// In-place variant: `points` is reordered; `xy_scratch` holds the
+/// growing slab projection between calls so steady-state evaluation
+/// performs no heap allocations once both buffers are at capacity.
+double Hypervolume3DInPlace(
+    std::vector<std::array<double, 3>>* points, double ref_x, double ref_y,
+    double ref_z, std::vector<std::pair<double, double>>* xy_scratch);
 
 }  // namespace flower::opt
 

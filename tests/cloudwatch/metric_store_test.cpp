@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace flower::cloudwatch {
 namespace {
 
@@ -157,6 +159,47 @@ TEST(MetricStoreTest, StatisticSeriesValidation) {
                 .status()
                 .code(),
             StatusCode::kNotFound);
+}
+
+TEST(MetricStoreTest, StatisticSeriesMatchesPerBucketQueries) {
+  // Regression for the single-forward-sweep aggregation: for every
+  // statistic, GetStatisticSeries must agree with issuing one
+  // GetStatistic per bucket. Series buckets are [s, s + p); GetStatistic
+  // windows are (t0, t1] — with samples kept clear of bucket edges the
+  // shifted window (s - eps, s + p - eps] covers the same datapoints,
+  // so the two independent code paths must agree exactly.
+  MetricStore store;
+  // Irregular timestamps (never within 1 s of a 60 s boundary) and
+  // values that exercise min/max/percentile ordering.
+  double t = 2.0;
+  int i = 0;
+  while (t < 900.0) {
+    ASSERT_TRUE(store.Put(kCpu, t, 50.0 + 40.0 * std::sin(0.7 * i) +
+                                       (i % 7) * 3.0)
+                    .ok());
+    t += 3.0 + (i % 5) * 4.0;
+    if (std::fmod(t, 60.0) < 1.0 || std::fmod(t, 60.0) > 59.0) t += 1.5;
+    ++i;
+  }
+  const double kPeriod = 60.0;
+  const double kEps = 0.5;
+  for (Statistic stat :
+       {Statistic::kAverage, Statistic::kSum, Statistic::kMinimum,
+        Statistic::kMaximum, Statistic::kSampleCount, Statistic::kP50,
+        Statistic::kP90, Statistic::kP99}) {
+    auto series = store.GetStatisticSeries(kCpu, 0.0, 900.0, kPeriod, stat);
+    ASSERT_TRUE(series.ok()) << StatisticToString(stat);
+    ASSERT_GE(series->size(), 10u) << StatisticToString(stat);
+    for (size_t p = 0; p < series->size(); ++p) {
+      double start = (*series)[p].time;
+      auto ref = store.GetStatistic(kCpu, start - kEps,
+                                    start + kPeriod - kEps, stat);
+      ASSERT_TRUE(ref.ok())
+          << StatisticToString(stat) << " bucket at " << start;
+      EXPECT_DOUBLE_EQ((*series)[p].value, *ref)
+          << StatisticToString(stat) << " bucket at " << start;
+    }
+  }
 }
 
 TEST(MetricStoreTest, ListMetricsFiltersByNamespace) {

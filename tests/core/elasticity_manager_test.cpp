@@ -241,5 +241,114 @@ TEST(ElasticityManagerTest, GetControllerExposesAttachedController) {
   EXPECT_EQ((*controller)->name(), "adaptive-gain");
 }
 
+ReplanConfig TestReplanConfig() {
+  ReplanConfig cfg;
+  cfg.request.hourly_budget_usd = 2.0;
+  cfg.request.unit_price[0] = 0.015;
+  cfg.request.unit_price[1] = 0.10;
+  cfg.request.unit_price[2] = 0.00065;
+  cfg.request.bounds[0] = {1.0, 40.0};
+  cfg.request.bounds[1] = {1.0, 20.0};
+  cfg.request.bounds[2] = {1.0, 400.0};
+  cfg.solver.population_size = 40;
+  cfg.solver.generations = 30;
+  cfg.period_sec = 3600.0;
+  cfg.start_delay_sec = 60.0;
+  return cfg;
+}
+
+TEST(ElasticityManagerTest, ReplanningValidation) {
+  sim::Simulation sim;
+  cloudwatch::MetricStore metrics;
+  ElasticityManager mgr(&sim, &metrics);
+  EXPECT_EQ(mgr.ReplanCounters().status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(mgr.replanning_enabled());
+  {
+    ReplanConfig cfg = TestReplanConfig();
+    cfg.period_sec = 0.0;
+    EXPECT_EQ(mgr.EnableReplanning(std::move(cfg)).code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    ReplanConfig cfg = TestReplanConfig();
+    cfg.start_delay_sec = -1.0;
+    EXPECT_FALSE(mgr.EnableReplanning(std::move(cfg)).ok());
+  }
+  ASSERT_TRUE(mgr.EnableReplanning(TestReplanConfig()).ok());
+  EXPECT_TRUE(mgr.replanning_enabled());
+  EXPECT_EQ(mgr.EnableReplanning(TestReplanConfig()).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ElasticityManagerTest, PeriodicReplanUpdatesShareBounds) {
+  sim::Simulation sim;
+  cloudwatch::MetricStore metrics;
+  ElasticityManager mgr(&sim, &metrics);
+  ASSERT_TRUE(
+      mgr.Attach(TestConfig([](double) { return Status::OK(); })).ok());
+  std::vector<SimTime> plan_times;
+  ReplanConfig cfg = TestReplanConfig();
+  cfg.on_plan = [&](SimTime t, const ResourceShareResult& res) {
+    plan_times.push_back(t);
+    EXPECT_FALSE(res.pareto_plans.empty());
+  };
+  ASSERT_TRUE(mgr.EnableReplanning(std::move(cfg)).ok());
+  sim.RunUntil(2.5 * 3600.0);  // Covers the replans at 60 s, 1 h, 2 h.
+  ASSERT_EQ(plan_times.size(), 3u);
+  // The analytics loop's cap now follows the front's max share.
+  auto state = mgr.GetState(Layer::kAnalytics);
+  ASSERT_TRUE(state.ok());
+  EXPECT_GT((*state)->share_upper_bound, 0.0);
+  auto counters = mgr.ReplanCounters();
+  ASSERT_TRUE(counters.ok());
+  EXPECT_GT(counters->evaluations, 0u);
+}
+
+TEST(ElasticityManagerTest, ReplanWithCacheServesRepeatsFromCache) {
+  sim::Simulation sim;
+  cloudwatch::MetricStore metrics;
+  ElasticityManager mgr(&sim, &metrics);
+  ASSERT_TRUE(
+      mgr.Attach(TestConfig([](double) { return Status::OK(); })).ok());
+  size_t cached_plans = 0;
+  ReplanConfig cfg = TestReplanConfig();
+  cfg.incremental.cache = true;
+  cfg.on_plan = [&](SimTime, const ResourceShareResult& res) {
+    if (res.cache_hit) ++cached_plans;
+  };
+  ASSERT_TRUE(mgr.EnableReplanning(std::move(cfg)).ok());
+  sim.RunUntil(3.5 * 3600.0);  // Four periods with an unchanged request.
+  auto counters = mgr.ReplanCounters();
+  ASSERT_TRUE(counters.ok());
+  EXPECT_EQ(counters->cache_misses, 1u);
+  EXPECT_EQ(counters->cache_hits, 3u);
+  EXPECT_EQ(cached_plans, 3u);
+  // The cap is applied from cached results too.
+  auto state = mgr.GetState(Layer::kAnalytics);
+  ASSERT_TRUE(state.ok());
+  EXPECT_GT((*state)->share_upper_bound, 0.0);
+}
+
+TEST(ElasticityManagerTest, ReplanRequestDriftForcesFreshSolves) {
+  sim::Simulation sim;
+  cloudwatch::MetricStore metrics;
+  ElasticityManager mgr(&sim, &metrics);
+  ReplanConfig cfg = TestReplanConfig();
+  cfg.incremental.cache = true;
+  cfg.incremental.warm_start = true;
+  // The budget drifts every period, so every period misses the cache
+  // but warm-starts from the previous front's population.
+  cfg.update_request = [](SimTime now, ResourceShareRequest* req) {
+    req->hourly_budget_usd = 2.0 + now / 3600.0 * 0.1;
+  };
+  ASSERT_TRUE(mgr.EnableReplanning(std::move(cfg)).ok());
+  sim.RunUntil(2.5 * 3600.0);
+  auto counters = mgr.ReplanCounters();
+  ASSERT_TRUE(counters.ok());
+  EXPECT_EQ(counters->cache_hits, 0u);
+  EXPECT_EQ(counters->cache_misses, 3u);
+  EXPECT_EQ(counters->warm_starts, 2u);  // All but the first solve.
+}
+
 }  // namespace
 }  // namespace flower::core

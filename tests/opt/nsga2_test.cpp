@@ -530,5 +530,205 @@ TEST(Nsga2Test, OnGenerationHypervolumeNanForThreeObjectives) {
   EXPECT_EQ(calls, 3u);
 }
 
+TEST(Nsga2WarmStartTest, SeedArityMismatchRejected) {
+  Nsga2Config cfg;
+  cfg.population_size = 20;
+  cfg.generations = 5;
+  cfg.seed_population.push_back({1.0, 2.0});  // Schaffer has 1 variable.
+  auto res = Nsga2(cfg).Solve(SchafferProblem());
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Nsga2WarmStartTest, OutOfBoundsSeedsAreRepaired) {
+  // Seeds far outside the bounds (and fractional values for integer
+  // variables) must be clamped/rounded before evaluation, never crash
+  // or leak out-of-range individuals into the population.
+  BudgetedPair p;  // a, b integer in [1, 20].
+  Nsga2Config cfg;
+  cfg.population_size = 20;
+  cfg.generations = 3;
+  cfg.seed_population = {{-100.0, 3.7}, {55.0, 0.0}, {7.2, 1e9}};
+  auto res = Nsga2(cfg).Solve(p);
+  ASSERT_TRUE(res.ok());
+  for (const Solution& s : res->final_population) {
+    for (double v : s.x) {
+      EXPECT_GE(v, 1.0);
+      EXPECT_LE(v, 20.0);
+      EXPECT_DOUBLE_EQ(v, std::round(v));  // Integer variables stay integral.
+    }
+  }
+}
+
+TEST(Nsga2WarmStartTest, OversizedSeedListUsesFirstPopulationSize) {
+  // More seeds than population_size: only the first population_size are
+  // injected, so appending extra seeds must not change the outcome.
+  Nsga2Config cfg;
+  cfg.population_size = 20;
+  cfg.generations = 15;
+  cfg.seed = 11;
+  for (int i = 0; i < 20; ++i) {
+    cfg.seed_population.push_back({0.1 * i});
+  }
+  auto base = Nsga2(cfg).Solve(SchafferProblem());
+  ASSERT_TRUE(base.ok());
+  for (int i = 0; i < 30; ++i) {
+    cfg.seed_population.push_back({-5.0 + 0.3 * i});  // Ignored tail.
+  }
+  auto extra = Nsga2(cfg).Solve(SchafferProblem());
+  ASSERT_TRUE(extra.ok());
+  ASSERT_EQ(base->pareto_front.size(), extra->pareto_front.size());
+  for (size_t i = 0; i < base->pareto_front.size(); ++i) {
+    EXPECT_EQ(base->pareto_front[i].x, extra->pareto_front[i].x);
+  }
+}
+
+TEST(Nsga2WarmStartTest, WarmStartedRunIsThreadCountInvariant) {
+  // The determinism contract must survive seeding: a warm-started run
+  // is byte-identical at 1, 4, and 16 threads.
+  Nsga2Config prior_cfg;
+  prior_cfg.population_size = 40;
+  prior_cfg.generations = 10;
+  prior_cfg.seed = 5;
+  auto prior = Nsga2(prior_cfg).Solve(Zdt1Problem());
+  ASSERT_TRUE(prior.ok());
+  std::vector<std::vector<double>> seeds;
+  for (const Solution& s : prior->final_population) seeds.push_back(s.x);
+
+  auto run = [&](size_t threads) {
+    Nsga2Config cfg;
+    cfg.population_size = 40;
+    cfg.generations = 20;
+    cfg.seed = 6;
+    cfg.num_threads = threads;
+    cfg.seed_population = seeds;
+    auto res = Nsga2(cfg).Solve(Zdt1Problem());
+    EXPECT_TRUE(res.ok());
+    return *res;
+  };
+  Nsga2Result base = run(1);
+  for (size_t threads : {4u, 16u}) {
+    Nsga2Result res = run(threads);
+    ASSERT_EQ(res.pareto_front.size(), base.pareto_front.size())
+        << threads << " threads";
+    for (size_t i = 0; i < base.pareto_front.size(); ++i) {
+      EXPECT_EQ(res.pareto_front[i].x, base.pareto_front[i].x);
+      EXPECT_EQ(res.pareto_front[i].objectives,
+                base.pareto_front[i].objectives);
+    }
+    ASSERT_EQ(res.final_population.size(), base.final_population.size());
+    for (size_t i = 0; i < base.final_population.size(); ++i) {
+      EXPECT_EQ(res.final_population[i].x, base.final_population[i].x);
+    }
+    EXPECT_EQ(res.evaluations, base.evaluations);
+  }
+}
+
+TEST(Nsga2WarmStartTest, EmptySeedPopulationIsAColdStart) {
+  // An explicitly empty seed list must reproduce the cold run exactly.
+  Nsga2Config cfg;
+  cfg.population_size = 20;
+  cfg.generations = 10;
+  cfg.seed = 13;
+  auto cold = Nsga2(cfg).Solve(SchafferProblem());
+  cfg.seed_population.clear();
+  auto warm = Nsga2(cfg).Solve(SchafferProblem());
+  ASSERT_TRUE(cold.ok());
+  ASSERT_TRUE(warm.ok());
+  ASSERT_EQ(cold->pareto_front.size(), warm->pareto_front.size());
+  for (size_t i = 0; i < cold->pareto_front.size(); ++i) {
+    EXPECT_EQ(cold->pareto_front[i].x, warm->pareto_front[i].x);
+  }
+}
+
+TEST(Nsga2EarlyExitTest, StallExitStopsConvergedRunEarly) {
+  // Schaffer converges in tens of generations; with a 200-generation
+  // budget and the stall exit armed the run must stop well short of the
+  // budget and say so in the result.
+  Nsga2Config cfg;
+  cfg.population_size = 40;
+  cfg.generations = 200;
+  cfg.seed = 3;
+  cfg.stall_generations = 5;
+  auto res = Nsga2(cfg).Solve(SchafferProblem());
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res->early_exit);
+  EXPECT_LT(res->generations_run, 200u);
+  EXPECT_GE(res->generations_run, 1u);
+  // Evaluations account exactly for the generations actually run.
+  EXPECT_EQ(res->evaluations, 40u * (res->generations_run + 1));
+  // The front is still converged (Pareto set is x in [0, 2]).
+  for (const Solution& s : res->pareto_front) {
+    EXPECT_GE(s.x[0], -0.2);
+    EXPECT_LE(s.x[0], 2.2);
+  }
+}
+
+TEST(Nsga2EarlyExitTest, DisabledStallRunsFullBudget) {
+  Nsga2Config cfg;
+  cfg.population_size = 20;
+  cfg.generations = 30;
+  cfg.stall_generations = 0;
+  auto res = Nsga2(cfg).Solve(SchafferProblem());
+  ASSERT_TRUE(res.ok());
+  EXPECT_FALSE(res->early_exit);
+  EXPECT_EQ(res->generations_run, 30u);
+}
+
+TEST(Nsga2EarlyExitTest, ExitGenerationIsThreadCountInvariant) {
+  // The stall detector runs on the coordinator thread over the
+  // deterministic front, so the exit generation must not move with the
+  // thread count.
+  auto run = [](size_t threads) {
+    Nsga2Config cfg;
+    cfg.population_size = 40;
+    cfg.generations = 150;
+    cfg.seed = 21;
+    cfg.num_threads = threads;
+    cfg.stall_generations = 4;
+    auto res = Nsga2(cfg).Solve(SchafferProblem());
+    EXPECT_TRUE(res.ok());
+    return *res;
+  };
+  Nsga2Result base = run(1);
+  EXPECT_TRUE(base.early_exit);
+  for (size_t threads : {4u, 16u}) {
+    Nsga2Result res = run(threads);
+    EXPECT_EQ(res.early_exit, base.early_exit) << threads << " threads";
+    EXPECT_EQ(res.generations_run, base.generations_run)
+        << threads << " threads";
+    EXPECT_EQ(res.evaluations, base.evaluations);
+    ASSERT_EQ(res.pareto_front.size(), base.pareto_front.size());
+    for (size_t i = 0; i < base.pareto_front.size(); ++i) {
+      EXPECT_EQ(res.pareto_front[i].x, base.pareto_front[i].x);
+    }
+  }
+}
+
+TEST(Nsga2EarlyExitTest, ObserverReportsStalledGenerations) {
+  Nsga2Config cfg;
+  cfg.population_size = 40;
+  cfg.generations = 200;
+  cfg.seed = 3;
+  cfg.stall_generations = 5;
+  std::vector<Nsga2GenerationStats> seen;
+  cfg.on_generation = [&](const Nsga2GenerationStats& s) {
+    seen.push_back(s);
+  };
+  auto res = Nsga2(cfg).Solve(SchafferProblem());
+  ASSERT_TRUE(res.ok());
+  ASSERT_TRUE(res->early_exit);
+  ASSERT_EQ(seen.size(), res->generations_run);
+  // The last reported generation carries the full stall streak.
+  EXPECT_EQ(seen.back().stalled_generations, 5u);
+  // The streak only ever grows by one or resets.
+  for (size_t i = 1; i < seen.size(); ++i) {
+    EXPECT_TRUE(seen[i].stalled_generations ==
+                    seen[i - 1].stalled_generations + 1 ||
+                seen[i].stalled_generations == 0)
+        << "generation " << i;
+  }
+}
+
 }  // namespace
 }  // namespace flower::opt
