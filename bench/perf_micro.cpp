@@ -13,8 +13,10 @@
 #include <cstdlib>
 #include <new>
 
+#include "bench/bench_util.h"
 #include "cloudwatch/metric_store.h"
 #include "common/random.h"
+#include "flow/flow.h"
 #include "control/adaptive_gain.h"
 #include "core/resource_share.h"
 #include "flow/sliding_window.h"
@@ -306,6 +308,48 @@ bool PlannerSteadyStateIsAllocationLean() {
   return steady == 0;
 }
 
+// Third hard guard: the simulated flow's steady-state tick must be
+// allocation-free. One full analytics flow (Kinesis -> Storm ->
+// DynamoDB, no metric store) is warmed past a complete timer-wheel
+// rotation (64 s) and a slide-boundary emission, so every ring buffer,
+// tuple queue and wheel bucket holds its high-water capacity; six
+// subsequent cluster ticks — pure spout-pull / tuple-transfer /
+// window-add work, no slide boundary — must then perform zero heap
+// allocations. Boundary ticks (window emission + DynamoDB persist) are
+// deliberately outside the guarantee.
+bool SimSteadyTickIsAllocationFree() {
+  sim::Simulation sim;
+  flow::FlowConfig cfg = bench::CanonicalFlow();
+  // Enough WCU that a slide boundary's persist burst completes inside
+  // the boundary tick instead of draining into the measured window.
+  cfg.table.initial_wcu = 2000.0;
+  auto f = flow::DataAnalyticsFlow::Create(&sim, nullptr, cfg);
+  if (!f.ok()) {
+    std::printf("sim steady-tick guard: flow creation failed\n");
+    return false;
+  }
+  // ~80% of the 2-worker cluster's capacity: an overloaded cluster
+  // never reaches steady state (the window bolt starves behind the
+  // backlog and keeps first-touching entities past any warm-up).
+  Status st = (*f)->AttachWorkload(
+      std::make_shared<workload::ConstantArrival>(300.0),
+      bench::CanonicalWorkload(), /*seed=*/7);
+  if (!st.ok()) {
+    std::printf("sim steady-tick guard: workload attach failed\n");
+    return false;
+  }
+  // Past one wheel rotation (64 s) and one sliding-window ring
+  // rotation (8 slots x 10 s); boundary-100's emission lands ~101-102.
+  sim.RunUntil(103.0);
+  uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  sim.RunUntil(109.0);  // Ticks 104..109; boundary-110 emits ~111.
+  uint64_t allocs = g_allocations.load(std::memory_order_relaxed) - before;
+  std::printf("sim steady-tick allocation guard: %llu allocations over 6 "
+              "steady-state cluster ticks\n",
+              static_cast<unsigned long long>(allocs));
+  return allocs == 0;
+}
+
 }  // namespace
 }  // namespace flower
 
@@ -320,6 +364,11 @@ int main(int argc, char** argv) {
   if (!flower::PlannerSteadyStateIsAllocationLean()) {
     std::fprintf(stderr,
                  "FAIL: NSGA-II generation loop allocated in steady state\n");
+    return 1;
+  }
+  if (!flower::SimSteadyTickIsAllocationFree()) {
+    std::fprintf(stderr,
+                 "FAIL: steady-state simulation tick allocated\n");
     return 1;
   }
   benchmark::Initialize(&argc, argv);

@@ -113,9 +113,8 @@ int main() {
   storm::Cluster cluster(&sim, &metrics, &fleet, cluster_cfg);
 
   auto drain = [](kinesis::Stream* stream) {
-    return [stream](size_t max) {
-      std::vector<storm::Tuple> out;
-      for (int s = 0; s < stream->shard_count() && out.size() < max; ++s) {
+    return [stream](size_t max, std::vector<storm::Tuple>* out) {
+      for (int s = 0; s < stream->shard_count() && out->size() < max; ++s) {
         auto recs = stream->GetRecords(
             s, max / static_cast<size_t>(stream->shard_count()) + 1);
         if (!recs.ok()) continue;
@@ -124,11 +123,10 @@ int main() {
           t.origin_time = r.timestamp;
           t.entity_id = r.entity_id;
           t.size_bytes = r.size_bytes;
-          out.push_back(t);
-          if (out.size() >= max) break;
+          out->push_back(t);
+          if (out->size() >= max) break;
         }
       }
-      return out;
     };
   };
   auto topology = std::make_shared<storm::Topology>("attribution");

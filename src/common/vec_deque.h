@@ -1,0 +1,92 @@
+#ifndef FLOWER_COMMON_VEC_DEQUE_H_
+#define FLOWER_COMMON_VEC_DEQUE_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace flower {
+
+/// Power-of-two ring-buffer FIFO over contiguous storage.
+///
+/// Drop-in replacement for the `std::deque` queues on the simulation
+/// hot path (Storm bolt input queues, Kinesis shard buffers). Unlike
+/// `std::deque`, which allocates and frees fixed-size chunks as the
+/// head and tail move, a VecDeque that has reached its steady-state
+/// capacity never touches the allocator again — a requirement of the
+/// zero-allocation-per-tick guard in bench/perf_micro.
+///
+/// T must be default-constructible and assignable (the queues hold POD
+/// tuples/records). Capacity grows by doubling and never shrinks.
+template <typename T>
+class VecDeque {
+ public:
+  VecDeque() = default;
+
+  bool empty() const { return count_ == 0; }
+  size_t size() const { return count_; }
+  size_t capacity() const { return buf_.size(); }
+
+  T& front() { return buf_[head_]; }
+  const T& front() const { return buf_[head_]; }
+
+  /// i-th element from the front (0 = front). No bounds check.
+  T& operator[](size_t i) { return buf_[(head_ + i) & mask_]; }
+  const T& operator[](size_t i) const { return buf_[(head_ + i) & mask_]; }
+
+  void push_back(const T& v) {
+    if (count_ == buf_.size()) Grow(count_ + 1);
+    buf_[(head_ + count_) & mask_] = v;
+    ++count_;
+  }
+  void push_back(T&& v) {
+    if (count_ == buf_.size()) Grow(count_ + 1);
+    buf_[(head_ + count_) & mask_] = std::move(v);
+    ++count_;
+  }
+
+  void pop_front() {
+    head_ = (head_ + 1) & mask_;
+    --count_;
+  }
+
+  void clear() {
+    head_ = 0;
+    count_ = 0;
+  }
+
+  /// Bulk-appends `n` elements from `src` (the index-based span transfer
+  /// used by Cluster::Tick: one capacity check, then straight copies).
+  void AppendRange(const T* src, size_t n) {
+    if (n == 0) return;
+    if (count_ + n > buf_.size()) Grow(count_ + n);
+    size_t tail = (head_ + count_) & mask_;
+    for (size_t i = 0; i < n; ++i) {
+      buf_[tail] = src[i];
+      tail = (tail + 1) & mask_;
+    }
+    count_ += n;
+  }
+
+ private:
+  void Grow(size_t need) {
+    size_t cap = buf_.empty() ? 16 : buf_.size();
+    while (cap < need) cap *= 2;
+    std::vector<T> fresh(cap);
+    for (size_t i = 0; i < count_; ++i) {
+      fresh[i] = std::move(buf_[(head_ + i) & mask_]);
+    }
+    buf_ = std::move(fresh);
+    head_ = 0;
+    mask_ = cap - 1;
+  }
+
+  std::vector<T> buf_;
+  size_t head_ = 0;
+  size_t count_ = 0;
+  size_t mask_ = 0;
+};
+
+}  // namespace flower
+
+#endif  // FLOWER_COMMON_VEC_DEQUE_H_

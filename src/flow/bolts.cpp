@@ -5,16 +5,20 @@ namespace flower::flow {
 Status WindowCountBolt::Execute(const storm::Tuple& input, SimTime now,
                                 const std::function<void(storm::Tuple)>& emit) {
   counter_.Add(input.entity_id, now, input.value);
-  counter_.AdvanceTo(now, [&](int64_t entity, double count, SimTime end) {
+  exec_input_ = &input;
+  exec_emit_ = &emit;
+  counter_.AdvanceTo(now, [this](int64_t entity, double count, SimTime end) {
     storm::Tuple out;
-    out.origin_time = input.origin_time;
+    out.origin_time = exec_input_->origin_time;
     out.entity_id = entity;
     out.value = count;
     out.size_bytes = 128;
     (void)end;
-    emit(out);
+    (*exec_emit_)(out);
     ++emitted_;
   });
+  exec_input_ = nullptr;
+  exec_emit_ = nullptr;
   return Status::OK();
 }
 

@@ -26,6 +26,13 @@ class WindowCountBolt final : public storm::BoltLogic {
  private:
   SlidingWindowCounter counter_;
   uint64_t emitted_ = 0;
+  // Per-call context for the AdvanceTo emit closure. Stashing these as
+  // members lets the closure capture only [this] (8 bytes, trivially
+  // copyable), which fits std::function's inline storage — the
+  // per-tuple hot path constructs the EmitFn without a heap
+  // allocation. Valid only for the duration of one Execute call.
+  const storm::Tuple* exec_input_ = nullptr;
+  const std::function<void(storm::Tuple)>* exec_emit_ = nullptr;
 };
 
 /// Terminal bolt: persists each aggregate tuple into DynamoDB. A

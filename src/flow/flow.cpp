@@ -34,25 +34,30 @@ Status DataAnalyticsFlow::Init() {
   // Build the click-stream topology: spout → parse → window → persist.
   topology_ = std::make_shared<storm::Topology>(config_.name + "-topology");
   kinesis::Stream* stream = stream_.get();
-  auto spout = [stream](size_t max) {
-    std::vector<storm::Tuple> out;
+  // The record scratch outlives each pull (shared by the copies of the
+  // spout closure), so the per-tick path reuses warm capacity — the
+  // spout allocates nothing in steady state.
+  auto scratch = std::make_shared<std::vector<kinesis::Record>>();
+  auto spout = [stream, scratch](size_t max,
+                                 std::vector<storm::Tuple>* out) {
     int shards = stream->shard_count();
-    if (shards <= 0 || max == 0) return out;
+    if (shards <= 0 || max == 0) return;
     size_t per_shard = max / static_cast<size_t>(shards) + 1;
-    for (int s = 0; s < shards && out.size() < max; ++s) {
-      auto recs = stream->GetRecords(s, per_shard);
-      if (!recs.ok()) continue;
-      for (const kinesis::Record& r : *recs) {
+    for (int s = 0; s < shards && out->size() < max; ++s) {
+      scratch->clear();
+      if (!stream->GetRecordsInto(s, per_shard, scratch.get()).ok()) {
+        continue;
+      }
+      for (const kinesis::Record& r : *scratch) {
         storm::Tuple t;
         t.origin_time = r.timestamp;
         t.entity_id = r.entity_id;
         t.size_bytes = r.size_bytes;
         t.value = 1.0;
-        out.push_back(t);
-        if (out.size() >= max) break;
+        out->push_back(t);
+        if (out->size() >= max) break;
       }
     }
-    return out;
   };
   FLOWER_RETURN_NOT_OK(
       topology_->SetSpout("kinesis-spout", spout, config_.spout_cost));

@@ -1,8 +1,27 @@
 #include "flow/sliding_window.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace flower::flow {
+
+namespace {
+
+/// splitmix64 finalizer — cheap, well-mixed hash for the slot table.
+inline uint64_t MixEntity(int64_t entity) {
+  uint64_t z = static_cast<uint64_t>(entity) + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+inline size_t NextPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
 
 Result<SlidingWindowCounter> SlidingWindowCounter::Create(double window_sec,
                                                           double slide_sec) {
@@ -18,13 +37,132 @@ Result<SlidingWindowCounter> SlidingWindowCounter::Create(double window_sec,
   return SlidingWindowCounter(window_sec, slide_sec);
 }
 
+SlidingWindowCounter::SlidingWindowCounter(double window_sec, double slide_sec)
+    : window_sec_(window_sec), slide_sec_(slide_sec),
+      buckets_per_window_(static_cast<int64_t>(window_sec / slide_sec)) {
+  // The live span is at most the window plus the bucket being filled;
+  // one spare slot keeps the common case conflict-free.
+  ring_.resize(NextPow2(static_cast<size_t>(buckets_per_window_) + 2));
+  ring_mask_ = ring_.size() - 1;
+  table_.assign(64, -1);
+  table_mask_ = table_.size() - 1;
+}
+
+uint32_t SlidingWindowCounter::FindOrCreateSlot(int64_t entity) {
+  size_t h = static_cast<size_t>(MixEntity(entity)) & table_mask_;
+  while (table_[h] >= 0) {
+    uint32_t slot = static_cast<uint32_t>(table_[h]);
+    if (slot_ids_[slot] == entity) return slot;
+    h = (h + 1) & table_mask_;
+  }
+  if ((slot_ids_.size() + 1) * 4 > table_.size() * 3) {
+    GrowTable();
+    // Re-probe in the grown table for the insertion point.
+    h = static_cast<size_t>(MixEntity(entity)) & table_mask_;
+    while (table_[h] >= 0) h = (h + 1) & table_mask_;
+  }
+  uint32_t slot = static_cast<uint32_t>(slot_ids_.size());
+  table_[h] = static_cast<int32_t>(slot);
+  slot_ids_.push_back(entity);
+  slot_last_bucket_.push_back(kNoBucket);
+  slot_entry_pos_.push_back(0);
+  slot_live_.push_back(0);
+  scratch_total_.push_back(0.0);
+  scratch_epoch_.push_back(0);
+  return slot;
+}
+
+void SlidingWindowCounter::GrowTable() {
+  std::vector<int32_t> fresh(table_.size() * 2, -1);
+  size_t mask = fresh.size() - 1;
+  for (uint32_t slot = 0; slot < slot_ids_.size(); ++slot) {
+    size_t h = static_cast<size_t>(MixEntity(slot_ids_[slot])) & mask;
+    while (fresh[h] >= 0) h = (h + 1) & mask;
+    fresh[h] = static_cast<int32_t>(slot);
+  }
+  table_ = std::move(fresh);
+  table_mask_ = mask;
+}
+
+SlidingWindowCounter::Bucket& SlidingWindowCounter::BucketFor(int64_t index) {
+  Bucket& b = ring_[static_cast<size_t>(index & static_cast<int64_t>(
+                        ring_mask_))];
+  if (b.index == index) return b;
+  if (b.index != kNoBucket) {
+    int64_t min_live = next_slide_bucket_ - buckets_per_window_;
+    if (b.index >= min_live) {
+      // The resident bucket still feeds a future window: the live span
+      // outgrew the ring (Adds jumped far ahead without an AdvanceTo).
+      GrowRing(index);
+      return BucketFor(index);
+    }
+    // Past bucket that was never dropped explicitly; release its
+    // contributions before recycling the slot.
+    DropBucket(b.index);
+  }
+  b.index = index;
+  b.entries.clear();
+  return b;
+}
+
+void SlidingWindowCounter::GrowRing(int64_t index) {
+  int64_t lo = index;
+  int64_t hi = index;
+  for (const Bucket& b : ring_) {
+    if (b.index == kNoBucket) continue;
+    lo = std::min(lo, b.index);
+    hi = std::max(hi, b.index);
+  }
+  size_t need = static_cast<size_t>(hi - lo + 1);
+  size_t cap = ring_.size();
+  while (cap < need) cap <<= 1;
+  std::vector<Bucket> fresh(cap);
+  size_t mask = cap - 1;
+  for (Bucket& b : ring_) {
+    if (b.index == kNoBucket) continue;
+    fresh[static_cast<size_t>(b.index & static_cast<int64_t>(mask))] =
+        std::move(b);
+  }
+  ring_ = std::move(fresh);
+  ring_mask_ = mask;
+}
+
+void SlidingWindowCounter::DropBucket(int64_t index) {
+  Bucket& b =
+      ring_[static_cast<size_t>(index & static_cast<int64_t>(ring_mask_))];
+  if (b.index != index) return;
+  for (const Entry& e : b.entries) {
+    if (--slot_live_[e.slot] == 0) --tracked_;
+  }
+  b.entries.clear();
+  b.index = kNoBucket;
+}
+
 void SlidingWindowCounter::Add(int64_t entity, SimTime t, double weight) {
   int64_t bucket = static_cast<int64_t>(std::floor(t / slide_sec_));
   if (!started_) {
     next_slide_bucket_ = bucket + 1;
     started_ = true;
   }
-  buckets_[bucket][entity] += weight;
+  // Late arrival into an already-retired bucket: clamp into the oldest
+  // bucket still inside a future window. The map-based implementation
+  // silently resurrected the dead bucket — below `min_needed`, it was
+  // never emitted and never dropped (lost count, unbounded growth).
+  int64_t min_live = next_slide_bucket_ - buckets_per_window_;
+  if (bucket < min_live) {
+    bucket = min_live;
+    ++late_clamped_;
+  }
+  uint32_t slot = FindOrCreateSlot(entity);
+  Bucket& b = BucketFor(bucket);
+  if (slot_last_bucket_[slot] == bucket) {
+    b.entries[slot_entry_pos_[slot]].weight += weight;
+    return;
+  }
+  slot_last_bucket_[slot] = bucket;
+  slot_entry_pos_[slot] = static_cast<uint32_t>(b.entries.size());
+  b.entries.push_back(Entry{slot, weight});
+  if (slot_live_[slot]++ == 0) ++tracked_;
 }
 
 void SlidingWindowCounter::AdvanceTo(SimTime t, const EmitFn& emit) {
@@ -35,32 +173,37 @@ void SlidingWindowCounter::AdvanceTo(SimTime t, const EmitFn& emit) {
   while (next_slide_bucket_ <= current_bucket) {
     int64_t end_bucket = next_slide_bucket_;  // Exclusive window end.
     int64_t begin_bucket = end_bucket - buckets_per_window_;
-    std::map<int64_t, double> totals;
-    for (auto it = buckets_.lower_bound(begin_bucket);
-         it != buckets_.end() && it->first < end_bucket; ++it) {
-      for (const auto& [entity, count] : it->second) {
-        totals[entity] += count;
+    ++epoch_;
+    scratch_present_.clear();
+    // Accumulate buckets in ascending index order and entries in
+    // first-arrival order within each bucket — the same floating-point
+    // summation order as the nested-map implementation.
+    for (int64_t idx = begin_bucket; idx < end_bucket; ++idx) {
+      const Bucket& b = ring_[static_cast<size_t>(
+          idx & static_cast<int64_t>(ring_mask_))];
+      if (b.index != idx) continue;
+      for (const Entry& e : b.entries) {
+        if (scratch_epoch_[e.slot] == epoch_) {
+          scratch_total_[e.slot] += e.weight;
+        } else {
+          scratch_epoch_[e.slot] = epoch_;
+          scratch_total_[e.slot] = e.weight;
+          scratch_present_.emplace_back(slot_ids_[e.slot], e.slot);
+        }
       }
     }
+    // Ascending entity id, matching std::map iteration order.
+    std::sort(scratch_present_.begin(), scratch_present_.end());
     SimTime window_end = static_cast<double>(end_bucket) * slide_sec_;
-    for (const auto& [entity, count] : totals) {
-      emit(entity, count, window_end);
+    for (const auto& [entity, slot] : scratch_present_) {
+      emit(entity, scratch_total_[slot], window_end);
     }
     ++next_slide_bucket_;
-    // Drop buckets that can no longer contribute to any future window.
-    int64_t min_needed = next_slide_bucket_ - buckets_per_window_;
-    while (!buckets_.empty() && buckets_.begin()->first < min_needed) {
-      buckets_.erase(buckets_.begin());
-    }
+    // Drop the one bucket that can no longer contribute to any future
+    // window. (Boundaries advance one at a time, so by induction no
+    // older bucket can still exist.)
+    DropBucket(next_slide_bucket_ - buckets_per_window_ - 1);
   }
-}
-
-size_t SlidingWindowCounter::tracked_entities() const {
-  std::map<int64_t, double> all;
-  for (const auto& [b, entities] : buckets_) {
-    for (const auto& [e, c] : entities) all[e] += c;
-  }
-  return all.size();
 }
 
 }  // namespace flower::flow

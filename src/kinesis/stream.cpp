@@ -74,6 +74,14 @@ Status Stream::PutRecord(const Record& record) {
 
 Result<std::vector<Record>> Stream::GetRecords(int shard_index,
                                                size_t max_records) {
+  std::vector<Record> out;
+  Status st = GetRecordsInto(shard_index, max_records, &out);
+  if (!st.ok()) return st;
+  return out;
+}
+
+Status Stream::GetRecordsInto(int shard_index, size_t max_records,
+                              std::vector<Record>* out) {
   if (shard_index < 0 || shard_index >= shard_count()) {
     return Status::OutOfRange("Kinesis '" + config_.name +
                               "': shard index out of range");
@@ -87,9 +95,7 @@ Result<std::vector<Record>> Stream::GetRecords(int shard_index,
                              std::to_string(shard_index));
   }
   shard.read_call_tokens -= 1.0;
-  std::vector<Record> out;
   size_t n = std::min(max_records, shard.buffer.size());
-  out.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     const Record& front = shard.buffer.front();
     // The first record of a call always fits (matching the service,
@@ -99,10 +105,20 @@ Result<std::vector<Record>> Stream::GetRecords(int shard_index,
       break;
     }
     shard.read_byte_tokens -= static_cast<double>(front.size_bytes);
-    out.push_back(front);
+    out->push_back(front);
     shard.buffer.pop_front();
   }
-  return out;
+  return Status::OK();
+}
+
+Stream::Shard Stream::MakeChildShard(SimTime now) {
+  Shard s;
+  s.record_tokens = 0.0;
+  s.byte_tokens = 0.0;
+  s.read_byte_tokens = 0.0;
+  s.read_call_tokens = 0.0;
+  s.last_refill = now;
+  return s;
 }
 
 Status Stream::UpdateShardCount(int target) {
@@ -141,13 +157,27 @@ Status Stream::SplitShard(int shard_index) {
   return sim_->ScheduleAfter(config_.reshard_delay_sec,
                              [this, epoch, shard_index] {
     if (epoch != reshard_epoch_) return;
-    SimTime now = sim_->Now();
     // The new shard opens empty; the parent keeps its buffer (real
     // Kinesis children read the parent's remainder first — buffered
-    // order is preserved either way in this model).
-    Shard child;
-    child.last_refill = now;
-    shards_.insert(shards_.begin() + shard_index + 1, std::move(child));
+    // order is preserved either way in this model). The parent's banked
+    // tokens are split evenly with the child: total instantaneous
+    // capacity is conserved across the split, so the split neither
+    // mints a free burst nor throttles traffic already in flight.
+    SimTime now = sim_->Now();
+    Shard child = MakeChildShard(now);
+    {
+      Shard& parent = shards_[static_cast<size_t>(shard_index)];
+      RefillTokens(&parent, now);
+      parent.record_tokens *= 0.5;
+      parent.byte_tokens *= 0.5;
+      parent.read_byte_tokens *= 0.5;
+      parent.read_call_tokens *= 0.5;
+      child.record_tokens = parent.record_tokens;
+      child.byte_tokens = parent.byte_tokens;
+      child.read_byte_tokens = parent.read_byte_tokens;
+      child.read_call_tokens = parent.read_call_tokens;
+    }  // `parent` dies here: the insert below relocates shards_.
+    shards_.insert(shards_.begin() + shard_index + 1, child);
     reshard_in_flight_ = false;
   });
 }
@@ -170,6 +200,9 @@ Status Stream::MergeShards(int shard_index) {
   return sim_->ScheduleAfter(config_.reshard_delay_sec,
                              [this, epoch, shard_index] {
     if (epoch != reshard_epoch_) return;
+    // Drain the victim fully before the erase; the erase itself uses an
+    // index computed fresh here, so no reference or iterator obtained
+    // before it survives past it (shards_ relocates on erase).
     auto& keep = shards_[static_cast<size_t>(shard_index)].buffer;
     auto& gone = shards_[static_cast<size_t>(shard_index) + 1].buffer;
     while (!gone.empty()) {
@@ -199,9 +232,35 @@ void Stream::ApplyReshard(int target) {
   if (target == current) return;
   SimTime now = sim_->Now();
   if (target > current) {
-    shards_.resize(static_cast<size_t>(target));
+    // Scale-out conserves the tokens banked by the live shards: refill
+    // everyone to `now`, then divide the totals evenly across the
+    // post-reshard fleet. resize() would default-construct the new
+    // shards with full buckets — a free burst of (target - current) ×
+    // 1000 records (plus bytes and read quota) the instant the reshard
+    // lands, above any per-shard limit. Zero-token children would err
+    // the other way, throttling legitimate traffic that arrives in the
+    // same instant. Each share is total/target ≤ capacity, so no
+    // clamping is needed, and the added capacity shows up where it
+    // should: in the refill *rate*, now target × per-shard.
+    double rec = 0.0, wbytes = 0.0, rbytes = 0.0, rcalls = 0.0;
+    for (Shard& s : shards_) {
+      RefillTokens(&s, now);
+      rec += s.record_tokens;
+      wbytes += s.byte_tokens;
+      rbytes += s.read_byte_tokens;
+      rcalls += s.read_call_tokens;
+    }
+    shards_.reserve(static_cast<size_t>(target));
     for (int i = current; i < target; ++i) {
-      shards_[static_cast<size_t>(i)].last_refill = now;
+      shards_.push_back(MakeChildShard(now));
+    }
+    double inv = 1.0 / static_cast<double>(target);
+    for (Shard& s : shards_) {
+      s.record_tokens = rec * inv;
+      s.byte_tokens = wbytes * inv;
+      s.read_byte_tokens = rbytes * inv;
+      s.read_call_tokens = rcalls * inv;
+      s.last_refill = now;
     }
     return;
   }

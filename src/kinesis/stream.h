@@ -2,13 +2,13 @@
 #define FLOWER_KINESIS_STREAM_H_
 
 #include <cstdint>
-#include <deque>
 #include <string>
 #include <vector>
 
 #include "cloudwatch/metric_store.h"
 #include "common/result.h"
 #include "common/units.h"
+#include "common/vec_deque.h"
 #include "sim/simulation.h"
 
 namespace flower::kinesis {
@@ -73,6 +73,13 @@ class Stream {
   Result<std::vector<Record>> GetRecords(int shard_index,
                                          size_t max_records);
 
+  /// Same contract as GetRecords, appending into `*out` instead of
+  /// returning a fresh vector — the per-tick consumer path (the flow
+  /// spout) reuses one warm buffer instead of allocating per call.
+  /// `*out` is untouched on error.
+  Status GetRecordsInto(int shard_index, size_t max_records,
+                        std::vector<Record>* out);
+
   uint64_t total_read_throttles() const { return total_read_throttles_; }
 
   /// Requests a new shard count; applied after the resharding delay.
@@ -111,8 +118,14 @@ class Stream {
 
  private:
   struct Shard {
-    std::deque<Record> buffer;
-    // Continuous-refill token buckets (write and read paths).
+    VecDeque<Record> buffer;
+    // Continuous-refill token buckets (write and read paths). Shards
+    // created at stream construction start full (a fresh stream has a
+    // full second of quota); shards created by a mid-run reshard
+    // inherit an even share of the tokens already banked by the live
+    // shards (see ApplyReshard / SplitShard) so scale-out conserves the
+    // stream's instantaneous capacity — no free burst, no spurious
+    // throttles on traffic arriving the instant the reshard lands.
     double record_tokens = kKinesisShardWriteRecordsPerSec;
     double byte_tokens = static_cast<double>(kKinesisShardWriteBytesPerSec);
     double read_byte_tokens =
@@ -120,6 +133,15 @@ class Stream {
     double read_call_tokens = kKinesisShardReadCallsPerSec;
     SimTime last_refill = 0.0;
   };
+
+  /// A shard born mid-run: zero tokens, refill clock anchored at `now`.
+  /// Callers seed the token fields from capacity being divided (a share
+  /// of the parents' banked tokens). The explicit `last_refill = now`
+  /// matters: a zero/stale refill timestamp would mint a full catch-up
+  /// bucket on the shard's first touch, letting a 2→8 scale-out accept
+  /// a burst of 6×1000 records in one instant — above any per-shard
+  /// limit.
+  static Shard MakeChildShard(SimTime now);
 
   void RefillTokens(Shard* shard, SimTime now);
   void ApplyReshard(int target);

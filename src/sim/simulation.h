@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <queue>
 #include <vector>
 
@@ -19,6 +20,15 @@ namespace flower::sim {
 /// Events scheduled for the same instant fire in scheduling order
 /// (FIFO), which makes runs deterministic.
 ///
+/// The calendar is a bucketed timer wheel (4096 buckets of 1/64 s):
+/// events within the 64 s horizon land in their bucket in O(1); a
+/// bucket is sorted by (time, seq) once, when the cursor reaches it.
+/// Far-future events wait in an overflow heap and migrate into the
+/// wheel as the cursor advances. Execution order is byte-identical to
+/// the binary-heap calendar this replaced (preserved as RefCalendar
+/// and pinned by the `simcore` calendar property test): strict
+/// (time, seq) order, FIFO within an instant.
+///
 /// Usage:
 ///   Simulation sim;
 ///   sim.ScheduleAfter(5.0, [&]{ ... });
@@ -27,7 +37,7 @@ class Simulation {
  public:
   using Callback = std::function<void()>;
 
-  Simulation() = default;
+  Simulation();
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
 
@@ -47,6 +57,12 @@ class Simulation {
   /// Schedules `cb` every `period` seconds, first firing at
   /// `start` (absolute). The callback returns true to continue, false
   /// to stop the recurrence.
+  ///
+  /// The task's state lives in a slot table inside the simulation, so
+  /// each recurrence schedules only a {this, slot} thunk — small enough
+  /// for std::function's inline storage. A periodic task therefore
+  /// costs no allocation per firing, and its callback is destroyed
+  /// (captures released) as soon as it declines to recur.
   Status SchedulePeriodic(SimTime start, SimTime period,
                           std::function<bool()> cb);
 
@@ -72,7 +88,9 @@ class Simulation {
   /// detached first.
   void SetTelemetry(obs::Telemetry* telemetry);
 
-  size_t pending_events() const { return queue_.size(); }
+  size_t pending_events() const {
+    return (active_.size() - active_pos_) + wheel_count_ + overflow_.size();
+  }
   uint64_t events_executed() const { return events_executed_; }
 
  private:
@@ -87,13 +105,68 @@ class Simulation {
       return a.seq > b.seq;
     }
   };
+  struct PeriodicTask {
+    SimTime period = 0.0;
+    std::function<bool()> cb;
+  };
+
+  // Wheel geometry: 64 ticks per simulated second across 4096 buckets
+  // gives a 64 s in-wheel horizon; everything beyond waits in the
+  // overflow heap. The wheel only buckets events — times are stored and
+  // compared as exact doubles, so tick quantization never alters order.
+  static constexpr double kTicksPerSec = 64.0;
+  static constexpr size_t kWheelSize = 4096;  // Power of two.
+  static constexpr size_t kWheelMask = kWheelSize - 1;
+  static constexpr int64_t kMaxTick =
+      std::numeric_limits<int64_t>::max() / 2;
+
+  static int64_t TickOf(SimTime t) {
+    double x = t * kTicksPerSec;
+    if (x <= 0.0) return 0;
+    if (x >= static_cast<double>(kMaxTick)) return kMaxTick;
+    return static_cast<int64_t>(x);  // trunc == floor for x >= 0.
+  }
+  static bool EventBefore(const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  /// Returns the next runnable event without executing it, advancing
+  /// the cursor through empty buckets but never past `limit_tick`.
+  /// Returns nullptr when no event exists at tick <= limit_tick (the
+  /// cursor is then parked at limit_tick). The returned pointer is
+  /// valid only until the next schedule or execute call.
+  Event* PeekNextUpTo(int64_t limit_tick);
+  /// Executes active_[active_pos_] (which PeekNextUpTo just returned).
+  void ExecuteActiveFront();
+  /// Migrates overflow events that entered the wheel horizon.
+  void PullOverflow();
+  /// Fires periodic task `id` and reschedules it if it continues.
+  void RunPeriodic(size_t id);
 
   SimTime now_ = 0.0;
   uint64_t next_seq_ = 0;
   uint64_t events_executed_ = 0;
   obs::Histogram* exec_time_us_ = nullptr;
   obs::Counter* events_counter_ = nullptr;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+
+  /// All ticks < cursor_tick_ are fully executed. The bucket for
+  /// cursor_tick_ itself is either still in the wheel (not yet
+  /// activated) or sorted into active_.
+  int64_t cursor_tick_ = 0;
+  std::vector<std::vector<Event>> wheel_;  // kWheelSize buckets.
+  size_t wheel_count_ = 0;                 // Events in wheel buckets.
+  /// The activated (sorted) bucket for cursor_tick_; events before
+  /// active_pos_ have executed. In-callback schedules landing on the
+  /// active tick insert sorted at a position >= active_pos_.
+  std::vector<Event> active_;
+  size_t active_pos_ = 0;
+  bool active_valid_ = false;
+  /// Events beyond the wheel horizon, ordered by (time, seq).
+  std::priority_queue<Event, std::vector<Event>, Later> overflow_;
+
+  std::vector<PeriodicTask> periodic_tasks_;
+  std::vector<size_t> periodic_free_;
 };
 
 }  // namespace flower::sim

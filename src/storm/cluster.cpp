@@ -101,15 +101,16 @@ void Cluster::Tick() {
             std::min(max_pull, static_cast<size_t>(budget / spout_cost));
       }
       if (max_pull == 0) continue;
-      std::vector<Tuple> pulled = spout.fn(max_pull);
-      budget -= static_cast<double>(pulled.size()) * spout_cost;
-      // Route this spout's output to every bolt subscribing to it.
-      for (auto& bolt : topo.bolts_) {
-        if (!bolt.HasSpoutParent(static_cast<int>(si))) continue;
-        for (Tuple t : pulled) {
-          t.source = static_cast<int32_t>(si);
-          bolt.queue.push_back(t);
-        }
+      pull_buf_.clear();
+      spout.fn(max_pull, &pull_buf_);
+      budget -= static_cast<double>(pull_buf_.size()) * spout_cost;
+      // Stamp the source once in the pull buffer, then hand the whole
+      // span to each subscribing bolt — one bulk copy per subscriber
+      // instead of a per-tuple copy per bolt scan.
+      for (Tuple& t : pull_buf_) t.source = static_cast<int32_t>(si);
+      for (size_t cj : spout.subscribers) {
+        topo.bolts_[cj].queue.AppendRange(pull_buf_.data(),
+                                          pull_buf_.size());
       }
     }
   }
@@ -118,20 +119,24 @@ void Cluster::Tick() {
   for (size_t bi = 0; bi < topo.bolts_.size(); ++bi) {
     auto& bolt = topo.bolts_[bi];
     const double cost = bolt.spec.cpu_cost_per_tuple * cost_factor;
-    // Children consuming from this bolt (computed per tick; topologies
-    // are tiny so the scan is cheap).
-    std::vector<size_t> children;
-    for (size_t cj = 0; cj < topo.bolts_.size(); ++cj) {
-      if (topo.bolts_[cj].HasBoltParent(static_cast<int>(bi))) {
-        children.push_back(cj);
-      }
-    }
-    bool is_leaf = children.empty();
-    auto emit = [&](Tuple t) {
-      for (size_t cj : children) topo.bolts_[cj].queue.push_back(t);
-    };
+    const bool is_leaf = bolt.children.empty();
+    // {topology, node} fits std::function's inline storage: building
+    // the emit thunk costs no allocation.
+    std::function<void(Tuple)> emit =
+        [t = &topo, node = &bolt](Tuple tup) {
+          for (size_t cj : node->children) {
+            t->bolts_[cj].queue.push_back(tup);
+          }
+        };
+    // Per-tuple bookkeeping lands in locals and is flushed once after
+    // the drain. `budget` stays per-tuple: its running value gates the
+    // loop, and switching to one fused subtraction would change the
+    // floating-point rounding — and with it how many tuples fit a tick.
+    uint64_t executed_n = 0;
+    uint64_t acked_n = 0;
+    double latency_sum = 0.0;
     while (!bolt.queue.empty() && budget >= cost) {
-      Tuple t = bolt.queue.front();
+      const Tuple& t = bolt.queue.front();
       Status st = bolt.spec.logic->Execute(t, now, emit);
       if (st.IsRetryable()) {
         // Storage backpressure: keep the tuple queued, stop this bolt
@@ -140,21 +145,24 @@ void Cluster::Tick() {
         ++period_sink_throttles_;
         break;
       }
-      bolt.queue.pop_front();
-      budget -= cost;
-      ++bolt.executed;
-      ++total_executed_;
-      ++period_executed_;
-      ++period_bolt_executed_[bi];
-      period_bolt_work_[bi] += cost;
       if (is_leaf) {
-        ++total_acked_;
-        ++period_acked_;
+        ++acked_n;
         double latency = now - t.origin_time;
-        period_latency_sum_ += latency;
+        latency_sum += latency;
         period_latency_sample_.Add(latency);
       }
+      bolt.queue.pop_front();
+      budget -= cost;
+      ++executed_n;
     }
+    bolt.executed += executed_n;
+    total_executed_ += executed_n;
+    period_executed_ += executed_n;
+    period_bolt_executed_[bi] += executed_n;
+    period_bolt_work_[bi] += static_cast<double>(executed_n) * cost;
+    total_acked_ += acked_n;
+    period_acked_ += acked_n;
+    period_latency_sum_ += latency_sum;
   }
 
   last_tick_cpu_pct_ =

@@ -100,6 +100,11 @@ class Cluster {
   Rng jitter_rng_;
   double jitter_state_ = 0.0;  ///< AR(1) noise state.
 
+  /// Scratch buffer for spout pulls, reused across ticks so the
+  /// steady-state tick never allocates (see bench/perf_micro's
+  /// zero-allocation guard).
+  std::vector<Tuple> pull_buf_;
+
   double last_tick_cpu_pct_ = 0.0;
   uint64_t total_executed_ = 0;
   uint64_t total_acked_ = 0;

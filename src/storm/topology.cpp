@@ -89,6 +89,22 @@ Status Topology::AddBolt(BoltSpec spec,
     }
     return Status::NotFound("AddBolt: unknown parent '" + parent + "'");
   }
+  // Maintain the forward adjacency the scheduler tick consumes
+  // (spout -> subscribers, bolt -> children). Deduplicated: a parent
+  // listed twice still delivers each tuple once, matching the
+  // HasSpoutParent/HasBoltParent semantics the per-tick scan had.
+  const size_t new_idx = bolts_.size();
+  for (size_t i = 0; i < node.parents.size(); ++i) {
+    int p = node.parents[i];
+    bool seen = false;
+    for (size_t j = 0; j < i; ++j) seen = seen || node.parents[j] == p;
+    if (seen) continue;
+    if (p < 0) {
+      spouts_[static_cast<size_t>(-1 - p)].subscribers.push_back(new_idx);
+    } else {
+      bolts_[static_cast<size_t>(p)].children.push_back(new_idx);
+    }
+  }
   bolts_.push_back(std::move(node));
   return Status::OK();
 }

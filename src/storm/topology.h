@@ -2,7 +2,6 @@
 #define FLOWER_STORM_TOPOLOGY_H_
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -10,6 +9,7 @@
 
 #include "common/result.h"
 #include "common/time_series.h"
+#include "common/vec_deque.h"
 
 namespace flower::storm {
 
@@ -64,9 +64,12 @@ struct BoltSpec {
   std::shared_ptr<BoltLogic> logic;
 };
 
-/// A spout's pull function: returns up to `max` tuples from the
-/// upstream source (the flow layer wires this to Kinesis GetRecords).
-using SpoutFn = std::function<std::vector<Tuple>(size_t max)>;
+/// A spout's pull function: appends up to `max` tuples from the
+/// upstream source to `*out` (the flow layer wires this to Kinesis
+/// GetRecordsInto). The caller owns and clears the buffer, so a
+/// steady-state pull reuses warm capacity instead of allocating a
+/// fresh vector per tick.
+using SpoutFn = std::function<void(size_t max, std::vector<Tuple>* out)>;
 
 /// A DAG of spouts and bolts.
 ///
@@ -116,13 +119,20 @@ class Topology {
     std::string name;
     SpoutFn fn;
     double cost = 100.0;
+    /// Bolt indices consuming this spout's output, in declaration
+    /// order. Maintained by AddBolt so the scheduler tick never scans.
+    std::vector<size_t> subscribers;
   };
   struct BoltNode {
     BoltSpec spec;
     /// Parent references: spout index (< 0: encoded as -1 - idx) or
     /// bolt index (>= 0).
     std::vector<int> parents;
-    std::deque<Tuple> queue;
+    /// Bolt indices consuming this bolt's output (always greater than
+    /// this bolt's own index — the DAG is built in topological order).
+    /// Maintained by AddBolt, deduplicated.
+    std::vector<size_t> children;
+    VecDeque<Tuple> queue;
     uint64_t executed = 0;
 
     bool HasSpoutParent(int spout_idx) const {

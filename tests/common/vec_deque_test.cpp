@@ -1,0 +1,106 @@
+#include "common/vec_deque.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace flower {
+namespace {
+
+TEST(VecDequeTest, StartsEmpty) {
+  VecDeque<int> q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.capacity(), 0u);
+}
+
+TEST(VecDequeTest, FifoOrder) {
+  VecDeque<int> q;
+  for (int i = 0; i < 100; ++i) q.push_back(i);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_FALSE(q.empty());
+    EXPECT_EQ(q.front(), i);
+    q.pop_front();
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(VecDequeTest, WrapsAroundWithoutLosingOrder) {
+  VecDeque<int> q;
+  // Interleave pushes and pops so the head walks around the ring many
+  // times while the size stays below capacity (no growth after warmup).
+  int next_in = 0, next_out = 0;
+  for (int round = 0; round < 500; ++round) {
+    for (int i = 0; i < 3; ++i) q.push_back(next_in++);
+    for (int i = 0; i < 2; ++i) {
+      ASSERT_EQ(q.front(), next_out);
+      q.pop_front();
+      ++next_out;
+    }
+  }
+  size_t cap = q.capacity();
+  while (!q.empty()) {
+    ASSERT_EQ(q.front(), next_out++);
+    q.pop_front();
+  }
+  EXPECT_EQ(next_out, next_in);
+  EXPECT_EQ(q.capacity(), cap);  // pop never shrinks.
+}
+
+TEST(VecDequeTest, GrowPreservesOrderAcrossWrap) {
+  VecDeque<int> q;
+  // Force a wrapped state, then grow: elements must come out in order.
+  for (int i = 0; i < 16; ++i) q.push_back(i);
+  for (int i = 0; i < 10; ++i) q.pop_front();
+  for (int i = 16; i < 40; ++i) q.push_back(i);  // Wraps, then grows.
+  for (int i = 10; i < 40; ++i) {
+    ASSERT_EQ(q.front(), i);
+    q.pop_front();
+  }
+}
+
+TEST(VecDequeTest, IndexingIsFifoRelative) {
+  VecDeque<int> q;
+  for (int i = 0; i < 20; ++i) q.push_back(i);
+  for (int i = 0; i < 7; ++i) q.pop_front();
+  for (size_t i = 0; i < q.size(); ++i) {
+    EXPECT_EQ(q[i], static_cast<int>(i) + 7);
+  }
+}
+
+TEST(VecDequeTest, AppendRangeBulkTransfer) {
+  VecDeque<int> q;
+  q.push_back(-1);
+  int batch[5] = {0, 1, 2, 3, 4};
+  q.AppendRange(batch, 5);
+  q.AppendRange(batch, 0);  // Empty append is a no-op.
+  ASSERT_EQ(q.size(), 6u);
+  EXPECT_EQ(q.front(), -1);
+  for (size_t i = 1; i < 6; ++i) EXPECT_EQ(q[i], static_cast<int>(i) - 1);
+}
+
+TEST(VecDequeTest, ClearKeepsCapacity) {
+  VecDeque<std::string> q;
+  for (int i = 0; i < 33; ++i) q.push_back(std::to_string(i));
+  size_t cap = q.capacity();
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.capacity(), cap);
+  q.push_back("again");
+  EXPECT_EQ(q.front(), "again");
+}
+
+TEST(VecDequeTest, SteadyStateChurnDoesNotGrow) {
+  VecDeque<int> q;
+  for (int i = 0; i < 8; ++i) q.push_back(i);
+  size_t cap = q.capacity();
+  for (int i = 0; i < 10000; ++i) {
+    q.push_back(i);
+    q.pop_front();
+  }
+  EXPECT_EQ(q.capacity(), cap);
+  EXPECT_EQ(q.size(), 8u);
+}
+
+}  // namespace
+}  // namespace flower

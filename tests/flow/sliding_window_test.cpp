@@ -95,6 +95,45 @@ TEST(SlidingWindowTest, TracksDistinctEntities) {
   EXPECT_EQ(counter.tracked_entities(), 25u);
 }
 
+// Regression: a late arrival whose timestamp lands in an
+// already-retired slide bucket used to resurrect a dead map bucket
+// below `min_needed` — never emitted by any future window and never
+// dropped (lost count + unbounded growth). It is now clamped into the
+// oldest bucket that still feeds a future window.
+TEST(SlidingWindowTest, LateArrivalIsClampedIntoOldestLiveBucket) {
+  auto counter = SlidingWindowCounter::Create(20.0, 10.0).MoveValueOrDie();
+  counter.Add(1, 5.0);                   // Bucket [0, 10).
+  (void)Collect(&counter, 35.0);         // Boundaries 10, 20, 30 retire it.
+  EXPECT_EQ(counter.late_clamped(), 0u);
+  counter.Add(7, 5.0);                   // Late: bucket [0, 10) is dead.
+  EXPECT_EQ(counter.late_clamped(), 1u);
+  // The clamped count surfaces in the next window instead of vanishing.
+  auto at40 = Collect(&counter, 40.0);
+  ASSERT_EQ(at40.size(), 1u);
+  EXPECT_EQ(at40[0].entity, 7);
+  EXPECT_DOUBLE_EQ(at40[0].count, 1.0);
+  // And it expires normally — no immortal bucket keeps it tracked.
+  (void)Collect(&counter, 80.0);
+  EXPECT_EQ(counter.tracked_entities(), 0u);
+}
+
+// tracked_entities() is maintained incrementally (the metrics path
+// samples it every period); it must stay consistent through bucket
+// expiry and entity reappearance.
+TEST(SlidingWindowTest, TrackedEntitiesFollowsBucketLifetimes) {
+  auto counter = SlidingWindowCounter::Create(20.0, 10.0).MoveValueOrDie();
+  for (int64_t e = 0; e < 10; ++e) counter.Add(e, 1.0);
+  EXPECT_EQ(counter.tracked_entities(), 10u);
+  counter.Add(3, 12.0);  // Entity 3 spans two buckets: still 10 distinct.
+  EXPECT_EQ(counter.tracked_entities(), 10u);
+  (void)Collect(&counter, 25.0);  // Bucket [0, 10) dropped after 20.
+  EXPECT_EQ(counter.tracked_entities(), 1u);  // Only entity 3 remains.
+  (void)Collect(&counter, 60.0);
+  EXPECT_EQ(counter.tracked_entities(), 0u);
+  counter.Add(42, 65.0);
+  EXPECT_EQ(counter.tracked_entities(), 1u);
+}
+
 TEST(SlidingWindowTest, TumblingWindowCountsExactlyOnce) {
   auto counter = SlidingWindowCounter::Create(10.0, 10.0).MoveValueOrDie();
   counter.Add(1, 3.0);

@@ -244,6 +244,67 @@ TEST(StreamTest, ConcurrentReshardRejected) {
   EXPECT_EQ(stream.MergeShards(0).code(), StatusCode::kFailedPrecondition);
 }
 
+TEST(StreamTest, ScaleOutGrantsNoInstantTokenBurst) {
+  sim::Simulation sim;
+  Stream stream(&sim, nullptr, TestConfig(2));
+  ASSERT_TRUE(stream.UpdateShardCount(8).ok());
+  // Saturate the stream the instant the reshard lands (the reshard
+  // event was scheduled first, so it fires first at t=60), then again
+  // half a second later. Scale-out must conserve banked tokens: the
+  // two full pre-reshard buckets (2 × 1000 records) are divided eight
+  // ways, so exactly 2000 records can be accepted instantly. Were the
+  // six new shards born with full buckets — or with a stale
+  // last_refill minting a catch-up refill — this probe would admit
+  // ~8000.
+  int at_reshard = 0, at_half_sec = 0;
+  ASSERT_TRUE(sim.ScheduleAt(60.0, [&] {
+    ASSERT_EQ(stream.shard_count(), 8);
+    for (int i = 0; i < 12000; ++i) {
+      if (stream.PutRecord(Rec(static_cast<uint64_t>(i), 64)).ok()) {
+        ++at_reshard;
+      }
+    }
+  }).ok());
+  ASSERT_TRUE(sim.ScheduleAt(60.5, [&] {
+    for (int i = 0; i < 12000; ++i) {
+      if (stream.PutRecord(Rec(static_cast<uint64_t>(i), 64)).ok()) {
+        ++at_half_sec;
+      }
+    }
+  }).ok());
+  sim.RunUntil(61.0);
+  EXPECT_EQ(at_reshard, 2000);
+  // Refill over the following half second is rate-bound: 8 shards ×
+  // 1000 rec/s × 0.5 s.
+  EXPECT_NEAR(at_half_sec, 4000, 8);
+  // Whole first post-reshard second stays within the aggregate
+  // per-shard limit (8 × 1000 rec/s) plus the conserved carry-over.
+  EXPECT_LE(at_reshard + at_half_sec, 8000);
+}
+
+TEST(StreamTest, SplitSharesParentTokensWithChild) {
+  sim::Simulation sim;
+  Stream stream(&sim, nullptr, TestConfig(2));
+  ASSERT_TRUE(stream.SplitShard(0).ok());
+  // At the split instant the parent's full bucket (1000 records) is
+  // halved with the child; the untouched sibling keeps its own 1000.
+  // Keys 0/1/2 map to shards 0/1/2 after the split (3 shards).
+  int per_shard[3] = {0, 0, 0};
+  ASSERT_TRUE(sim.ScheduleAt(60.0, [&] {
+    ASSERT_EQ(stream.shard_count(), 3);
+    for (int i = 0; i < 6000; ++i) {
+      uint64_t key = static_cast<uint64_t>(i) % 3;
+      if (stream.PutRecord(Rec(key, 64)).ok()) {
+        ++per_shard[key];
+      }
+    }
+  }).ok());
+  sim.RunUntil(60.0);
+  EXPECT_EQ(per_shard[0], 500);  // Parent: half its bucket remains.
+  EXPECT_EQ(per_shard[1], 500);  // Child: the inherited half.
+  EXPECT_EQ(per_shard[2], 1000);  // Untouched sibling.
+}
+
 TEST(StreamTest, IteratorAgeTracksOldestRecord) {
   sim::Simulation sim;
   Stream stream(&sim, nullptr, TestConfig(1));

@@ -1,0 +1,234 @@
+// Property test pinning the timer-wheel calendar (sim::Simulation) to
+// the binary-heap calendar it replaced (sim::RefCalendar): identical
+// randomized schedules must execute in byte-identical order on both
+// engines. Covers the order-sensitive corners the wheel must preserve:
+// same-instant FIFO bursts, periodics landing exactly on RunUntil
+// boundaries, in-callback reschedules (including zero-delay chains),
+// far-future events beyond the 64 s wheel horizon, Step interleaves,
+// and RunUntil calls in the past.
+
+#include <random>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/ref_calendar.h"
+#include "sim/simulation.h"
+
+namespace flower::sim {
+namespace {
+
+using Log = std::vector<std::pair<int, SimTime>>;
+
+/// Drives one engine through a seeded randomized schedule, recording
+/// (event id, firing time) for every execution. Both engines are run
+/// with the same seed; the random draws made inside callbacks happen in
+/// execution order, so any order divergence makes the logs differ (the
+/// failure we are hunting) rather than masking itself.
+template <typename Engine>
+class ScriptRunner {
+ public:
+  explicit ScriptRunner(uint64_t seed) : rng_(seed) {}
+
+  Log Run() {
+    // Bursts at a handful of shared instants: FIFO within an instant.
+    for (int i = 0; i < 48; ++i) {
+      ScheduleOneShot(static_cast<double>(rng_() % 7) * 2.5);
+    }
+    // Far-future events beyond the 64 s wheel horizon (overflow heap).
+    for (int i = 0; i < 16; ++i) {
+      ScheduleOneShot(70.0 + static_cast<double>(rng_() % 4000) * 0.1);
+    }
+    // Periodics; the first lands exactly on the RunUntil(10.0) boundary.
+    AddPeriodic(2.5, 2.5, 9);
+    AddPeriodic(1.0, 3.0, 12);
+    AddPeriodic(0.75, 0.5, 40);
+    eng_.RunUntil(10.0);
+    eng_.RunUntil(4.0);  // In the past: must be a no-op.
+    for (int i = 0; i < 7; ++i) eng_.Step();
+    eng_.RunUntil(80.0);
+    while (eng_.Step()) {
+    }
+    log_.emplace_back(-1, eng_.Now());
+    log_.emplace_back(static_cast<int>(eng_.events_executed()),
+                      static_cast<double>(eng_.pending_events()));
+    return log_;
+  }
+
+ private:
+  void ScheduleOneShot(double t) {
+    int id = next_id_++;
+    Status st = eng_.ScheduleAt(t, [this, id] { OnFire(id); });
+    ASSERT_TRUE(st.ok()) << st.ToString();
+  }
+
+  void AddPeriodic(double start, double period, int fires) {
+    int id = next_id_++;
+    auto left = std::make_shared<int>(fires);
+    Status st = eng_.SchedulePeriodic(start, period, [this, id, left] {
+      log_.emplace_back(id, eng_.Now());
+      return --*left > 0;
+    });
+    ASSERT_TRUE(st.ok()) << st.ToString();
+  }
+
+  void OnFire(int id) {
+    log_.emplace_back(id, eng_.Now());
+    if (budget_ <= 0) return;
+    uint64_t roll = rng_() % 100;
+    // In-callback reschedules: zero-delay (same instant, later seq),
+    // sub-tick, near-future, and past-the-horizon.
+    if (roll < 25) {
+      --budget_;
+      int id2 = next_id_++;
+      (void)eng_.ScheduleAfter(0.0, [this, id2] { OnFire(id2); });
+    } else if (roll < 45) {
+      --budget_;
+      int id2 = next_id_++;
+      (void)eng_.ScheduleAfter(0.003, [this, id2] { OnFire(id2); });
+    } else if (roll < 65) {
+      --budget_;
+      int id2 = next_id_++;
+      (void)eng_.ScheduleAfter(3.7, [this, id2] { OnFire(id2); });
+    } else if (roll < 75) {
+      --budget_;
+      int id2 = next_id_++;
+      (void)eng_.ScheduleAfter(120.0, [this, id2] { OnFire(id2); });
+    }
+  }
+
+  Engine eng_;
+  std::mt19937_64 rng_;
+  Log log_;
+  int next_id_ = 0;
+  int budget_ = 200;
+};
+
+TEST(CalendarPropertyTest, RandomizedSchedulesMatchReference) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Log wheel = ScriptRunner<Simulation>(seed).Run();
+    Log heap = ScriptRunner<RefCalendar>(seed).Run();
+    ASSERT_EQ(wheel.size(), heap.size()) << "seed " << seed;
+    for (size_t i = 0; i < wheel.size(); ++i) {
+      ASSERT_EQ(wheel[i].first, heap[i].first)
+          << "seed " << seed << " divergence at step " << i;
+      ASSERT_DOUBLE_EQ(wheel[i].second, heap[i].second)
+          << "seed " << seed << " divergence at step " << i;
+    }
+  }
+}
+
+TEST(CalendarPropertyTest, SameInstantBurstPreservesSchedulingOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  // 300 events at one instant: more than enough to force bucket
+  // activation and mid-burst growth of the active vector.
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(sim.ScheduleAt(1.0, [&order, i] { order.push_back(i); }).ok());
+  }
+  sim.RunUntil(1.0);
+  ASSERT_EQ(order.size(), 300u);
+  for (int i = 0; i < 300; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(CalendarPropertyTest, ZeroDelayChainAtBoundaryMatchesReference) {
+  // A callback firing exactly at the RunUntil boundary spawns a
+  // zero-delay chain; every link must run inside the same RunUntil on
+  // both engines, after everything previously scheduled at that time.
+  auto drive = [](auto& eng) {
+    Log log;
+    for (int i = 0; i < 3; ++i) {
+      (void)eng.ScheduleAt(5.0, [&log, &eng, i] {
+        log.emplace_back(i, eng.Now());
+      });
+    }
+    std::function<void(int)> chain = [&](int depth) {
+      log.emplace_back(100 + depth, eng.Now());
+      if (depth < 4) {
+        (void)eng.ScheduleAfter(0.0, [&chain, depth] { chain(depth + 1); });
+      }
+    };
+    (void)eng.ScheduleAt(5.0, [&chain] { chain(0); });
+    eng.RunUntil(5.0);
+    log.emplace_back(-1, static_cast<double>(eng.pending_events()));
+    return log;
+  };
+  Simulation wheel;
+  RefCalendar heap;
+  EXPECT_EQ(drive(wheel), drive(heap));
+}
+
+TEST(CalendarPropertyTest, PeriodicAcrossBoundariesMatchesReference) {
+  auto drive = [](auto& eng) {
+    Log log;
+    (void)eng.SchedulePeriodic(2.0, 2.0, [&log, &eng] {
+      log.emplace_back(1, eng.Now());
+      return eng.Now() < 19.0;
+    });
+    (void)eng.SchedulePeriodic(1.0, 2.0, [&log, &eng] {
+      log.emplace_back(2, eng.Now());
+      return eng.Now() < 14.0;
+    });
+    // Boundaries land exactly on firings (10.0), between them, and in
+    // the past (8.0: no-op).
+    eng.RunUntil(10.0);
+    eng.RunUntil(8.0);
+    eng.RunUntil(10.5);
+    eng.RunUntil(20.0);
+    log.emplace_back(-1, eng.Now());
+    return log;
+  };
+  Simulation wheel;
+  RefCalendar heap;
+  EXPECT_EQ(drive(wheel), drive(heap));
+}
+
+TEST(CalendarPropertyTest, OverflowMigrationKeepsOrder) {
+  // Events far beyond the wheel horizon interleaved with near events;
+  // order across the horizon boundary must match the reference.
+  auto drive = [](auto& eng) {
+    Log log;
+    auto fire = [&log, &eng](int id) { log.emplace_back(id, eng.Now()); };
+    (void)eng.ScheduleAt(100.0, [&] { fire(1); });
+    (void)eng.ScheduleAt(63.9, [&] { fire(2); });
+    (void)eng.ScheduleAt(64.1, [&] { fire(3); });
+    (void)eng.ScheduleAt(100.0, [&] { fire(4); });  // Same far instant.
+    (void)eng.ScheduleAt(1.0, [&] {
+      fire(5);
+      // Scheduled from inside a callback, still beyond the horizon.
+      (void)eng.ScheduleAt(100.0, [&] { fire(6); });
+    });
+    eng.RunUntil(500.0);
+    log.emplace_back(-1, eng.Now());
+    return log;
+  };
+  Simulation wheel;
+  RefCalendar heap;
+  EXPECT_EQ(drive(wheel), drive(heap));
+}
+
+TEST(CalendarPropertyTest, StepDrainsInReferenceOrder) {
+  auto drive = [](auto& eng) {
+    Log log;
+    for (int i = 0; i < 5; ++i) {
+      (void)eng.ScheduleAt(3.0, [&log, &eng, i] {
+        log.emplace_back(i, eng.Now());
+      });
+    }
+    (void)eng.ScheduleAt(90.0, [&log, &eng] {  // Overflow event.
+      log.emplace_back(99, eng.Now());
+    });
+    while (eng.Step()) {
+    }
+    EXPECT_FALSE(eng.Step());  // Idempotent on an empty calendar.
+    log.emplace_back(-1, eng.Now());
+    return log;
+  };
+  Simulation wheel;
+  RefCalendar heap;
+  EXPECT_EQ(drive(wheel), drive(heap));
+}
+
+}  // namespace
+}  // namespace flower::sim

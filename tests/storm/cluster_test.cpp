@@ -26,13 +26,12 @@ ClusterConfig TestConfig() {
 struct QueueSpout {
   std::deque<Tuple> q;
   SpoutFn Fn() {
-    return [this](size_t max) {
-      std::vector<Tuple> out;
-      while (!q.empty() && out.size() < max) {
-        out.push_back(q.front());
+    return [this](size_t max, std::vector<Tuple>* out) {
+      size_t limit = out->size() + max;
+      while (!q.empty() && out->size() < limit) {
+        out->push_back(q.front());
         q.pop_front();
       }
-      return out;
     };
   }
   void Push(int n, double cost_hint = 0.0) {

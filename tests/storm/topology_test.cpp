@@ -6,7 +6,7 @@ namespace flower::storm {
 namespace {
 
 SpoutFn EmptySpout() {
-  return [](size_t) { return std::vector<Tuple>{}; };
+  return [](size_t, std::vector<Tuple>*) {};
 }
 
 BoltSpec Spec(const std::string& name, double selectivity = 1.0) {

@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # Configure a sanitizer build (ASan + UBSan, fail on first report) and
-# run the fault-injection / resilience and flow-health test labels under
-# it. These tests exercise the retry/circuit-breaker callback paths and
-# the health layer's threaded anomaly fan-out, where lifetime bugs (a
-# retry firing into a freed loop) would hide from the plain build.
+# run the fault-injection / resilience, flow-health and simulation-core
+# test labels under it. The fault/health tests exercise the
+# retry/circuit-breaker callback paths and the health layer's threaded
+# anomaly fan-out, where lifetime bugs (a retry firing into a freed
+# loop) would hide from the plain build; the simcore tests drive the
+# timer wheel's move-out/swap event paths, where a use-after-move or
+# buffer rotation bug would likewise stay invisible.
 #
-#   $ tools/run_sanitized.sh            # build + ctest -L 'fault|health'
+#   $ tools/run_sanitized.sh            # ctest -L 'fault|health|simcore'
 #   $ tools/run_sanitized.sh -R Breaker # forward extra ctest args
 set -euo pipefail
 
@@ -17,8 +20,9 @@ cmake -B "${build_dir}" -S "${repo_root}" \
   -DFLOWER_SANITIZE=ON \
   -DFLOWER_BUILD_BENCHMARKS=OFF \
   -DFLOWER_BUILD_EXAMPLES=OFF
-cmake --build "${build_dir}" -j "$(nproc)" --target fault_tests health_tests
+cmake --build "${build_dir}" -j "$(nproc)" \
+  --target fault_tests health_tests sim_tests simcore_tests
 
 cd "${build_dir}"
 ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
-  ctest -L 'fault|health' --output-on-failure "$@"
+  ctest -L 'fault|health|simcore' --output-on-failure "$@"

@@ -5,7 +5,11 @@
 # (a worker publishing results the coordinator reads without a
 # happens-before edge) would hide from the plain build.
 #
-#   $ tools/run_tsan.sh              # build + ctest -L planner
+# The simcore label rides along: the simulation calendar is documented
+# single-threaded, and running its property tests under TSan keeps any
+# future threading of the event loop honest from day one.
+#
+#   $ tools/run_tsan.sh              # build + ctest -L 'planner|simcore'
 #   $ tools/run_tsan.sh -R ThreadPool  # forward extra ctest args
 set -euo pipefail
 
@@ -18,11 +22,11 @@ cmake -B "${build_dir}" -S "${repo_root}" \
   -DFLOWER_BUILD_BENCHMARKS=OFF \
   -DFLOWER_BUILD_EXAMPLES=OFF
 cmake --build "${build_dir}" -j "$(nproc)" \
-  --target exec_tests opt_tests core_tests flower-sim
+  --target exec_tests opt_tests core_tests sim_tests simcore_tests flower-sim
 
 cd "${build_dir}"
 TSAN_OPTIONS=halt_on_error=1 \
-  ctest -L planner --output-on-failure "$@"
+  ctest -L 'planner|simcore' --output-on-failure "$@"
 
 # End-to-end: a multi-threaded planning pass through the CLI, with the
 # telemetry trace enabled, must be race-free too.
