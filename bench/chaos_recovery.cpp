@@ -27,6 +27,7 @@
 #include "common/table_printer.h"
 #include "common/units.h"
 #include "obs/health/health_monitor.h"
+#include "obs/span.h"
 #include "obs/telemetry.h"
 #include "sim/fault_injector.h"
 
@@ -63,6 +64,11 @@ struct RunResult {
   double detect_gap_sec = -1.0;
   double detect_spike_sec = -1.0;
   size_t anomaly_events = 0;
+  /// Seconds from surge onset to the first decision whose causal span
+  /// chain *attributes* the trouble — a kActuate child that failed —
+  /// rather than merely flagging an anomalous stream; < 0 = never.
+  double attribute_cause_sec = -1.0;
+  uint64_t spans_recorded = 0;
 
   // Everything observable, fixed precision: two serializations are equal
   // iff the runs took identical trajectories.
@@ -77,7 +83,8 @@ struct RunResult {
        << '|' << analytics.breaker_trips << '|'
        << analytics.breaker_skipped_steps << '|' << injected_failures << '|'
        << injected_gaps << '|' << detect_actuator_sec << '|' << detect_gap_sec
-       << '|' << detect_spike_sec << '|' << anomaly_events;
+       << '|' << detect_spike_sec << '|' << anomaly_events << '|'
+       << attribute_cause_sec << '|' << spans_recorded;
     for (double v : cpu_trace) os << '|' << v;
     return os.str();
   }
@@ -126,6 +133,9 @@ Result<RunResult> RunScenario(bool hardened, uint64_t seed) {
   sim::Simulation sim;
   cloudwatch::MetricStore metrics;
   obs::Telemetry telemetry;
+  // Causal spans on: the bench measures time-to-attributed-cause from
+  // the recorded sense -> decide -> actuate chains after the run.
+  telemetry.spans().set_enabled(true);
   sim::FaultInjector chaos(&sim, seed);
   ScheduleFaults(&chaos);
 
@@ -232,6 +242,32 @@ Result<RunResult> RunScenario(bool hardened, uint64_t seed) {
                                               : std::min(via_miss, via_stale));
   out.detect_spike_sec =
       DetectionLatency(anomaly_log, "loop.sensed_y", 110.0 * kMinute);
+
+  // Time-to-attributed-cause: the anomaly bank says *something* is off;
+  // the span chains say *what*. Walk the decision log from surge onset
+  // and find the first analytics decision whose resolved chain contains
+  // a failed actuation attempt — that is the moment a post-mortem query
+  // (SpanIndex::EffectOf) pins the outage on the actuator.
+  out.spans_recorded = telemetry.spans().total_started();
+  obs::SpanIndex index(telemetry.spans());
+  for (const obs::ControlDecisionRecord& d :
+       telemetry.decisions().Snapshot()) {
+    if (d.time < kSurgeStart || d.loop != "analytics" || d.span_id == 0) {
+      continue;
+    }
+    auto chain = index.EffectOf(d.span_id);
+    if (!chain.ok()) continue;
+    bool failed_attempt = false;
+    for (const obs::SpanRecord* a : chain->actuations) {
+      failed_attempt |=
+          a->outcome ==
+          static_cast<uint8_t>(obs::StepOutcome::kActuationFailed);
+    }
+    if (failed_attempt) {
+      out.attribute_cause_sec = d.time - kSurgeStart;
+      break;
+    }
+  }
   return out;
 }
 
@@ -290,6 +326,13 @@ int Run() {
             << "\n  total anomaly events:    " << hardened->anomaly_events
             << "\n";
 
+  std::cout << "\nTime-to-attributed-cause (first decision whose span "
+               "chain holds a\nfailed actuation, via SpanIndex::EffectOf; "
+            << hardened->spans_recorded << " spans recorded):\n"
+            << "  unhardened: " << latency(unhardened->attribute_cause_sec)
+            << "\n  hardened:   " << latency(hardened->attribute_cause_sec)
+            << "\n";
+
   std::cout << "\nGround-truth analytics CPU from surge onset:\n";
   std::cout << AsciiChart(unhardened->cpu_trace, 6, 72,
                           "unhardened (85% = SLO line)");
@@ -322,6 +365,10 @@ int Run() {
   ok &= bench::Verdict(
       "anomaly bank flags the sensor-spike window within 2 periods",
       detected(hardened->detect_spike_sec));
+  ok &= bench::Verdict(
+      "span chains attribute the actuator failure within 2 periods",
+      detected(hardened->attribute_cause_sec) &&
+          detected(unhardened->attribute_cause_sec));
   return ok ? 0 : 1;
 }
 

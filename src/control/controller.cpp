@@ -27,6 +27,7 @@ void Controller::Notify(SimTime now, double y, double y_r, double gain,
   view.raw_u = raw_u;
   view.u = u;
   view.law = name();
+  view.span_id = step_span_;
   observer_->OnControlStep(view);
 }
 

@@ -65,6 +65,12 @@ class Controller {
   void set_observer(ControlObserver* observer) { observer_ = observer; }
   ControlObserver* observer() const { return observer_; }
 
+  /// Causal span id stamped onto the next published ControlStepView
+  /// (set by the supervisor before each Update; see
+  /// ControlStepView::span_id). Sticky until restamped.
+  void set_step_span(uint64_t span_id) { step_span_ = span_id; }
+  uint64_t step_span() const { return step_span_; }
+
  protected:
   /// Publishes one step to the observer, if any. `gain` may be NaN for
   /// laws with no explicit gain.
@@ -73,6 +79,7 @@ class Controller {
 
  private:
   ControlObserver* observer_ = nullptr;
+  uint64_t step_span_ = 0;
 };
 
 }  // namespace flower::control

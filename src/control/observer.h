@@ -30,6 +30,11 @@ struct ControlStepView {
   /// annotated views, so breach-aware laws/observers can react without
   /// a dependency on obs/health.
   uint8_t health_mask = 0;
+  /// Causal decide-span id (obs::SpanId layout) for this step. The
+  /// supervisor stamps it on the controller before Update via
+  /// Controller::set_step_span; 0 when span recording is off. Plain
+  /// uint64_t so control stays free of any obs dependency.
+  uint64_t span_id = 0;
 };
 
 /// Sink for per-step control-law telemetry. Implementations must not

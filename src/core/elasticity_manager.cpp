@@ -69,6 +69,18 @@ Status ElasticityManager::SetTelemetry(obs::Telemetry* telemetry) {
   return Status::OK();
 }
 
+Status ElasticityManager::SetTraceScope(const std::string& scope) {
+  if (scope.empty()) {
+    return Status::InvalidArgument("ElasticityManager: empty trace scope");
+  }
+  if (!loops_.empty()) {
+    return Status::FailedPrecondition(
+        "ElasticityManager: SetTraceScope must precede Attach");
+  }
+  trace_pid_ = telemetry_->trace().RegisterScope(scope);
+  return Status::OK();
+}
+
 void ElasticityManager::SetHealthAnnotator(
     std::function<obs::HealthMask(const std::string& layer, SimTime now)>
         annotator) {
@@ -124,7 +136,7 @@ Status ElasticityManager::Attach(LayerControlConfig config) {
   attached->gauge_gain = m.GetGauge("loop.gain", labels);
   attached->breach_steps = m.GetCounter("loop.breach_steps", labels);
   attached->trace_tid = next_trace_tid_++;
-  telemetry_->trace().SetTrackName(attached->trace_tid,
+  telemetry_->trace().SetTrackName(trace_pid_, attached->trace_tid,
                                    "loop:" + attached->config.name);
   attached->config.controller->set_observer(&attached->observer);
 
@@ -178,6 +190,9 @@ void ElasticityManager::Step(Attached* a) {
   // A new control step supersedes any retry chain still in flight.
   ++a->epoch;
   a->observer.fresh = false;
+  obs::SpanCollector& spans = telemetry_->spans();
+  a->current_sense_span = 0;
+  a->current_decide_span = 0;
 
   Result<double> raw = a->sense(now);
   double y;
@@ -195,8 +210,16 @@ void ElasticityManager::Step(Attached* a) {
                      now - a->last_good_time <= sp.max_hold_sec);
     if (!can_hold) {
       a->state.counters.sensor_misses->Increment();
+      obs::TraceEvent miss_args;
+      miss_args.pid = trace_pid_;
       telemetry_->trace().AddInstant("sensor-miss", "control", now,
-                                     a->trace_tid);
+                                     a->trace_tid, std::move(miss_args));
+      // No measurement, so the decide span has no sense parent; it
+      // still links to the plan whose bounds were in force.
+      a->current_decide_span = spans.Emit(
+          obs::SpanKind::kDecide, cfg.name, now, 0.0, trace_pid_,
+          a->trace_tid, /*parent=*/0, last_plan_span_, /*value=*/0.0,
+          static_cast<uint8_t>(obs::StepOutcome::kSensorMiss));
       RecordDecision(a, now, kNaN, /*stale=*/false, kNaN,
                      obs::StepOutcome::kSensorMiss);
       return;
@@ -206,6 +229,24 @@ void ElasticityManager::Step(Attached* a) {
     a->state.counters.stale_sensor_reads->Increment();
   }
   a->state.sensed.AppendUnchecked(now, y);
+
+  // Close the settling interval of the last successful actuation with
+  // what the sensor now observes (Eq. 7: effects are judged at the next
+  // monitoring instant), then open this step's causal chain.
+  if (a->pending_effect_parent != 0 && raw.ok()) {
+    spans.Emit(obs::SpanKind::kEffect, cfg.name, a->pending_effect_start,
+               now - a->pending_effect_start, trace_pid_, a->trace_tid,
+               a->pending_effect_parent, /*follows=*/0, y);
+    a->pending_effect_parent = 0;
+  }
+  a->current_sense_span =
+      spans.Emit(obs::SpanKind::kSense, cfg.name, now, 0.0, trace_pid_,
+                 a->trace_tid, /*parent=*/0, /*follows=*/0, y,
+                 static_cast<uint8_t>(stale ? 1 : 0));
+  a->current_decide_span =
+      spans.Begin(obs::SpanKind::kDecide, cfg.name, now, trace_pid_,
+                  a->trace_tid, a->current_sense_span, last_plan_span_);
+  cfg.controller->set_step_span(a->current_decide_span);
 
   auto u = cfg.controller->Update(now, y);
   if (!u.ok()) {
@@ -245,6 +286,7 @@ void ElasticityManager::RecordDecision(Attached* a, SimTime now,
   rec.stale_sensor = stale;
   rec.clamped_u = clamped_u;
   rec.outcome = outcome;
+  rec.span_id = a->current_decide_span;
   rec.fault_mask = telemetry_->FaultMaskAt(rec.layer, now);
   if (health_annotator_) {
     rec.health_mask = health_annotator_(rec.layer, now);
@@ -266,6 +308,10 @@ void ElasticityManager::RecordDecision(Attached* a, SimTime now,
     rec.raw_u = kNaN;
   }
   telemetry_->decisions().Append(rec);
+  // Close the decide span with what was ultimately applied (no-op for
+  // sensor-miss steps, whose span was emitted closed).
+  telemetry_->spans().End(a->current_decide_span, now, rec.clamped_u,
+                          static_cast<uint8_t>(outcome));
 
   if (annotated_observer_ != nullptr) {
     control::ControlStepView annotated;
@@ -278,6 +324,7 @@ void ElasticityManager::RecordDecision(Attached* a, SimTime now,
     annotated.u = rec.clamped_u;
     annotated.law = rec.law;
     annotated.health_mask = rec.health_mask;
+    annotated.span_id = rec.span_id;
     annotated_observer_->OnControlStep(annotated);
   }
 
@@ -285,28 +332,30 @@ void ElasticityManager::RecordDecision(Attached* a, SimTime now,
   // at 2% of the period so they are visible at any zoom in Perfetto.
   double dur = std::max(cfg.monitoring_period_sec * 0.02, 1e-3);
   obs::TraceEvent args;
+  args.pid = trace_pid_;
   args.num_args = {{"y", rec.sensed_y},
                    {"y_r", rec.reference},
                    {"error", rec.error},
                    {"gain", rec.gain},
-                   {"u", rec.clamped_u}};
+                   {"u", rec.clamped_u},
+                   {"span_id", static_cast<double>(rec.span_id)}};
   args.str_args = {{"outcome", obs::StepOutcomeToString(outcome)},
                    {"law", rec.law}};
   telemetry_->trace().AddSpan("step", "control", now, dur, a->trace_tid,
                               std::move(args));
   if (!std::isnan(sensed_y)) {
     telemetry_->trace().AddCounter(cfg.name + ".y", now, a->trace_tid,
-                                   sensed_y);
+                                   sensed_y, trace_pid_);
     a->gauge_y->Set(sensed_y);
   }
   if (!std::isnan(clamped_u)) {
     telemetry_->trace().AddCounter(cfg.name + ".u", now, a->trace_tid,
-                                   clamped_u);
+                                   clamped_u, trace_pid_);
     a->gauge_u->Set(clamped_u);
   }
   if (!std::isnan(rec.gain)) {
     telemetry_->trace().AddCounter(cfg.name + ".gain", now, a->trace_tid,
-                                   rec.gain);
+                                   rec.gain, trace_pid_);
     a->gauge_gain->Set(rec.gain);
   }
 }
@@ -314,19 +363,33 @@ void ElasticityManager::RecordDecision(Attached* a, SimTime now,
 bool ElasticityManager::Actuate(Attached* a, double amount, int attempt) {
   const LayerControlConfig& cfg = a->config;
   Status st = cfg.actuator(amount);
+  // Causal span: one kActuate per attempt, child of the decide span,
+  // with retries chained to the previous attempt via follows-from.
+  obs::SpanId attempt_span = telemetry_->spans().Emit(
+      obs::SpanKind::kActuate, cfg.name, sim_->Now(), 0.0, trace_pid_,
+      a->trace_tid, a->current_decide_span,
+      attempt > 0 ? a->last_attempt_span : 0, amount,
+      static_cast<uint8_t>(st.ok() ? obs::StepOutcome::kActuated
+                                   : obs::StepOutcome::kActuationFailed));
+  a->last_attempt_span = attempt_span;
   if (st.ok()) {
     a->consecutive_failures = 0;
     // A successful half-open probe closes the breaker.
     a->state.breaker_open = false;
     if (attempt > 0) a->state.counters.retry_successes->Increment();
+    // The effect closes at the next fresh sense of this loop's metric.
+    a->pending_effect_parent = attempt_span;
+    a->pending_effect_start = sim_->Now();
     return true;
   }
   a->state.counters.actuation_failures->Increment();
   ++a->consecutive_failures;
   FLOWER_LOG(Warning) << "actuation failed for loop '" << cfg.name
                       << "' (attempt " << attempt + 1 << "): " << st;
+  obs::TraceEvent fail_args;
+  fail_args.pid = trace_pid_;
   telemetry_->trace().AddInstant("actuation-failed", "control", sim_->Now(),
-                                 a->trace_tid);
+                                 a->trace_tid, std::move(fail_args));
 
   const CircuitBreakerPolicy& cb = cfg.resilience.breaker;
   if (cb.failure_threshold > 0 &&
@@ -336,8 +399,11 @@ bool ElasticityManager::Actuate(Attached* a, double amount, int attempt) {
     a->state.breaker_open = true;
     a->breaker_reopen_time = sim_->Now() + cb.cooldown_sec;
     a->state.counters.breaker_trips->Increment();
+    obs::TraceEvent breaker_args;
+    breaker_args.pid = trace_pid_;
     telemetry_->trace().AddSpan("breaker-open", "control", sim_->Now(),
-                                cb.cooldown_sec, a->trace_tid);
+                                cb.cooldown_sec, a->trace_tid,
+                                std::move(breaker_args));
     return false;
   }
 
@@ -356,6 +422,7 @@ bool ElasticityManager::Actuate(Attached* a, double amount, int attempt) {
     if (a->paused || epoch != a->epoch || a->state.breaker_open) return;
     a->state.counters.actuation_retries->Increment();
     obs::TraceEvent args;
+    args.pid = trace_pid_;
     args.num_args = {{"attempt", static_cast<double>(attempt + 1)},
                      {"u", amount}};
     telemetry_->trace().AddSpan("retry", "control", sim_->Now(), 0.5,
@@ -401,14 +468,30 @@ void ElasticityManager::ReplanStep(ReplanState* s) {
   if (s->config.update_request) {
     s->config.update_request(now, &s->config.request);
   }
+  // Causal span: the kPlan span is ambient while the solver runs so the
+  // NSGA-II observer can parent its kGeneration spans under it. It
+  // follows from the previous successful plan (the one whose bounds the
+  // new pass refines).
+  obs::SpanCollector& spans = telemetry_->spans();
+  obs::SpanId plan_span =
+      spans.Begin(obs::SpanKind::kPlan, "replan", now, trace_pid_,
+                  obs::kPlannerTid, /*parent=*/0, /*follows=*/last_plan_span_);
+  telemetry_->set_active_plan_span(plan_span);
   Result<ResourceShareResult> res =
       s->analyzer.AnalyzeIncremental(s->config.request);
+  telemetry_->set_active_plan_span(0);
   if (!res.ok()) {
     // Keep the previous bounds; a transiently unsolvable request must
-    // not strip the loops of their caps.
+    // not strip the loops of their caps. last_plan_span_ also stays on
+    // the previous success: the old plan remains the cause of the
+    // bounds the loops keep running under.
+    spans.End(plan_span, sim_->Now(), 0.0, /*outcome=*/1);
     s->failures->Increment();
     return;
   }
+  spans.End(plan_span, sim_->Now(),
+            static_cast<double>(res->pareto_plans.size()));
+  if (plan_span != 0) last_plan_span_ = plan_span;
   s->front_size->Set(static_cast<double>(res->pareto_plans.size()));
   Result<ProvisioningPlan> max_shares =
       ResourceShareAnalyzer::MaxShares(*res);

@@ -236,6 +236,13 @@ class ElasticityManager {
   Status SetTelemetry(obs::Telemetry* telemetry);
   obs::Telemetry* telemetry() const { return telemetry_; }
 
+  /// Renders this manager's trace events and causal spans in their own
+  /// Perfetto process lane (pid) named `scope` — one lane per flow in
+  /// fleet runs instead of every flow interleaving on shared tracks.
+  /// Must be called after SetTelemetry and before the first Attach.
+  Status SetTraceScope(const std::string& scope);
+  int trace_pid() const { return trace_pid_; }
+
   /// Queried at every control step for the layer's current flow-health
   /// bits (obs::HealthMask layout, typically
   /// obs::health::HealthMonitor::MaskFor). The mask is stamped on the
@@ -347,6 +354,15 @@ class ElasticityManager {
     /// Telemetry plumbing.
     StepObserver observer;
     int trace_tid = 0;
+    /// Causal-span state (all 0 while span recording is disabled):
+    /// the step's sense/decide spans, the latest actuation attempt
+    /// (follows-from link for retries), and the last *successful*
+    /// actuation still awaiting its observed effect.
+    obs::SpanId current_sense_span = 0;
+    obs::SpanId current_decide_span = 0;
+    obs::SpanId last_attempt_span = 0;
+    obs::SpanId pending_effect_parent = 0;
+    SimTime pending_effect_start = 0.0;
     obs::Gauge* gauge_y = nullptr;
     obs::Gauge* gauge_u = nullptr;
     obs::Gauge* gauge_gain = nullptr;
@@ -384,6 +400,12 @@ class ElasticityManager {
       health_annotator_;
   control::ControlObserver* annotated_observer_ = nullptr;
   int next_trace_tid_ = 0;
+  /// Trace process lane for this manager's loops (kTracePid unless
+  /// SetTraceScope registered a dedicated scope).
+  int trace_pid_ = obs::kTracePid;
+  /// Last successful re-plan's kPlan span: decisions taken under its
+  /// share bounds link to it with a follows-from edge.
+  obs::SpanId last_plan_span_ = 0;
   std::map<std::string, std::unique_ptr<Attached>> loops_;
   std::unique_ptr<ReplanState> replan_;
 };

@@ -57,6 +57,11 @@ struct ControlDecisionRecord {
   /// Flow-health state (SLO breach / anomaly bits) at step time, 0 when
   /// no health annotator is installed on the manager.
   HealthMask health_mask = 0;
+  /// Causal decide-span id (obs::SpanId) for this step, resolvable via
+  /// SpanIndex::EffectOf to the sensed-metric parents and actuation
+  /// children. 0 when span recording is disabled. Kept as a plain
+  /// uint64_t so the event log does not depend on obs/span.
+  uint64_t span_id = 0;
 };
 
 /// Bounded ring buffer of decision records, owned by the

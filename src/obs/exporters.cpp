@@ -160,7 +160,7 @@ std::string OpenMetricsNum(double v) {
 void WriteDecisionCsv(std::ostream& os,
                       const std::vector<ControlDecisionRecord>& records) {
   os << "time,loop,layer,law,sensed_y,reference,error,gain,raw_u,"
-        "clamped_u,stale,outcome,fault_mask,health_mask\n";
+        "clamped_u,stale,outcome,fault_mask,health_mask,span_id\n";
   for (const ControlDecisionRecord& r : records) {
     os << std::setprecision(12) << r.time << ',' << CsvCell(r.loop) << ','
        << CsvCell(r.layer) << ',' << CsvCell(r.law) << ',' << r.sensed_y
@@ -168,7 +168,7 @@ void WriteDecisionCsv(std::ostream& os,
        << r.raw_u << ',' << r.clamped_u << ',' << (r.stale_sensor ? 1 : 0)
        << ',' << StepOutcomeToString(r.outcome) << ','
        << static_cast<int>(r.fault_mask) << ','
-       << static_cast<int>(r.health_mask) << '\n';
+       << static_cast<int>(r.health_mask) << ',' << r.span_id << '\n';
   }
 }
 
@@ -186,7 +186,8 @@ void WriteDecisionJsonl(std::ostream& os,
        << (r.stale_sensor ? "true" : "false") << ",\"outcome\":\""
        << StepOutcomeToString(r.outcome)
        << "\",\"fault_mask\":" << static_cast<int>(r.fault_mask)
-       << ",\"health_mask\":" << static_cast<int>(r.health_mask) << "}\n";
+       << ",\"health_mask\":" << static_cast<int>(r.health_mask)
+       << ",\"span_id\":" << r.span_id << "}\n";
   }
 }
 
@@ -231,16 +232,46 @@ void WriteSnapshotJsonl(std::ostream& os, const MetricsSnapshot& snapshot,
   }
 }
 
+namespace {
+
+// HELP text escaping per the exposition format: only backslash and
+// newline are escaped (HELP text is not quoted, unlike label values).
+std::string OpenMetricsHelpEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void EmitFamilyHeader(std::ostream& os, const std::string& fam,
+                      const char* type, const std::string& original_name,
+                      const MetricsSnapshot& snapshot) {
+  os << "# TYPE " << fam << ' ' << type << '\n';
+  auto it = snapshot.help.find(original_name);
+  if (it != snapshot.help.end() && !it->second.empty()) {
+    os << "# HELP " << fam << ' ' << OpenMetricsHelpEscape(it->second)
+       << '\n';
+  }
+}
+
+}  // namespace
+
 void WriteSnapshotOpenMetrics(std::ostream& os,
                               const MetricsSnapshot& snapshot) {
   // Snapshot samples arrive sorted by (name, labels), so one family's
-  // series are contiguous; a TYPE header is emitted whenever the
-  // sanitized family name changes.
+  // series are contiguous; TYPE (and HELP, when registered) headers are
+  // emitted whenever the sanitized family name changes.
   std::string prev;
   for (const CounterSample& c : snapshot.counters) {
     std::string fam = SanitizeMetricName(c.name);
     if (fam != prev) {
-      os << "# TYPE " << fam << " counter\n";
+      EmitFamilyHeader(os, fam, "counter", c.name, snapshot);
       prev = fam;
     }
     os << fam << "_total" << OpenMetricsLabels(c.labels) << ' ' << c.value
@@ -250,7 +281,7 @@ void WriteSnapshotOpenMetrics(std::ostream& os,
   for (const GaugeSample& g : snapshot.gauges) {
     std::string fam = SanitizeMetricName(g.name);
     if (fam != prev) {
-      os << "# TYPE " << fam << " gauge\n";
+      EmitFamilyHeader(os, fam, "gauge", g.name, snapshot);
       prev = fam;
     }
     os << fam << OpenMetricsLabels(g.labels) << ' ' << OpenMetricsNum(g.value)
@@ -260,7 +291,7 @@ void WriteSnapshotOpenMetrics(std::ostream& os,
   for (const HistogramSample& h : snapshot.histograms) {
     std::string fam = SanitizeMetricName(h.name);
     if (fam != prev) {
-      os << "# TYPE " << fam << " histogram\n";
+      EmitFamilyHeader(os, fam, "histogram", h.name, snapshot);
       prev = fam;
     }
     // Exposition buckets are cumulative; the registry's are disjoint.
@@ -289,21 +320,27 @@ void WriteChromeTrace(std::ostream& os, const TraceCollector& trace) {
     first = false;
     os << "\n";
   };
-  // Process / thread-name metadata first so Perfetto labels the tracks.
+  // Process / thread-name metadata first so Perfetto labels the lanes:
+  // the fleet pid, then one process group per registered scope.
   sep();
   os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << kTracePid
      << ",\"tid\":0,\"args\":{\"name\":\"flower\"}}";
-  for (const auto& [tid, name] : trace.track_names()) {
+  for (const auto& [pid, name] : trace.process_names()) {
     sep();
-    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << kTracePid
-       << ",\"tid\":" << tid << ",\"args\":{\"name\":\"" << JsonEscape(name)
-       << "\"}}";
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":0,\"args\":{\"name\":\"" << JsonEscape(name) << "\"}}";
+  }
+  for (const auto& [track, name] : trace.track_names()) {
+    sep();
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << track.first
+       << ",\"tid\":" << track.second << ",\"args\":{\"name\":\""
+       << JsonEscape(name) << "\"}}";
   }
   for (const TraceEvent& e : trace.events()) {
     sep();
     os << "{\"name\":\"" << JsonEscape(e.name) << "\",\"cat\":\""
        << JsonEscape(e.category) << "\",\"ph\":\"" << e.phase
-       << "\",\"pid\":" << kTracePid << ",\"tid\":" << e.tid
+       << "\",\"pid\":" << e.pid << ",\"tid\":" << e.tid
        << ",\"ts\":" << JsonNum(e.ts_us);
     if (e.phase == 'X') os << ",\"dur\":" << JsonNum(e.dur_us);
     if (e.phase == 'i') os << ",\"s\":\"t\"";
@@ -320,6 +357,73 @@ void WriteChromeTrace(std::ostream& os, const TraceCollector& trace) {
       os << '"' << JsonEscape(k) << "\":\"" << JsonEscape(v) << '"';
     }
     os << "}}";
+  }
+  os << "\n]}\n";
+}
+
+void WriteSpansChromeTrace(std::ostream& os, const SpanCollector& spans,
+                           const TraceCollector* names) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+    os << "\n";
+  };
+  sep();
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << kTracePid
+     << ",\"tid\":0,\"args\":{\"name\":\"flower\"}}";
+  if (names != nullptr) {
+    for (const auto& [pid, name] : names->process_names()) {
+      sep();
+      os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+         << ",\"tid\":0,\"args\":{\"name\":\"" << JsonEscape(name) << "\"}}";
+    }
+    for (const auto& [track, name] : names->track_names()) {
+      sep();
+      os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << track.first
+         << ",\"tid\":" << track.second << ",\"args\":{\"name\":\""
+         << JsonEscape(name) << "\"}}";
+    }
+  }
+  auto lane = [&](const SpanRecord& r) {
+    os << "\"pid\":" << r.pid << ",\"tid\":" << r.tid;
+  };
+  // Flow-event ids must be unique per arrow; parent/child edges use
+  // 2*child_id, follows-from edges 2*child_id+1.
+  auto flow = [&](const SpanRecord& from, const SpanRecord& to,
+                  const char* cat, uint64_t flow_id) {
+    sep();
+    os << "{\"name\":\"" << cat << "\",\"cat\":\"" << cat
+       << "\",\"ph\":\"s\",\"id\":" << flow_id << ",";
+    lane(from);
+    os << ",\"ts\":" << JsonNum(SimToTraceUs(from.start)) << "}";
+    sep();
+    os << "{\"name\":\"" << cat << "\",\"cat\":\"" << cat
+       << "\",\"ph\":\"f\",\"bp\":\"e\",\"id\":" << flow_id << ",";
+    lane(to);
+    os << ",\"ts\":" << JsonNum(SimToTraceUs(to.start)) << "}";
+  };
+  for (SpanId id = spans.first_retained(); id != 0 && id < spans.end_id();
+       ++id) {
+    const SpanRecord* r = spans.Find(id);
+    if (r == nullptr) continue;
+    sep();
+    os << "{\"name\":\"" << SpanKindToString(r->kind) << "\",\"cat\":\"span\""
+       << ",\"ph\":\"X\",";
+    lane(*r);
+    os << ",\"ts\":" << JsonNum(SimToTraceUs(r->start))
+       << ",\"dur\":" << JsonNum(SimToTraceUs(r->end - r->start))
+       << ",\"args\":{\"id\":" << r->id << ",\"parent\":" << r->parent
+       << ",\"follows\":" << r->follows << ",\"label\":\""
+       << JsonEscape(r->label) << "\",\"value\":" << JsonNum(r->value)
+       << ",\"outcome\":" << static_cast<int>(r->outcome) << "}}";
+    if (const SpanRecord* p = spans.Find(r->parent)) {
+      flow(*p, *r, "causal", 2 * r->id);
+    }
+    if (const SpanRecord* f = spans.Find(r->follows)) {
+      flow(*f, *r, "follows", 2 * r->id + 1);
+    }
   }
   os << "\n]}\n";
 }

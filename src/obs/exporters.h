@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "obs/event_log.h"
 #include "obs/metrics_registry.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 
 namespace flower::obs {
@@ -24,7 +25,8 @@ std::string LabelsToJson(const LabelSet& labels);
 
 /// CSV sink for decision records: one header row, then one row per
 /// record (columns: time, loop, layer, law, sensed_y, reference, error,
-/// gain, raw_u, clamped_u, stale, outcome, fault_mask, health_mask).
+/// gain, raw_u, clamped_u, stale, outcome, fault_mask, health_mask,
+/// span_id).
 void WriteDecisionCsv(std::ostream& os,
                       const std::vector<ControlDecisionRecord>& records);
 
@@ -42,19 +44,33 @@ void WriteSnapshotJsonl(std::ostream& os, const MetricsSnapshot& snapshot,
                         SimTime at);
 
 /// OpenMetrics / Prometheus text exposition of a metrics snapshot:
-/// `# TYPE` headers per family, counters suffixed `_total`, histograms
-/// as cumulative `_bucket{le="..."}` series plus `_sum`/`_count`, and a
-/// terminating `# EOF`. Instrument names are sanitized to the metric
-/// charset ([a-zA-Z0-9_:]; every other byte becomes '_'), so
-/// "loop.sensed_y" exports as "loop_sensed_y". Scrape-compatible with
-/// Prometheus and lintable by tools/check_openmetrics.py.
+/// `# TYPE` headers per family (plus `# HELP` when the registry has
+/// help text), counters suffixed `_total`, histograms as cumulative
+/// `_bucket{le="..."}` series plus `_sum`/`_count`, and a terminating
+/// `# EOF`. Instrument names are sanitized to the metric charset
+/// ([a-zA-Z0-9_:]; every other byte becomes '_'), so "loop.sensed_y"
+/// exports as "loop_sensed_y". Label values escape `\`, `"`, and
+/// newline; HELP text escapes `\` and newline, per the exposition
+/// format. Scrape-compatible with Prometheus and lintable by
+/// tools/check_openmetrics.py.
 void WriteSnapshotOpenMetrics(std::ostream& os,
                               const MetricsSnapshot& snapshot);
 
 /// Chrome trace_event JSON (the "JSON Array Format" with an object
-/// wrapper), loadable in Perfetto / chrome://tracing. Emits thread-name
-/// metadata for every named track, then every collected event.
+/// wrapper), loadable in Perfetto / chrome://tracing. Emits
+/// process-name metadata for the fleet pid and every registered scope,
+/// thread-name metadata for every named (pid, tid) track, then every
+/// collected event on its own (pid, tid) lane.
 void WriteChromeTrace(std::ostream& os, const TraceCollector& trace);
+
+/// Causal spans as Chrome trace JSON: one 'X' slice per span (virtual-
+/// time duration, args carrying id/parent/follows/kind/value/outcome)
+/// plus flow events — 's'/'f' pairs with cat "causal" for parent/child
+/// edges and cat "follows" for follows-from edges — so Perfetto draws
+/// the sense -> decide -> actuate -> effect arrows across lanes. Pass
+/// the run's TraceCollector to reuse its scope/track names.
+void WriteSpansChromeTrace(std::ostream& os, const SpanCollector& spans,
+                           const TraceCollector* names = nullptr);
 
 /// Opens `path` for writing and runs `writer(stream)`; IO errors become
 /// a non-OK Status.

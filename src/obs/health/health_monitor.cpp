@@ -25,6 +25,11 @@ HealthMonitor::HealthMonitor(Telemetry* telemetry, HealthMonitorConfig config)
   if (config_.num_threads > 1) {
     pool_ = std::make_unique<exec::ThreadPool>(config_.num_threads);
   }
+  if (config_.use_rollups) {
+    config_.rollup.base_period_sec = config_.eval_period_sec;
+    rollups_ = std::make_unique<RollupStore>(&telemetry_->metrics(),
+                                             config_.rollup);
+  }
   anomaly_counter_ = telemetry_->metrics().GetCounter("health.anomalies");
   report_counter_ = telemetry_->metrics().GetCounter("health.reports");
 }
@@ -50,13 +55,38 @@ Status HealthMonitor::AddSlo(const SloSpec& spec) {
   t.breached = reg.GetGauge("slo.breached", labels);
   t.alerts = reg.GetCounter("slo.alerts", labels);
   t.good_fraction->Set(1.0);
+  TrackSloSeries(spec);
   slos_.push_back(std::move(t));
   return Status::OK();
+}
+
+void HealthMonitor::TrackSloSeries(const SloSpec& spec) {
+  if (rollups_ == nullptr) return;
+  switch (spec.kind) {
+    case SliKind::kGaugeBelow:
+    case SliKind::kGaugeAbove:
+      rollups_->TrackGauge(spec.metric.name, spec.metric.labels);
+      break;
+    case SliKind::kCounterRatio:
+      rollups_->TrackCounter(spec.metric.name, spec.metric.labels);
+      rollups_->TrackCounter(spec.total.name, spec.total.labels);
+      break;
+    case SliKind::kHistogramBelow:
+      rollups_->TrackHistogram(spec.metric.name, spec.metric.labels);
+      break;
+  }
 }
 
 Status HealthMonitor::Watch(AnomalyBank::Source source,
                             MetricSelector selector, std::string layer,
                             AnomalyConfig config) {
+  if (rollups_ != nullptr) {
+    if (source == AnomalyBank::Source::kGauge) {
+      rollups_->TrackGauge(selector.name, selector.labels);
+    } else {
+      rollups_->TrackCounter(selector.name, selector.labels);
+    }
+  }
   return bank_.Watch(source, std::move(selector), std::move(layer), config);
 }
 
@@ -81,7 +111,18 @@ HealthReport HealthMonitor::BuildReport(SimTime now, const SloStatus& status) {
 
 void HealthMonitor::Evaluate(SimTime now) {
   evaluations_ += 1;
-  MetricsSnapshot snapshot = telemetry_->metrics().Snapshot();
+  // Rollup path: one atomic read per tracked series into the reused
+  // sparse snapshot. Raw path: deep copy of the whole registry. Both
+  // feeds skip absent instruments, so the health trajectory is
+  // identical — only the per-tick cost differs.
+  MetricsSnapshot raw_snapshot;
+  if (rollups_ != nullptr) {
+    rollups_->Tick(now);
+  } else {
+    raw_snapshot = telemetry_->metrics().Snapshot();
+  }
+  const MetricsSnapshot& snapshot =
+      rollups_ != nullptr ? rollups_->TrackedSnapshot() : raw_snapshot;
 
   std::vector<AnomalyEvent> events =
       bank_.UpdateAll(now, snapshot, pool_.get());

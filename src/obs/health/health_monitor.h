@@ -12,6 +12,7 @@
 #include "obs/health/anomaly.h"
 #include "obs/health/attribution.h"
 #include "obs/health/slo.h"
+#include "obs/rollup.h"
 #include "obs/telemetry.h"
 
 namespace flower::exec {
@@ -39,6 +40,16 @@ struct HealthMonitorConfig {
   /// While an SLO stays breached, re-attribute every this many ticks
   /// (fresh evidence) in addition to the initial alert report.
   uint64_t reattribute_every = 10;
+  /// Feed SLO trackers and anomaly detectors from a RollupStore's
+  /// sparse tracked snapshot instead of deep-copying the whole registry
+  /// each tick. AddSlo/Watch auto-track the series they read, so the
+  /// trajectory is identical to the raw scan (both skip instruments
+  /// that are absent); set false only to A/B against the raw path.
+  bool use_rollups = true;
+  /// Tier shape for the rollup feed. base_period_sec is overridden to
+  /// eval_period_sec (the store ticks once per Evaluate), so with the
+  /// default multiples the tiers are 1x / 10x / 60x the eval period.
+  RollupConfig rollup;
   AttributorConfig attributor;
 };
 
@@ -98,6 +109,12 @@ class HealthMonitor {
   const HealthMonitorConfig& config() const { return config_; }
   uint64_t evaluations() const { return evaluations_; }
 
+  /// The rollup store feeding Evaluate (per-SLO/watch series are
+  /// tracked automatically; callers may Track/Query more). Null when
+  /// config.use_rollups is false.
+  RollupStore* rollups() { return rollups_.get(); }
+  const RollupStore* rollups() const { return rollups_.get(); }
+
   /// Serializes the full health state as JSONL: one "slo" line per
   /// objective, one "anomaly" line per retained event, one "report"
   /// line per retained report (ranked attribution inline). Stable field
@@ -119,10 +136,12 @@ class HealthMonitor {
 
   void PublishStreamGauges();
   HealthReport BuildReport(SimTime now, const SloStatus& status);
+  void TrackSloSeries(const SloSpec& spec);
 
   Telemetry* telemetry_;
   HealthMonitorConfig config_;
   std::unique_ptr<exec::ThreadPool> pool_;
+  std::unique_ptr<RollupStore> rollups_;
   std::vector<TrackedSlo> slos_;
   AnomalyBank bank_;
   RootCauseAttributor attributor_;

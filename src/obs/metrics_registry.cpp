@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/logging.h"
+
 namespace flower::obs {
 
 namespace {
@@ -30,10 +32,23 @@ void AtomicMax(std::atomic<double>* a, double v) {
   }
 }
 
+// Collapsed series every over-cardinality registration of a metric name
+// lands in (see MetricsRegistry::set_max_label_cardinality).
+const LabelSet& OverflowLabels() {
+  static const LabelSet kOverflow = {{"overflow", "true"}};
+  return kOverflow;
+}
+
+// The guard's own counter; exempted from self-instrumentation inside
+// AdmitSeriesLocked to keep the recursion finite.
+constexpr char kOverflowCounterName[] = "registry.label_overflow";
+
+}  // namespace
+
 // Canonical label form: sorted by key, duplicate keys collapsed with
 // the *last* written value winning (repeated assignment semantics), so
 // {a=1,b=2}, {b=2,a=1}, and {a=0,a=1,b=2} all address the same series.
-LabelSet Normalize(LabelSet labels) {
+LabelSet MetricsRegistry::NormalizeLabels(LabelSet labels) {
   std::stable_sort(labels.begin(), labels.end(),
                    [](const auto& a, const auto& b) {
                      return a.first < b.first;
@@ -45,7 +60,8 @@ LabelSet Normalize(LabelSet labels) {
   return labels;
 }
 
-std::string MakeKey(const std::string& name, const LabelSet& labels) {
+std::string MetricsRegistry::SeriesKey(const std::string& name,
+                                       const LabelSet& labels) {
   std::string key = name;
   for (const auto& [k, v] : labels) {
     key += '\x1f';
@@ -55,8 +71,6 @@ std::string MakeKey(const std::string& name, const LabelSet& labels) {
   }
   return key;
 }
-
-}  // namespace
 
 Histogram::Histogram(HistogramOptions options) : options_(options) {
   if (options_.min <= 0.0) options_.min = 1e-3;
@@ -143,13 +157,37 @@ Result<double> Histogram::Quantile(double q) const {
   return Max();
 }
 
-Counter* MetricsRegistry::GetCounter(const std::string& name,
-                                     const LabelSet& labels) {
-  LabelSet norm = Normalize(labels);
-  std::string key = MakeKey(name, norm);
-  std::lock_guard<std::mutex> lock(mu_);
+bool MetricsRegistry::AdmitSeriesLocked(const std::string& name,
+                                        const LabelSet& norm) {
+  if (norm == OverflowLabels()) return true;  // Collapsed series: always.
+  auto it = series_per_name_.find(name);
+  size_t count = it == series_per_name_.end() ? 0 : it->second;
+  if (count < max_cardinality_) return true;
+  ++label_overflow_total_;
+  if (name != kOverflowCounterName) {
+    GetCounterLocked(kOverflowCounterName, {{"metric", name}})->Increment();
+  }
+  bool& warned = overflow_warned_[name];
+  if (!warned) {
+    warned = true;
+    FLOWER_LOG(Warning) << "metrics registry: label cardinality cap ("
+                        << max_cardinality_ << ") reached for metric '"
+                        << name
+                        << "'; further label-sets collapse into "
+                           "{overflow=\"true\"}";
+  }
+  return false;
+}
+
+Counter* MetricsRegistry::GetCounterLocked(const std::string& name,
+                                           LabelSet norm) {
+  std::string key = SeriesKey(name, norm);
   auto it = counters_.find(key);
   if (it == counters_.end()) {
+    if (!AdmitSeriesLocked(name, norm)) {
+      return GetCounterLocked(name, OverflowLabels());
+    }
+    ++series_per_name_[name];
     Entry<Counter> e{name, std::move(norm),
                      std::unique_ptr<Counter>(new Counter())};
     it = counters_.emplace(std::move(key), std::move(e)).first;
@@ -157,32 +195,92 @@ Counter* MetricsRegistry::GetCounter(const std::string& name,
   return it->second.instrument.get();
 }
 
-Gauge* MetricsRegistry::GetGauge(const std::string& name,
-                                 const LabelSet& labels) {
-  LabelSet norm = Normalize(labels);
-  std::string key = MakeKey(name, norm);
-  std::lock_guard<std::mutex> lock(mu_);
+Gauge* MetricsRegistry::GetGaugeLocked(const std::string& name,
+                                       LabelSet norm) {
+  std::string key = SeriesKey(name, norm);
   auto it = gauges_.find(key);
   if (it == gauges_.end()) {
+    if (!AdmitSeriesLocked(name, norm)) {
+      return GetGaugeLocked(name, OverflowLabels());
+    }
+    ++series_per_name_[name];
     Entry<Gauge> e{name, std::move(norm), std::unique_ptr<Gauge>(new Gauge())};
     it = gauges_.emplace(std::move(key), std::move(e)).first;
   }
   return it->second.instrument.get();
 }
 
-Histogram* MetricsRegistry::GetHistogram(const std::string& name,
-                                         const LabelSet& labels,
-                                         HistogramOptions options) {
-  LabelSet norm = Normalize(labels);
-  std::string key = MakeKey(name, norm);
-  std::lock_guard<std::mutex> lock(mu_);
+Histogram* MetricsRegistry::GetHistogramLocked(const std::string& name,
+                                               LabelSet norm,
+                                               HistogramOptions options) {
+  std::string key = SeriesKey(name, norm);
   auto it = histograms_.find(key);
   if (it == histograms_.end()) {
+    if (!AdmitSeriesLocked(name, norm)) {
+      return GetHistogramLocked(name, OverflowLabels(), options);
+    }
+    ++series_per_name_[name];
     Entry<Histogram> e{name, std::move(norm),
                        std::unique_ptr<Histogram>(new Histogram(options))};
     it = histograms_.emplace(std::move(key), std::move(e)).first;
   }
   return it->second.instrument.get();
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const LabelSet& labels) {
+  LabelSet norm = NormalizeLabels(labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  return GetCounterLocked(name, std::move(norm));
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const LabelSet& labels) {
+  LabelSet norm = NormalizeLabels(labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  return GetGaugeLocked(name, std::move(norm));
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const LabelSet& labels,
+                                         HistogramOptions options) {
+  LabelSet norm = NormalizeLabels(labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  return GetHistogramLocked(name, std::move(norm), options);
+}
+
+const Counter* MetricsRegistry::FindCounter(const std::string& name,
+                                            const LabelSet& labels) const {
+  std::string key = SeriesKey(name, NormalizeLabels(labels));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(key);
+  return it == counters_.end() ? nullptr : it->second.instrument.get();
+}
+
+const Gauge* MetricsRegistry::FindGauge(const std::string& name,
+                                        const LabelSet& labels) const {
+  std::string key = SeriesKey(name, NormalizeLabels(labels));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(key);
+  return it == gauges_.end() ? nullptr : it->second.instrument.get();
+}
+
+const Histogram* MetricsRegistry::FindHistogram(const std::string& name,
+                                                const LabelSet& labels) const {
+  std::string key = SeriesKey(name, NormalizeLabels(labels));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(key);
+  return it == histograms_.end() ? nullptr : it->second.instrument.get();
+}
+
+uint64_t MetricsRegistry::label_overflow_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return label_overflow_total_;
+}
+
+void MetricsRegistry::SetHelp(const std::string& name, std::string help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  help_[name] = std::move(help);
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
@@ -216,6 +314,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     }
     snap.histograms.push_back(std::move(s));
   }
+  snap.help = help_;
   return snap;
 }
 

@@ -135,6 +135,9 @@ struct MetricsSnapshot {
   std::vector<CounterSample> counters;
   std::vector<GaugeSample> gauges;
   std::vector<HistogramSample> histograms;
+  /// Metric name -> HELP text (see MetricsRegistry::SetHelp). Sparse:
+  /// only names with registered help appear.
+  std::map<std::string, std::string> help;
 };
 
 /// Named, labeled instrument registry — the process-wide source of
@@ -156,10 +159,43 @@ class MetricsRegistry {
   Histogram* GetHistogram(const std::string& name, const LabelSet& labels = {},
                           HistogramOptions options = {});
 
+  /// Non-creating lookups: nullptr when the series was never registered.
+  /// Unlike Get*, these never mutate the registry, so pollers (rollup
+  /// stores, exporters) can probe for not-yet-registered series without
+  /// materializing empty instruments.
+  const Counter* FindCounter(const std::string& name,
+                             const LabelSet& labels = {}) const;
+  const Gauge* FindGauge(const std::string& name,
+                         const LabelSet& labels = {}) const;
+  const Histogram* FindHistogram(const std::string& name,
+                                 const LabelSet& labels = {}) const;
+
+  /// Caps distinct label-sets per metric name (all kinds combined).
+  /// Once a name is at the cap, further label-sets are *not* registered:
+  /// the call returns that name's shared overflow instrument (labels
+  /// {{"overflow","true"}}), increments the
+  /// `registry.label_overflow{metric=<name>}` counter, and logs a
+  /// one-shot warning — so a buggy per-entity label (request id, host,
+  /// ...) degrades to one coarse series instead of OOMing a fleet run.
+  void set_max_label_cardinality(size_t cap) { max_cardinality_ = cap; }
+  size_t max_label_cardinality() const { return max_cardinality_; }
+  /// Registrations rejected by the cardinality guard so far.
+  uint64_t label_overflow_total() const;
+
+  /// HELP text exported with the metric family (OpenMetrics `# HELP`).
+  void SetHelp(const std::string& name, std::string help);
+
   /// Deep copy of every instrument, sorted by (name, labels).
   MetricsSnapshot Snapshot() const;
 
   size_t NumInstruments() const;
+
+  /// Canonical label form: sorted by key, duplicate keys collapsed with
+  /// the last written value winning.
+  static LabelSet NormalizeLabels(LabelSet labels);
+  /// Series key for normalized labels — equal series, equal keys.
+  static std::string SeriesKey(const std::string& name,
+                               const LabelSet& labels);
 
  private:
   template <typename T>
@@ -169,10 +205,23 @@ class MetricsRegistry {
     std::unique_ptr<T> instrument;
   };
 
+  /// True when (name, norm) may register a new series; on rejection
+  /// bumps the overflow counter and warns once per name. mu_ held.
+  bool AdmitSeriesLocked(const std::string& name, const LabelSet& norm);
+  Counter* GetCounterLocked(const std::string& name, LabelSet norm);
+  Gauge* GetGaugeLocked(const std::string& name, LabelSet norm);
+  Histogram* GetHistogramLocked(const std::string& name, LabelSet norm,
+                                HistogramOptions options);
+
   mutable std::mutex mu_;
   std::map<std::string, Entry<Counter>> counters_;
   std::map<std::string, Entry<Gauge>> gauges_;
   std::map<std::string, Entry<Histogram>> histograms_;
+  std::map<std::string, std::string> help_;
+  size_t max_cardinality_ = 1024;
+  std::map<std::string, size_t> series_per_name_;
+  std::map<std::string, bool> overflow_warned_;
+  uint64_t label_overflow_total_ = 0;
 };
 
 }  // namespace flower::obs

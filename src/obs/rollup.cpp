@@ -1,0 +1,331 @@
+#include "obs/rollup.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flower::obs {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+}  // namespace
+
+const char* RollupAggToString(RollupAgg agg) {
+  switch (agg) {
+    case RollupAgg::kLast:
+      return "last";
+    case RollupAgg::kMin:
+      return "min";
+    case RollupAgg::kMax:
+      return "max";
+    case RollupAgg::kMean:
+      return "mean";
+    case RollupAgg::kSum:
+      return "sum";
+    case RollupAgg::kDelta:
+      return "delta";
+    case RollupAgg::kRate:
+      return "rate";
+  }
+  return "unknown";
+}
+
+RollupStore::RollupStore(MetricsRegistry* registry, RollupConfig config)
+    : registry_(registry), config_(std::move(config)) {
+  if (config_.base_period_sec <= 0.0) config_.base_period_sec = 1.0;
+  if (config_.slots_per_tier == 0) config_.slots_per_tier = 1;
+  if (config_.tier_multiples.empty()) config_.tier_multiples = {1};
+  std::sort(config_.tier_multiples.begin(), config_.tier_multiples.end());
+}
+
+size_t RollupStore::TrackCounter(const std::string& name,
+                                 const LabelSet& labels) {
+  return TrackSeries(Kind::kCounter, name, labels);
+}
+
+size_t RollupStore::TrackGauge(const std::string& name,
+                               const LabelSet& labels) {
+  return TrackSeries(Kind::kGauge, name, labels);
+}
+
+size_t RollupStore::TrackHistogram(const std::string& name,
+                                   const LabelSet& labels) {
+  return TrackSeries(Kind::kHistogram, name, labels);
+}
+
+size_t RollupStore::TrackSeries(Kind kind, const std::string& name,
+                                const LabelSet& labels) {
+  LabelSet norm = MetricsRegistry::NormalizeLabels(labels);
+  std::string key(1, static_cast<char>(kind));
+  key += MetricsRegistry::SeriesKey(name, norm);
+  auto it = std::lower_bound(
+      index_.begin(), index_.end(), key,
+      [](const auto& pair, const std::string& k) { return pair.first < k; });
+  if (it != index_.end() && it->first == key) return it->second;
+
+  Tracked t;
+  t.kind = kind;
+  t.name = name;
+  t.labels = std::move(norm);
+  t.tiers.resize(config_.tier_multiples.size());
+  for (size_t i = 0; i < t.tiers.size(); ++i) {
+    t.tiers[i].multiple = std::max<size_t>(1, config_.tier_multiples[i]);
+    t.tiers[i].ring.resize(config_.slots_per_tier);
+  }
+  size_t id = tracked_.size();
+  tracked_.push_back(std::move(t));
+  index_.insert(it, {std::move(key), id});
+  Resolve(&tracked_[id]);
+  return id;
+}
+
+void RollupStore::Resolve(Tracked* t) {
+  switch (t->kind) {
+    case Kind::kCounter:
+      t->counter = registry_->FindCounter(t->name, t->labels);
+      if (t->counter != nullptr) {
+        t->snapshot_index = static_cast<int>(snapshot_.counters.size());
+        snapshot_.counters.push_back({t->name, t->labels, 0});
+      }
+      break;
+    case Kind::kGauge:
+      t->gauge = registry_->FindGauge(t->name, t->labels);
+      if (t->gauge != nullptr) {
+        t->snapshot_index = static_cast<int>(snapshot_.gauges.size());
+        snapshot_.gauges.push_back({t->name, t->labels, 0.0});
+      }
+      break;
+    case Kind::kHistogram:
+      t->histogram = registry_->FindHistogram(t->name, t->labels);
+      if (t->histogram != nullptr) {
+        t->snapshot_index = static_cast<int>(snapshot_.histograms.size());
+        HistogramSample s;
+        s.name = t->name;
+        s.labels = t->labels;
+        snapshot_.histograms.push_back(std::move(s));
+      }
+      break;
+  }
+}
+
+void RollupStore::Tick(SimTime now) {
+  ++ticks_;
+  last_tick_ = now;
+  for (Tracked& t : tracked_) {
+    bool resolved = t.counter != nullptr || t.gauge != nullptr ||
+                    t.histogram != nullptr;
+    if (!resolved) {
+      // Lazy re-resolution: the instrument may have been registered
+      // since the last tick.
+      Resolve(&t);
+      resolved =
+          t.counter != nullptr || t.gauge != nullptr || t.histogram != nullptr;
+      if (!resolved) continue;
+    }
+
+    // Sample the instrument: x is the per-tick value folded into the
+    // slot aggregates (gauge reading, or counter/histogram delta), x2
+    // the histogram value-sum delta.
+    double x = 0.0;
+    double x2 = 0.0;
+    double last = 0.0;
+    double cum = 0.0;
+    double cum_sum = 0.0;
+    switch (t.kind) {
+      case Kind::kGauge: {
+        double v = t.gauge->Value();
+        x = v;
+        last = v;
+        cum = v;
+        snapshot_.gauges[t.snapshot_index].value = v;
+        break;
+      }
+      case Kind::kCounter: {
+        uint64_t v = t.counter->Value();
+        cum = static_cast<double>(v);
+        x = t.seen ? cum - t.prev_cum : cum;
+        last = cum;
+        snapshot_.counters[t.snapshot_index].value = v;
+        break;
+      }
+      case Kind::kHistogram: {
+        const Histogram& h = *t.histogram;
+        cum = static_cast<double>(h.TotalCount());
+        cum_sum = h.Sum();
+        x = t.seen ? cum - t.prev_cum : cum;
+        x2 = t.seen ? cum_sum - t.prev_cum_sum : cum_sum;
+        last = cum;
+        HistogramSample& s = snapshot_.histograms[t.snapshot_index];
+        s.count = h.TotalCount();
+        s.sum = h.Sum();
+        s.min = h.Min();
+        s.max = h.Max();
+        s.p50 = h.Quantile(0.5).ValueOr(0.0);
+        s.p99 = h.Quantile(0.99).ValueOr(0.0);
+        size_t n = h.NumBuckets();
+        if (s.bounds.size() != n) {
+          s.bounds.resize(n);
+          s.buckets.resize(n);
+          for (size_t i = 0; i < n; ++i) s.bounds[i] = h.UpperBound(i);
+        }
+        for (size_t i = 0; i < n; ++i) s.buckets[i] = h.BucketCount(i);
+        break;
+      }
+    }
+    t.seen = true;
+    t.prev_cum = cum;
+    t.prev_cum_sum = cum_sum;
+
+    for (Tier& tier : t.tiers) {
+      RollupSlot& p = tier.partial;
+      if (tier.pending == 0) {
+        p = RollupSlot{};
+        p.min = x;
+        p.max = x;
+      } else {
+        p.min = std::min(p.min, x);
+        p.max = std::max(p.max, x);
+      }
+      p.t_end = now;
+      p.last = last;
+      p.sum += x;
+      p.sum2 += x2;
+      ++p.samples;
+      p.cum = cum;
+      p.cum_sum = cum_sum;
+      if (++tier.pending >= tier.multiple) {
+        tier.ring[tier.head] = p;
+        tier.head = (tier.head + 1) % tier.ring.size();
+        tier.filled = std::min(tier.filled + 1, tier.ring.size());
+        tier.pending = 0;
+      }
+    }
+  }
+}
+
+const RollupStore::Tracked* RollupStore::FindSeries(
+    Kind kind, const std::string& name, const LabelSet& labels) const {
+  LabelSet norm = MetricsRegistry::NormalizeLabels(labels);
+  std::string key(1, static_cast<char>(kind));
+  key += MetricsRegistry::SeriesKey(name, norm);
+  auto it = std::lower_bound(
+      index_.begin(), index_.end(), key,
+      [](const auto& pair, const std::string& k) { return pair.first < k; });
+  if (it == index_.end() || it->first != key) return nullptr;
+  return &tracked_[it->second];
+}
+
+Result<double> RollupStore::Query(const std::string& metric,
+                                  const LabelSet& labels, double window_sec,
+                                  RollupAgg agg) const {
+  for (Kind kind : {Kind::kCounter, Kind::kGauge, Kind::kHistogram}) {
+    if (const Tracked* t = FindSeries(kind, metric, labels)) {
+      return QueryTracked(*t, window_sec, agg);
+    }
+  }
+  return Status::NotFound("RollupStore::Query: series not tracked: " + metric);
+}
+
+Result<double> RollupStore::Query(size_t track_id, double window_sec,
+                                  RollupAgg agg) const {
+  if (track_id >= tracked_.size()) {
+    return Status::InvalidArgument("RollupStore::Query: bad track id");
+  }
+  return QueryTracked(tracked_[track_id], window_sec, agg);
+}
+
+Result<double> RollupStore::QueryTracked(const Tracked& t, double window_sec,
+                                         RollupAgg agg) const {
+  if (window_sec <= 0.0) {
+    return Status::InvalidArgument("RollupStore::Query: window must be > 0");
+  }
+  // Finest tier whose retained capacity covers the window; fall back to
+  // the coarsest when none does.
+  const Tier* tier = &t.tiers.back();
+  for (const Tier& cand : t.tiers) {
+    double coverage = static_cast<double>(cand.ring.size()) *
+                      static_cast<double>(cand.multiple) *
+                      config_.base_period_sec;
+    if (coverage + kEps >= window_sec) {
+      tier = &cand;
+      break;
+    }
+  }
+  if (tier->filled == 0) {
+    return Status::NotFound("RollupStore::Query: no closed slots yet");
+  }
+
+  double cutoff = last_tick_ - window_sec;
+  size_t n = tier->ring.size();
+  size_t oldest = (tier->head + n - tier->filled) % n;
+
+  // Newest closed slot at/before the cutoff anchors the baseline for
+  // delta/rate; slots after it are inside the window.
+  const RollupSlot* baseline = nullptr;
+  const RollupSlot* newest = nullptr;
+  const RollupSlot* first_in = nullptr;
+  double min_v = 0.0, max_v = 0.0, sum_v = 0.0;
+  uint64_t samples = 0;
+  bool any = false;
+  for (size_t i = 0; i < tier->filled; ++i) {
+    const RollupSlot& s = tier->ring[(oldest + i) % n];
+    if (s.t_end <= cutoff + kEps) {
+      baseline = &s;
+      continue;
+    }
+    if (!any) {
+      first_in = &s;
+      min_v = s.min;
+      max_v = s.max;
+      any = true;
+    } else {
+      min_v = std::min(min_v, s.min);
+      max_v = std::max(max_v, s.max);
+    }
+    sum_v += s.sum;
+    samples += s.samples;
+    newest = &s;
+  }
+  if (!any) {
+    return Status::NotFound("RollupStore::Query: window has no data");
+  }
+
+  double slot_span = static_cast<double>(tier->multiple) *
+                     config_.base_period_sec;
+  double base_cum = baseline != nullptr ? baseline->cum
+                                        : first_in->cum - first_in->sum;
+  double base_cum_sum = baseline != nullptr
+                            ? baseline->cum_sum
+                            : first_in->cum_sum - first_in->sum2;
+  double window_start =
+      baseline != nullptr ? baseline->t_end : first_in->t_end - slot_span;
+
+  switch (agg) {
+    case RollupAgg::kLast:
+      return newest->last;
+    case RollupAgg::kMin:
+      return min_v;
+    case RollupAgg::kMax:
+      return max_v;
+    case RollupAgg::kSum:
+      return sum_v;
+    case RollupAgg::kMean:
+      if (t.kind == Kind::kHistogram) {
+        double dc = newest->cum - base_cum;
+        return dc <= 0.0 ? 0.0 : (newest->cum_sum - base_cum_sum) / dc;
+      }
+      return samples == 0 ? 0.0
+                          : sum_v / static_cast<double>(samples);
+    case RollupAgg::kDelta:
+      return newest->cum - base_cum;
+    case RollupAgg::kRate: {
+      double covered = newest->t_end - window_start;
+      if (covered <= 0.0) covered = slot_span;
+      return (newest->cum - base_cum) / covered;
+    }
+  }
+  return Status::InvalidArgument("RollupStore::Query: unknown aggregation");
+}
+
+}  // namespace flower::obs

@@ -1,0 +1,153 @@
+#ifndef FLOWER_OBS_ROLLUP_H_
+#define FLOWER_OBS_ROLLUP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/time_series.h"
+#include "obs/metrics_registry.h"
+
+namespace flower::obs {
+
+/// Shape of the downsampling pyramid. With the defaults each tracked
+/// series keeps 120 slots at 1 s, 120 at 10 s, and 120 at 60 s — two
+/// hours of history in a few KB of fixed memory, no allocation after
+/// the first tick resolves the instrument.
+struct RollupConfig {
+  double base_period_sec = 1.0;  ///< Tick() cadence; tier 0 resolution.
+  size_t slots_per_tier = 120;   ///< Ring length of every tier.
+  /// Base-period multiples per tier, ascending; {1, 10, 60} = the
+  /// 1 s -> 10 s -> 60 s pyramid.
+  std::vector<size_t> tier_multiples = {1, 10, 60};
+};
+
+/// Aggregations Query() can compute over a trailing window.
+enum class RollupAgg : uint8_t {
+  kLast = 0,  ///< Newest sampled value (gauge) / cumulative count.
+  kMin = 1,   ///< Min per-tick sample (gauge) or per-tick delta.
+  kMax = 2,
+  kMean = 3,  ///< Mean sample (gauge) / mean per-tick delta (counter)
+              ///< / mean recorded value (histogram).
+  kSum = 4,   ///< Sum of samples (gauge) or of deltas (counter/hist).
+  kDelta = 5, ///< Newest cumulative minus cumulative at window start.
+  kRate = 6,  ///< kDelta divided by the covered timespan (per second).
+};
+
+const char* RollupAggToString(RollupAgg agg);
+
+/// One closed slot of one tier. Semantics depend on the instrument:
+/// gauges aggregate sampled values; counters and histograms aggregate
+/// per-base-tick deltas and carry the cumulative total at slot close,
+/// which is what burn-rate windows difference.
+struct RollupSlot {
+  SimTime t_end = 0.0;   ///< Sim time of the closing tick.
+  double last = 0.0;     ///< Last sampled value in the slot.
+  double min = 0.0;      ///< Min sample (gauge) / min tick delta.
+  double max = 0.0;
+  double sum = 0.0;      ///< Sum of samples / sum of tick deltas.
+  uint64_t samples = 0;  ///< Base ticks aggregated into the slot.
+  double cum = 0.0;      ///< Cumulative counter value / histogram count.
+  double cum_sum = 0.0;  ///< Histogram only: cumulative sum of values.
+  double sum2 = 0.0;     ///< Histogram only: value-sum delta in the slot.
+};
+
+/// Fixed-memory time-series store over a MetricsRegistry: Track*() a
+/// handful of series, call Tick(now) once per base period, and Query()
+/// trailing-window aggregates from the downsampled tiers. Tick reads
+/// only the tracked instruments' atomics — it never deep-copies the
+/// registry — so feeding SLO burn-rate windows from a rollup replaces
+/// the per-evaluation full-registry scan that used to dominate
+/// HealthMonitor::Evaluate at fleet cardinalities.
+///
+/// Instruments are resolved lazily: tracking a series that is not yet
+/// registered is fine; it contributes nothing until some component
+/// registers it (matching the SLO engine's "missing until registered"
+/// semantics), then picks up on the next tick. Tracking never creates
+/// instruments.
+///
+/// Single-writer like the rest of the telemetry hub: Tick/Track from
+/// the simulation thread only.
+class RollupStore {
+ public:
+  explicit RollupStore(MetricsRegistry* registry, RollupConfig config = {});
+
+  /// Track a series; returns a stable track id for id-based Query.
+  /// Re-tracking the same (kind, name, labels) returns the same id.
+  size_t TrackCounter(const std::string& name, const LabelSet& labels = {});
+  size_t TrackGauge(const std::string& name, const LabelSet& labels = {});
+  size_t TrackHistogram(const std::string& name, const LabelSet& labels = {});
+
+  /// Samples every tracked instrument and advances the tier rings.
+  void Tick(SimTime now);
+
+  uint64_t ticks() const { return ticks_; }
+  size_t NumTracked() const { return tracked_.size(); }
+  const RollupConfig& config() const { return config_; }
+
+  /// Aggregate over the trailing `window_sec` ending at the last tick,
+  /// served from the finest tier whose retained history covers the
+  /// window. NotFound when the series is untracked or has no data yet.
+  Result<double> Query(const std::string& metric, const LabelSet& labels,
+                       double window_sec, RollupAgg agg) const;
+  Result<double> Query(size_t track_id, double window_sec,
+                       RollupAgg agg) const;
+
+  /// Sparse point-in-time view of the tracked series that have resolved,
+  /// as of the last Tick — the exact shape MetricsRegistry::Snapshot()
+  /// produces, restricted to tracked instruments. The reference is into
+  /// an internal buffer reused across ticks; it is invalidated by the
+  /// next Tick().
+  const MetricsSnapshot& TrackedSnapshot() const { return snapshot_; }
+
+ private:
+  enum class Kind : uint8_t { kCounter, kGauge, kHistogram };
+
+  struct Tier {
+    size_t multiple = 1;
+    std::vector<RollupSlot> ring;  ///< Sized slots_per_tier up front.
+    size_t filled = 0;             ///< Closed slots retained (<= size).
+    size_t head = 0;               ///< Next write index.
+    RollupSlot partial;            ///< Accumulating, not yet closed.
+    size_t pending = 0;            ///< Base ticks in `partial`.
+  };
+
+  struct Tracked {
+    Kind kind = Kind::kGauge;
+    std::string name;
+    LabelSet labels;
+    const Counter* counter = nullptr;
+    const Gauge* gauge = nullptr;
+    const Histogram* histogram = nullptr;
+    bool seen = false;      ///< Sampled at least once since resolving.
+    double prev_cum = 0.0;  ///< Cumulative value at the previous tick.
+    double prev_cum_sum = 0.0;  ///< Histogram value-sum at previous tick.
+    std::vector<Tier> tiers;
+    /// Slot in snapshot_'s counters/gauges/histograms vector, or -1
+    /// until the instrument resolves.
+    int snapshot_index = -1;
+  };
+
+  size_t TrackSeries(Kind kind, const std::string& name,
+                     const LabelSet& labels);
+  void Resolve(Tracked* t);
+  const Tracked* FindSeries(Kind kind, const std::string& name,
+                            const LabelSet& labels) const;
+  Result<double> QueryTracked(const Tracked& t, double window_sec,
+                              RollupAgg agg) const;
+
+  MetricsRegistry* registry_;
+  RollupConfig config_;
+  uint64_t ticks_ = 0;
+  SimTime last_tick_ = 0.0;
+  std::vector<Tracked> tracked_;
+  /// Series-key -> index into tracked_, for name-based Query and
+  /// re-track dedup.
+  std::vector<std::pair<std::string, size_t>> index_;  ///< Sorted.
+  MetricsSnapshot snapshot_;  ///< Reused sparse snapshot buffer.
+};
+
+}  // namespace flower::obs
+
+#endif  // FLOWER_OBS_ROLLUP_H_

@@ -1,0 +1,195 @@
+#include "obs/scoped_registry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace flower::obs {
+
+namespace {
+
+// Labels in a sample are already normalized, so equal series produce
+// equal MetricsRegistry::SeriesKey keys.
+std::string SeriesKey(const std::string& name, const LabelSet& labels) {
+  return MetricsRegistry::SeriesKey(name, labels);
+}
+
+// Inserts/overwrites the "scope" label, keeping the set sorted by key.
+LabelSet WithScopeLabel(LabelSet labels, const std::string& scope) {
+  auto it = std::lower_bound(
+      labels.begin(), labels.end(), std::string("scope"),
+      [](const auto& pair, const std::string& k) { return pair.first < k; });
+  if (it != labels.end() && it->first == "scope") {
+    it->second = scope;
+  } else {
+    labels.insert(it, {"scope", scope});
+  }
+  return labels;
+}
+
+bool SampleLess(const LabelSet& a, const LabelSet& b) { return a < b; }
+
+}  // namespace
+
+Result<double> HistogramSampleQuantile(const HistogramSample& s, double q) {
+  if (q < 0.0 || q > 1.0) {
+    return Status::InvalidArgument(
+        "HistogramSampleQuantile: q outside [0, 1]");
+  }
+  if (s.count == 0) {
+    return Status::NotFound("HistogramSampleQuantile: empty histogram");
+  }
+  double target = q * static_cast<double>(s.count);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < s.buckets.size(); ++i) {
+    uint64_t c = s.buckets[i];
+    if (c == 0) continue;
+    if (static_cast<double>(seen + c) >= target) {
+      double lo = i == 0 ? 0.0 : s.bounds[i - 1];
+      double hi = i < s.bounds.size() ? s.bounds[i] : s.max;
+      // The snapshot's overflow bucket carries +inf as its upper bound
+      // (Histogram::UpperBound past the last boundary); interpolate to
+      // the observed max there, exactly like Histogram::Quantile.
+      if (!std::isfinite(hi)) hi = s.max;
+      if (hi < lo) hi = lo;
+      double frac =
+          (target - static_cast<double>(seen)) / static_cast<double>(c);
+      // Same strict tightening as Histogram::Quantile: recorded min/max
+      // bound where mass can sit, so clamp into [min, max].
+      return std::clamp(lo + frac * (hi - lo), s.min, s.max);
+    }
+    seen += c;
+  }
+  return s.max;
+}
+
+bool MergeHistogramSample(const HistogramSample& src, HistogramSample* dst) {
+  if (src.bounds != dst->bounds || src.buckets.size() != dst->buckets.size()) {
+    return false;
+  }
+  if (src.count == 0) return true;
+  if (dst->count == 0) {
+    dst->min = src.min;
+    dst->max = src.max;
+  } else {
+    dst->min = std::min(dst->min, src.min);
+    dst->max = std::max(dst->max, src.max);
+  }
+  dst->count += src.count;
+  dst->sum += src.sum;
+  for (size_t i = 0; i < src.buckets.size(); ++i) {
+    dst->buckets[i] += src.buckets[i];
+  }
+  dst->p50 = HistogramSampleQuantile(*dst, 0.5).ValueOr(0.0);
+  dst->p99 = HistogramSampleQuantile(*dst, 0.99).ValueOr(0.0);
+  return true;
+}
+
+ScopedRegistry* ScopedRegistry::Child(const std::string& name) {
+  FLOWER_CHECK(!name.empty() && name.find('/') == std::string::npos)
+      << "ScopedRegistry::Child: invalid scope name '" << name << "'";
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = children_.find(name);
+  if (it == children_.end()) {
+    std::string child_path = path_.empty() ? name : path_ + "/" + name;
+    it = children_
+             .emplace(name, std::unique_ptr<ScopedRegistry>(
+                                new ScopedRegistry(std::move(child_path))))
+             .first;
+  }
+  return it->second.get();
+}
+
+const ScopedRegistry* ScopedRegistry::FindChild(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = children_.find(name);
+  return it == children_.end() ? nullptr : it->second.get();
+}
+
+std::vector<const ScopedRegistry*> ScopedRegistry::Children() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const ScopedRegistry*> out;
+  out.reserve(children_.size());
+  for (const auto& [name, child] : children_) out.push_back(child.get());
+  return out;
+}
+
+size_t ScopedRegistry::NumScopes() const {
+  size_t n = 1;
+  for (const ScopedRegistry* c : Children()) n += c->NumScopes();
+  return n;
+}
+
+void ScopedRegistry::CollectSnapshots(
+    std::vector<std::pair<std::string, MetricsSnapshot>>* out) const {
+  out->emplace_back(path_, metrics_.Snapshot());
+  for (const ScopedRegistry* c : Children()) c->CollectSnapshots(out);
+}
+
+MetricsSnapshot ScopedRegistry::AggregateSnapshot() const {
+  std::vector<std::pair<std::string, MetricsSnapshot>> scopes;
+  CollectSnapshots(&scopes);
+
+  MetricsSnapshot out;
+
+  // Counters: sum across scopes per (name, labels).
+  std::map<std::string, CounterSample> counters;
+  for (const auto& [path, snap] : scopes) {
+    for (const CounterSample& s : snap.counters) {
+      auto [it, inserted] =
+          counters.emplace(SeriesKey(s.name, s.labels), s);
+      if (!inserted) it->second.value += s.value;
+    }
+  }
+  out.counters.reserve(counters.size());
+  for (auto& [key, s] : counters) out.counters.push_back(std::move(s));
+
+  // Gauges: labeled fan-out — one series per contributing scope.
+  for (const auto& [path, snap] : scopes) {
+    for (const GaugeSample& s : snap.gauges) {
+      GaugeSample g = s;
+      g.labels = WithScopeLabel(std::move(g.labels), path);
+      out.gauges.push_back(std::move(g));
+    }
+  }
+
+  // Histograms: bucket-exact merge when every contributor shares the
+  // bucket layout; otherwise fan the series out per scope rather than
+  // merging incompatible buckets.
+  std::map<std::string, std::vector<std::pair<const std::string*,
+                                              const HistogramSample*>>>
+      hist_groups;
+  for (const auto& [path, snap] : scopes) {
+    for (const HistogramSample& s : snap.histograms) {
+      hist_groups[SeriesKey(s.name, s.labels)].emplace_back(&path, &s);
+    }
+  }
+  for (auto& [key, group] : hist_groups) {
+    HistogramSample merged = *group.front().second;
+    bool ok = true;
+    for (size_t i = 1; i < group.size() && ok; ++i) {
+      ok = MergeHistogramSample(*group[i].second, &merged);
+    }
+    if (ok) {
+      out.histograms.push_back(std::move(merged));
+    } else {
+      for (const auto& [path, sample] : group) {
+        HistogramSample h = *sample;
+        h.labels = WithScopeLabel(std::move(h.labels), *path);
+        out.histograms.push_back(std::move(h));
+      }
+    }
+  }
+
+  auto by_series = [](const auto& a, const auto& b) {
+    if (a.name != b.name) return a.name < b.name;
+    return SampleLess(a.labels, b.labels);
+  };
+  std::sort(out.counters.begin(), out.counters.end(), by_series);
+  std::sort(out.gauges.begin(), out.gauges.end(), by_series);
+  std::sort(out.histograms.begin(), out.histograms.end(), by_series);
+  return out;
+}
+
+}  // namespace flower::obs

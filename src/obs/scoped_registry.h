@@ -1,0 +1,93 @@
+#ifndef FLOWER_OBS_SCOPED_REGISTRY_H_
+#define FLOWER_OBS_SCOPED_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/metrics_registry.h"
+
+namespace flower::obs {
+
+/// Merges `src` bucket counts into `dst`. Requires identical bucket
+/// layouts (same bounds vector); returns false and leaves `dst`
+/// untouched on a layout mismatch. count/sum/min/max are combined
+/// exactly; p50/p99 are recomputed from the merged buckets with the
+/// same interpolation-and-clamp rule as Histogram::Quantile, so a merge
+/// of N scoped histograms is bucket-exact versus recording every sample
+/// into one histogram.
+bool MergeHistogramSample(const HistogramSample& src, HistogramSample* dst);
+
+/// Quantile over an already-snapshotted histogram sample. Mirrors
+/// Histogram::Quantile: linear interpolation within the containing
+/// bucket, clamped into [min, max]; NotFound when empty.
+Result<double> HistogramSampleQuantile(const HistogramSample& s, double q);
+
+/// Hierarchical metrics scoping for fleet runs: every flow (and layer
+/// within it) gets its own child ScopedRegistry whose instruments live
+/// in a private MetricsRegistry. Hot-path recording therefore touches
+/// only per-scope atomics — a thousand flows tick independently with no
+/// shared contended cacheline — and the fleet view is produced on
+/// demand by AggregateSnapshot():
+///
+///   - counters with the same (name, labels) are summed across scopes;
+///   - histograms with the same (name, labels) and identical bucket
+///     layout are bucket-merged (exact; see MergeHistogramSample) —
+///     layout mismatches fan out per scope instead of merging wrong;
+///   - gauges fan out with a {"scope", <path>} label per contributing
+///     child (summing last-value instruments would be meaningless).
+///
+/// Child creation takes the parent's mutex; everything after the
+/// returned pointer is as lock-free as MetricsRegistry itself. Children
+/// are owned by the parent and live as long as it does.
+class ScopedRegistry {
+ public:
+  ScopedRegistry() = default;  ///< Root scope (path "").
+  ScopedRegistry(const ScopedRegistry&) = delete;
+  ScopedRegistry& operator=(const ScopedRegistry&) = delete;
+
+  /// This scope's own instruments.
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Child scope, created on first use; stable pointer. `name` must be
+  /// non-empty and must not contain '/'.
+  ScopedRegistry* Child(const std::string& name);
+
+  /// Descendant lookup without creation; nullptr when absent.
+  const ScopedRegistry* FindChild(const std::string& name) const;
+
+  /// "" for the root, "flow-a" / "flow-a/analytics" for descendants.
+  const std::string& path() const { return path_; }
+
+  /// Direct children, sorted by name (stable iteration order).
+  std::vector<const ScopedRegistry*> Children() const;
+
+  /// Scopes in this subtree, including this one.
+  size_t NumScopes() const;
+
+  /// Fleet view: this scope's instruments merged with every
+  /// descendant's, per the rules above, sorted by (name, labels).
+  MetricsSnapshot AggregateSnapshot() const;
+
+ private:
+  explicit ScopedRegistry(std::string path) : path_(std::move(path)) {}
+
+  /// Appends (path, snapshot) pairs for the whole subtree, depth-first
+  /// in sorted child order.
+  void CollectSnapshots(
+      std::vector<std::pair<std::string, MetricsSnapshot>>* out) const;
+
+  std::string path_;
+  MetricsRegistry metrics_;
+  mutable std::mutex mu_;  ///< Guards children_ only.
+  std::map<std::string, std::unique_ptr<ScopedRegistry>> children_;
+};
+
+}  // namespace flower::obs
+
+#endif  // FLOWER_OBS_SCOPED_REGISTRY_H_

@@ -28,6 +28,12 @@ Status Telemetry::ExportTrace(const std::string& path) const {
                       [this](std::ostream& os) { WriteChromeTrace(os, trace_); });
 }
 
+Status Telemetry::ExportSpans(const std::string& path) const {
+  return ExportToFile(path, [this](std::ostream& os) {
+    WriteSpansChromeTrace(os, spans_, &trace_);
+  });
+}
+
 Status Telemetry::ExportJsonl(const std::string& path, SimTime at) const {
   MetricsSnapshot snapshot = metrics_.Snapshot();
   auto records = decisions_.Snapshot();
@@ -83,6 +89,14 @@ std::function<void(const opt::Nsga2GenerationStats&)> MakeNsga2Observer(
                                slice_sec, kPlannerTid, std::move(args));
     telemetry->trace().AddCounter("nsga2.front_size", t0, kPlannerTid,
                                   static_cast<double>(s.front_size));
+
+    // Causal span: one kGeneration child under the active kPlan span.
+    // The observer only fires on the coordinator thread, so this is
+    // deterministic at any solver thread count.
+    telemetry->spans().Emit(
+        SpanKind::kGeneration, planner_name, t0, slice_sec, kTracePid,
+        kPlannerTid, telemetry->active_plan_span(), /*follows=*/0,
+        static_cast<double>(s.front_size));
   };
 }
 

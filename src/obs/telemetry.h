@@ -9,6 +9,7 @@
 #include "obs/event_log.h"
 #include "obs/exporters.h"
 #include "obs/metrics_registry.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 #include "opt/nsga2.h"
 
@@ -37,6 +38,17 @@ class Telemetry {
   const DecisionLog& decisions() const { return decisions_; }
   TraceCollector& trace() { return trace_; }
   const TraceCollector& trace() const { return trace_; }
+  /// Causal control spans. Disabled by default (zero-cost no-ops);
+  /// enable with spans().set_enabled(true) before the run.
+  SpanCollector& spans() { return spans_; }
+  const SpanCollector& spans() const { return spans_; }
+
+  /// The kPlan span currently executing, if any — set by the
+  /// ElasticityManager around a re-planning pass so coordinator-side
+  /// planner observers (MakeNsga2Observer) can parent their
+  /// per-generation spans under it. 0 outside a plan.
+  void set_active_plan_span(SpanId span) { active_plan_span_ = span; }
+  SpanId active_plan_span() const { return active_plan_span_; }
 
   /// Records that the fault injector interfered with `target` (a layer
   /// name) at sim time `now`. `bits` is 1 << FaultKind.
@@ -49,6 +61,11 @@ class Telemetry {
 
   /// Writes the Chrome trace_event JSON to `path`.
   Status ExportTrace(const std::string& path) const;
+
+  /// Writes the causal spans as Chrome trace JSON (flow events for the
+  /// parent/follows arrows) to `path`, reusing the trace collector's
+  /// scope and track names.
+  Status ExportSpans(const std::string& path) const;
 
   /// Writes decision records then a metrics snapshot, one JSON object
   /// per line, to `path`. `at` stamps the snapshot lines (sim seconds).
@@ -66,6 +83,8 @@ class Telemetry {
   MetricsRegistry metrics_;
   DecisionLog decisions_;
   TraceCollector trace_;
+  SpanCollector spans_;
+  SpanId active_plan_span_ = 0;
   std::map<std::string, FaultNote> fault_notes_;
 };
 

@@ -37,20 +37,31 @@ void TraceCollector::AddInstant(std::string name, std::string category,
 }
 
 void TraceCollector::AddCounter(std::string name, SimTime t, int tid,
-                                double value) {
+                                double value, int pid) {
   if (!Admit()) return;
   TraceEvent e;
   e.name = std::move(name);
   e.category = "counter";
   e.phase = 'C';
   e.ts_us = SimToTraceUs(t);
+  e.pid = pid;
   e.tid = tid;
   e.num_args.emplace_back("value", value);
   events_.push_back(std::move(e));
 }
 
+int TraceCollector::RegisterScope(std::string name) {
+  int pid = next_pid_++;
+  process_names_[pid] = std::move(name);
+  return pid;
+}
+
 void TraceCollector::SetTrackName(int tid, std::string name) {
-  track_names_[tid] = std::move(name);
+  track_names_[{kTracePid, tid}] = std::move(name);
+}
+
+void TraceCollector::SetTrackName(int pid, int tid, std::string name) {
+  track_names_[{pid, tid}] = std::move(name);
 }
 
 }  // namespace flower::obs

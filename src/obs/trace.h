@@ -31,6 +31,11 @@ struct TraceEvent {
   char phase = 'X';
   double ts_us = 0.0;
   double dur_us = 0.0;  ///< 'X' only.
+  /// Process lane. The fleet default is kTracePid; per-flow/per-layer
+  /// scopes registered via TraceCollector::RegisterScope get their own
+  /// pid so Perfetto renders them as separate process groups instead of
+  /// interleaving every flow on one row.
+  int pid = kTracePid;
   int tid = 0;
   /// Rendered into the event's "args" object. Numeric args keep full
   /// precision; string args are JSON-escaped at export.
@@ -55,14 +60,28 @@ class TraceCollector {
   void AddInstant(std::string name, std::string category, SimTime t, int tid,
                   TraceEvent event_args = {});
   /// Counter sample: renders as a value track named `name`.
-  void AddCounter(std::string name, SimTime t, int tid, double value);
+  void AddCounter(std::string name, SimTime t, int tid, double value,
+                  int pid = kTracePid);
+
+  /// Allocates a fresh pid for a named scope (flow, layer) and records
+  /// its process_name metadata. Events carrying the returned pid render
+  /// in their own Perfetto lane group.
+  int RegisterScope(std::string name);
 
   /// Names the track in the trace viewer ("analytics", "nsga2", ...).
+  /// The tid-only overload names tracks of the default kTracePid lane.
   void SetTrackName(int tid, std::string name);
+  void SetTrackName(int pid, int tid, std::string name);
 
   const std::vector<TraceEvent>& events() const { return events_; }
-  const std::map<int, std::string>& track_names() const {
+  /// Track names keyed by (pid, tid).
+  const std::map<std::pair<int, int>, std::string>& track_names() const {
     return track_names_;
+  }
+  /// Scope process names keyed by pid (kTracePid itself excluded; the
+  /// exporter names it "flower").
+  const std::map<int, std::string>& process_names() const {
+    return process_names_;
   }
   uint64_t dropped() const { return dropped_; }
   size_t capacity() const { return capacity_; }
@@ -72,8 +91,10 @@ class TraceCollector {
 
   size_t capacity_;
   uint64_t dropped_ = 0;
+  int next_pid_ = kTracePid + 1;
   std::vector<TraceEvent> events_;
-  std::map<int, std::string> track_names_;
+  std::map<std::pair<int, int>, std::string> track_names_;
+  std::map<int, std::string> process_names_;
 };
 
 }  // namespace flower::obs

@@ -37,6 +37,7 @@ ControlDecisionRecord SampleRecord() {
   r.outcome = StepOutcome::kActuated;
   r.fault_mask = 4;
   r.health_mask = 3;
+  r.span_id = 42;
   return r;
 }
 
@@ -47,10 +48,10 @@ TEST(DecisionCsvTest, HeaderAndRow) {
   ASSERT_EQ(lines.size(), 2u);
   EXPECT_EQ(lines[0],
             "time,loop,layer,law,sensed_y,reference,error,gain,raw_u,"
-            "clamped_u,stale,outcome,fault_mask,health_mask");
+            "clamped_u,stale,outcome,fault_mask,health_mask,span_id");
   EXPECT_EQ(lines[1],
             "120,analytics,analytics,adaptive-gain,78.5,60,18.5,0.115,"
-            "5.13,5,1,actuated,4,3");
+            "5.13,5,1,actuated,4,3,42");
 }
 
 TEST(DecisionJsonlTest, OneObjectPerLine) {
@@ -65,6 +66,7 @@ TEST(DecisionJsonlTest, OneObjectPerLine) {
   EXPECT_NE(lines[0].find("\"outcome\":\"actuated\""), std::string::npos);
   EXPECT_NE(lines[0].find("\"fault_mask\":4"), std::string::npos);
   EXPECT_NE(lines[0].find("\"health_mask\":3"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"span_id\":42"), std::string::npos);
 }
 
 TEST(DecisionJsonlTest, NanBecomesNull) {
@@ -138,6 +140,34 @@ TEST(OpenMetricsTest, FamiliesSuffixesAndEof) {
   EXPECT_LT(first_bucket, inf_bucket);
   ASSERT_FALSE(lines.empty());
   EXPECT_EQ(lines.back(), "# EOF");
+}
+
+TEST(OpenMetricsTest, EscapesLabelValuesAndHelpText) {
+  MetricsRegistry registry;
+  registry
+      .GetCounter("reqs", {{"path", "c:\\tmp\n\"quoted\""}})
+      ->Increment();
+  registry.SetHelp("reqs", "requests per\npath (under c:\\)");
+
+  std::ostringstream os;
+  WriteSnapshotOpenMetrics(os, registry.Snapshot());
+  const std::string text = os.str();
+
+  // Label values: backslash, double quote, and newline are escaped, in
+  // that raw byte order.
+  EXPECT_NE(text.find("path=\"c:\\\\tmp\\n\\\"quoted\\\"\""),
+            std::string::npos)
+      << text;
+  // HELP text: only backslash and newline (HELP is not quoted).
+  EXPECT_NE(text.find("# HELP reqs requests per\\npath (under c:\\\\)"),
+            std::string::npos)
+      << text;
+  // No raw newline leaked mid-line: every line is a comment, a sample,
+  // or EOF.
+  for (const std::string& line : Lines(text)) {
+    EXPECT_TRUE(!line.empty());
+    EXPECT_EQ(line.find('\r'), std::string::npos);
+  }
 }
 
 TEST(ChromeTraceTest, WrapperMetadataAndPhases) {

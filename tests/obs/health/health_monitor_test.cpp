@@ -1,5 +1,7 @@
 #include "obs/health/health_monitor.h"
 
+#include <cmath>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -161,6 +163,122 @@ TEST(HealthMonitorTest, JsonlSerializationIsStable) {
   EXPECT_NE(a.str().find("\"type\":\"slo\""), std::string::npos);
   EXPECT_NE(a.str().find("\"type\":\"report\""), std::string::npos);
   EXPECT_NE(a.str().find("\"id\":\"analytics/util\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Rollup-feed regression (ISSUE 7 acceptance criterion): burn-rate
+// alerts computed from the RollupStore's sparse tracked snapshot must
+// match the raw full-registry scan tick for tick on a recorded trace —
+// across all three SLI kinds plus an anomaly watch — with the raw scan
+// retired from the hot path (use_rollups defaults to true).
+
+// Replays a deterministic 4-hour recorded trace (saturation burst at
+// hour 1, error burst at hour 2, latency regression at hour 3, gauge
+// spikes threaded throughout) into `monitor`, appending one formatted
+// line per tick capturing everything Evaluate publishes.
+std::string ReplayRecordedTrace(HealthMonitor* monitor,
+                                Telemetry* telemetry) {
+  Gauge* cpu =
+      telemetry->metrics().GetGauge("cpu", {{"layer", "analytics"}});
+  Counter* errors = telemetry->metrics().GetCounter("requests.errors");
+  Counter* total = telemetry->metrics().GetCounter("requests.total");
+  Histogram* latency = telemetry->metrics().GetHistogram("latency_ms");
+  Gauge* sig = telemetry->metrics().GetGauge("sig");
+
+  std::ostringstream trajectory;
+  for (int i = 1; i <= 240; ++i) {
+    double t = 60.0 * i;
+    bool cpu_burst = i > 60 && i <= 90;
+    cpu->Set(cpu_burst ? 99.0 : 50.0 + 10.0 * std::sin(0.1 * i));
+    bool error_burst = i > 120 && i <= 150;
+    total->Increment(100);
+    errors->Increment(error_burst ? 40 : 1);
+    bool slow = i > 180 && i <= 210;
+    for (int s = 0; s < 5; ++s) {
+      latency->Record(slow ? 900.0 + 10.0 * s : 20.0 + (i + s) % 7);
+    }
+    sig->Set(i % 17 == 0 ? 400.0 : 10.0 + 0.1 * (i % 5));
+    monitor->Evaluate(t);
+
+    trajectory << "t=" << t;
+    for (const SloStatus& s : monitor->Statuses()) {
+      trajectory << " " << s.id << ":gf=" << s.good_fraction
+                 << ",bf=" << s.burn_fast << ",bs=" << s.burn_slow
+                 << ",budget=" << s.budget_consumed
+                 << ",breached=" << s.breached
+                 << ",since=" << s.breach_since
+                 << ",alerts=" << s.alerts_fired;
+    }
+    trajectory << " active=";
+    for (const std::string& id : monitor->ActiveAlerts()) {
+      trajectory << id << ";";
+    }
+    for (const char* layer : {"ingestion", "analytics", "storage"}) {
+      trajectory << " mask(" << layer
+                 << ")=" << static_cast<int>(monitor->MaskFor(layer));
+    }
+    trajectory << " anomalies=" << monitor->anomaly_log().size()
+               << " reports=" << monitor->reports().size() << "\n";
+  }
+  monitor->WriteJsonl(trajectory);
+  return trajectory.str();
+}
+
+TEST(HealthMonitorTest, RollupFeedMatchesRawScanOnRecordedTrace) {
+  auto run = [](bool use_rollups) {
+    auto telemetry = std::make_unique<Telemetry>();
+    HealthMonitorConfig config;
+    config.eval_period_sec = 60.0;
+    config.use_rollups = use_rollups;
+
+    auto monitor = std::make_unique<HealthMonitor>(telemetry.get(), config);
+    SloSpec util = TightUtilSpec("analytics");
+    EXPECT_TRUE(monitor->AddSlo(util).ok());
+
+    SloSpec availability;
+    availability.id = "flow/availability";
+    availability.layer = "";
+    availability.kind = SliKind::kCounterRatio;
+    availability.metric = {"requests.errors", {}};
+    availability.total = {"requests.total", {}};
+    availability.objective = 0.95;
+    availability.fast_window_sec = 300.0;
+    availability.slow_window_sec = 1800.0;
+    availability.budget_window_sec = 7200.0;
+    availability.burn_alert_threshold = 4.0;
+    EXPECT_TRUE(monitor->AddSlo(availability).ok());
+
+    SloSpec lat;
+    lat.id = "storage/latency";
+    lat.layer = "storage";
+    lat.kind = SliKind::kHistogramBelow;
+    lat.metric = {"latency_ms", {}};
+    lat.threshold = 500.0;
+    lat.objective = 0.95;
+    lat.fast_window_sec = 300.0;
+    lat.slow_window_sec = 1800.0;
+    lat.budget_window_sec = 7200.0;
+    lat.burn_alert_threshold = 4.0;
+    EXPECT_TRUE(monitor->AddSlo(lat).ok());
+
+    AnomalyConfig detector;
+    detector.warmup_samples = 8;
+    EXPECT_TRUE(monitor
+                    ->Watch(AnomalyBank::Source::kGauge, {"sig", {}},
+                            "analytics", detector)
+                    .ok());
+    EXPECT_EQ(monitor->rollups() != nullptr, use_rollups);
+    return ReplayRecordedTrace(monitor.get(), telemetry.get());
+  };
+
+  std::string rollup_fed = run(/*use_rollups=*/true);
+  std::string raw_scan = run(/*use_rollups=*/false);
+  EXPECT_EQ(rollup_fed, raw_scan);
+  // The trace actually exercised alert transitions, not 240 quiet
+  // ticks: every SLO must have fired at least once.
+  EXPECT_NE(rollup_fed.find("analytics/util;"), std::string::npos);
+  EXPECT_NE(rollup_fed.find("flow/availability;"), std::string::npos);
+  EXPECT_NE(rollup_fed.find("storage/latency;"), std::string::npos);
 }
 
 TEST(MakeDefaultSloPackTest, CoversAllThreeLayers) {

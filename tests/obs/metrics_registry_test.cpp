@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <limits>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -231,6 +232,85 @@ TEST(RegistryTest, SnapshotSortedByNameThenLabels) {
   EXPECT_EQ(snap.counters[1].name, "alpha");
   EXPECT_EQ(snap.counters[2].name, "zeta");
   EXPECT_EQ(snap.counters[0].labels[0].second, "analytics");
+}
+
+TEST(CardinalityGuardTest, DefaultCapIsGenerous) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.max_label_cardinality(), 1024u);
+}
+
+TEST(CardinalityGuardTest, OverflowCollapsesIntoSharedSeries) {
+  MetricsRegistry registry;
+  registry.set_max_label_cardinality(3);
+  for (int i = 0; i < 3; ++i) {
+    registry.GetCounter("reqs", {{"id", std::to_string(i)}})->Increment();
+  }
+  // The cap is reached: the next two distinct label-sets collapse into
+  // the single {overflow="true"} series instead of minting new ones.
+  Counter* spill_a = registry.GetCounter("reqs", {{"id", "3"}});
+  Counter* spill_b = registry.GetCounter("reqs", {{"id", "4"}});
+  EXPECT_EQ(spill_a, spill_b);
+  EXPECT_EQ(spill_a, registry.GetCounter("reqs", {{"overflow", "true"}}));
+  spill_a->Increment(5);
+
+  // Already-admitted series keep resolving to their own instruments.
+  EXPECT_EQ(registry.GetCounter("reqs", {{"id", "1"}})->Value(), 1u);
+
+  // Two distinct rejected label-sets; resolving the collapsed series by
+  // its own {overflow="true"} labels is exempt and never counts.
+  EXPECT_EQ(registry.label_overflow_total(), 2u);
+  Counter* guard =
+      registry.GetCounter("registry.label_overflow", {{"metric", "reqs"}});
+  EXPECT_EQ(guard->Value(), 2u);
+}
+
+TEST(CardinalityGuardTest, GuardIsPerMetricNameAndPerKind) {
+  MetricsRegistry registry;
+  registry.set_max_label_cardinality(2);
+  registry.GetGauge("depth", {{"id", "0"}});
+  registry.GetGauge("depth", {{"id", "1"}});
+  Gauge* spill = registry.GetGauge("depth", {{"id", "2"}});
+  EXPECT_EQ(spill, registry.GetGauge("depth", {{"overflow", "true"}}));
+  // A different metric name is unaffected by "depth" hitting its cap.
+  registry.GetGauge("util", {{"id", "0"}})->Set(1.0);
+  registry.GetHistogram("lat", {{"id", "0"}})->Record(1.0);
+  EXPECT_EQ(registry.label_overflow_total(), 1u);
+}
+
+TEST(CardinalityGuardTest, HistogramsCollapseToo) {
+  MetricsRegistry registry;
+  registry.set_max_label_cardinality(1);
+  registry.GetHistogram("lat", {{"id", "0"}})->Record(1.0);
+  Histogram* spill = registry.GetHistogram("lat", {{"id", "1"}});
+  EXPECT_EQ(spill, registry.GetHistogram("lat", {{"overflow", "true"}}));
+  spill->Record(2.0);
+  EXPECT_EQ(spill->TotalCount(), 1u);
+}
+
+TEST(CardinalityGuardTest, OverflowSeriesIsExemptFromItsOwnGuard) {
+  MetricsRegistry registry;
+  registry.set_max_label_cardinality(1);
+  registry.GetCounter("reqs", {{"id", "0"}});
+  // Explicitly asking for the collapsed series is always admitted and
+  // never counts as an overflow event itself.
+  registry.GetCounter("reqs", {{"overflow", "true"}})->Increment();
+  EXPECT_EQ(registry.label_overflow_total(), 0u);
+}
+
+TEST(CardinalityGuardTest, WarnsOncePerMetricName) {
+  MetricsRegistry registry;
+  registry.set_max_label_cardinality(1);
+  registry.GetCounter("reqs", {{"id", "0"}});
+  testing::internal::CaptureStderr();
+  registry.GetCounter("reqs", {{"id", "1"}});
+  registry.GetCounter("reqs", {{"id", "2"}});
+  registry.GetCounter("reqs", {{"id", "3"}});
+  std::string err = testing::internal::GetCapturedStderr();
+  size_t first = err.find("label cardinality cap");
+  EXPECT_NE(first, std::string::npos) << err;
+  EXPECT_EQ(err.find("label cardinality cap", first + 1), std::string::npos)
+      << err;
+  EXPECT_EQ(registry.label_overflow_total(), 3u);
 }
 
 TEST(RegistryTest, NumInstrumentsCountsAllKinds) {

@@ -1,0 +1,174 @@
+#include "obs/rollup.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "obs/metrics_registry.h"
+
+namespace flower::obs {
+namespace {
+
+RollupConfig SmallConfig() {
+  RollupConfig cfg;
+  cfg.base_period_sec = 1.0;
+  cfg.slots_per_tier = 10;
+  cfg.tier_multiples = {1, 10, 60};
+  return cfg;
+}
+
+TEST(RollupStoreTest, GaugeWindowAggregates) {
+  MetricsRegistry registry;
+  Gauge* g = registry.GetGauge("util");
+  RollupStore store(&registry, SmallConfig());
+  store.TrackGauge("util");
+  for (int i = 1; i <= 8; ++i) {
+    g->Set(10.0 * i);
+    store.Tick(static_cast<double>(i));
+  }
+  auto last = store.Query("util", {}, 4.0, RollupAgg::kLast);
+  ASSERT_TRUE(last.ok()) << last.status();
+  EXPECT_DOUBLE_EQ(*last, 80.0);
+  // Window (4, 8]: samples 50, 60, 70, 80.
+  EXPECT_DOUBLE_EQ(*store.Query("util", {}, 4.0, RollupAgg::kMean), 65.0);
+  EXPECT_DOUBLE_EQ(*store.Query("util", {}, 4.0, RollupAgg::kMin), 50.0);
+  EXPECT_DOUBLE_EQ(*store.Query("util", {}, 4.0, RollupAgg::kMax), 80.0);
+  EXPECT_DOUBLE_EQ(*store.Query("util", {}, 4.0, RollupAgg::kSum), 260.0);
+}
+
+TEST(RollupStoreTest, CounterDeltaAndRate) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("events");
+  RollupStore store(&registry, SmallConfig());
+  size_t id = store.TrackCounter("events");
+  for (int i = 1; i <= 10; ++i) {
+    c->Increment(5);  // 5 events per second.
+    store.Tick(static_cast<double>(i));
+  }
+  auto delta = store.Query(id, 4.0, RollupAgg::kDelta);
+  ASSERT_TRUE(delta.ok()) << delta.status();
+  EXPECT_DOUBLE_EQ(*delta, 20.0);
+  EXPECT_DOUBLE_EQ(*store.Query(id, 4.0, RollupAgg::kRate), 5.0);
+  // kLast for counters is the cumulative total.
+  EXPECT_DOUBLE_EQ(*store.Query(id, 4.0, RollupAgg::kLast), 50.0);
+}
+
+TEST(RollupStoreTest, TierSelectionCoversLongWindows) {
+  // 10 slots/tier: tier0 covers 10 s, tier1 100 s, tier2 600 s. A 60 s
+  // window must be served (from tier1), not NotFound, even though tier0
+  // history has long since wrapped.
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("events");
+  RollupStore store(&registry, SmallConfig());
+  size_t id = store.TrackCounter("events");
+  for (int i = 1; i <= 200; ++i) {
+    c->Increment(2);
+    store.Tick(static_cast<double>(i));
+  }
+  auto delta = store.Query(id, 60.0, RollupAgg::kDelta);
+  ASSERT_TRUE(delta.ok()) << delta.status();
+  EXPECT_DOUBLE_EQ(*delta, 120.0);
+  auto rate = store.Query(id, 60.0, RollupAgg::kRate);
+  ASSERT_TRUE(rate.ok());
+  EXPECT_DOUBLE_EQ(*rate, 2.0);
+}
+
+TEST(RollupStoreTest, HistogramMeanOverWindow) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("lat");
+  RollupStore store(&registry, SmallConfig());
+  size_t id = store.TrackHistogram("lat");
+  // Seconds 1-5 record value 10, seconds 6-10 record value 30: the mean
+  // over the trailing 5 s window is 30, over 10 s it is 20.
+  for (int i = 1; i <= 10; ++i) {
+    h->Record(i <= 5 ? 10.0 : 30.0);
+    store.Tick(static_cast<double>(i));
+  }
+  auto recent = store.Query(id, 5.0, RollupAgg::kMean);
+  ASSERT_TRUE(recent.ok()) << recent.status();
+  EXPECT_DOUBLE_EQ(*recent, 30.0);
+  EXPECT_DOUBLE_EQ(*store.Query(id, 10.0, RollupAgg::kMean), 20.0);
+  // kDelta for histograms is the recorded-event count in the window.
+  EXPECT_DOUBLE_EQ(*store.Query(id, 5.0, RollupAgg::kDelta), 5.0);
+}
+
+TEST(RollupStoreTest, LazyResolutionPicksUpLateInstruments) {
+  MetricsRegistry registry;
+  RollupStore store(&registry, SmallConfig());
+  size_t id = store.TrackGauge("late");
+  store.Tick(1.0);
+  EXPECT_EQ(store.Query(id, 5.0, RollupAgg::kLast).status().code(),
+            StatusCode::kNotFound);
+  // Instrument appears after tracking: the next tick resolves it.
+  registry.GetGauge("late")->Set(7.0);
+  store.Tick(2.0);
+  auto v = store.Query(id, 5.0, RollupAgg::kLast);
+  ASSERT_TRUE(v.ok()) << v.status();
+  EXPECT_DOUBLE_EQ(*v, 7.0);
+  // Tracking never creates instruments.
+  EXPECT_EQ(registry.FindGauge("never_registered"), nullptr);
+}
+
+TEST(RollupStoreTest, ReTrackReturnsSameId) {
+  MetricsRegistry registry;
+  RollupStore store(&registry, SmallConfig());
+  size_t a = store.TrackGauge("g", {{"x", "1"}});
+  size_t b = store.TrackGauge("g", {{"x", "1"}});
+  size_t c = store.TrackGauge("g", {{"x", "2"}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(store.NumTracked(), 2u);
+}
+
+TEST(RollupStoreTest, TrackedSnapshotIsSparseAndCurrent) {
+  MetricsRegistry registry;
+  registry.GetGauge("tracked")->Set(1.0);
+  registry.GetGauge("untracked")->Set(2.0);
+  registry.GetCounter("hits")->Increment(3);
+  Histogram* h = registry.GetHistogram("lat");
+  h->Record(5.0);
+
+  RollupStore store(&registry, SmallConfig());
+  store.TrackGauge("tracked");
+  store.TrackCounter("hits");
+  store.TrackHistogram("lat");
+  store.Tick(1.0);
+
+  const MetricsSnapshot& snap = store.TrackedSnapshot();
+  ASSERT_EQ(snap.gauges.size(), 1u);  // "untracked" absent.
+  EXPECT_EQ(snap.gauges[0].name, "tracked");
+  EXPECT_DOUBLE_EQ(snap.gauges[0].value, 1.0);
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].value, 3u);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 1u);
+  EXPECT_FALSE(snap.histograms[0].bounds.empty());
+  EXPECT_EQ(snap.histograms[0].buckets.size(),
+            snap.histograms[0].bounds.size());
+
+  // The buffer is updated in place on the next tick.
+  registry.GetGauge("tracked")->Set(9.0);
+  h->Record(6.0);
+  store.Tick(2.0);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].value, 9.0);
+  EXPECT_EQ(snap.histograms[0].count, 2u);
+}
+
+TEST(RollupStoreTest, QueryErrors) {
+  MetricsRegistry registry;
+  registry.GetGauge("g")->Set(1.0);
+  RollupStore store(&registry, SmallConfig());
+  size_t id = store.TrackGauge("g");
+  EXPECT_EQ(store.Query("nope", {}, 5.0, RollupAgg::kLast).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(store.Query(id, -1.0, RollupAgg::kLast).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(store.Query(99, 5.0, RollupAgg::kLast).status().code(),
+            StatusCode::kInvalidArgument);
+  // No ticks yet: nothing closed.
+  EXPECT_EQ(store.Query(id, 5.0, RollupAgg::kLast).status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace flower::obs

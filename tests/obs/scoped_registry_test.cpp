@@ -1,0 +1,283 @@
+#include "obs/scoped_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+
+namespace flower::obs {
+namespace {
+
+const HistogramSample* FindHist(const MetricsSnapshot& snap,
+                                const std::string& name) {
+  for (const HistogramSample& h : snap.histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+TEST(ScopedRegistryTest, ChildCreationIsStableAndPathed) {
+  ScopedRegistry root;
+  EXPECT_EQ(root.path(), "");
+  ScopedRegistry* flow = root.Child("flow-a");
+  ASSERT_NE(flow, nullptr);
+  EXPECT_EQ(flow->path(), "flow-a");
+  ScopedRegistry* layer = flow->Child("analytics");
+  EXPECT_EQ(layer->path(), "flow-a/analytics");
+  // Same name returns the same child, not a new one.
+  EXPECT_EQ(root.Child("flow-a"), flow);
+  EXPECT_EQ(root.NumScopes(), 3u);
+  EXPECT_EQ(root.FindChild("flow-a"), flow);
+  EXPECT_EQ(root.FindChild("missing"), nullptr);
+}
+
+TEST(ScopedRegistryTest, CountersSumAcrossScopes) {
+  ScopedRegistry root;
+  root.metrics().GetCounter("steps")->Increment(1);
+  root.Child("a")->metrics().GetCounter("steps")->Increment(10);
+  root.Child("b")->metrics().GetCounter("steps")->Increment(100);
+  // A differently-labeled series must not merge into the unlabeled one.
+  root.Child("b")->metrics()
+      .GetCounter("steps", {{"loop", "x"}})
+      ->Increment(7);
+
+  MetricsSnapshot snap = root.AggregateSnapshot();
+  uint64_t unlabeled = 0;
+  uint64_t labeled = 0;
+  for (const CounterSample& c : snap.counters) {
+    if (c.name != "steps") continue;
+    if (c.labels.empty()) {
+      unlabeled = c.value;
+    } else {
+      labeled = c.value;
+    }
+  }
+  EXPECT_EQ(unlabeled, 111u);
+  EXPECT_EQ(labeled, 7u);
+}
+
+TEST(ScopedRegistryTest, GaugesFanOutWithScopeLabel) {
+  ScopedRegistry root;
+  root.Child("flow-a")->metrics().GetGauge("util")->Set(40.0);
+  root.Child("flow-b")->metrics().GetGauge("util")->Set(90.0);
+
+  MetricsSnapshot snap = root.AggregateSnapshot();
+  std::vector<std::pair<std::string, double>> seen;
+  for (const GaugeSample& g : snap.gauges) {
+    if (g.name != "util") continue;
+    ASSERT_EQ(g.labels.size(), 1u);
+    EXPECT_EQ(g.labels[0].first, "scope");
+    seen.emplace_back(g.labels[0].second, g.value);
+  }
+  ASSERT_EQ(seen.size(), 2u);
+  // AggregateSnapshot sorts by (name, labels), so scope order is stable.
+  EXPECT_EQ(seen[0].first, "flow-a");
+  EXPECT_DOUBLE_EQ(seen[0].second, 40.0);
+  EXPECT_EQ(seen[1].first, "flow-b");
+  EXPECT_DOUBLE_EQ(seen[1].second, 90.0);
+}
+
+TEST(ScopedRegistryTest, AggregateIsSortedByNameThenLabels) {
+  ScopedRegistry root;
+  root.Child("z")->metrics().GetCounter("b.count")->Increment();
+  root.Child("a")->metrics().GetCounter("a.count")->Increment();
+  MetricsSnapshot snap = root.AggregateSnapshot();
+  ASSERT_GE(snap.counters.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(snap.counters.begin(), snap.counters.end(),
+                             [](const CounterSample& x,
+                                const CounterSample& y) {
+                               return x.name < y.name ||
+                                      (x.name == y.name &&
+                                       x.labels < y.labels);
+                             }));
+}
+
+// ---------------------------------------------------------------------
+// Histogram-merge property test: recording a sample stream split across
+// N scoped histograms and merging the aggregate must be bucket-exact
+// versus recording every sample into one histogram — including the
+// underflow/overflow buckets and the quantile clamp at min/max.
+
+void ExpectBucketExact(const HistogramSample& merged,
+                       const HistogramSample& reference) {
+  EXPECT_EQ(merged.count, reference.count);
+  // Counts are exact; the sum is re-associated (per-scope partials vs
+  // stream order), so compare to relative double precision.
+  EXPECT_NEAR(merged.sum, reference.sum, 1e-12 * std::abs(reference.sum));
+  EXPECT_DOUBLE_EQ(merged.min, reference.min);
+  EXPECT_DOUBLE_EQ(merged.max, reference.max);
+  ASSERT_EQ(merged.bounds.size(), reference.bounds.size());
+  for (size_t i = 0; i < merged.bounds.size(); ++i) {
+    EXPECT_DOUBLE_EQ(merged.bounds[i], reference.bounds[i]) << "bound " << i;
+    EXPECT_EQ(merged.buckets[i], reference.buckets[i]) << "bucket " << i;
+  }
+  EXPECT_DOUBLE_EQ(merged.p50, reference.p50);
+  EXPECT_DOUBLE_EQ(merged.p99, reference.p99);
+}
+
+TEST(HistogramMergeProperty, ScopedMergeIsBucketExact) {
+  // 20 randomized trials across scope counts and value regimes. The
+  // value stream deliberately includes underflow (< options.min) and
+  // overflow (>= options.max) samples.
+  HistogramOptions options;
+  options.min = 1e-3;
+  options.max = 1e3;
+  options.sub_buckets = 4;
+  Rng rng(20240809);
+  for (int trial = 0; trial < 20; ++trial) {
+    size_t num_scopes = 1 + static_cast<size_t>(rng.Uniform(0.0, 6.0));
+    ScopedRegistry root;
+    MetricsRegistry reference;
+    Histogram* ref = reference.GetHistogram("lat", {}, options);
+    std::vector<Histogram*> scoped;
+    for (size_t s = 0; s < num_scopes; ++s) {
+      scoped.push_back(root.Child("flow-" + std::to_string(s))
+                           ->metrics()
+                           .GetHistogram("lat", {}, options));
+    }
+    size_t samples = 50 + static_cast<size_t>(rng.Uniform(0.0, 450.0));
+    for (size_t i = 0; i < samples; ++i) {
+      // Log-uniform across ~8 decades so every octave, the underflow
+      // bucket, and the overflow bucket all get traffic.
+      double v = std::pow(10.0, rng.Uniform(-5.0, 4.0));
+      ref->Record(v);
+      scoped[i % num_scopes]->Record(v);
+    }
+    MetricsSnapshot merged_snap = root.AggregateSnapshot();
+    MetricsSnapshot ref_snap = reference.Snapshot();
+    const HistogramSample* merged = FindHist(merged_snap, "lat");
+    const HistogramSample* expect = FindHist(ref_snap, "lat");
+    ASSERT_NE(merged, nullptr);
+    ASSERT_NE(expect, nullptr);
+    ExpectBucketExact(*merged, *expect);
+
+    // Quantile interpolation + clamp parity at several probes: the
+    // sample-level helper must agree with Histogram::Quantile exactly,
+    // and extremes must clamp into [min, max].
+    for (double q : {0.0, 0.01, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+      auto merged_q = HistogramSampleQuantile(*merged, q);
+      auto live_q = ref->Quantile(q);
+      ASSERT_TRUE(merged_q.ok());
+      ASSERT_TRUE(live_q.ok());
+      EXPECT_DOUBLE_EQ(*merged_q, *live_q) << "q=" << q;
+      EXPECT_GE(*merged_q, expect->min);
+      EXPECT_LE(*merged_q, expect->max);
+    }
+  }
+}
+
+TEST(HistogramMergeProperty, LayoutMismatchRefusesToMerge) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  HistogramOptions narrow;
+  narrow.min = 1e-3;
+  narrow.max = 1e2;
+  a.GetHistogram("lat")->Record(1.0);
+  b.GetHistogram("lat", {}, narrow)->Record(1.0);
+  HistogramSample dst = a.Snapshot().histograms[0];
+  HistogramSample src = b.Snapshot().histograms[0];
+  HistogramSample before = dst;
+  EXPECT_FALSE(MergeHistogramSample(src, &dst));
+  EXPECT_EQ(dst.count, before.count);
+  EXPECT_EQ(dst.buckets, before.buckets);
+}
+
+TEST(HistogramMergeProperty, MismatchedScopesFanOutWithScopeLabel) {
+  ScopedRegistry root;
+  HistogramOptions narrow;
+  narrow.min = 1e-3;
+  narrow.max = 1e2;
+  root.Child("a")->metrics().GetHistogram("lat")->Record(1.0);
+  root.Child("b")->metrics().GetHistogram("lat", {}, narrow)->Record(2.0);
+  MetricsSnapshot snap = root.AggregateSnapshot();
+  size_t lat_series = 0;
+  for (const HistogramSample& h : snap.histograms) {
+    if (h.name != "lat") continue;
+    ++lat_series;
+    ASSERT_EQ(h.labels.size(), 1u);
+    EXPECT_EQ(h.labels[0].first, "scope");
+  }
+  EXPECT_EQ(lat_series, 2u);
+}
+
+// ---------------------------------------------------------------------
+// Concurrency: one writer thread per scope hammering its own child
+// registry while the aggregator repeatedly merges. Scoped recording is
+// the lock-free MetricsRegistry path; only child *creation* locks. Run
+// under TSan this is the scoped-registry data-race certificate.
+
+TEST(ScopedRegistryConcurrencyTest, ParallelScopedWritersAndAggregator) {
+  constexpr int kWriters = 4;
+  constexpr uint64_t kIncrements = 20000;
+  ScopedRegistry root;
+  // Children created up front on the main thread (creation is the
+  // mutex-guarded part; recording is what must be contention-free).
+  std::vector<Counter*> counters;
+  std::vector<Histogram*> hists;
+  for (int w = 0; w < kWriters; ++w) {
+    ScopedRegistry* child = root.Child("flow-" + std::to_string(w));
+    counters.push_back(child->metrics().GetCounter("ticks"));
+    hists.push_back(child->metrics().GetHistogram("lat"));
+  }
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([w, &counters, &hists] {
+      for (uint64_t i = 0; i < kIncrements; ++i) {
+        counters[w]->Increment();
+        hists[w]->Record(0.001 * static_cast<double>((i % 1000) + 1));
+      }
+    });
+  }
+  // Aggregate concurrently with the writers: totals are racy-but-torn-
+  // free snapshots, so each must be <= the final total.
+  for (int i = 0; i < 50; ++i) {
+    MetricsSnapshot snap = root.AggregateSnapshot();
+    for (const CounterSample& c : snap.counters) {
+      if (c.name == "ticks" && c.labels.empty()) {
+        EXPECT_LE(c.value, kWriters * kIncrements);
+      }
+    }
+  }
+  for (std::thread& t : writers) t.join();
+  MetricsSnapshot snap = root.AggregateSnapshot();
+  uint64_t total = 0;
+  uint64_t hist_count = 0;
+  for (const CounterSample& c : snap.counters) {
+    if (c.name == "ticks") total += c.value;
+  }
+  for (const HistogramSample& h : snap.histograms) {
+    if (h.name == "lat") hist_count += h.count;
+  }
+  EXPECT_EQ(total, kWriters * kIncrements);
+  EXPECT_EQ(hist_count, kWriters * kIncrements);
+}
+
+TEST(ScopedRegistryConcurrencyTest, ConcurrentChildCreation) {
+  ScopedRegistry root;
+  constexpr int kThreads = 8;
+  std::vector<ScopedRegistry*> seen(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &root, &seen] {
+      // All threads race to create the same child plus their own.
+      seen[t] = root.Child("shared");
+      root.Child("own-" + std::to_string(t))
+          ->metrics()
+          .GetCounter("c")
+          ->Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(seen[t], seen[0]);
+  EXPECT_EQ(root.NumScopes(), static_cast<size_t>(kThreads) + 2);
+}
+
+}  // namespace
+}  // namespace flower::obs

@@ -13,6 +13,10 @@ packages, so CI can gate the exporter without pulling a real parser:
     cumulative counts, a closing ``le="+Inf"`` bucket matching
     ``_count``, plus ``_sum`` and ``_count``
   - sample values parse as floats (``NaN``/``+Inf``/``-Inf`` allowed)
+  - ``# HELP`` lines name a valid family, appear at most once per
+    family, and their text uses only the ``\\`` and ``\n`` escapes
+  - label values use only the ``\\``, ``\"`` and ``\n`` escapes (a
+    backslash followed by anything else is malformed)
   - the exposition ends with exactly one ``# EOF`` line
 
 Usage: check_openmetrics.py FILE [FILE...]; exits non-zero on the first
@@ -51,6 +55,7 @@ class Checker:
         self.family = None
         self.family_type = None
         self.seen_families = set()
+        self.help_seen = set()
         # Histogram state for the open family.
         self.buckets = []  # (le, count) in exposition order
         self.hist_count = None
@@ -108,6 +113,29 @@ class Checker:
         self.family = name
         self.family_type = mtype
 
+    def check_escapes(self, lineno, text, what, allowed):
+        """Every backslash must start one of the ``allowed`` escapes."""
+        i = text.find("\\")
+        while i != -1:
+            if i + 1 >= len(text) or text[i + 1] not in allowed:
+                bad = text[i:i + 2]
+                self.err(lineno, f"invalid escape '{bad}' in {what}")
+                return
+            i = text.find("\\", i + 2)
+
+    def on_help(self, lineno, rest):
+        name, _, text = rest.partition(" ")
+        if not METRIC_NAME.match(name):
+            self.err(lineno, f"# HELP names invalid family '{name}'")
+            return
+        if name in self.help_seen:
+            self.err(lineno, f"duplicate # HELP for family '{name}'")
+        self.help_seen.add(name)
+        if not text:
+            self.err(lineno, f"# HELP for '{name}' has empty text")
+        # HELP text is unquoted: only backslash and newline are escaped.
+        self.check_escapes(lineno, text, f"HELP text of '{name}'", "\\n")
+
     def on_sample(self, lineno, line):
         m = SAMPLE.match(line)
         if not m:
@@ -125,9 +153,11 @@ class Checker:
                     consumed += 1
             if consumed != len(body):
                 self.err(lineno, f"malformed label set: '{{{body}}}'")
-            for k in labels:
+            for k, v in labels.items():
                 if not LABEL_NAME.match(k):
                     self.err(lineno, f"invalid label name '{k}'")
+                self.check_escapes(lineno, v, f"value of label '{k}'",
+                                   '\\"n')
         try:
             value = parse_value(m.group("value"))
         except ValueError:
@@ -182,7 +212,9 @@ class Checker:
                 self.close_family(lineno)
             elif line.startswith("# TYPE "):
                 self.on_type(lineno, line[len("# TYPE "):])
-            elif line.startswith("# HELP ") or line.startswith("# UNIT "):
+            elif line.startswith("# HELP "):
+                self.on_help(lineno, line[len("# HELP "):])
+            elif line.startswith("# UNIT "):
                 continue
             elif line.startswith("#"):
                 self.err(lineno, f"unknown comment line: '{line}'")

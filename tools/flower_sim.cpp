@@ -61,6 +61,9 @@ Flags (all optional):
   --trace-out=FILE      write a Chrome trace_event JSON of the run (control
                         steps, retries, faults, NSGA-II planning); open in
                         Perfetto or chrome://tracing
+  --spans-out=FILE      record causal control spans (sense -> decide ->
+                        actuate -> effect, plan -> generation) and write
+                        them as Chrome trace JSON with flow arrows
   --metrics-out=FILE    write control-decision records plus a final metrics
                         snapshot as JSON lines
   --health-out=FILE     run the flow-health layer (SLO engine, anomaly
@@ -278,14 +281,17 @@ int RunOrDie(const tools::FlagParser& flags) {
   const bool warm_start = flags.GetBool("warm-start");
 
   std::string trace_out = flags.GetString("trace-out", "");
+  std::string spans_out = flags.GetString("spans-out", "");
   std::string metrics_out = flags.GetString("metrics-out", "");
   std::string health_out = flags.GetString("health-out", "");
   std::string openmetrics_out = flags.GetString("openmetrics-out", "");
-  const bool observe = !trace_out.empty() || !metrics_out.empty() ||
-                       !health_out.empty() || !openmetrics_out.empty();
+  const bool observe = !trace_out.empty() || !spans_out.empty() ||
+                       !metrics_out.empty() || !health_out.empty() ||
+                       !openmetrics_out.empty();
 
   // The hub must outlive the managed flow, so it is declared first.
   obs::Telemetry telemetry;
+  if (!spans_out.empty()) telemetry.spans().set_enabled(true);
   sim::Simulation sim;
   ScopedLogClock log_clock(&sim);
   cloudwatch::MetricStore metrics;
@@ -489,6 +495,17 @@ int RunOrDie(const tools::FlagParser& flags) {
     std::cout << "wrote Chrome trace (" << telemetry.trace().events().size()
               << " events) to " << trace_out << "\n";
   }
+  if (!spans_out.empty()) {
+    Status st = telemetry.ExportSpans(spans_out);
+    if (!st.ok()) {
+      std::cerr << st << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << telemetry.spans().size() << " causal spans ("
+              << telemetry.spans().total_started() << " started, "
+              << telemetry.spans().evicted() << " evicted) to " << spans_out
+              << "\n";
+  }
   if (!metrics_out.empty()) {
     Status st = telemetry.ExportJsonl(metrics_out, horizon);
     if (!st.ok()) {
@@ -539,8 +556,8 @@ int main(int argc, char** argv) {
       {"controller", "workload", "trace", "rate", "amplitude",
        "period-hours", "hours", "reference", "monitoring-period", "seed",
        "seeds", "threads", "warm-start", "stall-generations", "csv-out",
-       "trace-out", "metrics-out", "health-out", "openmetrics-out", "quiet",
-       "help"});
+       "trace-out", "spans-out", "metrics-out", "health-out",
+       "openmetrics-out", "quiet", "help"});
   if (!unknown.empty()) {
     std::cerr << "unknown flag: --" << unknown.front() << "\n" << kUsage;
     return 2;

@@ -6,9 +6,12 @@
 # anomaly fan-out, where lifetime bugs (a retry firing into a freed
 # loop) would hide from the plain build; the simcore tests drive the
 # timer wheel's move-out/swap event paths, where a use-after-move or
-# buffer rotation bug would likewise stay invisible.
+# buffer rotation bug would likewise stay invisible. The obs label
+# rides along for the observability plane: the span ring's lazy
+# allocation/eviction and the scoped-registry/rollup merge paths are
+# pointer-heavy and deserve lifetime checking.
 #
-#   $ tools/run_sanitized.sh            # ctest -L 'fault|health|simcore'
+#   $ tools/run_sanitized.sh            # ctest -L 'fault|health|simcore|obs'
 #   $ tools/run_sanitized.sh -R Breaker # forward extra ctest args
 set -euo pipefail
 
@@ -21,8 +24,8 @@ cmake -B "${build_dir}" -S "${repo_root}" \
   -DFLOWER_BUILD_BENCHMARKS=OFF \
   -DFLOWER_BUILD_EXAMPLES=OFF
 cmake --build "${build_dir}" -j "$(nproc)" \
-  --target fault_tests health_tests sim_tests simcore_tests
+  --target fault_tests health_tests sim_tests simcore_tests obs_tests
 
 cd "${build_dir}"
 ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
-  ctest -L 'fault|health|simcore' --output-on-failure "$@"
+  ctest -L 'fault|health|simcore|obs' --output-on-failure "$@"

@@ -9,7 +9,12 @@
 # single-threaded, and running its property tests under TSan keeps any
 # future threading of the event loop honest from day one.
 #
-#   $ tools/run_tsan.sh              # build + ctest -L 'planner|simcore'
+# The obs label rides along for the scoped-registry concurrency tests:
+# parallel writers hammer per-scope instruments while an aggregator
+# merges snapshots, which is exactly the lock-free atomic path a missed
+# memory-order edge would corrupt silently in the plain build.
+#
+#   $ tools/run_tsan.sh              # build + ctest -L 'planner|simcore|obs'
 #   $ tools/run_tsan.sh -R ThreadPool  # forward extra ctest args
 set -euo pipefail
 
@@ -22,11 +27,12 @@ cmake -B "${build_dir}" -S "${repo_root}" \
   -DFLOWER_BUILD_BENCHMARKS=OFF \
   -DFLOWER_BUILD_EXAMPLES=OFF
 cmake --build "${build_dir}" -j "$(nproc)" \
-  --target exec_tests opt_tests core_tests sim_tests simcore_tests flower-sim
+  --target exec_tests opt_tests core_tests sim_tests simcore_tests \
+  obs_tests flower-sim
 
 cd "${build_dir}"
 TSAN_OPTIONS=halt_on_error=1 \
-  ctest -L 'planner|simcore' --output-on-failure "$@"
+  ctest -L 'planner|simcore|obs' --output-on-failure "$@"
 
 # End-to-end: a multi-threaded planning pass through the CLI, with the
 # telemetry trace enabled, must be race-free too.
