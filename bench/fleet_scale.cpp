@@ -1,0 +1,223 @@
+// Fleet-scale bench: runs O(1000) independent tenant flows under the
+// FleetManager's hierarchical budget arbitration and measures
+//
+//   scale    flows/sec of simulated control per thread count: the same
+//            fleet advanced at 1 / 4 / 16 threads, reporting wall time,
+//            flow-seconds of simulation per wall second, and control
+//            steps executed.
+//   merge    a determinism verdict: the merged control digest (every
+//            arbiter split plus every partition's decision log) must be
+//            byte-identical across thread counts.
+//   budget   conservation: in every arbitration period the sum of
+//            per-tenant grants stays within the fleet budget.
+//
+// Full-mode gates (the PR's acceptance criteria): >= 1000 concurrent
+// flows, identical digests at 1 vs 4 vs 16 threads, conservation in
+// every period, and >= 2x parallel scaling at 4 threads (the scaling
+// gate is hardware-aware: skipped with a [SKIP] line when fewer than 4
+// hardware threads are available). --smoke shrinks the fleet, drops the
+// gates, and always exits 0. Results land in BENCH_fleet.json.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "fleet/fleet_manager.h"
+#include "tools/flag_parser.h"
+
+namespace flower {
+namespace {
+
+struct ScaleResult {
+  size_t threads = 0;
+  double wall_ms = 0.0;
+  double flow_sim_sec_per_wall_sec = 0.0;
+  uint64_t control_steps = 0;
+  std::string digest;
+  bool conservation_ok = true;
+  size_t periods = 0;
+};
+
+fleet::FleetConfig BenchConfig(size_t num_threads, size_t flows) {
+  fleet::FleetConfig config;
+  // Roughly half the fleet's aggregate demand: keeps every period
+  // contended so the arbiter genuinely splits, not rubber-stamps.
+  config.fleet_budget_usd_per_hour = 0.35 * static_cast<double>(flows);
+  config.arbitration_period_sec = 900.0;
+  config.num_threads = num_threads;
+  config.partition.workload_emit_period_sec = 10.0;
+  config.partition.storm_tick_period_sec = 10.0;
+  config.partition.horizon_sec = 4000.0;
+  return config;
+}
+
+Result<ScaleResult> RunFleet(size_t num_threads, size_t flows,
+                             double horizon_sec) {
+  fleet::FleetManager manager(BenchConfig(num_threads, flows));
+  for (fleet::TenantConfig& t : fleet::MakeTenantFleet(flows, /*seed=*/1234)) {
+    FLOWER_RETURN_NOT_OK(manager.AddTenant(std::move(t)));
+  }
+  FLOWER_RETURN_NOT_OK(manager.Start());
+  auto t0 = std::chrono::steady_clock::now();
+  FLOWER_RETURN_NOT_OK(manager.RunFor(horizon_sec));
+  auto t1 = std::chrono::steady_clock::now();
+
+  ScaleResult r;
+  r.threads = num_threads;
+  r.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  r.flow_sim_sec_per_wall_sec =
+      r.wall_ms > 0.0
+          ? static_cast<double>(flows) * horizon_sec / (r.wall_ms / 1000.0)
+          : 0.0;
+  r.periods = manager.reports().size();
+  for (const fleet::FleetPeriodReport& report : manager.reports()) {
+    r.conservation_ok &= report.conservation_ok;
+    for (const fleet::TenantPeriodOutcome& row : report.tenants) {
+      r.control_steps += row.steps;
+    }
+  }
+  r.digest = manager.ControlDigest();
+  return r;
+}
+
+void WriteJson(std::FILE* fp, bool smoke, size_t flows, double horizon_sec,
+               const std::vector<ScaleResult>& results, bool deterministic,
+               bool conservation_ok, double speedup4) {
+  std::fprintf(fp, "{\n  \"bench\": \"fleet_scale\",\n");
+  std::fprintf(fp, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(fp, "  \"flows\": %zu,\n", flows);
+  std::fprintf(fp, "  \"horizon_sec\": %.0f,\n", horizon_sec);
+  std::fprintf(fp, "  \"scaling\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ScaleResult& r = results[i];
+    std::fprintf(fp,
+                 "    {\"threads\": %zu, \"wall_ms\": %.1f, "
+                 "\"flow_sim_sec_per_wall_sec\": %.0f, "
+                 "\"control_steps\": %llu, \"periods\": %zu}%s\n",
+                 r.threads, r.wall_ms, r.flow_sim_sec_per_wall_sec,
+                 static_cast<unsigned long long>(r.control_steps), r.periods,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(fp, "  ],\n");
+  std::fprintf(fp, "  \"speedup_at_4_threads\": %.2f,\n", speedup4);
+  std::fprintf(fp, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(fp, "  \"budget_conservation\": \"%s\",\n",
+               conservation_ok ? "holds" : "VIOLATED");
+  std::fprintf(fp, "  \"determinism\": \"%s\"\n}\n",
+               deterministic ? "identical" : "DIVERGED");
+}
+
+int Run(bool smoke, size_t flows, const std::string& out_path) {
+  bench::Header(smoke ? "PERF  Fleet scale (smoke): multi-tenant control "
+                        "under budget arbitration"
+                      : "PERF  Fleet scale: 1000-tenant control under "
+                        "hierarchical budget arbitration");
+  const double horizon_sec = smoke ? 900.0 : 1800.0;
+  const std::vector<size_t> thread_counts =
+      smoke ? std::vector<size_t>{1, 4} : std::vector<size_t>{1, 4, 16};
+
+  std::cout << "  fleet: " << flows << " flows, "
+            << TablePrinter::Num(horizon_sec, 0) << " sim-seconds, "
+            << "arbitration every 900 s\n\n";
+
+  std::vector<ScaleResult> results;
+  for (size_t threads : thread_counts) {
+    auto r = RunFleet(threads, flows, horizon_sec);
+    if (!r.ok()) {
+      std::cerr << "fleet run failed: " << r.status() << "\n";
+      return 1;
+    }
+    std::cout << "  " << r->threads << " thread" << (r->threads > 1 ? "s" : " ")
+              << ": " << TablePrinter::Num(r->wall_ms, 1) << " ms, "
+              << TablePrinter::Num(r->flow_sim_sec_per_wall_sec, 0)
+              << " flow-sim-sec/s, " << r->control_steps
+              << " control steps over " << r->periods << " periods\n";
+    results.push_back(std::move(*r));
+  }
+
+  bool deterministic = true;
+  bool conservation_ok = true;
+  for (const ScaleResult& r : results) {
+    deterministic &= r.digest == results[0].digest;
+    conservation_ok &= r.conservation_ok;
+  }
+  double speedup4 = 0.0;
+  for (const ScaleResult& r : results) {
+    if (r.threads == 4 && r.wall_ms > 0.0) {
+      speedup4 = results[0].wall_ms / r.wall_ms;
+    }
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  std::cout << "\n  speedup at 4 threads: " << TablePrinter::Num(speedup4, 2)
+            << "x (" << hw << " hardware threads available)\n";
+
+  if (std::FILE* fp = std::fopen(out_path.c_str(), "w")) {
+    WriteJson(fp, smoke, flows, horizon_sec, results, deterministic,
+              conservation_ok, speedup4);
+    std::fclose(fp);
+    std::cout << "  wrote " << out_path << "\n";
+  } else {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+
+  if (smoke) {
+    bench::Verdict("merged control digest identical across thread counts",
+                   deterministic);
+    bench::Verdict("budget conserved in every arbitration period",
+                   conservation_ok);
+    std::cout << "[SMOKE] gates skipped\n";
+    return 0;
+  }
+
+  bool ok = true;
+  ok &= bench::Verdict(">= 1000 concurrent flows simulated", flows >= 1000);
+  ok &= bench::Verdict(
+      "merged control decisions byte-identical at 1 vs 4 vs 16 threads",
+      deterministic);
+  ok &= bench::Verdict("budget conserved in every arbitration period",
+                       conservation_ok);
+  if (hw >= 4) {
+    ok &= bench::Verdict("parallel scaling >= 2x at 4 threads",
+                         speedup4 >= 2.0);
+  } else {
+    std::cout << "[SKIP] scaling >= 2x check needs 4+ hardware threads "
+                 "(have "
+              << hw << ")\n";
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace flower
+
+int main(int argc, char** argv) {
+  auto flags = flower::tools::FlagParser::Parse(argc, argv);
+  if (!flags.ok()) {
+    std::cerr << flags.status() << "\n";
+    return 2;
+  }
+  auto unknown = flags->UnknownKeys({"smoke", "flows", "out"});
+  if (!unknown.empty()) {
+    std::cerr << "usage: fleet_scale [--smoke] [--flows=N] "
+                 "[--out=BENCH_fleet.json]\n";
+    return 2;
+  }
+  bool smoke = flags->GetBool("smoke", false);
+  auto flows_or = flags->GetInt("flows", smoke ? 64 : 1000);
+  if (!flows_or.ok() || *flows_or <= 0) {
+    std::cerr << "--flows must be a positive integer\n";
+    return 2;
+  }
+  size_t flows = static_cast<size_t>(*flows_or);
+  std::string out = flags->GetString("out", "BENCH_fleet.json");
+  return flower::Run(smoke, flows, out);
+}

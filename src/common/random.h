@@ -2,6 +2,7 @@
 #define FLOWER_COMMON_RANDOM_H_
 
 #include <cstdint>
+#include <mutex>
 #include <random>
 #include <vector>
 
@@ -33,7 +34,15 @@ class Rng {
     return std::exponential_distribution<double>(rate)(engine_);
   }
   /// Poisson-distributed count with the given mean.
+  ///
+  /// Serialized process-wide: libstdc++'s poisson_distribution calls
+  /// glibc lgamma(), which writes the hidden global `signgam`, so
+  /// concurrent draws from otherwise independent Rngs race on libm
+  /// state. The drawn value depends only on `engine_` and `mean`, so
+  /// the lock cannot change any sampled sequence.
   int64_t Poisson(double mean) {
+    static std::mutex lgamma_mutex;
+    std::lock_guard<std::mutex> lock(lgamma_mutex);
     return std::poisson_distribution<int64_t>(mean)(engine_);
   }
   bool Bernoulli(double p) {

@@ -81,6 +81,24 @@ Status ElasticityManager::SetTraceScope(const std::string& scope) {
   return Status::OK();
 }
 
+Status ElasticityManager::SetTenantLabel(const std::string& tenant) {
+  if (tenant.empty()) {
+    return Status::InvalidArgument("ElasticityManager: empty tenant label");
+  }
+  if (!loops_.empty() || replan_ != nullptr) {
+    return Status::FailedPrecondition(
+        "ElasticityManager: SetTenantLabel must precede Attach and "
+        "EnableReplanning");
+  }
+  tenant_ = tenant;
+  return Status::OK();
+}
+
+obs::LabelSet ElasticityManager::WithTenant(obs::LabelSet labels) const {
+  if (!tenant_.empty()) labels.emplace_back("tenant", tenant_);
+  return labels;
+}
+
 void ElasticityManager::SetHealthAnnotator(
     std::function<obs::HealthMask(const std::string& layer, SimTime now)>
         annotator) {
@@ -120,8 +138,8 @@ Status ElasticityManager::Attach(LayerControlConfig config) {
 
   // Register the loop's instruments and trace track.
   const std::string layer_name = LayerToString(attached->config.layer);
-  obs::LabelSet labels = {{"loop", attached->config.name},
-                          {"layer", layer_name}};
+  obs::LabelSet labels =
+      WithTenant({{"loop", attached->config.name}, {"layer", layer_name}});
   obs::MetricsRegistry& m = telemetry_->metrics();
   LayerControlState::Counters& c = attached->state.counters;
   c.sensor_misses = m.GetCounter("loop.sensor_misses", labels);
@@ -448,9 +466,12 @@ Status ElasticityManager::EnableReplanning(ReplanConfig config) {
   auto state = std::make_unique<ReplanState>();
   state->analyzer =
       ResourceShareAnalyzer(config.solver, config.incremental);
-  state->analyzer.SetMetricsRegistry(&telemetry_->metrics());
-  state->failures = telemetry_->metrics().GetCounter("planner.replan_failures");
-  state->front_size = telemetry_->metrics().GetGauge("planner.front_size");
+  obs::LabelSet planner_labels = WithTenant({});
+  state->analyzer.SetMetricsRegistry(&telemetry_->metrics(), planner_labels);
+  state->failures = telemetry_->metrics().GetCounter("planner.replan_failures",
+                                                     planner_labels);
+  state->front_size =
+      telemetry_->metrics().GetGauge("planner.front_size", planner_labels);
   state->config = std::move(config);
   ReplanState* raw = state.get();
   FLOWER_RETURN_NOT_OK(sim_->SchedulePeriodic(

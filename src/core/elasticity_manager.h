@@ -243,6 +243,15 @@ class ElasticityManager {
   Status SetTraceScope(const std::string& scope);
   int trace_pid() const { return trace_pid_; }
 
+  /// Namespaces every instrument this manager registers — the per-loop
+  /// gauges/counters and the planner.* series — with a {"tenant", id}
+  /// label. Without it two tenants that use the same layer names and
+  /// share (or roll up into) one registry collide on identical series
+  /// and their counts merge silently. Must precede the first Attach and
+  /// EnableReplanning.
+  Status SetTenantLabel(const std::string& tenant);
+  const std::string& tenant_label() const { return tenant_; }
+
   /// Queried at every control step for the layer's current flow-health
   /// bits (obs::HealthMask layout, typically
   /// obs::health::HealthMonitor::MaskFor). The mask is stamped on the
@@ -380,6 +389,8 @@ class ElasticityManager {
 
   void Step(Attached* a);
   void ReplanStep(ReplanState* s);
+  /// `labels` plus the {"tenant", ...} pair when a tenant label is set.
+  obs::LabelSet WithTenant(obs::LabelSet labels) const;
   /// One actuation attempt (attempt 0 = the step's own attempt);
   /// schedules the next retry / trips the breaker on failure. Returns
   /// whether THIS attempt succeeded (retries land asynchronously).
@@ -399,6 +410,9 @@ class ElasticityManager {
   std::function<obs::HealthMask(const std::string&, SimTime)>
       health_annotator_;
   control::ControlObserver* annotated_observer_ = nullptr;
+  /// Tenant id stamped on every registered instrument (fleet runs);
+  /// empty = no tenant label (single-flow behavior unchanged).
+  std::string tenant_;
   int next_trace_tid_ = 0;
   /// Trace process lane for this manager's loops (kTracePid unless
   /// SetTraceScope registered a dedicated scope).

@@ -59,6 +59,10 @@ FlowBuilder& FlowBuilder::WithTelemetry(obs::Telemetry* telemetry) {
   telemetry_ = telemetry;
   return *this;
 }
+FlowBuilder& FlowBuilder::WithTenantLabel(std::string tenant) {
+  tenant_label_ = std::move(tenant);
+  return *this;
+}
 
 Result<ManagedFlow> FlowBuilder::Build(
     sim::Simulation* sim, cloudwatch::MetricStore* metrics) const {
@@ -81,6 +85,10 @@ Result<ManagedFlow> FlowBuilder::Build(
       fault_injector_->SetTelemetry(telemetry_);
     }
     sim->SetTelemetry(telemetry_);
+  }
+  if (!tenant_label_.empty()) {
+    FLOWER_RETURN_NOT_OK(mf.manager->SetTenantLabel(tenant_label_));
+    FLOWER_RETURN_NOT_OK(mf.manager->SetTraceScope(tenant_label_));
   }
 
   flow::DataAnalyticsFlow* flow = mf.flow.get();

@@ -75,6 +75,11 @@ class FlowBuilder {
   /// an external hub, shared with e.g. the fault injector and the
   /// simulator. Must outlive the built ManagedFlow.
   FlowBuilder& WithTelemetry(obs::Telemetry* telemetry);
+  /// Tenant id for fleet runs: stamps every instrument the manager
+  /// registers with a {"tenant", id} label (see
+  /// ElasticityManager::SetTenantLabel) and renders the flow's trace in
+  /// its own scope. Applied before any loop attaches.
+  FlowBuilder& WithTenantLabel(std::string tenant);
 
   /// Validates and assembles everything. Errors propagate from any
   /// component (invalid bounds, references, etc.).
@@ -91,6 +96,7 @@ class FlowBuilder {
   uint64_t seed_ = 42;
   sim::FaultInjector* fault_injector_ = nullptr;
   obs::Telemetry* telemetry_ = nullptr;
+  std::string tenant_label_;
 };
 
 }  // namespace flower::core

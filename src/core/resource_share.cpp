@@ -172,26 +172,28 @@ Result<ResourceShareResult> ResourceShareAnalyzer::Analyze(
 }
 
 Result<ResourceShareResult> ResourceShareAnalyzer::AnalyzeIncremental(
-    const ResourceShareRequest& request) {
+    const ResourceShareRequest& request, const std::string& scope) {
   opt::Nsga2Config config = solver_config_;
   config.stall_generations = incremental_.stall_generations;
   config.stall_tolerance = incremental_.stall_tolerance;
+  ScopeState& state = scopes_[scope];
 
   auto bump = [this](uint64_t PlannerCounters::*field, const char* name,
                      uint64_t delta) {
     if (delta == 0) return;
     counters_.*field += delta;
     if (registry_ != nullptr) {
-      registry_->GetCounter(name)->Increment(delta);
+      registry_->GetCounter(name, planner_labels_)->Increment(delta);
     }
   };
 
   std::string fingerprint;
   if (incremental_.cache) {
     fingerprint = Fingerprint(request, config);
-    if (fingerprint == cached_fingerprint_ && !cached_fingerprint_.empty()) {
+    if (fingerprint == state.cached_fingerprint &&
+        !state.cached_fingerprint.empty()) {
       bump(&PlannerCounters::cache_hits, "planner.cache_hits", 1);
-      ResourceShareResult out = cached_result_;
+      ResourceShareResult out = state.cached_result;
       out.cache_hit = true;
       out.evaluations = 0;  // Nothing was solved for this call.
       return out;
@@ -199,20 +201,20 @@ Result<ResourceShareResult> ResourceShareAnalyzer::AnalyzeIncremental(
     bump(&PlannerCounters::cache_misses, "planner.cache_misses", 1);
     // Invalidate now; the cache is (re)filled only by a successful
     // solve below, so a failed solve can never be served as a hit.
-    cached_fingerprint_.clear();
+    state.cached_fingerprint.clear();
   }
 
-  if (incremental_.warm_start && !last_population_.empty()) {
+  if (incremental_.warm_start && !state.last_population.empty()) {
     // Partial injection (see IncrementalPlanning::seed_fraction): the
     // prefix of the rank-ordered final population seeds the next solve;
     // the solver tops the rest up with fresh random individuals.
     double frac = std::clamp(incremental_.seed_fraction, 0.0, 1.0);
     size_t max_seeds = static_cast<size_t>(
         std::ceil(frac * static_cast<double>(config.population_size)));
-    max_seeds = std::min(max_seeds, last_population_.size());
+    max_seeds = std::min(max_seeds, state.last_population.size());
     config.seed_population.assign(
-        last_population_.begin(),
-        last_population_.begin() + static_cast<long>(max_seeds));
+        state.last_population.begin(),
+        state.last_population.begin() + static_cast<long>(max_seeds));
     bump(&PlannerCounters::warm_starts, "planner.warm_starts", 1);
   }
 
@@ -222,17 +224,18 @@ Result<ResourceShareResult> ResourceShareAnalyzer::AnalyzeIncremental(
   if (out.early_exit) {
     bump(&PlannerCounters::early_exits, "planner.early_exits", 1);
   }
-  if (incremental_.warm_start) last_population_ = out.final_population;
+  if (incremental_.warm_start) state.last_population = out.final_population;
   if (incremental_.cache) {
-    cached_result_ = out;
-    cached_fingerprint_ = std::move(fingerprint);
+    state.cached_result = out;
+    state.cached_fingerprint = std::move(fingerprint);
   }
   return out;
 }
 
-void ResourceShareAnalyzer::SetMetricsRegistry(
-    obs::MetricsRegistry* registry) {
+void ResourceShareAnalyzer::SetMetricsRegistry(obs::MetricsRegistry* registry,
+                                               obs::LabelSet labels) {
   registry_ = registry;
+  planner_labels_ = std::move(labels);
 }
 
 std::string ResourceShareAnalyzer::Fingerprint(

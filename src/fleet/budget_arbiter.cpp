@@ -1,0 +1,143 @@
+#include "fleet/budget_arbiter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace flower::fleet {
+
+FleetBudgetProblem::FleetBudgetProblem(ArbiterConfig config,
+                                       std::vector<double> demands,
+                                       std::vector<double> weights)
+    : config_(std::move(config)),
+      demands_(std::move(demands)),
+      weights_(std::move(weights)) {
+  size_t n = demands_.size();
+  size_t active = 0;
+  for (double d : demands_) {
+    if (d > 0.0) ++active;
+  }
+  double budget = config_.fleet_budget_usd_per_hour;
+  double frac = std::clamp(config_.starvation_floor_frac, 0.0, 1.0);
+  double per_active = active > 0 ? budget / static_cast<double>(active) : 0.0;
+  floors_.resize(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    if (demands_[i] > 0.0) {
+      floors_[i] = frac * std::min(demands_[i], per_active);
+      floor_sum_ += floors_[i];
+    }
+  }
+  variables_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "x%zu", i);
+    variables_[i].name = buf;
+    variables_[i].lower = 0.0;
+    variables_[i].upper = 1.0;
+    variables_[i].integer = false;
+  }
+}
+
+std::vector<double> FleetBudgetProblem::Decode(
+    const std::vector<double>& x) const {
+  size_t n = demands_.size();
+  double budget = config_.fleet_budget_usd_per_hour;
+  std::vector<double> extras(n, 0.0);
+  double extra_sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (demands_[i] <= 0.0) continue;
+    extras[i] = weights_[i] * x[i] * std::max(0.0, demands_[i] - floors_[i]);
+    extra_sum += extras[i];
+  }
+  double surplus = std::max(0.0, budget - floor_sum_);
+  double scale = extra_sum > surplus && extra_sum > 0.0
+                     ? surplus / extra_sum
+                     : 1.0;
+  std::vector<double> grants(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    if (demands_[i] <= 0.0) continue;
+    grants[i] = std::min(demands_[i], floors_[i] + scale * extras[i]);
+  }
+  return grants;
+}
+
+void FleetBudgetProblem::Evaluate(const std::vector<double>& x,
+                                  std::vector<double>* objectives,
+                                  std::vector<double>* violations) const {
+  std::vector<double> grants = Decode(x);
+  double satisfied = 0.0;
+  double worst_ratio = 1.0;
+  for (size_t i = 0; i < grants.size(); ++i) {
+    satisfied += grants[i];
+    if (demands_[i] > 0.0) {
+      worst_ratio = std::min(worst_ratio, grants[i] / demands_[i]);
+    }
+  }
+  objectives->assign(
+      {satisfied, worst_ratio,
+       config_.fleet_budget_usd_per_hour - satisfied});
+  violations->clear();
+}
+
+BudgetArbiter::BudgetArbiter(ArbiterConfig config)
+    : config_(std::move(config)) {}
+
+Result<BudgetSplit> BudgetArbiter::Arbitrate(
+    const std::vector<double>& demands, const std::vector<double>& weights) {
+  if (demands.size() != weights.size()) {
+    return Status::InvalidArgument(
+        "BudgetArbiter: demands/weights size mismatch");
+  }
+  if (config_.fleet_budget_usd_per_hour < 0.0) {
+    return Status::InvalidArgument("BudgetArbiter: negative fleet budget");
+  }
+  double total_demand = 0.0;
+  for (size_t i = 0; i < demands.size(); ++i) {
+    if (demands[i] < 0.0 || !std::isfinite(demands[i])) {
+      return Status::InvalidArgument("BudgetArbiter: invalid demand");
+    }
+    if (weights[i] < 0.0 || !std::isfinite(weights[i])) {
+      return Status::InvalidArgument("BudgetArbiter: invalid weight");
+    }
+    total_demand += demands[i];
+  }
+
+  double budget = config_.fleet_budget_usd_per_hour;
+  BudgetSplit split;
+  // Uncontended fast path: everyone gets what they asked for. Also
+  // covers the all-idle fleet (total demand 0 grants all zeros).
+  if (total_demand <= budget) {
+    split.grants_usd = demands;
+    split.total_granted_usd = total_demand;
+    split.conserved = true;
+    split.uncontended = true;
+    return split;
+  }
+
+  FleetBudgetProblem problem(config_, demands, weights);
+  opt::Nsga2 solver(config_.solver);
+  FLOWER_ASSIGN_OR_RETURN(opt::Nsga2Result res, solver.Solve(problem));
+  if (res.pareto_front.empty()) {
+    return Status::Internal("BudgetArbiter: empty Pareto front");
+  }
+
+  // Deterministic pick: max fairness (worst-tenant ratio), ties broken
+  // by max satisfied demand, then by front order. The front itself is
+  // deterministic and thread-count-invariant, so so is the pick.
+  const opt::Solution* best = &res.pareto_front[0];
+  for (const opt::Solution& s : res.pareto_front) {
+    if (s.objectives[1] > best->objectives[1] ||
+        (s.objectives[1] == best->objectives[1] &&
+         s.objectives[0] > best->objectives[0])) {
+      best = &s;
+    }
+  }
+  split.grants_usd = problem.Decode(best->x);
+  for (double g : split.grants_usd) split.total_granted_usd += g;
+  split.evaluations = res.evaluations;
+  split.conserved =
+      split.total_granted_usd <= budget * (1.0 + 1e-9) + 1e-12;
+  return split;
+}
+
+}  // namespace flower::fleet

@@ -1,0 +1,204 @@
+#include "fleet/flow_partition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/units.h"
+#include "workload/arrival.h"
+
+namespace flower::fleet {
+
+namespace {
+
+std::shared_ptr<workload::ArrivalProcess> MakeArrival(
+    const TenantConfig& t, double horizon_sec) {
+  switch (t.pattern) {
+    case ArrivalPattern::kConstant:
+      return std::make_shared<workload::ConstantArrival>(t.base_rate_per_sec);
+    case ArrivalPattern::kDiurnal:
+      return std::make_shared<workload::DiurnalArrival>(
+          t.base_rate_per_sec, t.amplitude_per_sec, t.period_sec,
+          t.phase_sec);
+    case ArrivalPattern::kFlashCrowd:
+      return std::make_shared<workload::FlashCrowdArrival>(
+          t.base_rate_per_sec, t.amplitude_per_sec, t.phase_sec,
+          t.period_sec);
+    case ArrivalPattern::kMmpp:
+      return std::make_shared<workload::MmppArrival>(
+          t.base_rate_per_sec, t.base_rate_per_sec + t.amplitude_per_sec,
+          t.period_sec, t.period_sec, horizon_sec, t.seed);
+  }
+  return std::make_shared<workload::ConstantArrival>(t.base_rate_per_sec);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<FlowPartition>> FlowPartition::Create(
+    const TenantConfig& tenant, const PartitionConfig& config, size_t index) {
+  auto p = std::unique_ptr<FlowPartition>(new FlowPartition());
+  p->tenant_ = tenant;
+  p->granted_budget_usd_ = tenant.initial_budget_usd;
+  p->sim_ = std::make_unique<sim::Simulation>();
+  p->metrics_ = std::make_unique<cloudwatch::MetricStore>();
+  p->telemetry_ = std::make_unique<obs::Telemetry>(config.decision_capacity,
+                                                   config.trace_capacity,
+                                                   config.span_capacity);
+  if (config.record_spans) {
+    FLOWER_RETURN_NOT_OK(p->telemetry_->spans().set_id_offset(
+        static_cast<obs::SpanId>(index) * obs::SpanCollector::kIdStride));
+    p->telemetry_->spans().set_enabled(true);
+  }
+
+  flow::FlowConfig fc;
+  fc.name = tenant.id + "-flow";
+  fc.stream.name = tenant.id + "-stream";
+  fc.stream.initial_shards = tenant.initial_shards;
+  fc.stream.max_shards = tenant.max_shards;
+  fc.cluster.name = tenant.id + "-storm";
+  fc.cluster.tick_period_sec = config.storm_tick_period_sec;
+  fc.table.name = tenant.id + "-table";
+  fc.table.initial_wcu = tenant.initial_wcu;
+  fc.table.max_wcu = tenant.max_wcu;
+  fc.initial_workers = tenant.initial_workers;
+
+  workload::ClickStreamConfig wl;
+  wl.num_users = 1000;
+  wl.num_urls = 100;
+  wl.generator_instances = 1;
+  wl.emit_period_sec = config.workload_emit_period_sec;
+
+  auto layer_config = [&](double max_resource) {
+    core::LayerElasticityConfig lc;
+    lc.reference_utilization_pct = tenant.reference_utilization_pct;
+    lc.monitoring_period_sec = tenant.monitoring_period_sec;
+    lc.monitoring_window_sec = tenant.monitoring_period_sec;
+    lc.max_resource = max_resource;
+    return lc;
+  };
+  core::LayerElasticityConfig storage = layer_config(tenant.max_wcu);
+  storage.min_resource = 5.0;
+
+  FLOWER_ASSIGN_OR_RETURN(
+      p->managed_,
+      core::FlowBuilder()
+          .WithFlowConfig(fc)
+          .WithIngestion(layer_config(tenant.max_shards))
+          .WithAnalytics(layer_config(tenant.max_workers))
+          .WithStorage(storage)
+          .WithWorkload(MakeArrival(tenant, config.horizon_sec), wl)
+          .WithSeed(tenant.seed)
+          .WithTelemetry(p->telemetry_.get())
+          .WithTenantLabel(tenant.id)
+          .Build(p->sim_.get(), p->metrics_.get()));
+
+  // Flow -> layer re-planning under the arbiter's grant. The request is
+  // refreshed from granted_budget_usd_ right before each solve; the
+  // incremental plan cache then skips the solver entirely for periods
+  // whose grant did not move.
+  core::ReplanConfig rc;
+  rc.request.hourly_budget_usd = p->granted_budget_usd_;
+  rc.request.bounds[0] = {1.0, static_cast<double>(tenant.max_shards)};
+  rc.request.bounds[1] = {1.0, static_cast<double>(tenant.max_workers)};
+  rc.request.bounds[2] = {5.0, tenant.max_wcu};
+  for (int i = 0; i < core::kNumLayers; ++i) {
+    p->unit_price_[i] = rc.request.unit_price[i];
+  }
+  rc.solver = config.flow_solver;
+  // Partitions advance inside a fleet ParallelFor sweep; nested
+  // parallelism on another pool would oversubscribe, so per-flow solves
+  // stay single-threaded (they are tiny).
+  rc.solver.num_threads = 1;
+  rc.solver.seed = tenant.seed;
+  rc.incremental = config.flow_incremental;
+  rc.period_sec = config.arbitration_period_sec;
+  rc.start_delay_sec = config.replan_offset_sec;
+  FlowPartition* raw = p.get();
+  rc.update_request = [raw](SimTime, core::ResourceShareRequest* req) {
+    req->hourly_budget_usd = raw->granted_budget_usd_;
+  };
+  FLOWER_RETURN_NOT_OK(p->managed_.manager->EnableReplanning(std::move(rc)));
+  return p;
+}
+
+Status FlowPartition::AdvanceTo(SimTime t) {
+  if (t < sim_->Now()) {
+    return Status::InvalidArgument("FlowPartition: advance target in past");
+  }
+  sim_->RunUntil(t);
+  return Status::OK();
+}
+
+namespace {
+
+/// Latest finite per-layer value of `field` across the retained
+/// decision records, priced hourly; `fallback` per layer when a layer
+/// has no usable record yet.
+double PricedLatest(const obs::DecisionLog& log,
+                    double ControlDecisionRecord_value(
+                        const obs::ControlDecisionRecord&),
+                    const double unit_price[core::kNumLayers],
+                    const double fallback[core::kNumLayers]) {
+  double latest[core::kNumLayers];
+  bool have[core::kNumLayers] = {false, false, false};
+  std::vector<obs::ControlDecisionRecord> records = log.Snapshot();
+  for (auto it = records.rbegin(); it != records.rend(); ++it) {
+    for (int i = 0; i < core::kNumLayers; ++i) {
+      if (have[i] ||
+          it->layer != core::LayerToString(static_cast<core::Layer>(i))) {
+        continue;
+      }
+      double v = ControlDecisionRecord_value(*it);
+      if (std::isfinite(v)) {
+        latest[i] = v;
+        have[i] = true;
+      }
+    }
+  }
+  double usd = 0.0;
+  for (int i = 0; i < core::kNumLayers; ++i) {
+    double amount = have[i] ? std::max(0.0, latest[i]) : fallback[i];
+    usd += amount * unit_price[i];
+  }
+  return usd;
+}
+
+}  // namespace
+
+double FlowPartition::DemandUsdPerHour() const {
+  double fallback[core::kNumLayers] = {
+      static_cast<double>(tenant_.initial_shards),
+      static_cast<double>(tenant_.initial_workers), tenant_.initial_wcu};
+  return PricedLatest(
+      telemetry_->decisions(),
+      [](const obs::ControlDecisionRecord& r) { return r.raw_u; },
+      unit_price_, fallback);
+}
+
+double FlowPartition::SpendUsdPerHour() const {
+  double fallback[core::kNumLayers] = {
+      static_cast<double>(tenant_.initial_shards),
+      static_cast<double>(tenant_.initial_workers), tenant_.initial_wcu};
+  return PricedLatest(
+      telemetry_->decisions(),
+      [](const obs::ControlDecisionRecord& r) { return r.clamped_u; },
+      unit_price_, fallback);
+}
+
+uint64_t FlowPartition::StepsTaken() const {
+  return telemetry_->decisions().total_appended();
+}
+
+void FlowPartition::AppendDigest(std::string* out) const {
+  char buf[192];
+  for (const obs::ControlDecisionRecord& r :
+       telemetry_->decisions().Snapshot()) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s t=%.3f loop=%s y=%.6f raw_u=%.6f u=%.6f out=%s\n",
+                  tenant_.id.c_str(), r.time, r.loop.c_str(), r.sensed_y,
+                  r.raw_u, r.clamped_u, obs::StepOutcomeToString(r.outcome));
+    *out += buf;
+  }
+}
+
+}  // namespace flower::fleet

@@ -1,0 +1,69 @@
+#ifndef FLOWER_FLEET_TENANT_H_
+#define FLOWER_FLEET_TENANT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace flower::fleet {
+
+/// Arrival-pattern family of one tenant's click traffic. Kept as a
+/// small enum (instead of a shared_ptr<ArrivalProcess>) so a fleet of
+/// thousands of tenants is describable as plain data and every
+/// partition can build its own process instance locally.
+enum class ArrivalPattern {
+  kConstant,    ///< Flat base_rate_per_sec.
+  kDiurnal,     ///< base + amplitude * sin(2*pi*(t+phase)/period).
+  kFlashCrowd,  ///< base plus a surge of `amplitude` starting at phase.
+  kMmpp,        ///< Two-state Markov-modulated (low=base, high=base+amp).
+};
+
+const char* ArrivalPatternToString(ArrivalPattern pattern);
+
+/// Everything the fleet needs to instantiate one tenant's managed flow:
+/// identity, money, traffic shape, and topology scale. Heterogeneous
+/// fleets are vectors of these; `MakeTenantFleet` synthesizes a varied
+/// fleet deterministically from a seed.
+struct TenantConfig {
+  /// Unique tenant id; used as the metrics {"tenant", id} label, the
+  /// ScopedRegistry child name (no '/'), and the trace scope.
+  std::string id = "tenant-0";
+  /// Seeds the tenant's workload generator and controller jitter.
+  uint64_t seed = 42;
+
+  /// Budget the tenant starts with before the first arbitration, and
+  /// its weight in the arbiter's split (higher weight = larger slice of
+  /// the surplus beyond the starvation floor).
+  double initial_budget_usd = 5.0;
+  double budget_weight = 1.0;
+
+  /// Traffic shape.
+  ArrivalPattern pattern = ArrivalPattern::kConstant;
+  double base_rate_per_sec = 10.0;
+  double amplitude_per_sec = 0.0;   ///< Diurnal/flash/MMPP swing.
+  double period_sec = 3600.0;       ///< Diurnal period / MMPP holding.
+  double phase_sec = 0.0;           ///< Diurnal phase / flash start.
+
+  /// Topology scale (initial and max resources per layer).
+  int initial_shards = 1;
+  int max_shards = 50;
+  int initial_workers = 2;
+  int max_workers = 50;
+  double initial_wcu = 5.0;
+  double max_wcu = 2000.0;
+
+  /// Control knobs.
+  double reference_utilization_pct = 60.0;
+  double monitoring_period_sec = 120.0;
+};
+
+/// Deterministically synthesizes `count` heterogeneous tenants: ids
+/// "t0000".."tNNNN", budgets/weights/rates/patterns/topologies varied
+/// by cheap per-index mixing of `seed` (no RNG state, so the same
+/// (count, seed) always yields the same fleet — the bench's 1/4/16
+/// thread runs must build identical fleets).
+std::vector<TenantConfig> MakeTenantFleet(size_t count, uint64_t seed);
+
+}  // namespace flower::fleet
+
+#endif  // FLOWER_FLEET_TENANT_H_

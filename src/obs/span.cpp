@@ -30,11 +30,21 @@ void SpanCollector::set_enabled(bool enabled) {
   if (enabled_ && ring_.size() != capacity_) ring_.resize(capacity_);
 }
 
+Status SpanCollector::set_id_offset(SpanId offset) {
+  if (total_started() != 0) {
+    return Status::FailedPrecondition(
+        "SpanCollector: id offset must be set before any span is recorded");
+  }
+  id_offset_ = offset;
+  next_id_.store(offset + 1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
 SpanId SpanCollector::Begin(SpanKind kind, std::string_view label,
                             SimTime start, int pid, int tid, SpanId parent,
                             SpanId follows) {
   if (!enabled_) return 0;
-  SpanId id = next_id_++;
+  SpanId id = next_id_.fetch_add(1, std::memory_order_relaxed);
   SpanRecord* r = Slot(id);
   r->id = id;
   r->parent = parent;
@@ -72,24 +82,24 @@ SpanId SpanCollector::Emit(SpanKind kind, std::string_view label,
 }
 
 const SpanRecord* SpanCollector::Find(SpanId id) const {
-  if (id == 0 || id >= next_id_ || ring_.empty()) return nullptr;
-  const SpanRecord* r = &ring_[(id - 1) % capacity_];
+  if (id <= id_offset_ || id >= end_id() || ring_.empty()) return nullptr;
+  const SpanRecord* r = &ring_[(id - id_offset_ - 1) % capacity_];
   return r->id == id ? r : nullptr;
 }
 
 SpanId SpanCollector::first_retained() const {
-  uint64_t started = next_id_ - 1;
+  uint64_t started = total_started();
   if (started == 0) return 0;
-  return started <= capacity_ ? 1 : next_id_ - capacity_;
+  return started <= capacity_ ? id_offset_ + 1 : end_id() - capacity_;
 }
 
 size_t SpanCollector::size() const {
-  uint64_t started = next_id_ - 1;
+  uint64_t started = total_started();
   return started <= capacity_ ? static_cast<size_t>(started) : capacity_;
 }
 
 uint64_t SpanCollector::evicted() const {
-  uint64_t started = next_id_ - 1;
+  uint64_t started = total_started();
   return started <= capacity_ ? 0 : started - capacity_;
 }
 

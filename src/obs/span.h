@@ -1,6 +1,7 @@
 #ifndef FLOWER_OBS_SPAN_H_
 #define FLOWER_OBS_SPAN_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -64,8 +65,13 @@ struct SpanRecord {
 /// allocation afterwards). When the ring is full the *oldest* spans are
 /// evicted — recent causality is what post-mortems query.
 ///
-/// Single-writer: spans are recorded from the simulation/coordinator
-/// thread only (same contract as TraceCollector and DecisionLog).
+/// Id allocation is atomic, so concurrent recorders (fleet partitions
+/// that share one collector) never mint the same id twice: distinct
+/// ids land in distinct ring slots while the ring has room, so
+/// concurrent Begin/End calls do not tear each other's records. Slot
+/// *eviction* under concurrent writers is still last-writer-wins;
+/// fleet runs that need deterministic ids give every flow partition
+/// its own collector with a disjoint id namespace via set_id_offset.
 class SpanCollector {
  public:
   explicit SpanCollector(size_t capacity = 1 << 16);
@@ -76,6 +82,17 @@ class SpanCollector {
   /// recorded spans readable but stops recording new ones.
   void set_enabled(bool enabled);
   bool enabled() const { return enabled_; }
+
+  /// Moves this collector's id namespace to (offset, offset + 2^40]:
+  /// the first recorded span gets id offset + 1. Per-flow collectors in
+  /// a fleet run use deterministic disjoint offsets (partition index ×
+  /// kIdStride) so ids stay unique — and reproducible — fleet-wide
+  /// without any cross-partition coordination. Must be called before
+  /// the first span is recorded.
+  Status set_id_offset(SpanId offset);
+  SpanId id_offset() const { return id_offset_; }
+  /// Id-namespace stride between sibling collectors (2^40 spans each).
+  static constexpr SpanId kIdStride = SpanId{1} << 40;
 
   /// Opens a span. Returns its id, or 0 when disabled.
   SpanId Begin(SpanKind kind, std::string_view label, SimTime start,
@@ -92,19 +109,26 @@ class SpanCollector {
 
   /// Oldest retained id (0 when empty) and one-past-newest id.
   SpanId first_retained() const;
-  SpanId end_id() const { return next_id_; }
+  SpanId end_id() const { return next_id_.load(std::memory_order_relaxed); }
 
   size_t size() const;                ///< Retained span count.
-  uint64_t total_started() const { return next_id_ - 1; }
+  uint64_t total_started() const {
+    return next_id_.load(std::memory_order_relaxed) - id_offset_ - 1;
+  }
   uint64_t evicted() const;
   size_t capacity() const { return capacity_; }
 
  private:
-  SpanRecord* Slot(SpanId id) { return &ring_[(id - 1) % capacity_]; }
+  SpanRecord* Slot(SpanId id) {
+    return &ring_[(id - id_offset_ - 1) % capacity_];
+  }
 
   bool enabled_ = false;
   size_t capacity_;
-  SpanId next_id_ = 1;
+  SpanId id_offset_ = 0;
+  /// Atomic so concurrent recorders never allocate one id twice (the
+  /// pre-fleet plain increment dropped/collided ids under TSan).
+  std::atomic<SpanId> next_id_{1};
   std::vector<SpanRecord> ring_;  ///< Sized to capacity_ on first enable.
 };
 

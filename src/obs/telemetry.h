@@ -27,8 +27,11 @@ namespace flower::obs {
 class Telemetry {
  public:
   explicit Telemetry(size_t decision_capacity = 65536,
-                     size_t trace_capacity = 1 << 20)
-      : decisions_(decision_capacity), trace_(trace_capacity) {}
+                     size_t trace_capacity = 1 << 20,
+                     size_t span_capacity = 1 << 16)
+      : decisions_(decision_capacity),
+        trace_(trace_capacity),
+        spans_(span_capacity) {}
   Telemetry(const Telemetry&) = delete;
   Telemetry& operator=(const Telemetry&) = delete;
 

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <thread>
+#include <vector>
+
 #include "obs/trace.h"
 
 namespace flower::obs {
@@ -168,6 +172,98 @@ TEST(SpanIndexTest, SurvivesEvictedEdges) {
   ASSERT_TRUE(chain.ok()) << chain.status();
   EXPECT_TRUE(chain->senses.empty());  // Parent evicted: chain truncates.
   EXPECT_EQ(chain->actuations.size(), 2u);
+}
+
+TEST(SpanCollectorTest, IdOffsetMovesTheNamespace) {
+  SpanCollector spans(8);
+  ASSERT_TRUE(spans.set_id_offset(3 * SpanCollector::kIdStride).ok());
+  spans.set_enabled(true);
+  SpanId first = spans.Emit(SpanKind::kSense, "s", 0.0, 0.0, 1, 1);
+  EXPECT_EQ(first, 3 * SpanCollector::kIdStride + 1);
+  SpanId second = spans.Emit(SpanKind::kDecide, "s", 1.0, 0.0, 1, 1, first);
+  EXPECT_EQ(second, first + 1);
+  EXPECT_EQ(spans.total_started(), 2u);
+  EXPECT_EQ(spans.first_retained(), first);
+  EXPECT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans.evicted(), 0u);
+  // Lookups resolve inside the offset namespace and reject ids below it.
+  ASSERT_NE(spans.Find(first), nullptr);
+  EXPECT_EQ(spans.Find(first)->id, first);
+  EXPECT_EQ(spans.Find(1), nullptr);
+  EXPECT_EQ(spans.Find(3 * SpanCollector::kIdStride), nullptr);
+  // The post-run index works unchanged on an offset collector.
+  SpanIndex index(spans);
+  ASSERT_EQ(index.ChildrenOf(first).size(), 1u);
+  EXPECT_EQ(index.ChildrenOf(first)[0]->id, second);
+}
+
+TEST(SpanCollectorTest, IdOffsetRejectedOnceRecordingStarted) {
+  SpanCollector spans(8);
+  spans.set_enabled(true);
+  spans.Emit(SpanKind::kSense, "s", 0.0, 0.0, 1, 1);
+  EXPECT_EQ(spans.set_id_offset(SpanCollector::kIdStride).code(),
+            StatusCode::kFailedPrecondition);
+  // The namespace is unchanged after the rejected call.
+  EXPECT_EQ(spans.id_offset(), 0u);
+  EXPECT_EQ(spans.total_started(), 1u);
+}
+
+TEST(SpanCollectorTest, EvictionStillOldestFirstWithOffset) {
+  SpanCollector spans(3);
+  ASSERT_TRUE(spans.set_id_offset(SpanCollector::kIdStride).ok());
+  spans.set_enabled(true);
+  for (int i = 0; i < 5; ++i) {
+    spans.Emit(SpanKind::kSense, "s", i, 0.0, 1, 1);
+  }
+  EXPECT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans.evicted(), 2u);
+  EXPECT_EQ(spans.first_retained(), SpanCollector::kIdStride + 3);
+  EXPECT_EQ(spans.Find(SpanCollector::kIdStride + 1), nullptr);
+  EXPECT_EQ(spans.Find(SpanCollector::kIdStride + 2), nullptr);
+  ASSERT_NE(spans.Find(SpanCollector::kIdStride + 5), nullptr);
+}
+
+TEST(SpanCollectorTest, ConcurrentBeginsAllocateUniqueIds) {
+  // Regression for the pre-fleet plain uint64_t next_id_: two threads
+  // recording concurrently could mint the same id (and tear each
+  // other's ring slots). With atomic allocation every id is unique.
+  // Run under TSan (tools/run_tsan.sh includes the obs label) this also
+  // proves the allocation path is race-free.
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  SpanCollector spans(kThreads * kPerThread);
+  spans.set_enabled(true);
+  std::vector<std::vector<SpanId>> ids(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&spans, &ids, t] {
+      ids[t].reserve(kPerThread);
+      for (int i = 0; i < kPerThread; ++i) {
+        ids[t].push_back(
+            spans.Emit(SpanKind::kSense, "concurrent", i, 0.0, 1, t));
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  std::set<SpanId> unique;
+  for (const std::vector<SpanId>& per_thread : ids) {
+    for (SpanId id : per_thread) {
+      EXPECT_NE(id, 0u);
+      EXPECT_TRUE(unique.insert(id).second) << "duplicate id " << id;
+    }
+  }
+  EXPECT_EQ(unique.size(), static_cast<size_t>(kThreads * kPerThread));
+  EXPECT_EQ(spans.total_started(), unique.size());
+  // Nothing was evicted (ring sized to fit), so every record is intact
+  // and stamped with its own id.
+  for (SpanId id : unique) {
+    const SpanRecord* r = spans.Find(id);
+    ASSERT_NE(r, nullptr) << "id " << id;
+    EXPECT_EQ(r->id, id);
+    EXPECT_EQ(r->label, "concurrent");
+  }
 }
 
 }  // namespace

@@ -24,6 +24,7 @@
 #include "core/flow_builder.h"
 #include "core/monitor.h"
 #include "core/resource_share.h"
+#include "fleet/fleet_manager.h"
 #include "obs/health/health_monitor.h"
 #include "obs/telemetry.h"
 #include "tools/flag_parser.h"
@@ -73,6 +74,16 @@ Flags (all optional):
                         Prometheus text exposition format
   --quiet               summary only (no dashboard)
   --help                this text
+
+Fleet mode (multi-tenant, replaces the single-flow run):
+  --fleet               run a fleet of independent tenant flows under the
+                        hierarchical budget arbiter
+  --fleet-tenants=N     number of tenant flows                   [16]
+  --fleet-budget=USD    fleet-wide hourly dollar budget          [100]
+  --fleet-period=S      arbitration period, seconds              [900]
+  --fleet-threads=N     simulation partitions advanced in parallel; the
+                        merged control decisions are identical at any N  [1]
+  --hours / --seed also apply in fleet mode.
 )";
 
 /// Installs the simulation clock as the log-line time source for the
@@ -241,6 +252,99 @@ int RunReplicated(const tools::FlagParser& flags, int64_t seeds) {
                   return m.resizes;
                 })});
   table.Print(std::cout);
+  return 0;
+}
+
+// Fleet mode: many independent tenant flows sharing one hourly dollar
+// budget, re-divided by the hierarchical arbiter every period.
+int RunFleet(const tools::FlagParser& flags) {
+  auto hours_or = flags.GetDouble("hours", 4.0);
+  auto tenants_or = flags.GetInt("fleet-tenants", 16);
+  auto budget_or = flags.GetDouble("fleet-budget", 100.0);
+  auto period_or = flags.GetDouble("fleet-period", 900.0);
+  auto threads_or = flags.GetInt("fleet-threads", 1);
+  auto seed_or = flags.GetInt("seed", 42);
+  if (!hours_or.ok() || !tenants_or.ok() || !budget_or.ok() ||
+      !period_or.ok() || !threads_or.ok() || !seed_or.ok()) {
+    std::cerr << "bad numeric flag\n";
+    return 2;
+  }
+  if (*tenants_or < 1 || *threads_or < 1 || *budget_or <= 0.0 ||
+      *period_or <= 0.0) {
+    std::cerr << "--fleet-tenants/--fleet-threads expect positive integers; "
+                 "--fleet-budget/--fleet-period expect positive numbers\n";
+    return 2;
+  }
+
+  fleet::FleetConfig config;
+  config.fleet_budget_usd_per_hour = *budget_or;
+  config.arbitration_period_sec = *period_or;
+  config.num_threads = static_cast<size_t>(*threads_or);
+  fleet::FleetManager manager(config);
+  for (fleet::TenantConfig& t : fleet::MakeTenantFleet(
+           static_cast<size_t>(*tenants_or),
+           static_cast<uint64_t>(*seed_or))) {
+    Status st = manager.AddTenant(std::move(t));
+    if (!st.ok()) {
+      std::cerr << st << "\n";
+      return 1;
+    }
+  }
+  Status st = manager.Start();
+  if (!st.ok()) {
+    std::cerr << st << "\n";
+    return 1;
+  }
+  st = manager.RunFor(*hours_or * kHour);
+  if (!st.ok()) {
+    std::cerr << st << "\n";
+    return 1;
+  }
+
+  TablePrinter table({"period", "window", "demand $/h", "granted $/h",
+                      "spend $/h", "steps", "conserved"});
+  size_t idx = 0;
+  for (const fleet::FleetPeriodReport& report : manager.reports()) {
+    double demand = 0.0;
+    double spend = 0.0;
+    uint64_t steps = 0;
+    for (const fleet::TenantPeriodOutcome& row : report.tenants) {
+      demand += row.demand_usd;
+      spend += row.spend_usd;
+      steps += row.steps;
+    }
+    table.AddRow({std::to_string(idx++),
+                  "[" + TablePrinter::Num(report.start / kHour, 2) + "h, " +
+                      TablePrinter::Num(report.end / kHour, 2) + "h]",
+                  TablePrinter::Num(demand, 2),
+                  TablePrinter::Num(report.total_granted_usd, 2),
+                  TablePrinter::Num(spend, 2), std::to_string(steps),
+                  report.conservation_ok ? "yes" : "NO"});
+  }
+  std::cout << "fleet: " << manager.num_tenants() << " tenants, $"
+            << TablePrinter::Num(*budget_or, 2) << "/h budget, arbitration "
+            << "every " << TablePrinter::Num(*period_or, 0) << " s, "
+            << *threads_or << " thread(s)\n";
+  table.Print(std::cout);
+
+  if (!flags.GetBool("quiet")) {
+    // Per-tenant view of the final period.
+    const fleet::FleetPeriodReport& last = manager.reports().back();
+    TablePrinter per_tenant(
+        {"tenant", "pattern", "demand $/h", "grant $/h", "spend $/h"});
+    for (size_t i = 0; i < last.tenants.size() && i < 20; ++i) {
+      const fleet::TenantPeriodOutcome& row = last.tenants[i];
+      per_tenant.AddRow(
+          {row.tenant,
+           fleet::ArrivalPatternToString(manager.partition(i)->tenant().pattern),
+           TablePrinter::Num(row.demand_usd, 3),
+           TablePrinter::Num(row.grant_usd, 3),
+           TablePrinter::Num(row.spend_usd, 3)});
+    }
+    std::cout << "\nfinal period, first " << std::min<size_t>(20, last.tenants.size())
+              << " tenants:\n";
+    per_tenant.Print(std::cout);
+  }
   return 0;
 }
 
@@ -557,11 +661,13 @@ int main(int argc, char** argv) {
        "period-hours", "hours", "reference", "monitoring-period", "seed",
        "seeds", "threads", "warm-start", "stall-generations", "csv-out",
        "trace-out", "spans-out", "metrics-out", "health-out",
-       "openmetrics-out", "quiet", "help"});
+       "openmetrics-out", "quiet", "help", "fleet", "fleet-tenants",
+       "fleet-budget", "fleet-period", "fleet-threads"});
   if (!unknown.empty()) {
     std::cerr << "unknown flag: --" << unknown.front() << "\n" << kUsage;
     return 2;
   }
+  if (flags->GetBool("fleet")) return RunFleet(*flags);
   auto seeds = flags->GetInt("seeds", 1);
   if (!seeds.ok() || *seeds < 1) {
     std::cerr << "--seeds expects a positive integer\n";

@@ -9,9 +9,12 @@
 # buffer rotation bug would likewise stay invisible. The obs label
 # rides along for the observability plane: the span ring's lazy
 # allocation/eviction and the scoped-registry/rollup merge paths are
-# pointer-heavy and deserve lifetime checking.
+# pointer-heavy and deserve lifetime checking. The fleet label rides
+# along too: a thousand flow partitions being built, swept in parallel,
+# and torn down is where a dangling partition pointer or a
+# budget-callback into a freed manager would surface first.
 #
-#   $ tools/run_sanitized.sh            # ctest -L 'fault|health|simcore|obs'
+#   $ tools/run_sanitized.sh    # ctest -L 'fault|health|simcore|obs|fleet'
 #   $ tools/run_sanitized.sh -R Breaker # forward extra ctest args
 set -euo pipefail
 
@@ -24,8 +27,9 @@ cmake -B "${build_dir}" -S "${repo_root}" \
   -DFLOWER_BUILD_BENCHMARKS=OFF \
   -DFLOWER_BUILD_EXAMPLES=OFF
 cmake --build "${build_dir}" -j "$(nproc)" \
-  --target fault_tests health_tests sim_tests simcore_tests obs_tests
+  --target fault_tests health_tests sim_tests simcore_tests obs_tests \
+  fleet_tests
 
 cd "${build_dir}"
 ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
-  ctest -L 'fault|health|simcore|obs' --output-on-failure "$@"
+  ctest -L 'fault|health|simcore|obs|fleet' --output-on-failure "$@"

@@ -14,7 +14,13 @@
 # merges snapshots, which is exactly the lock-free atomic path a missed
 # memory-order edge would corrupt silently in the plain build.
 #
-#   $ tools/run_tsan.sh              # build + ctest -L 'planner|simcore|obs'
+# The fleet label rides along for the multi-tenant sweep: partitions
+# advance concurrently over exec::ThreadPool and span ids allocate from
+# an atomic counter, exactly where a plain-uint64 increment raced
+# before; the determinism-across-thread-counts tests double as the
+# regression certificate for that fix.
+#
+#   $ tools/run_tsan.sh        # build + ctest -L 'planner|simcore|obs|fleet'
 #   $ tools/run_tsan.sh -R ThreadPool  # forward extra ctest args
 set -euo pipefail
 
@@ -28,14 +34,20 @@ cmake -B "${build_dir}" -S "${repo_root}" \
   -DFLOWER_BUILD_EXAMPLES=OFF
 cmake --build "${build_dir}" -j "$(nproc)" \
   --target exec_tests opt_tests core_tests sim_tests simcore_tests \
-  obs_tests flower-sim
+  obs_tests fleet_tests flower-sim
 
 cd "${build_dir}"
 TSAN_OPTIONS=halt_on_error=1 \
-  ctest -L 'planner|simcore|obs' --output-on-failure "$@"
+  ctest -L 'planner|simcore|obs|fleet' --output-on-failure "$@"
 
 # End-to-end: a multi-threaded planning pass through the CLI, with the
 # telemetry trace enabled, must be race-free too.
 TSAN_OPTIONS=halt_on_error=1 \
   ./tools/flower-sim --hours=1 --threads=4 --quiet \
     --trace-out="${build_dir}/tsan-trace.json"
+
+# And the multi-tenant fleet sweep: partitions advancing concurrently
+# over the thread pool, budgets handed off at every period boundary.
+TSAN_OPTIONS=halt_on_error=1 \
+  ./tools/flower-sim --fleet --fleet-tenants=8 --fleet-threads=4 \
+    --hours=1 --quiet
