@@ -45,7 +45,8 @@ struct ScaleResult {
   size_t periods = 0;
 };
 
-fleet::FleetConfig BenchConfig(size_t num_threads, size_t flows) {
+fleet::FleetConfig BenchConfig(size_t num_threads, size_t flows,
+                               bool capture = false) {
   fleet::FleetConfig config;
   // Roughly half the fleet's aggregate demand: keeps every period
   // contended so the arbiter genuinely splits, not rubber-stamps.
@@ -55,12 +56,15 @@ fleet::FleetConfig BenchConfig(size_t num_threads, size_t flows) {
   config.partition.workload_emit_period_sec = 10.0;
   config.partition.storm_tick_period_sec = 10.0;
   config.partition.horizon_sec = 4000.0;
+  // Recorder only, no health monitor: the overhead gate isolates the
+  // black box's per-decision cost.
+  config.partition.capture.enabled = capture;
   return config;
 }
 
 Result<ScaleResult> RunFleet(size_t num_threads, size_t flows,
-                             double horizon_sec) {
-  fleet::FleetManager manager(BenchConfig(num_threads, flows));
+                             double horizon_sec, bool capture = false) {
+  fleet::FleetManager manager(BenchConfig(num_threads, flows, capture));
   for (fleet::TenantConfig& t : fleet::MakeTenantFleet(flows, /*seed=*/1234)) {
     FLOWER_RETURN_NOT_OK(manager.AddTenant(std::move(t)));
   }
@@ -87,9 +91,18 @@ Result<ScaleResult> RunFleet(size_t num_threads, size_t flows,
   return r;
 }
 
+struct RecorderOverhead {
+  size_t flows = 0;
+  double wall_ms_off = 0.0;
+  double wall_ms_on = 0.0;
+  double overhead_pct = 0.0;
+  bool digest_identical = false;
+};
+
 void WriteJson(std::FILE* fp, bool smoke, size_t flows, double horizon_sec,
                const std::vector<ScaleResult>& results, bool deterministic,
-               bool conservation_ok, double speedup4) {
+               bool conservation_ok, double speedup4,
+               const RecorderOverhead& rec) {
   std::fprintf(fp, "{\n  \"bench\": \"fleet_scale\",\n");
   std::fprintf(fp, "  \"smoke\": %s,\n", smoke ? "true" : "false");
   std::fprintf(fp, "  \"flows\": %zu,\n", flows);
@@ -107,6 +120,12 @@ void WriteJson(std::FILE* fp, bool smoke, size_t flows, double horizon_sec,
   }
   std::fprintf(fp, "  ],\n");
   std::fprintf(fp, "  \"speedup_at_4_threads\": %.2f,\n", speedup4);
+  std::fprintf(fp,
+               "  \"recorder\": {\"flows\": %zu, \"wall_ms_off\": %.1f, "
+               "\"wall_ms_on\": %.1f, \"overhead_pct\": %.2f, "
+               "\"digest_identical\": %s},\n",
+               rec.flows, rec.wall_ms_off, rec.wall_ms_on, rec.overhead_pct,
+               rec.digest_identical ? "true" : "false");
   std::fprintf(fp, "  \"hardware_threads\": %u,\n",
                std::thread::hardware_concurrency());
   std::fprintf(fp, "  \"budget_conservation\": \"%s\",\n",
@@ -159,9 +178,53 @@ int Run(bool smoke, size_t flows, const std::string& out_path) {
   std::cout << "\n  speedup at 4 threads: " << TablePrinter::Num(speedup4, 2)
             << "x (" << hw << " hardware threads available)\n";
 
+  // Flight-recorder overhead: the same fleet at 1 thread, capture armed
+  // vs off, interleaved. The recorder's true per-decision cost is ~1 us
+  // (one snprintf + FNV mix), well under 1% of a control step; best-of-N
+  // walls damp the scheduler noise that would otherwise dominate the
+  // gate on small shared runners. The control digest must be
+  // byte-identical — recording must never perturb control.
+  RecorderOverhead rec;
+  rec.flows = smoke ? 32 : 256;
+  {
+    const double rec_horizon = smoke ? 900.0 : 1800.0;
+    const int reps = smoke ? 2 : 4;
+    std::string digest_off;
+    std::string digest_on;
+    rec.wall_ms_off = 1e300;
+    rec.wall_ms_on = 1e300;
+    for (int rep = 0; rep < reps; ++rep) {
+      auto off = RunFleet(1, rec.flows, rec_horizon, /*capture=*/false);
+      if (!off.ok()) {
+        std::cerr << "recorder-off fleet run failed: " << off.status() << "\n";
+        return 1;
+      }
+      rec.wall_ms_off = std::min(rec.wall_ms_off, off->wall_ms);
+      digest_off = std::move(off->digest);
+      auto on = RunFleet(1, rec.flows, rec_horizon, /*capture=*/true);
+      if (!on.ok()) {
+        std::cerr << "recorder-on fleet run failed: " << on.status() << "\n";
+        return 1;
+      }
+      rec.wall_ms_on = std::min(rec.wall_ms_on, on->wall_ms);
+      digest_on = std::move(on->digest);
+    }
+    rec.overhead_pct =
+        rec.wall_ms_off > 0.0
+            ? 100.0 * (rec.wall_ms_on - rec.wall_ms_off) / rec.wall_ms_off
+            : 0.0;
+    rec.digest_identical = digest_off == digest_on;
+    std::cout << "\n  flight recorder: " << rec.flows << " flows, capture off "
+              << TablePrinter::Num(rec.wall_ms_off, 1) << " ms vs on "
+              << TablePrinter::Num(rec.wall_ms_on, 1) << " ms ("
+              << TablePrinter::Num(rec.overhead_pct, 2) << "% overhead), "
+              << "digest " << (rec.digest_identical ? "identical" : "DIVERGED")
+              << "\n";
+  }
+
   if (std::FILE* fp = std::fopen(out_path.c_str(), "w")) {
     WriteJson(fp, smoke, flows, horizon_sec, results, deterministic,
-              conservation_ok, speedup4);
+              conservation_ok, speedup4, rec);
     std::fclose(fp);
     std::cout << "  wrote " << out_path << "\n";
   } else {
@@ -174,6 +237,8 @@ int Run(bool smoke, size_t flows, const std::string& out_path) {
                    deterministic);
     bench::Verdict("budget conserved in every arbitration period",
                    conservation_ok);
+    bench::Verdict("flight recorder does not perturb the control digest",
+                   rec.digest_identical);
     std::cout << "[SMOKE] gates skipped\n";
     return 0;
   }
@@ -185,6 +250,10 @@ int Run(bool smoke, size_t flows, const std::string& out_path) {
       deterministic);
   ok &= bench::Verdict("budget conserved in every arbitration period",
                        conservation_ok);
+  ok &= bench::Verdict("flight recorder does not perturb the control digest",
+                       rec.digest_identical);
+  ok &= bench::Verdict("flight recorder overhead <= 2%",
+                       rec.overhead_pct <= 2.0);
   if (hw >= 4) {
     ok &= bench::Verdict("parallel scaling >= 2x at 4 threads",
                          speedup4 >= 2.0);

@@ -21,6 +21,7 @@
 #include "core/resource_share.h"
 #include "flow/sliding_window.h"
 #include "obs/metrics_registry.h"
+#include "obs/replay/flight_recorder.h"
 #include "opt/nsga2.h"
 #include "sim/simulation.h"
 #include "stats/correlation.h"
@@ -350,6 +351,39 @@ bool SimSteadyTickIsAllocationFree() {
   return allocs == 0;
 }
 
+// Fourth hard guard: the flight recorder's steady-tick path must be
+// allocation-free. Every ring is preallocated at construction; after
+// that, 1e5 decision records plus interleaved grant/re-plan entries —
+// including ring wrap-around and checkpoint pushes — must perform zero
+// heap allocations, or a recorder per fleet partition would violate
+// the partitions' hot-path allocation budget.
+bool FlightRecorderHotPathIsAllocationFree() {
+  obs::replay::FlightRecorder recorder;
+  recorder.SetIdentity("guard-tenant", 0, 42, 0);
+  obs::ControlDecisionRecord rec;
+  rec.loop = "analytics";
+  rec.layer = "analytics";
+  rec.law = "adaptive-gain";
+  constexpr int kOps = 100000;
+  const double shares[3] = {8.0, 4.0, 120.0};
+  uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < kOps; ++i) {
+    rec.time = 60.0 * static_cast<double>(i);
+    rec.sensed_y = 40.0 + static_cast<double>(i % 50);
+    rec.raw_u = 3.0 + 0.001 * static_cast<double>(i % 100);
+    rec.clamped_u = rec.raw_u;
+    recorder.RecordDecision(rec);
+    if (i % 15 == 0) recorder.RecordGrant(rec.time, 1.0, 0.5);
+    if (i % 15 == 7) recorder.RecordReplan(rec.time, 0.5, shares, 3, true);
+  }
+  uint64_t allocs = g_allocations.load(std::memory_order_relaxed) - before;
+  std::printf("flight recorder allocation guard: %llu allocations over %d "
+              "decisions + interleaved grants/re-plans (chain=%llu)\n",
+              static_cast<unsigned long long>(allocs), kOps,
+              static_cast<unsigned long long>(recorder.chain_hash()));
+  return allocs == 0;
+}
+
 }  // namespace
 }  // namespace flower
 
@@ -369,6 +403,11 @@ int main(int argc, char** argv) {
   if (!flower::SimSteadyTickIsAllocationFree()) {
     std::fprintf(stderr,
                  "FAIL: steady-state simulation tick allocated\n");
+    return 1;
+  }
+  if (!flower::FlightRecorderHotPathIsAllocationFree()) {
+    std::fprintf(stderr,
+                 "FAIL: flight recorder allocated on its hot path\n");
     return 1;
   }
   benchmark::Initialize(&argc, argv);

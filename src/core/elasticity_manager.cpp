@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "obs/replay/flight_recorder.h"
 #include "stats/robust.h"
 
 namespace flower::core {
@@ -326,6 +327,7 @@ void ElasticityManager::RecordDecision(Attached* a, SimTime now,
     rec.raw_u = kNaN;
   }
   telemetry_->decisions().Append(rec);
+  if (flight_recorder_ != nullptr) flight_recorder_->RecordDecision(rec);
   // Close the decide span with what was ultimately applied (no-op for
   // sensor-miss steps, whose span was emitted closed).
   telemetry_->spans().End(a->current_decide_span, now, rec.clamped_u,
@@ -522,6 +524,12 @@ void ElasticityManager::ReplanStep(ReplanState* s) {
       if (!IsAttached(layer)) continue;
       (void)SetShareUpperBound(layer, max_shares->shares[i]);
     }
+  }
+  if (flight_recorder_ != nullptr) {
+    flight_recorder_->RecordReplan(
+        now, s->config.request.hourly_budget_usd,
+        max_shares.ok() ? max_shares->shares : nullptr,
+        max_shares.ok() ? kNumLayers : 0, max_shares.ok());
   }
   if (s->config.on_plan) s->config.on_plan(now, *res);
 }

@@ -16,6 +16,10 @@
 #include "obs/telemetry.h"
 #include "sim/simulation.h"
 
+namespace flower::obs::replay {
+class FlightRecorder;
+}  // namespace flower::obs::replay
+
 namespace flower::core {
 
 /// Bounded retry with exponential backoff and jitter for failed
@@ -262,6 +266,16 @@ class ElasticityManager {
       std::function<obs::HealthMask(const std::string& layer, SimTime now)>
           annotator);
 
+  /// Attaches a flight recorder: every control decision is mirrored
+  /// into it (same record the decision log gets) and every applied
+  /// re-plan lands as a replan entry, so the black box carries the
+  /// exact digest the fleet's divergence checker replays against.
+  /// `recorder` must outlive the manager; nullptr detaches. The record
+  /// path is allocation-free, safe for capped fleet partitions.
+  void SetFlightRecorder(obs::replay::FlightRecorder* recorder) {
+    flight_recorder_ = recorder;
+  }
+
   /// Observer invoked after every control step with the step view
   /// *including* the health annotation (control::ControlStepView::
   /// health_mask) — the seam for breach-aware supervisors and tests.
@@ -410,6 +424,7 @@ class ElasticityManager {
   std::function<obs::HealthMask(const std::string&, SimTime)>
       health_annotator_;
   control::ControlObserver* annotated_observer_ = nullptr;
+  obs::replay::FlightRecorder* flight_recorder_ = nullptr;
   /// Tenant id stamped on every registered instrument (fleet runs);
   /// empty = no tenant label (single-flow behavior unchanged).
   std::string tenant_;

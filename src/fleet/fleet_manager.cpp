@@ -4,12 +4,18 @@
 #include <cmath>
 #include <cstdio>
 
+#include "obs/exporters.h"
+
 namespace flower::fleet {
 
 FleetManager::FleetManager(FleetConfig config) : config_(std::move(config)) {
   // The partition re-plan cadence is the arbitration cadence — a flow
   // re-plans exactly once under each grant.
   config_.partition.arbitration_period_sec = config_.arbitration_period_sec;
+  if (!config_.bundle_dir.empty() &&
+      config_.partition.capture.bundle_dir.empty()) {
+    config_.partition.capture.bundle_dir = config_.bundle_dir;
+  }
 }
 
 Status FleetManager::AddTenant(TenantConfig tenant) {
@@ -82,6 +88,10 @@ Status FleetManager::RunFor(double horizon_sec) {
                             arbiter_->Arbitrate(demands, weights));
     for (size_t i = 0; i < n; ++i) {
       partitions_[i]->SetBudget(split.grants_usd[i]);
+      // Mirror the grant into the partition's flight recorder before
+      // the sweep: a capture taken mid-period carries the grant that
+      // shaped the period's re-plan.
+      partitions_[i]->RecordGrant(now_, demands[i], split.grants_usd[i]);
     }
 
     // Advance every partition to the boundary. Partitions share
@@ -141,6 +151,45 @@ std::string FleetManager::ControlDigest() const {
     p->AppendDigest(&out);
   }
   return out;
+}
+
+Status FleetManager::DumpBundle(size_t index, const std::string& path) {
+  if (index >= partitions_.size()) {
+    return Status::OutOfRange("FleetManager: tenant index out of range");
+  }
+  return partitions_[index]->DumpBundle(path);
+}
+
+std::vector<std::string> FleetManager::CapturedBundles() const {
+  std::vector<std::string> out;
+  for (const std::unique_ptr<FlowPartition>& p : partitions_) {
+    const std::vector<std::string>& paths = p->bundle_paths();
+    out.insert(out.end(), paths.begin(), paths.end());
+  }
+  return out;
+}
+
+Status FleetManager::ExportReportsJsonl(const std::string& path) const {
+  return obs::ExportToFile(path, [this](std::ostream& os) {
+    char buf[64];
+    auto num = [&buf](double v) {
+      std::snprintf(buf, sizeof(buf), "%.6f", v);
+      return std::string(buf);
+    };
+    for (const FleetPeriodReport& r : reports_) {
+      for (const TenantPeriodOutcome& t : r.tenants) {
+        os << "{\"start\":" << num(r.start) << ",\"end\":" << num(r.end)
+           << ",\"tenant\":\"" << obs::internal::JsonEscape(t.tenant)
+           << "\",\"demand_usd\":" << num(t.demand_usd)
+           << ",\"grant_usd\":" << num(t.grant_usd)
+           << ",\"spend_usd\":" << num(t.spend_usd) << ",\"steps\":" << t.steps
+           << ",\"total_granted_usd\":" << num(r.total_granted_usd)
+           << ",\"conservation_ok\":" << (r.conservation_ok ? "true" : "false")
+           << ",\"uncontended\":" << (r.uncontended ? "true" : "false")
+           << "}\n";
+      }
+    }
+  });
 }
 
 }  // namespace flower::fleet

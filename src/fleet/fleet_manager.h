@@ -33,8 +33,13 @@ struct FleetConfig {
     c.generations = 16;
     return c;
   }();
-  /// Shared partition shaping (cadence, telemetry caps, flow solver).
+  /// Shared partition shaping (cadence, telemetry caps, flow solver,
+  /// flight-recorder capture).
   PartitionConfig partition;
+  /// Convenience alias for partition.capture.bundle_dir: when set (and
+  /// partition.capture.bundle_dir is empty) alert-triggered capture
+  /// bundles are dumped here, one `<tenant>.json` per partition.
+  std::string bundle_dir;
 };
 
 /// Per-tenant outcome of one arbitration period.
@@ -102,6 +107,19 @@ class FleetManager {
 
   /// Partition access for tests (index order = AddTenant order).
   FlowPartition* partition(size_t i) { return partitions_[i].get(); }
+
+  /// Dumps tenant `index`'s capture bundle to `path` (explicit trigger;
+  /// see FlowPartition::DumpBundle). Errors: bad index, capture off.
+  Status DumpBundle(size_t index, const std::string& path);
+
+  /// Every bundle file written so far across the fleet (alert-edge
+  /// auto-dumps and explicit dumps), tenant index order.
+  std::vector<std::string> CapturedBundles() const;
+
+  /// Writes reports() as JSONL: one row per (period, tenant) with
+  /// demand/grant/spend/steps plus the period's conservation flag —
+  /// fleet runs become analyzable offline. Stable field order.
+  Status ExportReportsJsonl(const std::string& path) const;
 
  private:
   FleetConfig config_;

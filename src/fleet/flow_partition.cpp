@@ -1,15 +1,32 @@
 #include "fleet/flow_partition.h"
 
+#include <sys/stat.h>
+
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
 
+#include "common/logging.h"
 #include "common/units.h"
+#include "fleet/partition_spec.h"
 #include "workload/arrival.h"
 
 namespace flower::fleet {
 
 namespace {
+
+bool FaultKindFromString(const std::string& name, sim::FaultKind* kind) {
+  for (sim::FaultKind k :
+       {sim::FaultKind::kActuatorFailure, sim::FaultKind::kActuatorThrottle,
+        sim::FaultKind::kMetricGap, sim::FaultKind::kMetricDelay,
+        sim::FaultKind::kSensorSpike}) {
+    if (name == sim::FaultKindToString(k)) {
+      *kind = k;
+      return true;
+    }
+  }
+  return false;
+}
 
 std::shared_ptr<workload::ArrivalProcess> MakeArrival(
     const TenantConfig& t, double horizon_sec) {
@@ -38,6 +55,7 @@ Result<std::unique_ptr<FlowPartition>> FlowPartition::Create(
     const TenantConfig& tenant, const PartitionConfig& config, size_t index) {
   auto p = std::unique_ptr<FlowPartition>(new FlowPartition());
   p->tenant_ = tenant;
+  p->capture_ = config.capture;
   p->granted_budget_usd_ = tenant.initial_budget_usd;
   p->sim_ = std::make_unique<sim::Simulation>();
   p->metrics_ = std::make_unique<cloudwatch::MetricStore>();
@@ -48,6 +66,30 @@ Result<std::unique_ptr<FlowPartition>> FlowPartition::Create(
     FLOWER_RETURN_NOT_OK(p->telemetry_->spans().set_id_offset(
         static_cast<obs::SpanId>(index) * obs::SpanCollector::kIdStride));
     p->telemetry_->spans().set_enabled(true);
+  }
+
+  // The tenant's scheduled faults become a seeded injector wrapped
+  // around the flow's sensors/actuators by the builder below.
+  if (!tenant.faults.empty()) {
+    p->chaos_ = std::make_unique<sim::FaultInjector>(p->sim_.get(),
+                                                     tenant.seed);
+    p->chaos_->SetTelemetry(p->telemetry_.get());
+    for (const TenantFault& f : tenant.faults) {
+      sim::FaultSpec fs;
+      if (!FaultKindFromString(f.kind, &fs.kind)) {
+        return Status::InvalidArgument("FlowPartition: unknown fault kind '" +
+                                       f.kind + "'");
+      }
+      fs.target = f.target;
+      fs.start = f.start;
+      fs.end = f.end;
+      fs.probability = f.probability;
+      fs.delay_sec = f.delay_sec;
+      fs.factor = f.factor;
+      fs.offset = f.offset;
+      FLOWER_ASSIGN_OR_RETURN(int fault_id, p->chaos_->Add(fs));
+      (void)fault_id;
+    }
   }
 
   flow::FlowConfig fc;
@@ -79,18 +121,18 @@ Result<std::unique_ptr<FlowPartition>> FlowPartition::Create(
   core::LayerElasticityConfig storage = layer_config(tenant.max_wcu);
   storage.min_resource = 5.0;
 
-  FLOWER_ASSIGN_OR_RETURN(
-      p->managed_,
-      core::FlowBuilder()
-          .WithFlowConfig(fc)
-          .WithIngestion(layer_config(tenant.max_shards))
-          .WithAnalytics(layer_config(tenant.max_workers))
-          .WithStorage(storage)
-          .WithWorkload(MakeArrival(tenant, config.horizon_sec), wl)
-          .WithSeed(tenant.seed)
-          .WithTelemetry(p->telemetry_.get())
-          .WithTenantLabel(tenant.id)
-          .Build(p->sim_.get(), p->metrics_.get()));
+  core::FlowBuilder builder;
+  builder.WithFlowConfig(fc)
+      .WithIngestion(layer_config(tenant.max_shards))
+      .WithAnalytics(layer_config(tenant.max_workers))
+      .WithStorage(storage)
+      .WithWorkload(MakeArrival(tenant, config.horizon_sec), wl)
+      .WithSeed(tenant.seed)
+      .WithTelemetry(p->telemetry_.get())
+      .WithTenantLabel(tenant.id);
+  if (p->chaos_ != nullptr) builder.WithFaultInjector(p->chaos_.get());
+  FLOWER_ASSIGN_OR_RETURN(p->managed_,
+                          builder.Build(p->sim_.get(), p->metrics_.get()));
 
   // Flow -> layer re-planning under the arbiter's grant. The request is
   // refreshed from granted_budget_usd_ right before each solve; the
@@ -107,8 +149,11 @@ Result<std::unique_ptr<FlowPartition>> FlowPartition::Create(
   rc.solver = config.flow_solver;
   // Partitions advance inside a fleet ParallelFor sweep; nested
   // parallelism on another pool would oversubscribe, so per-flow solves
-  // stay single-threaded (they are tiny).
-  rc.solver.num_threads = 1;
+  // default to single-threaded. Solo replays may raise this — the
+  // solver is thread-count-invariant, so decisions do not change.
+  rc.solver.num_threads = config.flow_solver_threads == 0
+                              ? 1
+                              : config.flow_solver_threads;
   rc.solver.seed = tenant.seed;
   rc.incremental = config.flow_incremental;
   rc.period_sec = config.arbitration_period_sec;
@@ -118,6 +163,71 @@ Result<std::unique_ptr<FlowPartition>> FlowPartition::Create(
     req->hourly_budget_usd = raw->granted_budget_usd_;
   };
   FLOWER_RETURN_NOT_OK(p->managed_.manager->EnableReplanning(std::move(rc)));
+
+  if (config.capture.enabled) {
+    p->recorder_ = std::make_unique<obs::replay::FlightRecorder>(
+        config.capture.recorder);
+    p->recorder_->SetIdentity(
+        tenant.id, index, tenant.seed,
+        static_cast<uint64_t>(index) * obs::SpanCollector::kIdStride);
+    p->recorder_->SetSpec(SerializePartitionSpec(tenant, config));
+    for (const TenantFault& f : tenant.faults) p->recorder_->AddFault(f);
+    p->managed_.manager->SetFlightRecorder(p->recorder_.get());
+  }
+
+  if (config.capture.health_trigger) {
+    obs::health::HealthMonitorConfig hc;
+    hc.eval_period_sec = config.capture.health_eval_period_sec;
+    p->health_ = std::make_unique<obs::health::HealthMonitor>(
+        p->telemetry_.get(), hc);
+    // Per-layer burn-rate SLOs over this tenant's utilization gauges
+    // (the manager labels them {"tenant", id} — see SetTenantLabel).
+    for (const char* layer : {"ingestion", "analytics", "storage"}) {
+      obs::health::SloSpec s;
+      s.id = std::string(layer) + "/utilization";
+      s.layer = layer;
+      s.kind = obs::health::SliKind::kGaugeBelow;
+      s.metric = {"loop.sensed_y",
+                  {{"loop", layer}, {"layer", layer}, {"tenant", tenant.id}}};
+      s.threshold = config.capture.util_threshold;
+      s.objective = config.capture.slo_objective;
+      s.fast_window_sec = config.capture.slo_fast_window_sec;
+      s.slow_window_sec = config.capture.slo_slow_window_sec;
+      FLOWER_RETURN_NOT_OK(p->health_->AddSlo(s));
+    }
+    FlowPartition* raw = p.get();
+    p->managed_.manager->SetHealthAnnotator(
+        [raw](const std::string& layer, SimTime) {
+          return raw->health_->MaskFor(layer);
+        });
+    // An alert edge latches the capture trigger and (once) dumps the
+    // bundle. The hook runs inside Evaluate, i.e. on this partition's
+    // own simulation thread — no synchronization needed.
+    p->health_->SetAlertEdgeHook(
+        [raw](SimTime t, const obs::health::SloStatus& st) {
+          if (raw->recorder_ == nullptr) return;
+          raw->recorder_->Trigger(t, st.id, st.burn_fast, st.burn_slow);
+          if (raw->capture_.bundle_dir.empty() || raw->dumped_) return;
+          raw->dumped_ = true;
+          ::mkdir(raw->capture_.bundle_dir.c_str(), 0755);
+          std::string path =
+              raw->capture_.bundle_dir + "/" + raw->tenant_.id + ".json";
+          Status dump = obs::replay::WriteBundleJson(
+              obs::replay::BundleFromRecorder(*raw->recorder_), path);
+          if (dump.ok()) {
+            raw->bundle_paths_.push_back(std::move(path));
+          } else {
+            FLOWER_LOG(Warning)
+                << "FlowPartition: capture bundle dump failed: " << dump;
+          }
+        });
+    FLOWER_RETURN_NOT_OK(p->sim_->SchedulePeriodic(
+        config.capture.health_eval_period_sec,
+        config.capture.health_eval_period_sec, [raw] {
+          raw->health_->Evaluate(raw->sim_->Now());
+          return true;
+        }));
+  }
   return p;
 }
 
@@ -187,6 +297,31 @@ double FlowPartition::SpendUsdPerHour() const {
 
 uint64_t FlowPartition::StepsTaken() const {
   return telemetry_->decisions().total_appended();
+}
+
+void FlowPartition::RecordGrant(SimTime t, double demand_usd,
+                                double grant_usd) {
+  if (recorder_ != nullptr) recorder_->RecordGrant(t, demand_usd, grant_usd);
+}
+
+Result<obs::replay::CaptureBundle> FlowPartition::MakeBundle() const {
+  if (recorder_ == nullptr) {
+    return Status::NotFound("FlowPartition: capture not enabled for tenant '" +
+                            tenant_.id + "'");
+  }
+  return obs::replay::BundleFromRecorder(*recorder_);
+}
+
+Status FlowPartition::DumpBundle(const std::string& path) {
+  if (recorder_ == nullptr) {
+    return Status::NotFound("FlowPartition: capture not enabled for tenant '" +
+                            tenant_.id + "'");
+  }
+  recorder_->Trigger(sim_->Now(), "explicit");
+  FLOWER_RETURN_NOT_OK(obs::replay::WriteBundleJson(
+      obs::replay::BundleFromRecorder(*recorder_), path));
+  bundle_paths_.push_back(path);
+  return Status::OK();
 }
 
 void FlowPartition::AppendDigest(std::string* out) const {

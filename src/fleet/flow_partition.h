@@ -3,14 +3,42 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "cloudwatch/metric_store.h"
 #include "core/flow_builder.h"
 #include "fleet/tenant.h"
+#include "obs/health/health_monitor.h"
+#include "obs/replay/bundle.h"
+#include "obs/replay/flight_recorder.h"
 #include "obs/telemetry.h"
+#include "sim/fault_injector.h"
 #include "sim/simulation.h"
 
 namespace flower::fleet {
+
+/// Flight-recorder / postmortem knobs of one partition. The recorder
+/// itself is allocation-capped (see obs::replay::RecorderConfig);
+/// health_trigger additionally runs a per-partition HealthMonitor with
+/// burn-rate SLOs so an alert edge arms the capture automatically.
+struct CaptureConfig {
+  bool enabled = false;
+  /// Evaluate per-layer burn-rate SLOs every health_eval_period_sec and
+  /// trigger the recorder (plus a bundle dump when bundle_dir is set)
+  /// on the first alert edge.
+  bool health_trigger = false;
+  double health_eval_period_sec = 60.0;
+  /// Per-layer utilization SLO shape (MakeDefaultSloPack semantics).
+  double util_threshold = 90.0;
+  double slo_objective = 0.95;
+  double slo_fast_window_sec = 300.0;
+  double slo_slow_window_sec = 3600.0;
+  obs::replay::RecorderConfig recorder;
+  /// When non-empty, an alert-edge trigger dumps the capture bundle to
+  /// `<bundle_dir>/<tenant>.json` (one dump per partition; created if
+  /// missing).
+  std::string bundle_dir;
+};
 
 /// Shared partition-shaping knobs, set once by the FleetManager.
 /// Defaults are tuned for fleet scale: coarse service ticks and small
@@ -53,6 +81,13 @@ struct PartitionConfig {
     inc.stall_generations = 3;
     return inc;
   }();
+  /// Threads for the per-flow NSGA-II solve. 1 inside fleet sweeps
+  /// (nested parallelism would oversubscribe the pool); replays of a
+  /// solo partition may raise it — the solver is thread-count-invariant,
+  /// so the digest does not change.
+  size_t flow_solver_threads = 1;
+  /// Flight-recorder / postmortem capture.
+  CaptureConfig capture;
 };
 
 /// One tenant's self-contained simulation partition: its own clock
@@ -99,20 +134,54 @@ class FlowPartition {
   /// fleet determinism verdict.
   void AppendDigest(std::string* out) const;
 
+  /// Mirrors one arbiter grant into the flight recorder (no-op when
+  /// capture is off). Called by the FleetManager right after each
+  /// arbitration, before the period's sweep.
+  void RecordGrant(SimTime t, double demand_usd, double grant_usd);
+
+  /// Snapshot of the flight recorder as a capture bundle. NotFound when
+  /// capture is disabled.
+  Result<obs::replay::CaptureBundle> MakeBundle() const;
+
+  /// Dumps the capture bundle to `path` (latching an "explicit" trigger
+  /// at the current sim time if none fired yet). NotFound when capture
+  /// is disabled.
+  Status DumpBundle(const std::string& path);
+
+  /// Bundle files written so far (alert-edge auto-dumps + DumpBundle).
+  const std::vector<std::string>& bundle_paths() const {
+    return bundle_paths_;
+  }
+
   const TenantConfig& tenant() const { return tenant_; }
   sim::Simulation& sim() { return *sim_; }
   obs::Telemetry& telemetry() { return *telemetry_; }
   core::ElasticityManager& manager() { return *managed_.manager; }
+  /// Null unless capture.enabled.
+  obs::replay::FlightRecorder* recorder() { return recorder_.get(); }
+  const obs::replay::FlightRecorder* recorder() const {
+    return recorder_.get();
+  }
+  /// Null unless capture.health_trigger.
+  obs::health::HealthMonitor* health() { return health_.get(); }
+  /// Null unless the tenant has a fault schedule.
+  sim::FaultInjector* fault_injector() { return chaos_.get(); }
 
  private:
   FlowPartition() = default;
 
   TenantConfig tenant_;
+  CaptureConfig capture_;
   double unit_price_[core::kNumLayers] = {0.0, 0.0, 0.0};
   double granted_budget_usd_ = 0.0;
   std::unique_ptr<sim::Simulation> sim_;
   std::unique_ptr<cloudwatch::MetricStore> metrics_;
   std::unique_ptr<obs::Telemetry> telemetry_;
+  std::unique_ptr<sim::FaultInjector> chaos_;
+  std::unique_ptr<obs::replay::FlightRecorder> recorder_;
+  std::unique_ptr<obs::health::HealthMonitor> health_;
+  std::vector<std::string> bundle_paths_;
+  bool dumped_ = false;  ///< One auto-dump per partition.
   core::ManagedFlow managed_;
 };
 

@@ -1,0 +1,34 @@
+#ifndef FLOWER_FLEET_PARTITION_SPEC_H_
+#define FLOWER_FLEET_PARTITION_SPEC_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "fleet/flow_partition.h"
+#include "fleet/tenant.h"
+
+namespace flower::fleet {
+
+/// Serializes every *decision-relevant* knob of (tenant, partition) as
+/// ordered (key, value) pairs — the flight recorder's config spec. Two
+/// runs with equal specs (and equal seed/faults/grants) produce the
+/// same control digest, so the spec deliberately EXCLUDES knobs that
+/// cannot change decisions: telemetry ring capacities, record_spans,
+/// and flow_solver_threads (the solver is thread-count-invariant).
+/// Replay overrides exactly those, so bundle fingerprints still match.
+std::vector<std::pair<std::string, std::string>> SerializePartitionSpec(
+    const TenantConfig& tenant, const PartitionConfig& config);
+
+/// Rebuilds (tenant, partition) from a serialized spec on top of the
+/// callers' defaults. Unknown keys are ignored (older builds can read
+/// bundles from newer ones as long as the knobs they know about are
+/// present). Errors: malformed numeric value, unknown arrival pattern.
+Status ParsePartitionSpec(
+    const std::vector<std::pair<std::string, std::string>>& spec,
+    TenantConfig* tenant, PartitionConfig* config);
+
+}  // namespace flower::fleet
+
+#endif  // FLOWER_FLEET_PARTITION_SPEC_H_

@@ -18,6 +18,19 @@ const char* ArrivalPatternToString(ArrivalPattern pattern) {
   return "unknown";
 }
 
+bool ArrivalPatternFromString(const std::string& name,
+                              ArrivalPattern* pattern) {
+  for (ArrivalPattern p :
+       {ArrivalPattern::kConstant, ArrivalPattern::kDiurnal,
+        ArrivalPattern::kFlashCrowd, ArrivalPattern::kMmpp}) {
+    if (name == ArrivalPatternToString(p)) {
+      *pattern = p;
+      return true;
+    }
+  }
+  return false;
+}
+
 namespace {
 
 /// SplitMix64 finalizer: a stateless index->uint64 mixer, so tenant i's

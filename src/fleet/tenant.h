@@ -5,7 +5,16 @@
 #include <string>
 #include <vector>
 
+#include "obs/replay/flight_recorder.h"
+
 namespace flower::fleet {
+
+/// One scheduled fault on a tenant's flow, as plain data (the kind
+/// strings are sim::FaultKindToString names, e.g. "sensor-spike"). The
+/// partition builds a seeded sim::FaultInjector from these, and the
+/// flight recorder captures them verbatim so a replay re-injects the
+/// identical schedule.
+using TenantFault = obs::replay::RecordedFault;
 
 /// Arrival-pattern family of one tenant's click traffic. Kept as a
 /// small enum (instead of a shared_ptr<ArrivalProcess>) so a fleet of
@@ -19,6 +28,10 @@ enum class ArrivalPattern {
 };
 
 const char* ArrivalPatternToString(ArrivalPattern pattern);
+
+/// Inverse of ArrivalPatternToString; false when `name` is unknown.
+bool ArrivalPatternFromString(const std::string& name,
+                              ArrivalPattern* pattern);
 
 /// Everything the fleet needs to instantiate one tenant's managed flow:
 /// identity, money, traffic shape, and topology scale. Heterogeneous
@@ -55,6 +68,10 @@ struct TenantConfig {
   /// Control knobs.
   double reference_utilization_pct = 60.0;
   double monitoring_period_sec = 120.0;
+
+  /// Fault schedule injected into this tenant's partition (empty =
+  /// fair weather). Targets are layer names; seeding uses `seed`.
+  std::vector<TenantFault> faults;
 };
 
 /// Deterministically synthesizes `count` heterogeneous tenants: ids

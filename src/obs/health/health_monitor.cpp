@@ -164,6 +164,7 @@ void HealthMonitor::Evaluate(SimTime now) {
       report_counter_->Increment();
       while (reports_.size() > config_.max_reports) reports_.pop_front();
     }
+    if (fresh_alert && alert_edge_hook_) alert_edge_hook_(now, st);
   }
 }
 

@@ -2,6 +2,7 @@
 #define FLOWER_OBS_HEALTH_HEALTH_MONITOR_H_
 
 #include <deque>
+#include <functional>
 #include <memory>
 #include <ostream>
 #include <string>
@@ -88,6 +89,15 @@ class HealthMonitor {
   /// core::DependencyAnalyzer via core::ToHealthEdges).
   void SetDependencyEdges(std::vector<DependencyEdge> edges);
 
+  /// Installs a callback fired on every SLO alert *edge* (the tick a
+  /// burn-rate alert first fires, not while it stays breached). This is
+  /// the flight-recorder capture trigger: the hook runs inside
+  /// Evaluate() after the tracker update, so the status it sees is the
+  /// alert-tick state. Pass nullptr to uninstall.
+  void SetAlertEdgeHook(std::function<void(SimTime, const SloStatus&)> hook) {
+    alert_edge_hook_ = std::move(hook);
+  }
+
   /// One evaluation tick: snapshots the registry, advances detectors
   /// and SLO trackers, publishes slo.*/health.* instruments, and on a
   /// breach transition builds a HealthReport from the decision log,
@@ -149,6 +159,7 @@ class HealthMonitor {
   std::deque<AnomalyEvent> anomaly_log_;
   Counter* anomaly_counter_ = nullptr;
   Counter* report_counter_ = nullptr;
+  std::function<void(SimTime, const SloStatus&)> alert_edge_hook_;
   uint64_t evaluations_ = 0;
 };
 

@@ -1,0 +1,58 @@
+#ifndef FLOWER_OBS_REPLAY_DIVERGENCE_H_
+#define FLOWER_OBS_REPLAY_DIVERGENCE_H_
+
+#include <string>
+
+#include "obs/replay/bundle.h"
+#include "obs/replay/flight_recorder.h"
+
+namespace flower::obs::replay {
+
+/// Verdict of comparing a replayed run's flight recorder against the
+/// recorded capture bundle, step by step.
+struct DivergenceReport {
+  /// Overall verdict: true when any check failed (fingerprint mismatch
+  /// is reported separately and does NOT by itself set this — a
+  /// deliberately perturbed replay still gets a decision-level verdict).
+  bool diverged = false;
+
+  /// Capture-time inputs (identity + spec + faults) hash the same.
+  bool fingerprint_match = true;
+
+  /// The digest chain after the recorded decision count matches.
+  bool chain_match = true;
+
+  /// First recorded decision whose replayed counterpart differs.
+  bool has_first_mismatch = false;
+  uint64_t first_mismatch_index = 0;
+  SimTime first_mismatch_time = 0.0;
+  std::string loop;    ///< Layer/loop of the first mismatching decision.
+  std::string detail;  ///< Human-readable field-level diff.
+
+  /// True when the drift predates the retained decision tail but a
+  /// hash checkpoint narrowed it to [suspect_window_start,
+  /// suspect_window_end] (a window of `checkpoint_every` decisions).
+  bool localized_by_checkpoint = false;
+  SimTime suspect_window_start = 0.0;
+  SimTime suspect_window_end = 0.0;
+
+  uint64_t recorded_total = 0;
+  uint64_t replayed_total = 0;
+
+  /// Multi-line human-readable summary.
+  std::string ToString() const;
+};
+
+/// Compares a replayed recorder against the recorded bundle.
+///
+/// The replay runs to the trigger time *inclusive*, so it may execute a
+/// few same-instant decisions the original dump (taken mid-callback)
+/// never saw; only the first `recorded.total_decisions` decisions are
+/// compared, via the per-entry chain values. Requires replayed_total >=
+/// recorded_total — fewer replayed decisions is itself a divergence.
+DivergenceReport CompareReplay(const CaptureBundle& recorded,
+                               const FlightRecorder& replayed);
+
+}  // namespace flower::obs::replay
+
+#endif  // FLOWER_OBS_REPLAY_DIVERGENCE_H_

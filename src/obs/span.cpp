@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/logging.h"
+
 namespace flower::obs {
 
 const char* SpanKindToString(SpanKind kind) {
@@ -45,6 +47,20 @@ SpanId SpanCollector::Begin(SpanKind kind, std::string_view label,
                             SpanId follows) {
   if (!enabled_) return 0;
   SpanId id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  if (id > id_offset_ + kIdStride) {
+    // Namespace exhausted: minting this id would collide with the next
+    // sibling collector's (offset + kIdStride, ...] range. Drop the
+    // span, count it, and hold next_id_ at the boundary so the counter
+    // cannot creep into foreign territory however often this fires.
+    next_id_.store(id_offset_ + kIdStride + 1, std::memory_order_relaxed);
+    if (id_overflows_.fetch_add(1, std::memory_order_relaxed) == 0) {
+      FLOWER_LOG(Warning)
+          << "SpanCollector: id namespace exhausted (offset=" << id_offset_
+          << ", stride=" << kIdStride
+          << "); dropping further spans for this collector";
+    }
+    return 0;
+  }
   SpanRecord* r = Slot(id);
   r->id = id;
   r->parent = parent;

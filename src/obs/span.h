@@ -113,10 +113,27 @@ class SpanCollector {
 
   size_t size() const;                ///< Retained span count.
   uint64_t total_started() const {
-    return next_id_.load(std::memory_order_relaxed) - id_offset_ - 1;
+    uint64_t started = next_id_.load(std::memory_order_relaxed) - id_offset_ - 1;
+    return started <= kIdStride ? started : kIdStride;
   }
   uint64_t evicted() const;
   size_t capacity() const { return capacity_; }
+
+  /// Spans dropped because this collector exhausted its id namespace
+  /// (total_started() reached kIdStride). Exhausted collectors return
+  /// SpanId 0 from Begin/Emit instead of bleeding into the next
+  /// sibling's (offset + kIdStride, ...] namespace; the first drop logs
+  /// a one-shot warning.
+  uint64_t id_overflows() const {
+    return id_overflows_.load(std::memory_order_relaxed);
+  }
+
+  /// Test seam: burns `n` ids as if that many spans had been started,
+  /// without touching the ring. Exercises namespace exhaustion without
+  /// recording 2^40 spans.
+  void AdvanceIdsForTest(uint64_t n) {
+    next_id_.fetch_add(n, std::memory_order_relaxed);
+  }
 
  private:
   SpanRecord* Slot(SpanId id) {
@@ -129,6 +146,7 @@ class SpanCollector {
   /// Atomic so concurrent recorders never allocate one id twice (the
   /// pre-fleet plain increment dropped/collided ids under TSan).
   std::atomic<SpanId> next_id_{1};
+  std::atomic<uint64_t> id_overflows_{0};
   std::vector<SpanRecord> ring_;  ///< Sized to capacity_ on first enable.
 };
 

@@ -98,6 +98,15 @@ size_t FaultInjector::fault_count() const {
   return n;
 }
 
+std::vector<FaultSpec> FaultInjector::Schedule() const {
+  std::vector<FaultSpec> out;
+  out.reserve(faults_.size());
+  for (const Registered& r : faults_) {
+    if (!r.cleared) out.push_back(r.spec);
+  }
+  return out;
+}
+
 bool FaultInjector::Active(FaultKind kind, const std::string& target,
                            SimTime t) const {
   for (const Registered& r : faults_) {

@@ -73,7 +73,8 @@ struct FaultInjectorStats {
 ///   cfg.sensor   = chaos.WrapSensor("analytics", std::move(sensor));
 class FaultInjector {
  public:
-  FaultInjector(Simulation* sim, uint64_t seed) : sim_(sim), rng_(seed) {}
+  FaultInjector(Simulation* sim, uint64_t seed)
+      : sim_(sim), seed_(seed), rng_(seed) {}
   FaultInjector(const FaultInjector&) = delete;
   FaultInjector& operator=(const FaultInjector&) = delete;
 
@@ -125,6 +126,12 @@ class FaultInjector {
   const FaultInjectorStats& stats() const { return stats_; }
   size_t fault_count() const;
 
+  /// Seed the injector's Bernoulli stream was constructed with (flight
+  /// recorders capture it so a replay rebuilds the identical stream).
+  uint64_t seed() const { return seed_; }
+  /// Snapshot of the non-cleared fault schedule, registration order.
+  std::vector<FaultSpec> Schedule() const;
+
  private:
   struct Registered {
     int id;
@@ -142,6 +149,7 @@ class FaultInjector {
   void Note(FaultKind kind, const std::string& target);
 
   Simulation* sim_;
+  uint64_t seed_;
   Rng rng_;
   int next_id_ = 0;
   std::vector<Registered> faults_;

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench run against its committed baseline.
+
+Each bench JSON carries one *headline* metric — the number the bench
+exists to defend. This script extracts it from both files and fails
+(exit 1) when the fresh run regresses by more than the threshold
+(default 15%). Smoke-mode runs measure a different workload than the
+committed full-mode baselines, so a mode mismatch is reported and
+skipped (exit 0) rather than compared apples-to-oranges.
+
+Usage:
+  bench_diff.py BASELINE.json FRESH.json [--threshold=0.15]
+  bench_diff.py --all BASELINE_DIR FRESH_DIR [--threshold=0.15]
+
+Exit codes: 0 ok/skipped, 1 regression, 2 bad invocation/unreadable.
+"""
+
+import json
+import os
+import sys
+
+# bench name -> (headline description, extractor, higher_is_better)
+HEADLINES = {
+    "planner_throughput": (
+        "cold/warm-stall wall-time ratio (incremental planning speedup)",
+        lambda b: _planner_ratio(b),
+        True,
+    ),
+    "obs_overhead": (
+        "full-telemetry steady-tick overhead % vs disabled plane",
+        lambda b: b["enabled"]["overhead_pct"],
+        False,
+    ),
+    "fleet_scale": (
+        "fleet sweep speedup at 4 threads",
+        lambda b: b["speedup_at_4_threads"],
+        True,
+    ),
+    "sim_throughput": (
+        "timer-wheel vs reference calendar speedup",
+        lambda b: b["calendar"]["speedup"],
+        True,
+    ),
+}
+
+
+def _planner_ratio(b):
+    """Cold wall-time over warm+stall wall-time: how much the
+    incremental engine saves on an unchanged re-plan. Compared at the
+    lowest thread count the bench ran (single-threaded is the least
+    noisy and always present)."""
+    runs = {}
+    for r in b["runs"]:
+        prev = runs.get(r["mode"])
+        if prev is None or r["threads"] < prev["threads"]:
+            runs[r["mode"]] = r
+    cold = runs["cold"]["wall_ms"]
+    warm = runs["warm_stall"]["wall_ms"]
+    if warm <= 0:
+        raise ValueError("warm_stall wall_ms is zero")
+    return cold / warm
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"bench_diff: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def compare(baseline_path, fresh_path, threshold):
+    """Returns True when fresh holds the baseline's headline metric."""
+    baseline = load(baseline_path)
+    fresh = load(fresh_path)
+    name = baseline.get("bench")
+    if name != fresh.get("bench"):
+        print(f"bench_diff: bench mismatch: baseline {name!r} vs "
+              f"fresh {fresh.get('bench')!r}", file=sys.stderr)
+        sys.exit(2)
+    if name not in HEADLINES:
+        print(f"bench_diff: no headline registered for {name!r}",
+              file=sys.stderr)
+        sys.exit(2)
+    if baseline.get("smoke") != fresh.get("smoke"):
+        print(f"[SKIP] {name}: mode mismatch (baseline smoke="
+              f"{baseline.get('smoke')}, fresh smoke={fresh.get('smoke')}) "
+              f"— different workloads, not comparable")
+        return True
+
+    desc, extract, higher_is_better = HEADLINES[name]
+    base_v = extract(baseline)
+    fresh_v = extract(fresh)
+    if higher_is_better:
+        # Regression = fresh dropped below (1 - threshold) x baseline.
+        regressed = fresh_v < base_v * (1.0 - threshold)
+        change = (fresh_v - base_v) / base_v if base_v else 0.0
+    else:
+        # Lower-is-better metrics regress upward. An overhead baseline
+        # near zero makes a pure ratio hypersensitive, so allow the
+        # larger of the relative threshold and one absolute point.
+        allowance = max(abs(base_v) * threshold, 1.0)
+        regressed = fresh_v > base_v + allowance
+        change = (fresh_v - base_v) / base_v if base_v else 0.0
+
+    verdict = "REGRESSED" if regressed else "ok"
+    print(f"[{verdict}] {name}: {desc}")
+    print(f"  baseline {base_v:.3f} -> fresh {fresh_v:.3f} "
+          f"({change:+.1%}, threshold {threshold:.0%})")
+    return not regressed
+
+
+def main(argv):
+    threshold = 0.15
+    args = []
+    all_mode = False
+    for a in argv[1:]:
+        if a.startswith("--threshold="):
+            threshold = float(a.split("=", 1)[1])
+        elif a == "--all":
+            all_mode = True
+        else:
+            args.append(a)
+    if len(args) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    if not all_mode:
+        return 0 if compare(args[0], args[1], threshold) else 1
+
+    baseline_dir, fresh_dir = args
+    ok = True
+    seen = 0
+    for fname in sorted(os.listdir(baseline_dir)):
+        if not (fname.startswith("BENCH_") and fname.endswith(".json")):
+            continue
+        fresh_path = os.path.join(fresh_dir, fname)
+        if not os.path.exists(fresh_path):
+            print(f"[SKIP] {fname}: no fresh result")
+            continue
+        seen += 1
+        ok &= compare(os.path.join(baseline_dir, fname), fresh_path,
+                      threshold)
+    if seen == 0:
+        print("bench_diff: no comparable BENCH_*.json pairs found",
+              file=sys.stderr)
+        return 2
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -28,6 +28,7 @@
 #include "obs/health/health_monitor.h"
 #include "obs/telemetry.h"
 #include "tools/flag_parser.h"
+#include "tools/replay_runner.h"
 #include "workload/trace_io.h"
 
 using namespace flower;
@@ -83,7 +84,29 @@ Fleet mode (multi-tenant, replaces the single-flow run):
   --fleet-period=S      arbitration period, seconds              [900]
   --fleet-threads=N     simulation partitions advanced in parallel; the
                         merged control decisions are identical at any N  [1]
+  --fleet-report-out=FILE  write one JSON line per (period, tenant) with
+                        demand/grant/spend/steps and the period's budget
+                        conservation flag
+  --fleet-capture-dir=DIR  arm every partition's flight recorder with
+                        burn-rate SLO health triggers; an alert edge dumps
+                        a self-contained capture bundle <tenant>.json
+                        into DIR (created if missing)
+  --fleet-fault         inject a deterministic sensor-spike fault (+200 on
+                        sensed analytics utilization from t=300s) into
+                        tenant 0, so a capture-armed fleet run reliably
+                        trips an alert
   --hours / --seed also apply in fleet mode.
+
+Postmortem replay (replaces the single-flow and fleet runs):
+  --replay=FILE.json    reconstruct a capture bundle's tenant as a solo
+                        partition, re-run it to the trigger time with full
+                        telemetry forced on, and check the replayed
+                        decision chain against the recording (exit 2 on
+                        divergence). Honors --threads, --trace-out,
+                        --spans-out, --metrics-out, --health-out,
+                        --decisions-out, --quiet.
+  --decisions-out=FILE  (replay mode) write the canonical control-decision
+                        digest text
 )";
 
 /// Installs the simulation clock as the log-line time source for the
@@ -276,14 +299,34 @@ int RunFleet(const tools::FlagParser& flags) {
     return 2;
   }
 
+  std::string report_out = flags.GetString("fleet-report-out", "");
+  std::string capture_dir = flags.GetString("fleet-capture-dir", "");
+
   fleet::FleetConfig config;
   config.fleet_budget_usd_per_hour = *budget_or;
   config.arbitration_period_sec = *period_or;
   config.num_threads = static_cast<size_t>(*threads_or);
+  if (!capture_dir.empty()) {
+    config.partition.capture.enabled = true;
+    config.partition.capture.health_trigger = true;
+    config.bundle_dir = capture_dir;
+  }
   fleet::FleetManager manager(config);
-  for (fleet::TenantConfig& t : fleet::MakeTenantFleet(
-           static_cast<size_t>(*tenants_or),
-           static_cast<uint64_t>(*seed_or))) {
+  std::vector<fleet::TenantConfig> tenants = fleet::MakeTenantFleet(
+      static_cast<size_t>(*tenants_or), static_cast<uint64_t>(*seed_or));
+  if (flags.GetBool("fleet-fault") && !tenants.empty()) {
+    // A sensed-utilization spike the controller cannot regulate away:
+    // the analytics loop sees +200 points forever, so the burn-rate
+    // SLOs breach and (with capture armed) the alert edge dumps a
+    // bundle — the deterministic smoke path for the postmortem flow.
+    fleet::TenantFault fault;
+    fault.kind = "sensor-spike";
+    fault.target = "analytics";
+    fault.start = 300.0;
+    fault.offset = 200.0;
+    tenants.front().faults.push_back(fault);
+  }
+  for (fleet::TenantConfig& t : tenants) {
     Status st = manager.AddTenant(std::move(t));
     if (!st.ok()) {
       std::cerr << st << "\n";
@@ -344,6 +387,17 @@ int RunFleet(const tools::FlagParser& flags) {
     std::cout << "\nfinal period, first " << std::min<size_t>(20, last.tenants.size())
               << " tenants:\n";
     per_tenant.Print(std::cout);
+  }
+  if (!report_out.empty()) {
+    st = manager.ExportReportsJsonl(report_out);
+    if (!st.ok()) {
+      std::cerr << st << "\n";
+      return 1;
+    }
+    std::cout << "wrote fleet period reports to " << report_out << "\n";
+  }
+  for (const std::string& path : manager.CapturedBundles()) {
+    std::cout << "captured bundle: " << path << "\n";
   }
   return 0;
 }
@@ -662,10 +716,29 @@ int main(int argc, char** argv) {
        "seeds", "threads", "warm-start", "stall-generations", "csv-out",
        "trace-out", "spans-out", "metrics-out", "health-out",
        "openmetrics-out", "quiet", "help", "fleet", "fleet-tenants",
-       "fleet-budget", "fleet-period", "fleet-threads"});
+       "fleet-budget", "fleet-period", "fleet-threads", "fleet-report-out",
+       "fleet-capture-dir", "fleet-fault", "replay", "decisions-out"});
   if (!unknown.empty()) {
     std::cerr << "unknown flag: --" << unknown.front() << "\n" << kUsage;
     return 2;
+  }
+  std::string replay_path = flags->GetString("replay", "");
+  if (!replay_path.empty()) {
+    auto threads = flags->GetInt("threads", 1);
+    if (!threads.ok() || *threads < 1) {
+      std::cerr << "--threads expects a positive integer\n";
+      return 2;
+    }
+    tools::ReplayCliOptions options;
+    options.bundle_path = replay_path;
+    options.threads = static_cast<size_t>(*threads);
+    options.trace_out = flags->GetString("trace-out", "");
+    options.spans_out = flags->GetString("spans-out", "");
+    options.metrics_out = flags->GetString("metrics-out", "");
+    options.health_out = flags->GetString("health-out", "");
+    options.decisions_out = flags->GetString("decisions-out", "");
+    options.quiet = flags->GetBool("quiet");
+    return tools::RunReplayCli(options);
   }
   if (flags->GetBool("fleet")) return RunFleet(*flags);
   auto seeds = flags->GetInt("seeds", 1);

@@ -12,9 +12,13 @@
 # pointer-heavy and deserve lifetime checking. The fleet label rides
 # along too: a thousand flow partitions being built, swept in parallel,
 # and torn down is where a dangling partition pointer or a
-# budget-callback into a freed manager would surface first.
+# budget-callback into a freed manager would surface first. The replay
+# label rides along because the flight recorder's bounded rings and the
+# replay harness's bundle reconstruction shuffle ownership of spec,
+# fault, and grant records across the capture/replay boundary — the
+# natural habitat of a stale pointer into an evicted ring slot.
 #
-#   $ tools/run_sanitized.sh    # ctest -L 'fault|health|simcore|obs|fleet'
+#   $ tools/run_sanitized.sh    # ctest -L 'fault|health|simcore|obs|fleet|replay'
 #   $ tools/run_sanitized.sh -R Breaker # forward extra ctest args
 set -euo pipefail
 
@@ -28,8 +32,8 @@ cmake -B "${build_dir}" -S "${repo_root}" \
   -DFLOWER_BUILD_EXAMPLES=OFF
 cmake --build "${build_dir}" -j "$(nproc)" \
   --target fault_tests health_tests sim_tests simcore_tests obs_tests \
-  fleet_tests
+  fleet_tests replay_tests
 
 cd "${build_dir}"
 ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
-  ctest -L 'fault|health|simcore|obs|fleet' --output-on-failure "$@"
+  ctest -L 'fault|health|simcore|obs|fleet|replay' --output-on-failure "$@"

@@ -20,7 +20,12 @@
 # before; the determinism-across-thread-counts tests double as the
 # regression certificate for that fix.
 #
-#   $ tools/run_tsan.sh        # build + ctest -L 'planner|simcore|obs|fleet'
+# The replay label rides along because replay re-runs a captured tenant
+# at arbitrary flow-solver thread counts and asserts byte-identical
+# digests — any missed happens-before edge in the solver fan-out shows
+# up here as a divergence long before it corrupts a real postmortem.
+#
+#   $ tools/run_tsan.sh        # build + ctest -L 'planner|simcore|obs|fleet|replay'
 #   $ tools/run_tsan.sh -R ThreadPool  # forward extra ctest args
 set -euo pipefail
 
@@ -34,11 +39,11 @@ cmake -B "${build_dir}" -S "${repo_root}" \
   -DFLOWER_BUILD_EXAMPLES=OFF
 cmake --build "${build_dir}" -j "$(nproc)" \
   --target exec_tests opt_tests core_tests sim_tests simcore_tests \
-  obs_tests fleet_tests flower-sim
+  obs_tests fleet_tests replay_tests flower-sim
 
 cd "${build_dir}"
 TSAN_OPTIONS=halt_on_error=1 \
-  ctest -L 'planner|simcore|obs|fleet' --output-on-failure "$@"
+  ctest -L 'planner|simcore|obs|fleet|replay' --output-on-failure "$@"
 
 # End-to-end: a multi-threaded planning pass through the CLI, with the
 # telemetry trace enabled, must be race-free too.
