@@ -3,20 +3,32 @@
 //
 //   scale    flows/sec of simulated control per thread count: the same
 //            fleet advanced at 1 / 4 / 16 threads, reporting wall time,
-//            flow-seconds of simulation per wall second, and control
-//            steps executed.
+//            flow-seconds of simulation per wall second, control steps,
+//            and the work-stealing schedule counters (steals, mailbox
+//            waits, busy/wall overlap).
+//   barrier  the same homogeneous fleet under the legacy lock-step
+//            sweep: its digest must match the work-stealing one byte
+//            for byte, and its scaling curve is the PERF5 baseline.
+//   hetero   the fleet again with ApplyPeriodJitter spreading tenant
+//            arbitration horizons over 900/450/300/225 s: boundaries
+//            only partially overlap, which is where work stealing beats
+//            the barrier. The heterogeneous 4-thread speedup is the
+//            bench's headline metric.
 //   merge    a determinism verdict: the merged control digest (every
 //            arbiter split plus every partition's decision log) must be
-//            byte-identical across thread counts.
-//   budget   conservation: in every arbitration period the sum of
-//            per-tenant grants stays within the fleet budget.
+//            byte-identical across thread counts, homogeneous and
+//            heterogeneous alike.
+//   budget   conservation: at every instant the sum of simultaneously
+//            active grants stays within the fleet budget.
 //
 // Full-mode gates (the PR's acceptance criteria): >= 1000 concurrent
-// flows, identical digests at 1 vs 4 vs 16 threads, conservation in
-// every period, and >= 2x parallel scaling at 4 threads (the scaling
-// gate is hardware-aware: skipped with a [SKIP] line when fewer than 4
-// hardware threads are available). --smoke shrinks the fleet, drops the
-// gates, and always exits 0. Results land in BENCH_fleet.json.
+// flows, identical digests at 1 vs 4 vs 16 threads, work-stealing ==
+// lock-step digest, conservation in every window, and >= 2x parallel
+// scaling at 4 threads on the heterogeneous fleet. Scaling gates are
+// hardware-aware: on hosts with fewer than 4 hardware threads they are
+// reported as an explicit SKIP verdict instead of a vacuous pass.
+// --smoke shrinks the fleet, drops the gates, and always exits 0.
+// Results land in BENCH_fleet.json.
 
 #include <algorithm>
 #include <chrono>
@@ -35,19 +47,28 @@
 namespace flower {
 namespace {
 
+/// Seed for ApplyPeriodJitter: fixed so every thread count builds the
+/// identical heterogeneous fleet.
+constexpr uint64_t kJitterSeed = 77;
+
 struct ScaleResult {
   size_t threads = 0;
   double wall_ms = 0.0;
   double flow_sim_sec_per_wall_sec = 0.0;
   uint64_t control_steps = 0;
+  uint64_t steals = 0;
+  uint64_t mailbox_waits = 0;
+  double overlap_ratio = 0.0;
   std::string digest;
   bool conservation_ok = true;
   size_t periods = 0;
 };
 
 fleet::FleetConfig BenchConfig(size_t num_threads, size_t flows,
-                               bool capture = false) {
+                               bool capture,
+                               fleet::FleetConfig::SweepMode mode) {
   fleet::FleetConfig config;
+  config.sweep_mode = mode;
   // Roughly half the fleet's aggregate demand: keeps every period
   // contended so the arbiter genuinely splits, not rubber-stamps.
   config.fleet_budget_usd_per_hour = 0.35 * static_cast<double>(flows);
@@ -62,10 +83,17 @@ fleet::FleetConfig BenchConfig(size_t num_threads, size_t flows,
   return config;
 }
 
-Result<ScaleResult> RunFleet(size_t num_threads, size_t flows,
-                             double horizon_sec, bool capture = false) {
-  fleet::FleetManager manager(BenchConfig(num_threads, flows, capture));
-  for (fleet::TenantConfig& t : fleet::MakeTenantFleet(flows, /*seed=*/1234)) {
+Result<ScaleResult> RunFleet(
+    size_t num_threads, size_t flows, double horizon_sec,
+    bool capture = false,
+    fleet::FleetConfig::SweepMode mode =
+        fleet::FleetConfig::SweepMode::kWorkStealing,
+    bool hetero = false) {
+  fleet::FleetManager manager(BenchConfig(num_threads, flows, capture, mode));
+  std::vector<fleet::TenantConfig> tenants =
+      fleet::MakeTenantFleet(flows, /*seed=*/1234);
+  if (hetero) fleet::ApplyPeriodJitter(&tenants, 900.0, kJitterSeed);
+  for (fleet::TenantConfig& t : tenants) {
     FLOWER_RETURN_NOT_OK(manager.AddTenant(std::move(t)));
   }
   FLOWER_RETURN_NOT_OK(manager.Start());
@@ -87,8 +115,50 @@ Result<ScaleResult> RunFleet(size_t num_threads, size_t flows,
       r.control_steps += row.steps;
     }
   }
+  fleet::FleetSweepStats stats = manager.sweep_stats();
+  r.steals = stats.steals;
+  r.mailbox_waits = stats.mailbox_waits;
+  r.overlap_ratio = stats.overlap_ratio();
+  r.conservation_ok &= stats.conservation_violations == 0;
   r.digest = manager.ControlDigest();
   return r;
+}
+
+/// One scaling curve: the same fleet at each thread count.
+struct Curve {
+  std::vector<ScaleResult> results;
+  bool deterministic = true;
+  bool conservation_ok = true;
+  double speedup4 = 0.0;
+};
+
+Result<Curve> RunCurve(const std::vector<size_t>& thread_counts, size_t flows,
+                       double horizon_sec,
+                       fleet::FleetConfig::SweepMode mode, bool hetero,
+                       const char* tag) {
+  Curve curve;
+  for (size_t threads : thread_counts) {
+    FLOWER_ASSIGN_OR_RETURN(
+        ScaleResult r,
+        RunFleet(threads, flows, horizon_sec, /*capture=*/false, mode, hetero));
+    std::cout << "  " << tag << " " << r.threads << " thread"
+              << (r.threads > 1 ? "s" : " ") << ": "
+              << TablePrinter::Num(r.wall_ms, 1) << " ms, "
+              << TablePrinter::Num(r.flow_sim_sec_per_wall_sec, 0)
+              << " flow-sim-sec/s, " << r.control_steps << " steps, "
+              << r.steals << " steals, " << r.mailbox_waits
+              << " mailbox waits, overlap "
+              << TablePrinter::Num(r.overlap_ratio, 2) << "\n";
+    curve.results.push_back(std::move(r));
+  }
+  for (const ScaleResult& r : curve.results) {
+    curve.deterministic &= r.digest == curve.results[0].digest;
+    curve.conservation_ok &= r.conservation_ok;
+    if (r.threads == 4 && r.wall_ms > 0.0) {
+      curve.speedup4 = curve.results[0].wall_ms / r.wall_ms;
+    }
+  }
+  return curve;
 }
 
 struct RecorderOverhead {
@@ -99,27 +169,64 @@ struct RecorderOverhead {
   bool digest_identical = false;
 };
 
+void WriteCurveJson(std::FILE* fp, const char* key, const Curve& curve,
+                    bool trailing_comma) {
+  std::fprintf(fp, "  \"%s\": {\n    \"scaling\": [\n", key);
+  for (size_t i = 0; i < curve.results.size(); ++i) {
+    const ScaleResult& r = curve.results[i];
+    std::fprintf(fp,
+                 "      {\"threads\": %zu, \"wall_ms\": %.1f, "
+                 "\"flow_sim_sec_per_wall_sec\": %.0f, "
+                 "\"control_steps\": %llu, \"periods\": %zu, "
+                 "\"steals\": %llu, \"mailbox_waits\": %llu, "
+                 "\"overlap_ratio\": %.2f}%s\n",
+                 r.threads, r.wall_ms, r.flow_sim_sec_per_wall_sec,
+                 static_cast<unsigned long long>(r.control_steps), r.periods,
+                 static_cast<unsigned long long>(r.steals),
+                 static_cast<unsigned long long>(r.mailbox_waits),
+                 r.overlap_ratio, i + 1 < curve.results.size() ? "," : "");
+  }
+  std::fprintf(fp, "    ],\n");
+  std::fprintf(fp, "    \"speedup_at_4_threads\": %.2f,\n", curve.speedup4);
+  std::fprintf(fp, "    \"budget_conservation\": \"%s\",\n",
+               curve.conservation_ok ? "holds" : "VIOLATED");
+  std::fprintf(fp, "    \"determinism\": \"%s\"\n  }%s\n",
+               curve.deterministic ? "identical" : "DIVERGED",
+               trailing_comma ? "," : "");
+}
+
 void WriteJson(std::FILE* fp, bool smoke, size_t flows, double horizon_sec,
-               const std::vector<ScaleResult>& results, bool deterministic,
-               bool conservation_ok, double speedup4,
+               const Curve& worksteal, const Curve& lockstep,
+               const Curve& hetero, bool worksteal_matches_lockstep,
                const RecorderOverhead& rec) {
   std::fprintf(fp, "{\n  \"bench\": \"fleet_scale\",\n");
   std::fprintf(fp, "  \"smoke\": %s,\n", smoke ? "true" : "false");
   std::fprintf(fp, "  \"flows\": %zu,\n", flows);
   std::fprintf(fp, "  \"horizon_sec\": %.0f,\n", horizon_sec);
+  // Legacy top-level scaling block (the homogeneous work-stealing
+  // curve), kept so older bench_diff baselines still parse.
   std::fprintf(fp, "  \"scaling\": [\n");
-  for (size_t i = 0; i < results.size(); ++i) {
-    const ScaleResult& r = results[i];
+  for (size_t i = 0; i < worksteal.results.size(); ++i) {
+    const ScaleResult& r = worksteal.results[i];
     std::fprintf(fp,
                  "    {\"threads\": %zu, \"wall_ms\": %.1f, "
                  "\"flow_sim_sec_per_wall_sec\": %.0f, "
-                 "\"control_steps\": %llu, \"periods\": %zu}%s\n",
+                 "\"control_steps\": %llu, \"periods\": %zu, "
+                 "\"steals\": %llu, \"mailbox_waits\": %llu, "
+                 "\"overlap_ratio\": %.2f}%s\n",
                  r.threads, r.wall_ms, r.flow_sim_sec_per_wall_sec,
                  static_cast<unsigned long long>(r.control_steps), r.periods,
-                 i + 1 < results.size() ? "," : "");
+                 static_cast<unsigned long long>(r.steals),
+                 static_cast<unsigned long long>(r.mailbox_waits),
+                 r.overlap_ratio,
+                 i + 1 < worksteal.results.size() ? "," : "");
   }
   std::fprintf(fp, "  ],\n");
-  std::fprintf(fp, "  \"speedup_at_4_threads\": %.2f,\n", speedup4);
+  std::fprintf(fp, "  \"speedup_at_4_threads\": %.2f,\n", worksteal.speedup4);
+  WriteCurveJson(fp, "lockstep", lockstep, /*trailing_comma=*/true);
+  WriteCurveJson(fp, "hetero", hetero, /*trailing_comma=*/true);
+  std::fprintf(fp, "  \"worksteal_matches_lockstep\": %s,\n",
+               worksteal_matches_lockstep ? "true" : "false");
   std::fprintf(fp,
                "  \"recorder\": {\"flows\": %zu, \"wall_ms_off\": %.1f, "
                "\"wall_ms_on\": %.1f, \"overhead_pct\": %.2f, "
@@ -129,9 +236,12 @@ void WriteJson(std::FILE* fp, bool smoke, size_t flows, double horizon_sec,
   std::fprintf(fp, "  \"hardware_threads\": %u,\n",
                std::thread::hardware_concurrency());
   std::fprintf(fp, "  \"budget_conservation\": \"%s\",\n",
-               conservation_ok ? "holds" : "VIOLATED");
+               worksteal.conservation_ok && hetero.conservation_ok
+                   ? "holds"
+                   : "VIOLATED");
   std::fprintf(fp, "  \"determinism\": \"%s\"\n}\n",
-               deterministic ? "identical" : "DIVERGED");
+               worksteal.deterministic && hetero.deterministic ? "identical"
+                                                               : "DIVERGED");
 }
 
 int Run(bool smoke, size_t flows, const std::string& out_path) {
@@ -142,40 +252,52 @@ int Run(bool smoke, size_t flows, const std::string& out_path) {
   const double horizon_sec = smoke ? 900.0 : 1800.0;
   const std::vector<size_t> thread_counts =
       smoke ? std::vector<size_t>{1, 4} : std::vector<size_t>{1, 4, 16};
+  const unsigned hw = std::thread::hardware_concurrency();
 
   std::cout << "  fleet: " << flows << " flows, "
             << TablePrinter::Num(horizon_sec, 0) << " sim-seconds, "
-            << "arbitration every 900 s\n\n";
+            << "arbitration every 900 s, " << hw
+            << " hardware threads\n\n";
 
-  std::vector<ScaleResult> results;
-  for (size_t threads : thread_counts) {
-    auto r = RunFleet(threads, flows, horizon_sec);
-    if (!r.ok()) {
-      std::cerr << "fleet run failed: " << r.status() << "\n";
-      return 1;
-    }
-    std::cout << "  " << r->threads << " thread" << (r->threads > 1 ? "s" : " ")
-              << ": " << TablePrinter::Num(r->wall_ms, 1) << " ms, "
-              << TablePrinter::Num(r->flow_sim_sec_per_wall_sec, 0)
-              << " flow-sim-sec/s, " << r->control_steps
-              << " control steps over " << r->periods << " periods\n";
-    results.push_back(std::move(*r));
+  // Homogeneous fleet, work-stealing sweep (the default mode).
+  auto worksteal = RunCurve(thread_counts, flows, horizon_sec,
+                            fleet::FleetConfig::SweepMode::kWorkStealing,
+                            /*hetero=*/false, "steal ");
+  if (!worksteal.ok()) {
+    std::cerr << "fleet run failed: " << worksteal.status() << "\n";
+    return 1;
   }
 
-  bool deterministic = true;
-  bool conservation_ok = true;
-  for (const ScaleResult& r : results) {
-    deterministic &= r.digest == results[0].digest;
-    conservation_ok &= r.conservation_ok;
+  // The same fleet under the legacy barrier sweep: digest must match
+  // byte for byte, and its curve is the PERF5 barrier baseline. Smoke
+  // runs only the 1-thread point to bound runtime.
+  std::cout << "\n";
+  auto lockstep = RunCurve(
+      smoke ? std::vector<size_t>{1} : thread_counts, flows, horizon_sec,
+      fleet::FleetConfig::SweepMode::kLockStep, /*hetero=*/false, "barrier");
+  if (!lockstep.ok()) {
+    std::cerr << "lock-step fleet run failed: " << lockstep.status() << "\n";
+    return 1;
   }
-  double speedup4 = 0.0;
-  for (const ScaleResult& r : results) {
-    if (r.threads == 4 && r.wall_ms > 0.0) {
-      speedup4 = results[0].wall_ms / r.wall_ms;
-    }
+  bool worksteal_matches_lockstep =
+      !worksteal->results.empty() && !lockstep->results.empty() &&
+      worksteal->results[0].digest == lockstep->results[0].digest;
+
+  // Heterogeneous horizons: ApplyPeriodJitter spreads tenants over
+  // 900/450/300/225 s cadences, so boundaries only partially overlap —
+  // the regime the work-stealing sweep exists for.
+  std::cout << "\n";
+  auto hetero = RunCurve(thread_counts, flows, horizon_sec,
+                         fleet::FleetConfig::SweepMode::kWorkStealing,
+                         /*hetero=*/true, "hetero ");
+  if (!hetero.ok()) {
+    std::cerr << "heterogeneous fleet run failed: " << hetero.status() << "\n";
+    return 1;
   }
-  unsigned hw = std::thread::hardware_concurrency();
-  std::cout << "\n  speedup at 4 threads: " << TablePrinter::Num(speedup4, 2)
+
+  std::cout << "\n  homogeneous speedup at 4 threads: "
+            << TablePrinter::Num(worksteal->speedup4, 2)
+            << "x, heterogeneous: " << TablePrinter::Num(hetero->speedup4, 2)
             << "x (" << hw << " hardware threads available)\n";
 
   // Flight-recorder overhead: the same fleet at 1 thread, capture armed
@@ -223,8 +345,8 @@ int Run(bool smoke, size_t flows, const std::string& out_path) {
   }
 
   if (std::FILE* fp = std::fopen(out_path.c_str(), "w")) {
-    WriteJson(fp, smoke, flows, horizon_sec, results, deterministic,
-              conservation_ok, speedup4, rec);
+    WriteJson(fp, smoke, flows, horizon_sec, *worksteal, *lockstep, *hetero,
+              worksteal_matches_lockstep, rec);
     std::fclose(fp);
     std::cout << "  wrote " << out_path << "\n";
   } else {
@@ -234,9 +356,13 @@ int Run(bool smoke, size_t flows, const std::string& out_path) {
 
   if (smoke) {
     bench::Verdict("merged control digest identical across thread counts",
-                   deterministic);
-    bench::Verdict("budget conserved in every arbitration period",
-                   conservation_ok);
+                   worksteal->deterministic);
+    bench::Verdict("work-stealing digest matches lock-step barrier sweep",
+                   worksteal_matches_lockstep);
+    bench::Verdict("heterogeneous digest identical across thread counts",
+                   hetero->deterministic);
+    bench::Verdict("budget conserved in every arbitration window",
+                   worksteal->conservation_ok && hetero->conservation_ok);
     bench::Verdict("flight recorder does not perturb the control digest",
                    rec.digest_identical);
     std::cout << "[SMOKE] gates skipped\n";
@@ -247,19 +373,25 @@ int Run(bool smoke, size_t flows, const std::string& out_path) {
   ok &= bench::Verdict(">= 1000 concurrent flows simulated", flows >= 1000);
   ok &= bench::Verdict(
       "merged control decisions byte-identical at 1 vs 4 vs 16 threads",
-      deterministic);
-  ok &= bench::Verdict("budget conserved in every arbitration period",
-                       conservation_ok);
+      worksteal->deterministic);
+  ok &= bench::Verdict("work-stealing digest matches lock-step barrier sweep",
+                       worksteal_matches_lockstep);
+  ok &= bench::Verdict(
+      "heterogeneous digests byte-identical at 1 vs 4 vs 16 threads",
+      hetero->deterministic);
+  ok &= bench::Verdict("budget conserved in every arbitration window",
+                       worksteal->conservation_ok && hetero->conservation_ok);
   ok &= bench::Verdict("flight recorder does not perturb the control digest",
                        rec.digest_identical);
   ok &= bench::Verdict("flight recorder overhead <= 2%",
                        rec.overhead_pct <= 2.0);
   if (hw >= 4) {
-    ok &= bench::Verdict("parallel scaling >= 2x at 4 threads",
-                         speedup4 >= 2.0);
+    ok &= bench::Verdict(
+        "heterogeneous parallel scaling >= 2x at 4 threads",
+        hetero->speedup4 >= 2.0);
   } else {
-    std::cout << "[SKIP] scaling >= 2x check needs 4+ hardware threads "
-                 "(have "
+    std::cout << "[SKIP] heterogeneous scaling >= 2x check: SKIP (need >=4 "
+                 "hw threads, have "
               << hw << ")\n";
   }
   return ok ? 0 : 1;

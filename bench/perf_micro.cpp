@@ -16,9 +16,12 @@
 #include "bench/bench_util.h"
 #include "cloudwatch/metric_store.h"
 #include "common/random.h"
+#include "exec/thread_pool.h"
 #include "flow/flow.h"
 #include "control/adaptive_gain.h"
 #include "core/resource_share.h"
+#include "fleet/budget_mailbox.h"
+#include "fleet/fleet_manager.h"
 #include "flow/sliding_window.h"
 #include "obs/metrics_registry.h"
 #include "obs/replay/flight_recorder.h"
@@ -384,6 +387,106 @@ bool FlightRecorderHotPathIsAllocationFree() {
   return allocs == 0;
 }
 
+// Fifth hard guard: the budget mailbox's post/receive handoff must be
+// allocation-free. The mailbox is the per-boundary rendezvous of every
+// fleet partition — 1e5 demand-post / grant-post / grant-receive
+// cycles (the exact calls the work-stealing sweep makes at every
+// arbitration boundary) must never touch the heap.
+bool BudgetMailboxHotPathIsAllocationFree() {
+  fleet::BudgetMailbox box;
+  constexpr int kOps = 100000;
+  fleet::BudgetMailbox::Demand d;
+  fleet::BudgetMailbox::Grant g;
+  fleet::BudgetMailbox::Grant received;
+  uint64_t consumed = 0;
+  uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < kOps; ++i) {
+    d.boundary = 900.0 * static_cast<double>(i);
+    d.demand_usd = 1.0 + 0.001 * static_cast<double>(i % 100);
+    d.spend_usd = 0.5;
+    d.steps = static_cast<uint64_t>(i);
+    box.PostDemand(d);
+    g.boundary = d.boundary;
+    g.demand_usd = d.demand_usd;
+    g.grant_usd = 0.5 * d.demand_usd;
+    box.PostGrant(g);
+    if (box.TryReceiveGrant(static_cast<uint64_t>(i) + 1, &received)) {
+      ++consumed;
+    }
+  }
+  uint64_t allocs = g_allocations.load(std::memory_order_relaxed) - before;
+  std::printf("budget mailbox allocation guard: %llu allocations over %d "
+              "demand/grant cycles (%llu received)\n",
+              static_cast<unsigned long long>(allocs), kOps,
+              static_cast<unsigned long long>(consumed));
+  return allocs == 0 && consumed == kOps;
+}
+
+// Sixth hard guard: the work-stealing task loop must be allocation-free
+// per task in steady state. A chain of N tasks (each spawning the next)
+// keeps exactly one entry in the deque, so after the first push warms
+// the deque's capacity every pop/execute/spawn cycle is pure pointer
+// work. Comparing a long chain against a short one cancels the per-
+// sweep setup cost (sweep state, deque array): the difference must be
+// zero or the fleet's per-boundary task churn would allocate O(events).
+bool TaskSweepSteadyStateIsAllocationFree() {
+  exec::ThreadPool pool(1);  // Inline: deterministic, no worker wakeups.
+  auto run_chain = [&pool](uint64_t length) -> uint64_t {
+    uint64_t before = g_allocations.load(std::memory_order_relaxed);
+    Status s = pool.RunTasks(
+        {0},
+        [length](uint64_t id, exec::ThreadPool::TaskContext& ctx) {
+          if (id + 1 < length) ctx.Spawn(id + 1);
+          return Status::OK();
+        });
+    if (!s.ok()) return ~uint64_t{0};
+    return g_allocations.load(std::memory_order_relaxed) - before;
+  };
+  run_chain(16);  // Warm one-off lazy state (locale, TLS, ...).
+  uint64_t short_allocs = run_chain(16);
+  uint64_t long_allocs = run_chain(100000);
+  std::printf("task sweep allocation guard: %llu allocations over a 100k "
+              "spawn chain vs %llu over 16 (difference must be 0)\n",
+              static_cast<unsigned long long>(long_allocs),
+              static_cast<unsigned long long>(short_allocs));
+  return long_allocs == short_allocs;
+}
+
+// Capacity-stability assertion: FleetManager::RunFor must reserve its
+// report vector exactly once per sweep — steady-state report appends
+// never reallocate, and repeated sweeps keep capacity == size. Guards
+// the reserve sizing from silently rotting into growth-doubling.
+bool FleetReportsCapacityIsStable() {
+  fleet::FleetConfig config;
+  config.fleet_budget_usd_per_hour = 2.0;
+  config.arbitration_period_sec = 300.0;
+  config.partition.workload_emit_period_sec = 10.0;
+  config.partition.storm_tick_period_sec = 10.0;
+  config.arbiter_solver.population_size = 16;
+  config.arbiter_solver.generations = 8;
+  config.partition.flow_solver.population_size = 8;
+  config.partition.flow_solver.generations = 4;
+  fleet::FleetManager manager(config);
+  for (fleet::TenantConfig& t : fleet::MakeTenantFleet(3, 7)) {
+    if (!manager.AddTenant(std::move(t)).ok()) return false;
+  }
+  if (!manager.Start().ok()) return false;
+  for (int sweep = 0; sweep < 3; ++sweep) {
+    if (!manager.RunFor(900.0).ok()) return false;
+    if (manager.reports().capacity() != manager.reports().size()) {
+      std::printf("fleet reports capacity guard: sweep %d capacity %zu != "
+                  "size %zu\n",
+                  sweep, manager.reports().capacity(),
+                  manager.reports().size());
+      return false;
+    }
+  }
+  std::printf("fleet reports capacity guard: capacity == size (%zu) across "
+              "3 sweeps\n",
+              manager.reports().size());
+  return true;
+}
+
 }  // namespace
 }  // namespace flower
 
@@ -408,6 +511,21 @@ int main(int argc, char** argv) {
   if (!flower::FlightRecorderHotPathIsAllocationFree()) {
     std::fprintf(stderr,
                  "FAIL: flight recorder allocated on its hot path\n");
+    return 1;
+  }
+  if (!flower::BudgetMailboxHotPathIsAllocationFree()) {
+    std::fprintf(stderr,
+                 "FAIL: budget mailbox allocated on its post/receive path\n");
+    return 1;
+  }
+  if (!flower::TaskSweepSteadyStateIsAllocationFree()) {
+    std::fprintf(stderr,
+                 "FAIL: work-stealing task loop allocated in steady state\n");
+    return 1;
+  }
+  if (!flower::FleetReportsCapacityIsStable()) {
+    std::fprintf(stderr,
+                 "FAIL: fleet report vector reallocated in steady state\n");
     return 1;
   }
   benchmark::Initialize(&argc, argv);

@@ -12,6 +12,18 @@
 
 namespace flower::exec {
 
+/// Statistics of one RunTasks sweep. Counters describe the *schedule*
+/// (which worker ran what), never the results — callers relying on the
+/// determinism contract must keep them out of any digest.
+struct TaskStats {
+  uint64_t executed = 0;  ///< Task invocations that actually ran.
+  uint64_t spawned = 0;   ///< Tasks enqueued by running tasks.
+  uint64_t steals = 0;    ///< Tasks claimed from another worker's deque.
+  double busy_sec = 0.0;  ///< Wall time inside task bodies, summed
+                          ///< across workers (> wall clock when the
+                          ///< sweep overlaps work).
+};
+
 /// Fixed-size fork-join worker pool for the planning hot paths.
 ///
 /// `num_threads` counts the calling thread: ThreadPool(1) owns no
@@ -47,17 +59,60 @@ class ThreadPool {
   Status ParallelFor(size_t begin, size_t end, size_t grain,
                      const std::function<Status(size_t)>& body);
 
+  struct TaskSweep;
+
+  /// Handle a running task uses to enqueue follow-up work. Spawned
+  /// tasks land on the executing worker's own deque (LIFO locality is
+  /// irrelevant here — deques are FIFO so seed order is preserved on a
+  /// 1-thread pool); idle workers steal from the back of other deques.
+  class TaskContext {
+   public:
+    /// Enqueues task `id` for execution within the current sweep.
+    void Spawn(uint64_t id);
+    /// Worker slot of the executing thread (0 = the RunTasks caller).
+    size_t worker() const { return worker_; }
+
+   private:
+    friend class ThreadPool;
+    TaskContext(TaskSweep* sweep, size_t worker)
+        : sweep_(sweep), worker_(worker) {}
+    TaskSweep* sweep_;
+    size_t worker_;
+  };
+
+  using TaskBody = std::function<Status(uint64_t, TaskContext&)>;
+
+  /// Work-stealing task mode: runs `seeds` (and every task they
+  /// transitively Spawn) to completion over per-worker deques. Each
+  /// worker drains its own deque FIFO and steals from the other deques
+  /// when empty, so partitions of unequal length overlap instead of
+  /// barriering — the fleet-sweep counterpart of ParallelFor.
+  ///
+  /// The same determinism contract as ParallelFor applies: which worker
+  /// runs a task (and what gets stolen) is scheduling noise, so `body`
+  /// must produce results that are a pure function of the task graph,
+  /// never of the execution interleaving. Error propagation is
+  /// first-error-wins with drain: once a task fails, claimed tasks are
+  /// discarded unexecuted and RunTasks returns the winning status after
+  /// in-flight tasks finish. A 1-thread pool runs everything inline on
+  /// the calling thread in FIFO order. `stats`, when non-null, receives
+  /// the sweep's schedule counters.
+  Status RunTasks(const std::vector<uint64_t>& seeds, const TaskBody& body,
+                  TaskStats* stats = nullptr);
+
  private:
   struct Sweep;
 
-  void WorkerLoop();
+  void WorkerLoop(size_t worker_index);
   static void RunChunks(Sweep* sweep);
+  static void RunTaskLoop(TaskSweep* sweep, size_t self);
 
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable work_cv_;  // New sweep posted, or shutdown.
   std::condition_variable done_cv_;  // A worker left the current sweep.
   Sweep* sweep_ = nullptr;           // Guarded by mu_.
+  TaskSweep* task_sweep_ = nullptr;  // Guarded by mu_.
   uint64_t sweep_id_ = 0;            // Guarded by mu_.
   size_t workers_running_ = 0;       // Guarded by mu_.
   bool shutdown_ = false;            // Guarded by mu_.

@@ -84,11 +84,17 @@ BudgetArbiter::BudgetArbiter(ArbiterConfig config)
 
 Result<BudgetSplit> BudgetArbiter::Arbitrate(
     const std::vector<double>& demands, const std::vector<double>& weights) {
+  return Arbitrate(demands, weights, config_.fleet_budget_usd_per_hour);
+}
+
+Result<BudgetSplit> BudgetArbiter::Arbitrate(
+    const std::vector<double>& demands, const std::vector<double>& weights,
+    double budget_usd_per_hour) {
   if (demands.size() != weights.size()) {
     return Status::InvalidArgument(
         "BudgetArbiter: demands/weights size mismatch");
   }
-  if (config_.fleet_budget_usd_per_hour < 0.0) {
+  if (budget_usd_per_hour < 0.0 || !std::isfinite(budget_usd_per_hour)) {
     return Status::InvalidArgument("BudgetArbiter: negative fleet budget");
   }
   double total_demand = 0.0;
@@ -102,7 +108,7 @@ Result<BudgetSplit> BudgetArbiter::Arbitrate(
     total_demand += demands[i];
   }
 
-  double budget = config_.fleet_budget_usd_per_hour;
+  double budget = budget_usd_per_hour;
   BudgetSplit split;
   // Uncontended fast path: everyone gets what they asked for. Also
   // covers the all-idle fleet (total demand 0 grants all zeros).
@@ -114,7 +120,9 @@ Result<BudgetSplit> BudgetArbiter::Arbitrate(
     return split;
   }
 
-  FleetBudgetProblem problem(config_, demands, weights);
+  ArbiterConfig scoped = config_;
+  scoped.fleet_budget_usd_per_hour = budget;
+  FleetBudgetProblem problem(scoped, demands, weights);
   opt::Nsga2 solver(config_.solver);
   FLOWER_ASSIGN_OR_RETURN(opt::Nsga2Result res, solver.Solve(problem));
   if (res.pareto_front.empty()) {

@@ -98,6 +98,16 @@ class BudgetArbiter {
   Result<BudgetSplit> Arbitrate(const std::vector<double>& demands,
                                 const std::vector<double>& weights);
 
+  /// Same split over an explicit budget instead of the configured
+  /// fleet-wide one. Heterogeneous-horizon sweeps arbitrate each
+  /// boundary over the *remainder* budget — the fleet budget minus the
+  /// grants currently held by tenants not at this boundary — so the
+  /// fleet-wide hourly budget stays conserved per overlapping window.
+  /// `split.conserved` is checked against `budget_usd_per_hour`.
+  Result<BudgetSplit> Arbitrate(const std::vector<double>& demands,
+                                const std::vector<double>& weights,
+                                double budget_usd_per_hour);
+
   const ArbiterConfig& config() const { return config_; }
 
  private:

@@ -1,0 +1,21 @@
+#include "fleet/budget_mailbox.h"
+
+namespace flower::fleet {
+
+void BudgetMailbox::PostDemand(const Demand& d) {
+  demand_ = d;  // Plain store; published by the release below.
+  demand_seq_.fetch_add(1, std::memory_order_release);
+}
+
+void BudgetMailbox::PostGrant(const Grant& g) {
+  grant_ = g;  // Plain store; published by the release below.
+  grant_seq_.fetch_add(1, std::memory_order_release);
+}
+
+bool BudgetMailbox::TryReceiveGrant(uint64_t seq, Grant* out) const {
+  if (grant_seq_.load(std::memory_order_acquire) < seq) return false;
+  *out = grant_;
+  return true;
+}
+
+}  // namespace flower::fleet

@@ -1,0 +1,82 @@
+#ifndef FLOWER_FLEET_BUDGET_MAILBOX_H_
+#define FLOWER_FLEET_BUDGET_MAILBOX_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/time_series.h"
+
+namespace flower::fleet {
+
+/// SPSC handoff cell between one FlowPartition and the fleet's
+/// arbitration events. The partition side posts a demand snapshot every
+/// time it reaches one of its own arbitration boundaries; the arbiter
+/// side consumes the demand, and posts back the grant that opens the
+/// partition's next window. Each direction is single-producer /
+/// single-consumer by construction: only the task currently advancing
+/// the partition posts demands, and arbitration events are processed
+/// one at a time in virtual-time order.
+///
+/// Sequence numbers pair the messages: demand seq n is answered by
+/// grant seq n, so a stale read (a grant from a previous boundary) is
+/// detectable instead of silently reused. Payload fields are plain —
+/// the release store of the sequence publishes them, and the acquire
+/// load on the reader side synchronizes, which is what lets the grant
+/// cross threads without the partition ever touching a fleet-wide lock.
+class BudgetMailbox {
+ public:
+  /// What a partition publishes when it reaches a boundary. `steps` and
+  /// `spend_usd` snapshot the partition state *at* the boundary, so the
+  /// arbiter can close the books on the window that just ended without
+  /// touching the partition's telemetry from another thread.
+  struct Demand {
+    SimTime boundary = 0.0;
+    double demand_usd = 0.0;
+    double spend_usd = 0.0;
+    uint64_t steps = 0;  ///< Cumulative control steps at the boundary.
+  };
+
+  /// What the arbiter posts back: the hourly budget for the window
+  /// opening at `boundary`.
+  struct Grant {
+    SimTime boundary = 0.0;
+    double demand_usd = 0.0;  ///< Demand the grant was computed from.
+    double grant_usd = 0.0;
+  };
+
+  /// Partition side. Publishes `d` as sequence demand_seq() + 1.
+  void PostDemand(const Demand& d);
+
+  /// Arbiter side: the latest posted demand. Valid once demand_seq()
+  /// covers the boundary the caller is arbitrating.
+  const Demand& demand() const { return demand_; }
+  uint64_t demand_seq() const {
+    return demand_seq_.load(std::memory_order_acquire);
+  }
+
+  /// Arbiter side. Publishes `g` as sequence grant_seq() + 1.
+  void PostGrant(const Grant& g);
+
+  /// Partition side: receives the grant with sequence `seq`. False when
+  /// that grant has not been posted yet (the partition must park).
+  bool TryReceiveGrant(uint64_t seq, Grant* out) const;
+  uint64_t grant_seq() const {
+    return grant_seq_.load(std::memory_order_acquire);
+  }
+
+  /// Times a partition parked at a boundary because its grant was not
+  /// ready when it posted (schedule noise — never digest material).
+  void RecordWait() { waits_.fetch_add(1, std::memory_order_relaxed); }
+  uint64_t waits() const { return waits_.load(std::memory_order_relaxed); }
+
+ private:
+  Demand demand_;
+  Grant grant_;
+  std::atomic<uint64_t> demand_seq_{0};
+  std::atomic<uint64_t> grant_seq_{0};
+  std::atomic<uint64_t> waits_{0};
+};
+
+}  // namespace flower::fleet
+
+#endif  // FLOWER_FLEET_BUDGET_MAILBOX_H_

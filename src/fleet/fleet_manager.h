@@ -10,11 +10,28 @@
 #include "fleet/flow_partition.h"
 #include "fleet/tenant.h"
 #include "obs/scoped_registry.h"
+#include "obs/span.h"
 
 namespace flower::fleet {
 
 /// Fleet-wide settings.
 struct FleetConfig {
+  /// How RunFor advances the fleet.
+  enum class SweepMode {
+    /// Work-stealing task sweep: each partition advances independently
+    /// to its own next arbitration boundary; the arbiter fires as an
+    /// event in virtual time when every tenant sharing a boundary has
+    /// posted demand into its budget mailbox. Supports heterogeneous
+    /// per-tenant `arbitration_period_sec`; byte-identical digests to
+    /// kLockStep for homogeneous fleets.
+    kWorkStealing,
+    /// Legacy barrier sweep: every partition advances to every fleet
+    /// period boundary in lock step. Homogeneous fleets only; kept for
+    /// regression comparison and the barrier-vs-stealing benchmark.
+    kLockStep,
+  };
+  SweepMode sweep_mode = SweepMode::kWorkStealing;
+
   /// The global hourly dollar budget the arbiter divides across
   /// tenants every arbitration period.
   double fleet_budget_usd_per_hour = 100.0;
@@ -40,6 +57,29 @@ struct FleetConfig {
   /// partition.capture.bundle_dir is empty) alert-triggered capture
   /// bundles are dumped here, one `<tenant>.json` per partition.
   std::string bundle_dir;
+};
+
+/// Schedule-level counters of the fleet sweep, accumulated across
+/// RunFor calls. Everything here describes the *execution schedule*
+/// (stealing, parking, overlap) — none of it feeds ControlDigest() or
+/// reports(), which is what lets the numbers vary freely with thread
+/// count while the results do not.
+struct FleetSweepStats {
+  uint64_t tasks_executed = 0;  ///< Partition-segment tasks run.
+  uint64_t tasks_spawned = 0;   ///< Tasks re-spawned after a park.
+  uint64_t steals = 0;          ///< Tasks claimed cross-worker.
+  uint64_t mailbox_waits = 0;   ///< Partitions parked awaiting a grant.
+  uint64_t arbitration_events = 0;
+  /// Windows where the sum of simultaneously-active grants exceeded
+  /// the fleet budget (must stay 0).
+  uint64_t conservation_violations = 0;
+  double busy_sec = 0.0;  ///< Wall time inside partition tasks, summed.
+  double wall_sec = 0.0;  ///< Wall time of the sweeps themselves.
+  /// busy/wall: ~1 on one thread, approaches the thread count when
+  /// heterogeneous horizons overlap well.
+  double overlap_ratio() const {
+    return wall_sec > 0.0 ? busy_sec / wall_sec : 0.0;
+  }
 };
 
 /// Per-tenant outcome of one arbitration period.
@@ -70,10 +110,15 @@ struct FleetPeriodReport {
 /// (the fleet -> flow level of the hierarchical planner; each flow then
 /// re-plans its layers under the grant it received).
 ///
-/// Periods are lock-step barriers: arbitrate on the previous period's
-/// demands, push grants, advance every partition to the boundary,
-/// merge. Partitions share nothing, so the merged reports — and every
-/// partition's decision log — are byte-identical at any thread count.
+/// The default sweep is work-stealing: each partition advances
+/// independently to its *own* next arbitration boundary, posts its
+/// demand into a per-partition budget mailbox, and parks until the
+/// boundary's arbitration event fires (all tenants sharing that
+/// boundary have posted). Arbitration order is a pure function of
+/// (virtual time, tenant index) and partitions share nothing, so the
+/// merged reports — and every partition's decision log — are
+/// byte-identical at any thread count, and identical to the legacy
+/// lock-step sweep for homogeneous fleets.
 class FleetManager {
  public:
   explicit FleetManager(FleetConfig config);
@@ -86,9 +131,18 @@ class FleetManager {
   /// propagate from partition construction.
   Status Start();
 
-  /// Advances the whole fleet by `horizon_sec`, one arbitration period
-  /// at a time, appending to reports(). Callable repeatedly.
+  /// Advances the whole fleet by `horizon_sec`, boundary by boundary,
+  /// appending to reports(). Callable repeatedly; every call arbitrates
+  /// once at its start (all tenants share the start boundary).
   Status RunFor(double horizon_sec);
+
+  /// Cumulative sweep schedule counters (see FleetSweepStats).
+  FleetSweepStats sweep_stats() const;
+
+  /// Fleet-level collector of kArbitrate spans, one per arbitration
+  /// event, in the id namespace right above the last partition's
+  /// (num_tenants × kIdStride). Null unless partition.record_spans.
+  obs::SpanCollector* arbitration_spans() { return arb_spans_.get(); }
 
   size_t num_tenants() const { return partitions_.size(); }
   SimTime Now() const { return now_; }
@@ -122,6 +176,11 @@ class FleetManager {
   Status ExportReportsJsonl(const std::string& path) const;
 
  private:
+  struct SweepEngine;  // Work-stealing event engine (fleet_manager.cpp).
+
+  Status RunForLockStep(double horizon_sec);
+  Status RunForWorkStealing(double horizon_sec);
+
   FleetConfig config_;
   std::vector<TenantConfig> tenants_;
   std::vector<std::unique_ptr<FlowPartition>> partitions_;
@@ -129,7 +188,9 @@ class FleetManager {
   std::unique_ptr<exec::ThreadPool> pool_;
   obs::ScopedRegistry registry_;
   std::vector<FleetPeriodReport> reports_;
-  std::string split_digest_;  ///< Arbiter grant lines, appended per period.
+  std::string split_digest_;  ///< Arbiter grant lines, appended per window.
+  std::unique_ptr<obs::SpanCollector> arb_spans_;
+  FleetSweepStats stats_;  ///< mailbox_waits filled in sweep_stats().
   SimTime now_ = 0.0;
   bool started_ = false;
 };

@@ -57,6 +57,9 @@ Result<std::unique_ptr<FlowPartition>> FlowPartition::Create(
   p->tenant_ = tenant;
   p->capture_ = config.capture;
   p->granted_budget_usd_ = tenant.initial_budget_usd;
+  p->effective_period_sec_ = tenant.arbitration_period_sec > 0.0
+                                 ? tenant.arbitration_period_sec
+                                 : config.arbitration_period_sec;
   p->sim_ = std::make_unique<sim::Simulation>();
   p->metrics_ = std::make_unique<cloudwatch::MetricStore>();
   p->telemetry_ = std::make_unique<obs::Telemetry>(config.decision_capacity,
@@ -156,7 +159,10 @@ Result<std::unique_ptr<FlowPartition>> FlowPartition::Create(
                               : config.flow_solver_threads;
   rc.solver.seed = tenant.seed;
   rc.incremental = config.flow_incremental;
-  rc.period_sec = config.arbitration_period_sec;
+  // Re-plans track the tenant's *own* arbitration cadence, so a tenant
+  // on a faster lattice sees each of its grants (a fleet-period cadence
+  // would skip every boundary between fleet ticks).
+  rc.period_sec = p->effective_period_sec_;
   rc.start_delay_sec = config.replan_offset_sec;
   FlowPartition* raw = p.get();
   rc.update_request = [raw](SimTime, core::ResourceShareRequest* req) {
@@ -297,6 +303,23 @@ double FlowPartition::SpendUsdPerHour() const {
 
 uint64_t FlowPartition::StepsTaken() const {
   return telemetry_->decisions().total_appended();
+}
+
+void FlowPartition::PostBoundaryDemand(SimTime boundary) {
+  BudgetMailbox::Demand d;
+  d.boundary = boundary;
+  d.demand_usd = DemandUsdPerHour();
+  d.spend_usd = SpendUsdPerHour();
+  d.steps = StepsTaken();
+  mailbox_.PostDemand(d);
+}
+
+bool FlowPartition::TryConsumeGrant(uint64_t seq) {
+  BudgetMailbox::Grant g;
+  if (!mailbox_.TryReceiveGrant(seq, &g)) return false;
+  SetBudget(g.grant_usd);
+  RecordGrant(g.boundary, g.demand_usd, g.grant_usd);
+  return true;
 }
 
 void FlowPartition::RecordGrant(SimTime t, double demand_usd,

@@ -7,6 +7,7 @@
 
 #include "cloudwatch/metric_store.h"
 #include "core/flow_builder.h"
+#include "fleet/budget_mailbox.h"
 #include "fleet/tenant.h"
 #include "obs/health/health_monitor.h"
 #include "obs/replay/bundle.h"
@@ -128,6 +129,28 @@ class FlowPartition {
   /// Control steps taken so far (decision records ever appended).
   uint64_t StepsTaken() const;
 
+  /// This partition's arbitration cadence: the tenant's own
+  /// `arbitration_period_sec` when positive, else the fleet-wide
+  /// period it was created under. Also the flow's re-plan period.
+  double effective_period_sec() const { return effective_period_sec_; }
+
+  /// Budget handoff cell between this partition and the fleet's
+  /// arbitration events (work-stealing sweep only).
+  BudgetMailbox& mailbox() { return mailbox_; }
+  const BudgetMailbox& mailbox() const { return mailbox_; }
+
+  /// Publishes this partition's demand snapshot for the window opening
+  /// at `boundary` into the mailbox. Must be called by the task
+  /// currently advancing the partition, with the simulation parked
+  /// exactly at `boundary`.
+  void PostBoundaryDemand(SimTime boundary);
+
+  /// Consumes the grant with mailbox sequence `seq` if it has been
+  /// posted: applies it as the live budget and mirrors it into the
+  /// flight recorder. False when the arbiter has not answered yet (the
+  /// caller parks the partition instead of blocking a worker).
+  bool TryConsumeGrant(uint64_t seq);
+
   /// Appends this partition's canonical control-decision digest: one
   /// line per retained decision record, formatted identically across
   /// runs. Byte-identical digests at different thread counts are the
@@ -174,6 +197,8 @@ class FlowPartition {
   CaptureConfig capture_;
   double unit_price_[core::kNumLayers] = {0.0, 0.0, 0.0};
   double granted_budget_usd_ = 0.0;
+  double effective_period_sec_ = 0.0;
+  BudgetMailbox mailbox_;
   std::unique_ptr<sim::Simulation> sim_;
   std::unique_ptr<cloudwatch::MetricStore> metrics_;
   std::unique_ptr<obs::Telemetry> telemetry_;

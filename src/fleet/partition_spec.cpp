@@ -89,6 +89,7 @@ std::vector<std::pair<std::string, std::string>> SerializePartitionSpec(
   put("tenant.reference_utilization_pct",
       F64(tenant.reference_utilization_pct));
   put("tenant.monitoring_period_sec", F64(tenant.monitoring_period_sec));
+  put("tenant.arbitration_period_sec", F64(tenant.arbitration_period_sec));
 
   put("partition.arbitration_period_sec", F64(config.arbitration_period_sec));
   put("partition.replan_offset_sec", F64(config.replan_offset_sec));
@@ -158,6 +159,9 @@ Status ParsePartitionSpec(
     } else if (key == "tenant.monitoring_period_sec") {
       FLOWER_RETURN_NOT_OK(
           ParseF64(key, value, &tenant->monitoring_period_sec));
+    } else if (key == "tenant.arbitration_period_sec") {
+      FLOWER_RETURN_NOT_OK(
+          ParseF64(key, value, &tenant->arbitration_period_sec));
     } else if (key == "partition.arbitration_period_sec") {
       FLOWER_RETURN_NOT_OK(
           ParseF64(key, value, &config->arbitration_period_sec));

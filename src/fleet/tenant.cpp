@@ -82,4 +82,19 @@ std::vector<TenantConfig> MakeTenantFleet(size_t count, uint64_t seed) {
   return fleet;
 }
 
+void ApplyPeriodJitter(std::vector<TenantConfig>* tenants,
+                       double base_period_sec, uint64_t seed) {
+  // Divisors rather than arbitrary scales: when base/d divides exactly
+  // in double arithmetic (true for the bench's 900 s fleet period and
+  // every d below), tenant boundaries k*(base/d) land bit-exactly on
+  // the shared lattice, so co-periodic tenants group at identical
+  // virtual times instead of epsilon-apart ones.
+  static constexpr int kDivisors[] = {1, 2, 3, 4};
+  for (size_t i = 0; i < tenants->size(); ++i) {
+    int d = kDivisors[Mix(seed ^ (0x7e57 + i)) % 4];
+    (*tenants)[i].arbitration_period_sec =
+        base_period_sec / static_cast<double>(d);
+  }
+}
+
 }  // namespace flower::fleet

@@ -69,6 +69,13 @@ struct TenantConfig {
   double reference_utilization_pct = 60.0;
   double monitoring_period_sec = 120.0;
 
+  /// Tenant-local arbitration cadence. 0 (the default) inherits the
+  /// fleet-wide `FleetConfig::arbitration_period_sec`, which keeps
+  /// existing fleets byte-identical; a positive value gives this tenant
+  /// its own boundary lattice {k * period}, letting streaming tenants
+  /// arbitrate faster than batch tenants sharing the same budget.
+  double arbitration_period_sec = 0.0;
+
   /// Fault schedule injected into this tenant's partition (empty =
   /// fair weather). Targets are layer names; seeding uses `seed`.
   std::vector<TenantFault> faults;
@@ -80,6 +87,16 @@ struct TenantConfig {
 /// (count, seed) always yields the same fleet — the bench's 1/4/16
 /// thread runs must build identical fleets).
 std::vector<TenantConfig> MakeTenantFleet(size_t count, uint64_t seed);
+
+/// Spreads heterogeneous arbitration horizons over an existing fleet:
+/// tenant i gets `base_period_sec / d` where the divisor d is drawn
+/// deterministically from {1, 2, 3, 4} by mixing `seed` with i. Using
+/// exact divisors keeps shared boundaries exact in double arithmetic
+/// (k * (P/d) sums to the same bits as the fleet boundary), so tenants
+/// with different cadences still group at common multiples. Divisor 1
+/// tenants keep the fleet cadence.
+void ApplyPeriodJitter(std::vector<TenantConfig>* tenants,
+                       double base_period_sec, uint64_t seed);
 
 }  // namespace flower::fleet
 

@@ -20,6 +20,8 @@ const char* SpanKindToString(SpanKind kind) {
       return "effect";
     case SpanKind::kGeneration:
       return "generation";
+    case SpanKind::kArbitrate:
+      return "arbitrate";
   }
   return "unknown";
 }

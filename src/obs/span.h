@@ -31,6 +31,8 @@ enum class SpanKind : uint8_t {
   kEffect = 4,   ///< Settling interval actuation -> next sense;
                  ///< value = the newly observed y (Eq. 7 story).
   kGeneration = 5,  ///< One planner generation (child of kPlan).
+  kArbitrate = 6,   ///< One fleet budget arbitration event; value =
+                    ///< total USD granted at the boundary.
 };
 
 const char* SpanKindToString(SpanKind kind);

@@ -1,6 +1,7 @@
 #include "exec/thread_pool.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <mutex>
 #include <set>
@@ -150,6 +151,164 @@ TEST(ThreadPoolTest, ResultIndependentOfThreadCountAndGrain) {
   EXPECT_EQ(run(2, 1), baseline);
   EXPECT_EQ(run(4, 3), baseline);
   EXPECT_EQ(run(8, 64), baseline);
+}
+
+TEST(RunTasksTest, EmptySeedListReturnsOkWithoutInvokingBody) {
+  ThreadPool pool(4);
+  int calls = 0;
+  TaskStats stats;
+  Status s = pool.RunTasks({}, [&](uint64_t, ThreadPool::TaskContext&) {
+    ++calls;
+    return Status::OK();
+  }, &stats);
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(stats.executed, 0u);
+}
+
+TEST(RunTasksTest, EverySeedExecutedExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr uint64_t kN = 500;
+  std::vector<uint64_t> seeds(kN);
+  for (uint64_t i = 0; i < kN; ++i) seeds[i] = i;
+  std::vector<std::atomic<int>> counts(kN);
+  TaskStats stats;
+  Status s = pool.RunTasks(seeds, [&](uint64_t id, ThreadPool::TaskContext&) {
+    counts[id].fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }, &stats);
+  ASSERT_TRUE(s.ok());
+  for (uint64_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(counts[i].load(), 1) << "task " << i;
+  }
+  EXPECT_EQ(stats.executed, kN);
+  EXPECT_EQ(stats.spawned, 0u);
+}
+
+TEST(RunTasksTest, SpawnedChainsRunToCompletion) {
+  // One seed fans out a binary tree of follow-up tasks; the sweep must
+  // drain every transitively spawned id before returning.
+  ThreadPool pool(4);
+  constexpr uint64_t kLeafCount = 128;  // Ids [1, 2*kLeafCount).
+  std::vector<std::atomic<int>> counts(2 * kLeafCount);
+  TaskStats stats;
+  Status s = pool.RunTasks(
+      {1},
+      [&](uint64_t id, ThreadPool::TaskContext& ctx) {
+        counts[id].fetch_add(1, std::memory_order_relaxed);
+        if (2 * id < 2 * kLeafCount) {
+          ctx.Spawn(2 * id);
+          if (2 * id + 1 < 2 * kLeafCount) ctx.Spawn(2 * id + 1);
+        }
+        return Status::OK();
+      },
+      &stats);
+  ASSERT_TRUE(s.ok());
+  for (uint64_t id = 1; id < 2 * kLeafCount; ++id) {
+    EXPECT_EQ(counts[id].load(), 1) << "task " << id;
+  }
+  EXPECT_EQ(stats.executed, 2 * kLeafCount - 1);
+  EXPECT_EQ(stats.spawned, 2 * kLeafCount - 2);
+}
+
+TEST(RunTasksTest, SingleThreadPoolRunsInlineInFifoOrder) {
+  // The 1-thread determinism anchor: seeds run in order, spawns append
+  // to the back — exactly the order the fleet's digest reduction
+  // assumes when it equates a 1-thread sweep with the lock-step one.
+  ThreadPool pool(1);
+  std::vector<uint64_t> order;
+  Status s = pool.RunTasks(
+      {1, 2, 3},
+      [&](uint64_t id, ThreadPool::TaskContext& ctx) {
+        EXPECT_EQ(ctx.worker(), 0u);
+        order.push_back(id);
+        if (id < 10) ctx.Spawn(id + 10);
+        return Status::OK();
+      });
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(order, (std::vector<uint64_t>{1, 2, 3, 11, 12, 13}));
+}
+
+TEST(RunTasksTest, FirstErrorWinsAndDrainsRemainingTasks) {
+  ThreadPool pool(1);  // Inline: deterministic failure point.
+  std::vector<uint64_t> seeds(100);
+  for (uint64_t i = 0; i < 100; ++i) seeds[i] = i;
+  size_t executed = 0;
+  Status s = pool.RunTasks(seeds,
+                           [&](uint64_t id, ThreadPool::TaskContext&) -> Status {
+                             ++executed;
+                             if (id == 5) return Status::Internal("boom at 5");
+                             return Status::OK();
+                           });
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  // Inline FIFO: tasks 0..5 ran, everything after was drained.
+  EXPECT_EQ(executed, 6u);
+}
+
+TEST(RunTasksTest, ParallelErrorStopsSpawning) {
+  ThreadPool pool(4);
+  std::atomic<size_t> executed{0};
+  std::vector<uint64_t> seeds(1000);
+  for (uint64_t i = 0; i < 1000; ++i) seeds[i] = i;
+  Status s = pool.RunTasks(seeds,
+                           [&](uint64_t id, ThreadPool::TaskContext&) -> Status {
+                             if (id == 3) return Status::InvalidArgument("bad");
+                             executed.fetch_add(1, std::memory_order_relaxed);
+                             return Status::OK();
+                           });
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_LT(executed.load(), 1000u);
+}
+
+TEST(RunTasksTest, IdleWorkersStealFromLoadedDeques) {
+  // All work spawns from one seed, so it lands on a single deque; idle
+  // workers must steal it. Tasks sleep long enough that the spawning
+  // worker cannot race through the whole backlog alone.
+  ThreadPool pool(4);
+  constexpr uint64_t kFollowUps = 64;
+  std::atomic<size_t> executed{0};
+  TaskStats stats;
+  Status s = pool.RunTasks(
+      {0},
+      [&](uint64_t id, ThreadPool::TaskContext& ctx) {
+        if (id == 0) {
+          for (uint64_t k = 1; k <= kFollowUps; ++k) ctx.Spawn(k);
+        } else {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        executed.fetch_add(1, std::memory_order_relaxed);
+        return Status::OK();
+      },
+      &stats);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(executed.load(), kFollowUps + 1);
+  EXPECT_EQ(stats.executed, kFollowUps + 1);
+  EXPECT_EQ(stats.spawned, kFollowUps);
+  EXPECT_GT(stats.steals, 0u);
+  EXPECT_GT(stats.busy_sec, 0.0);
+}
+
+TEST(RunTasksTest, PoolIsReusableAcrossTaskSweepsAndParallelFor) {
+  // Chunked sweeps and task sweeps interleave on one pool without
+  // leaking state between modes.
+  ThreadPool pool(3);
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<size_t> visited{0};
+    ASSERT_TRUE(pool.ParallelFor(0, 32, 4, [&](size_t) {
+      visited.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    }).ok());
+    ASSERT_EQ(visited.load(), 32u) << "round " << round;
+    std::atomic<size_t> ran{0};
+    ASSERT_TRUE(pool.RunTasks({1, 2, 3, 4},
+                              [&](uint64_t, ThreadPool::TaskContext&) {
+                                ran.fetch_add(1, std::memory_order_relaxed);
+                                return Status::OK();
+                              }).ok());
+    ASSERT_EQ(ran.load(), 4u) << "round " << round;
+  }
 }
 
 TEST(SubRngTest, SameCellSameSequence) {

@@ -349,6 +349,77 @@ TEST(ReplayTest, ExplicitDumpWithoutAlertIsReplayable) {
   EXPECT_FALSE(report.diverged) << report.ToString();
 }
 
+// A fleet whose tenants arbitrate on different horizons (450 s vs the
+// fleet-wide 900 s): the work-stealing sweep interleaves their boundary
+// events, and the captured bundle must still replay bit-for-bit.
+std::unique_ptr<fleet::FleetManager> RunHeterogeneousCapturedFleet(
+    size_t num_threads) {
+  fleet::FleetConfig config;
+  config.num_threads = num_threads;
+  config.partition.capture.enabled = true;
+  config.partition.capture.health_trigger = true;
+  auto manager = std::make_unique<fleet::FleetManager>(config);
+  std::vector<fleet::TenantConfig> tenants = fleet::MakeTenantFleet(2, 99);
+  tenants[0].arbitration_period_sec = 450.0;  // Faster than the fleet.
+  fleet::TenantFault fault;
+  fault.kind = "sensor-spike";
+  fault.target = "analytics";
+  fault.start = 300.0;
+  fault.offset = 200.0;
+  tenants[0].faults.push_back(fault);
+  for (fleet::TenantConfig& t : tenants) {
+    EXPECT_TRUE(manager->AddTenant(std::move(t)).ok());
+  }
+  EXPECT_TRUE(manager->Start().ok());
+  EXPECT_TRUE(manager->RunFor(1800.0).ok());
+  return manager;
+}
+
+TEST(ReplayTest, HeterogeneousHorizonCaptureReplaysWithoutDivergence) {
+  std::unique_ptr<fleet::FleetManager> one = RunHeterogeneousCapturedFleet(1);
+  std::unique_ptr<fleet::FleetManager> four = RunHeterogeneousCapturedFleet(4);
+  // The capture itself is thread-count-invariant even when boundary
+  // events interleave across tenants.
+  auto a = one->partition(0)->MakeBundle();
+  auto b = four->partition(0)->MakeBundle();
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->fingerprint, b->fingerprint);
+  EXPECT_EQ(a->chain_hash, b->chain_hash);
+
+  const FlightRecorder* rec = four->partition(0)->recorder();
+  ASSERT_NE(rec, nullptr);
+  ASSERT_TRUE(rec->trigger().fired) << "burn-rate alert never fired";
+
+  // The faster tenant recorded a grant at its own 450 s boundary — a
+  // time the lock-step sweep could never arbitrate at.
+  std::string path = TempPath("hetero_bundle.json");
+  ASSERT_TRUE(four->DumpBundle(0, path).ok());
+  auto bundle = obs::replay::LoadBundleJson(path);
+  ASSERT_TRUE(bundle.ok()) << bundle.status();
+  bool has_midperiod_grant = false;
+  for (const auto& g : bundle->grants) {
+    if (g.time == 450.0 || g.time == 1350.0) has_midperiod_grant = true;
+  }
+  EXPECT_TRUE(has_midperiod_grant);
+  bool spec_has_period = false;
+  for (const auto& [key, value] : bundle->spec) {
+    if (key == "tenant.arbitration_period_sec" && value == "450") {
+      spec_has_period = true;
+    }
+  }
+  EXPECT_TRUE(spec_has_period);
+
+  fleet::ReplayOptions opts;
+  opts.flow_solver_threads = 4;
+  auto harness = fleet::ReplayHarness::Create(*bundle, opts);
+  ASSERT_TRUE(harness.ok()) << harness.status();
+  ASSERT_TRUE((*harness)->Run().ok());
+  obs::replay::DivergenceReport report = (*harness)->Check();
+  EXPECT_FALSE(report.diverged) << report.ToString();
+  EXPECT_TRUE(report.fingerprint_match);
+  EXPECT_TRUE(report.chain_match);
+}
+
 // --- Satellite: span-id namespace exhaustion guard. ----------------
 
 TEST(SpanOverflowTest, ExhaustedCollectorStopsAllocatingIds) {

@@ -32,8 +32,8 @@ HEADLINES = {
         False,
     ),
     "fleet_scale": (
-        "fleet sweep speedup at 4 threads",
-        lambda b: b["speedup_at_4_threads"],
+        "heterogeneous-horizon fleet sweep speedup at 4 threads",
+        lambda b: _fleet_speedup(b),
         True,
     ),
     "sim_throughput": (
@@ -42,6 +42,17 @@ HEADLINES = {
         True,
     ),
 }
+
+
+def _fleet_speedup(b):
+    """Heterogeneous-horizon 4-thread speedup — the number the
+    work-stealing sweep exists to defend. Pre-work-stealing baselines
+    only carry the homogeneous top-level speedup; fall back so old
+    baselines stay comparable."""
+    hetero = b.get("hetero")
+    if hetero is not None:
+        return hetero["speedup_at_4_threads"]
+    return b["speedup_at_4_threads"]
 
 
 def _planner_ratio(b):
@@ -88,6 +99,17 @@ def compare(baseline_path, fresh_path, threshold):
               f"{baseline.get('smoke')}, fresh smoke={fresh.get('smoke')}) "
               f"— different workloads, not comparable")
         return True
+
+    if name == "fleet_scale":
+        # Wall-clock speedup is meaningless without real parallelism;
+        # hosts below 4 hardware threads skip the comparison the same
+        # way the bench itself skips its scaling gate.
+        hw = min(baseline.get("hardware_threads", 0),
+                 fresh.get("hardware_threads", 0))
+        if hw < 4:
+            print(f"[SKIP] {name}: speedup headline needs >= 4 hardware "
+                  f"threads (have {hw}) — not comparable")
+            return True
 
     desc, extract, higher_is_better = HEADLINES[name]
     base_v = extract(baseline)

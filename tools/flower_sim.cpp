@@ -84,6 +84,14 @@ Fleet mode (multi-tenant, replaces the single-flow run):
   --fleet-period=S      arbitration period, seconds              [900]
   --fleet-threads=N     simulation partitions advanced in parallel; the
                         merged control decisions are identical at any N  [1]
+  --fleet-sweep=MODE    'worksteal' (default): partitions advance to their
+                        own arbitration boundaries over a work-stealing
+                        scheduler; 'lockstep': legacy barrier sweep
+                        (homogeneous fleets only)
+  --fleet-tenant-period-jitter  spread tenant arbitration horizons over
+                        period/{1,2,3,4} deterministically (by --seed), so
+                        boundaries only partially overlap — the regime the
+                        work-stealing sweep exists for
   --fleet-report-out=FILE  write one JSON line per (period, tenant) with
                         demand/grant/spend/steps and the period's budget
                         conservation flag
@@ -301,8 +309,16 @@ int RunFleet(const tools::FlagParser& flags) {
 
   std::string report_out = flags.GetString("fleet-report-out", "");
   std::string capture_dir = flags.GetString("fleet-capture-dir", "");
+  std::string sweep = flags.GetString("fleet-sweep", "worksteal");
+  if (sweep != "worksteal" && sweep != "lockstep") {
+    std::cerr << "--fleet-sweep must be 'worksteal' or 'lockstep'\n";
+    return 2;
+  }
 
   fleet::FleetConfig config;
+  config.sweep_mode = sweep == "lockstep"
+                          ? fleet::FleetConfig::SweepMode::kLockStep
+                          : fleet::FleetConfig::SweepMode::kWorkStealing;
   config.fleet_budget_usd_per_hour = *budget_or;
   config.arbitration_period_sec = *period_or;
   config.num_threads = static_cast<size_t>(*threads_or);
@@ -314,6 +330,10 @@ int RunFleet(const tools::FlagParser& flags) {
   fleet::FleetManager manager(config);
   std::vector<fleet::TenantConfig> tenants = fleet::MakeTenantFleet(
       static_cast<size_t>(*tenants_or), static_cast<uint64_t>(*seed_or));
+  if (flags.GetBool("fleet-tenant-period-jitter")) {
+    fleet::ApplyPeriodJitter(&tenants, *period_or,
+                             static_cast<uint64_t>(*seed_or));
+  }
   if (flags.GetBool("fleet-fault") && !tenants.empty()) {
     // A sensed-utilization spike the controller cannot regulate away:
     // the analytics loop sees +200 points forever, so the burn-rate
@@ -366,9 +386,22 @@ int RunFleet(const tools::FlagParser& flags) {
   }
   std::cout << "fleet: " << manager.num_tenants() << " tenants, $"
             << TablePrinter::Num(*budget_or, 2) << "/h budget, arbitration "
-            << "every " << TablePrinter::Num(*period_or, 0) << " s, "
-            << *threads_or << " thread(s)\n";
+            << "every " << TablePrinter::Num(*period_or, 0) << " s"
+            << (flags.GetBool("fleet-tenant-period-jitter")
+                    ? " (jittered per tenant)"
+                    : "")
+            << ", " << *threads_or << " thread(s), " << sweep << " sweep\n";
   table.Print(std::cout);
+  // Sweep stats are schedule observables (steals and parks vary run to
+  // run at >1 thread), so they go to stderr with the other noise —
+  // stdout stays byte-identical across runs, which is the determinism
+  // contract every surface honors.
+  fleet::FleetSweepStats stats = manager.sweep_stats();
+  std::cerr << "sweep: " << stats.arbitration_events << " arbitration events, "
+            << stats.tasks_executed << " tasks, " << stats.steals
+            << " steals, " << stats.mailbox_waits << " mailbox waits, "
+            << "overlap " << TablePrinter::Num(stats.overlap_ratio(), 2)
+            << "\n";
 
   if (!flags.GetBool("quiet")) {
     // Per-tenant view of the final period.
@@ -716,7 +749,8 @@ int main(int argc, char** argv) {
        "seeds", "threads", "warm-start", "stall-generations", "csv-out",
        "trace-out", "spans-out", "metrics-out", "health-out",
        "openmetrics-out", "quiet", "help", "fleet", "fleet-tenants",
-       "fleet-budget", "fleet-period", "fleet-threads", "fleet-report-out",
+       "fleet-budget", "fleet-period", "fleet-threads", "fleet-sweep",
+       "fleet-tenant-period-jitter", "fleet-report-out",
        "fleet-capture-dir", "fleet-fault", "replay", "decisions-out"});
   if (!unknown.empty()) {
     std::cerr << "unknown flag: --" << unknown.front() << "\n" << kUsage;
